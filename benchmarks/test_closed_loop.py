@@ -1,0 +1,58 @@
+"""Closed-loop validation: harvested margins save energy while
+preserving correctness -- and what breaks when they are exceeded.
+
+The quantitative end-to-end version of the paper's thesis, with the
+margin sweep as the energy-vs-risk frontier.
+"""
+
+import pytest
+
+from repro.energy.tradeoffs import FIGURE9_WORKLOAD
+from repro.scheduling import EnergyEfficiencySimulation
+from repro.workloads import get_benchmark
+
+
+@pytest.fixture(scope="module")
+def simulation():
+    workload = [get_benchmark(name) for name in FIGURE9_WORKLOAD]
+    return EnergyEfficiencySimulation(workload, seed=7)
+
+
+def test_closed_loop_policies(benchmark, simulation):
+    reports = benchmark.pedantic(
+        lambda: simulation.compare_policies(repeats=2),
+        rounds=1, iterations=1,
+    )
+    static = reports["static_vmin"]
+    oracle = reports["oracle"]
+    # Real, violation-free savings at a 10 mV margin.
+    assert static.correct and static.crash_recoveries == 0
+    assert 0.08 < static.saving_fraction < 0.20
+    assert oracle.saving_fraction >= static.saving_fraction
+    benchmark.extra_info["static_vmin"] = (
+        f"{static.voltage_mv}mV, {100 * static.saving_fraction:.1f}% saving, "
+        f"0 violations"
+    )
+    benchmark.extra_info["oracle"] = (
+        f"{oracle.voltage_mv}mV, {100 * oracle.saving_fraction:.1f}% saving"
+    )
+
+
+def test_closed_loop_margin_frontier(benchmark, simulation):
+    margins = [20, 10, 0, -10, -25]
+    sweep = benchmark.pedantic(
+        lambda: simulation.margin_sweep(margins, repeats=2),
+        rounds=1, iterations=1,
+    )
+    by_margin = dict(zip(margins, sweep))
+    # Clean region: monotone savings down to the measured Vmin.
+    assert by_margin[20].correct and by_margin[0].correct
+    assert by_margin[0].saving_fraction > by_margin[20].saving_fraction
+    # Beyond it: violations, then net-negative energy.
+    assert (by_margin[-10].sdc_runs + by_margin[-10].crash_recoveries) > 0
+    assert by_margin[-25].saving_fraction < by_margin[0].saving_fraction
+    benchmark.extra_info["frontier"] = {
+        f"{m:+d}mV": f"{100 * r.saving_fraction:.1f}% "
+                     f"(sdc={r.sdc_runs}, sc={r.crash_recoveries})"
+        for m, r in by_margin.items()
+    }

@@ -1,0 +1,68 @@
+"""Split-stability of the Section-4.3 conclusions.
+
+The paper evaluates each model on a single 80/20 split; k-fold
+cross-validation shows which of its conclusions are split-robust:
+
+* severity prediction beats the naive baseline in *every* fold;
+* the Vmin model's R-squared swings wildly between folds (the honest
+  version of "R-squared close to 0"), while its RMSE stays at a few
+  regulator steps.
+"""
+
+import numpy as np
+import pytest
+
+from repro.prediction import kfold_cross_validate
+from repro.prediction.features import VOLTAGE_FEATURE
+from repro.prediction.rfe import RecursiveFeatureElimination
+
+
+def _reduced(dataset, n_features=5, forced=()):
+    """RFE down to the study's feature count before CV (the CV then
+    measures the *selected* model, as the paper's flow would)."""
+    eliminable = [n for n in dataset.feature_names if n not in forced]
+    sub = dataset.select_features(eliminable)
+    result = RecursiveFeatureElimination(n_features=n_features, step=8).fit(
+        sub.x, sub.y, sub.feature_names)
+    return dataset.select_features(tuple(result.selected) + tuple(forced))
+
+
+def test_crossval_stability(benchmark, prediction_pipeline, study_programs):
+    def run():
+        vmin_ds = _reduced(
+            prediction_pipeline.build_vmin_dataset(study_programs, core=0))
+        severity_ds = _reduced(
+            prediction_pipeline.build_severity_dataset(
+                study_programs, core=0, max_samples=100),
+            forced=(VOLTAGE_FEATURE,))
+        return (
+            kfold_cross_validate(vmin_ds, k=5, seed=1),
+            kfold_cross_validate(severity_ds, k=5, seed=1),
+            float(np.std(severity_ds.y)),
+        )
+
+    vmin_cv, severity_cv, severity_sigma = benchmark.pedantic(
+        run, rounds=1, iterations=1)
+
+    # Severity: robust across folds -- every fold clearly beats the
+    # target's own sigma (what the naive baseline would score).
+    assert all(r < severity_sigma * 0.75 for r in severity_cv.fold_rmse)
+    assert severity_cv.mean_r2 > 0.6
+
+    # Vmin: small absolute error but unstable explanatory power.
+    assert vmin_cv.mean_rmse < 12.0
+    r2_low, r2_high = vmin_cv.r2_range
+    assert r2_high - r2_low > 0.3  # fold-to-fold swing
+    assert vmin_cv.mean_r2 < severity_cv.mean_r2
+
+    benchmark.extra_info["vmin_cv"] = (
+        f"RMSE {vmin_cv.mean_rmse:.1f}+/-{vmin_cv.std_rmse:.1f} mV, "
+        f"R2 folds [{r2_low:.2f}, {r2_high:.2f}]"
+    )
+    benchmark.extra_info["severity_cv"] = (
+        f"RMSE {severity_cv.mean_rmse:.2f}+/-{severity_cv.std_rmse:.2f}, "
+        f"mean R2 {severity_cv.mean_r2:.2f}"
+    )
+    benchmark.extra_info["paper"] = (
+        "single-split results: Vmin R2 ~ 0; severity R2 ~ 0.9"
+    )

@@ -1,0 +1,146 @@
+"""Extension studies: experiments the paper motivates but could not run
+on fixed silicon -- fleet variation, droop/adaptive clocking,
+temperature sensitivity and aging, all ablatable in the simulator."""
+
+import pytest
+
+from repro.core import CharacterizationFramework, FrameworkConfig
+from repro.hardware import (
+    AdaptiveClockingUnit,
+    AgingModel,
+    ChipGenerator,
+    SupplyDroopModel,
+    TemperatureSensitivity,
+    XGene2Machine,
+    fleet_vmin_distribution,
+)
+from repro.units import PMD_NOMINAL_MV
+from repro.workloads import get_benchmark
+
+
+def _vmin(**machine_kwargs):
+    machine = XGene2Machine("TTT", seed=5, **machine_kwargs)
+    machine.power_on()
+    hours = machine_kwargs.pop("_age_hours", 0.0)
+    if machine.aging_model is not None:
+        machine.age(20_000.0)
+    framework = CharacterizationFramework(
+        machine, FrameworkConfig(start_mv=950, campaigns=3)
+    )
+    return framework.characterize(get_benchmark("bwaves"), core=0).highest_vmin_mv
+
+
+def test_fleet_variation_study(benchmark):
+    """Chip-to-chip variation at fleet scale: one fleet-wide voltage
+    setting wastes measurable power vs per-chip settings."""
+    def run():
+        fleet = ChipGenerator("TTT", lot_seed=1).fleet(40)
+        return fleet_vmin_distribution(fleet)
+    stats = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert stats["chips"] == 40
+    assert stats["std_mv"] > 3.0
+    assert stats["fleet_setting_penalty"] > 0.01
+    benchmark.extra_info["fleet"] = {
+        k: round(v, 2) for k, v in stats.items()
+    }
+
+
+def test_ablation_droop_and_adaptive_clocking(benchmark):
+    """Supply droop erodes the measured guardband; adaptive clocking
+    (paper footnote 1) recovers it at a bounded throughput cost."""
+    def run():
+        base = _vmin()
+        droopy = _vmin(droop_model=SupplyDroopModel())
+        relieved = _vmin(
+            droop_model=SupplyDroopModel(),
+            adaptive_clock=AdaptiveClockingUnit(recovery_mv=15.0),
+        )
+        return base, droopy, relieved
+    base, droopy, relieved = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert droopy > base
+    assert relieved < droopy
+    benchmark.extra_info["vmin_mv"] = {
+        "no_droop": base, "with_droop": droopy,
+        "droop_plus_adaptive_clock": relieved,
+    }
+
+
+def test_ablation_temperature(benchmark):
+    """Hotter operation needs more voltage: the reason the study pins
+    the die at 43 C."""
+    def run():
+        machine = XGene2Machine(
+            "TTT", seed=5, temperature_sensitivity=TemperatureSensitivity()
+        )
+        machine.power_on()
+        machine.slimpro.set_fan_setpoint_c(75.0)
+        framework = CharacterizationFramework(
+            machine, FrameworkConfig(start_mv=950, campaigns=3)
+        )
+        hot = framework.characterize(get_benchmark("bwaves"), core=0)
+        return hot.highest_vmin_mv
+    hot_vmin = benchmark.pedantic(run, rounds=1, iterations=1)
+    cool_vmin = _vmin()
+    assert hot_vmin > cool_vmin
+    benchmark.extra_info["vmin_43C_vs_75C"] = (cool_vmin, hot_vmin)
+
+
+def test_ablation_aging(benchmark):
+    """BTI aging erodes a deployed part's harvested margin -- the case
+    for online (rather than one-off) Vmin management."""
+    def run():
+        aged_vmin = _vmin(aging_model=AgingModel())
+        aging = AgingModel()
+        exhaustion_h = aging.hours_until_exhausted(
+            PMD_NOMINAL_MV - _vmin()
+        )
+        return aged_vmin, exhaustion_h
+    aged_vmin, exhaustion_h = benchmark.pedantic(run, rounds=1, iterations=1)
+    fresh_vmin = _vmin()
+    assert aged_vmin > fresh_vmin
+    # The whole guardband outlives any realistic deployment by far.
+    assert exhaustion_h > 100_000
+    benchmark.extra_info["fresh_vs_aged20kh_mv"] = (fresh_vmin, aged_vmin)
+    benchmark.extra_info["hours_to_exhaust_guardband"] = round(exhaustion_h)
+
+
+def test_extension_soc_domain_characterization(benchmark):
+    """Characterize the PCP/SoC domain the paper leaves unexplored:
+    sweep the SoC plane, find its safe Vmin / CE band / crash point,
+    and quantify the extra (modest) power on the table."""
+    from collections import Counter
+
+    from repro.effects import EffectType
+    from repro.hardware import MachineState
+
+    def run():
+        machine = XGene2Machine("TTT", seed=4)
+        machine.power_on()
+        bench = get_benchmark("gromacs")
+        per_voltage = {}
+        for soc_v in range(900, 835, -5):
+            counts = Counter()
+            for _ in range(10):
+                if machine.state is not MachineState.RUNNING:
+                    machine.press_reset()
+                machine.slimpro.set_soc_voltage_mv(soc_v)
+                outcome = machine.run_program(bench, core=0)
+                for effect in outcome.effects:
+                    counts[effect] += 1
+            per_voltage[soc_v] = counts
+        return per_voltage
+
+    per_voltage = benchmark.pedantic(run, rounds=1, iterations=1)
+    abnormal = [v for v, c in per_voltage.items()
+                if any(e is not EffectType.NO and n > 0 for e, n in c.items())]
+    crash = [v for v, c in per_voltage.items() if c[EffectType.SC] > 0]
+    soc_vmin = max(abnormal) + 5
+    soc_crash = max(crash)
+    anchor = 870  # calibration soc_vmin_mv for TTT
+    assert abs(soc_vmin - anchor) <= 5
+    assert soc_crash < soc_vmin
+    from repro.units import SOC_NOMINAL_MV
+    saving_w = 6.0 * (1 - (soc_vmin / SOC_NOMINAL_MV) ** 2)
+    benchmark.extra_info["soc_vmin_mv"] = soc_vmin
+    benchmark.extra_info["soc_crash_mv"] = soc_crash
+    benchmark.extra_info["soc_power_saving_w"] = round(saving_w, 2)

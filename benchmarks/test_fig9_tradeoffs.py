@@ -1,0 +1,48 @@
+"""Figure 9 and the headline savings numbers (exact reproduction)."""
+
+import pytest
+
+from repro.energy import figure9_ladder, headline_savings
+
+
+def test_figure9_ladder(benchmark):
+    ladder = benchmark(figure9_ladder)
+    table = [(p.chip_voltage_mv, round(100 * p.performance_rel, 1),
+              round(100 * p.power_rel, 1)) for p in ladder]
+    assert table == [
+        (980, 100.0, 100.0),
+        (915, 100.0, 87.2),
+        (900, 87.5, 73.8),
+        (885, 75.0, 61.2),
+        (875, 62.5, 49.8),
+        (760, 50.0, 30.1),
+    ]
+    benchmark.extra_info["measured"] = table
+    benchmark.extra_info["paper"] = (
+        "(915,100,87.2) (900,87.5,73.8) (885,75,61.2) (875,62.5,49.8); "
+        "prose gives 30.1% at 760mV, the figure 37.6%"
+    )
+
+
+def test_figure9_clock_tree_variant(benchmark):
+    ladder = benchmark.pedantic(
+        lambda: figure9_ladder(clock_tree_fraction=0.25),
+        rounds=1, iterations=1,
+    )
+    # The figure's divergent 760 mV point.
+    assert round(100 * ladder[-1].power_rel, 1) == 37.6
+    benchmark.extra_info["measured_760mV_power_pct"] = 37.6
+
+
+def test_headline_savings(benchmark):
+    savings = benchmark(headline_savings)
+    table = savings.as_percent()
+    assert table == {
+        "robust_core_full_speed_pct": 19.4,
+        "chip_wide_full_speed_pct": 12.8,
+        "two_pmds_slowed_pct": 38.8,
+        "all_slowed_power_pct": 69.9,
+        "all_slowed_performance_loss_pct": 50.0,
+    }
+    benchmark.extra_info["measured"] = table
+    benchmark.extra_info["paper"] = "19.4 / 12.8 / 38.8 / 69.9 %"

@@ -1,0 +1,59 @@
+"""Performance benchmarks of the simulator itself.
+
+Not a paper figure -- these track the cost of the two inner loops every
+reproduction experiment amortises: one characterization run through the
+full fault path, and one 101-event PMU profile.
+"""
+
+import pytest
+
+from repro.core import CharacterizationFramework, FrameworkConfig
+from repro.hardware import XGene2Machine
+from repro.workloads import get_benchmark
+
+
+@pytest.fixture()
+def running_machine():
+    machine = XGene2Machine("TTT", seed=99)
+    machine.power_on()
+    return machine
+
+
+def test_single_run_throughput(benchmark, running_machine):
+    """One characterization run in the unsafe region (fault sampling,
+    cache/ECC path, EDAC reporting)."""
+    bench = get_benchmark("bwaves")
+    running_machine.clocks.park_all_except([0])
+    running_machine.slimpro.set_pmd_voltage_mv(895)
+
+    def one_run():
+        if running_machine.state.value != "running":
+            running_machine.press_reset()
+            running_machine.clocks.park_all_except([0])
+            running_machine.slimpro.set_pmd_voltage_mv(895)
+        return running_machine.run_program(bench, core=0)
+
+    outcome = benchmark(one_run)
+    assert outcome.voltage_mv in (895, 980)
+
+
+def test_profile_throughput(benchmark, running_machine):
+    """One full 101-event PMU profile."""
+    bench = get_benchmark("gcc")
+    snapshot = benchmark(
+        lambda: running_machine.profile_program(bench, core=0))
+    assert len(snapshot) == 101
+
+
+def test_campaign_throughput(benchmark):
+    """A complete single campaign (sweep + watchdog recoveries)."""
+    def campaign():
+        machine = XGene2Machine("TTT", seed=55)
+        machine.power_on()
+        framework = CharacterizationFramework(
+            machine, FrameworkConfig(start_mv=920, campaigns=1)
+        )
+        return framework.run_campaign(get_benchmark("mcf"), core=0)
+
+    result = benchmark.pedantic(campaign, rounds=3, iterations=1)
+    assert result.vmin_mv > 0

@@ -1,0 +1,74 @@
+"""Section 3.4: the X-Gene's SDC-before-CE signature and the
+component-focused self-tests that explain it."""
+
+import pytest
+
+from repro.core import CharacterizationFramework, FrameworkConfig
+from repro.effects import EffectType
+from repro.hardware import XGene2Machine
+from repro.workloads import figure_benchmarks
+from repro.workloads.selftests import cache_tests, pipeline_tests
+
+
+def test_sdc_before_lone_ce_for_every_benchmark(benchmark, figure4_grid):
+    """"Silent data corruptions appear at higher voltage levels than
+    corrected errors alone for any benchmark" (TTT, most sensitive
+    core)."""
+    def analyse():
+        # An effect's onset voltage requires at least two pooled
+        # occurrences: a single ~1e-4-probability event far above the
+        # onset would otherwise masquerade as the band's edge.
+        orderings = {}
+        for bench in figure_benchmarks():
+            pooled = figure4_grid[("TTT", bench.name, 0)].pooled_counts()
+            first_sdc = max(
+                (v for v, c in pooled.items() if c[EffectType.SDC] >= 2),
+                default=None)
+            first_ce = max(
+                (v for v, c in pooled.items() if c[EffectType.CE] >= 2),
+                default=None)
+            orderings[bench.name] = (first_sdc, first_ce)
+        return orderings
+
+    orderings = benchmark.pedantic(analyse, rounds=1, iterations=1)
+    for name, (first_sdc, first_ce) in orderings.items():
+        assert first_sdc is not None, name
+        if first_ce is not None:
+            assert first_sdc >= first_ce, (name, first_sdc, first_ce)
+    benchmark.extra_info["orderings"] = {
+        name: f"SDC@{sdc} CE@{ce}" for name, (sdc, ce) in orderings.items()
+    }
+    benchmark.extra_info["paper"] = "SDCs precede lone CEs on every benchmark"
+
+
+def test_selftests_localise_the_weakness(benchmark):
+    """ALU/FPU stress tests show SDCs at much higher voltages than the
+    cache march tests fail at all -- timing paths, not SRAM, limit the
+    X-Gene 2."""
+    def run():
+        machine = XGene2Machine("TTT", seed=31)
+        machine.power_on()
+        framework = CharacterizationFramework(
+            machine, FrameworkConfig(campaigns=3, runs_per_level=5)
+        )
+        out = {}
+        for test in pipeline_tests() + cache_tests():
+            out[test.name] = framework.characterize(test, core=0)
+        return out
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    pipeline_vmin = min(
+        results[t.name].highest_vmin_mv for t in pipeline_tests())
+    cache_crash = max(
+        results[t.name].highest_crash_mv for t in cache_tests())
+    # The pipeline tests' first SDCs sit above the voltage where the
+    # cache tests even begin to misbehave.
+    assert pipeline_vmin > cache_crash + 10
+    for test in pipeline_tests():
+        pooled = results[test.name].pooled_counts()
+        assert any(c[EffectType.SDC] > 0 for c in pooled.values()), test.name
+    benchmark.extra_info["pipeline_tests_vmin_mv"] = pipeline_vmin
+    benchmark.extra_info["cache_tests_crash_mv"] = cache_crash
+    benchmark.extra_info["paper"] = (
+        "cache tests crash far below the ALU/FPU tests' SDC voltages"
+    )

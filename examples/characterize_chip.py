@@ -1,0 +1,75 @@
+#!/usr/bin/env python3
+"""Chip characterization campaign: the Figures 3-5 workflow.
+
+Characterizes a configurable slice of the (chip x benchmark x core)
+grid, writes the framework's CSV outputs, and renders the Figure-3 bar
+series and the Figure-5 severity heat-map as text.
+
+Run:  python examples/characterize_chip.py [--full]
+
+The default quick study covers one chip, three benchmarks and two
+cores in a few seconds; ``--full`` runs the paper's ten-benchmark,
+three-chip, eight-core grid (several minutes).
+"""
+
+import argparse
+import tempfile
+
+from repro import PAPER_STUDY, QUICK_STUDY, CharacterizationFramework, XGene2Machine
+from repro.analysis.ascii_plots import bar_chart, heatmap
+from repro.analysis.figures import figure5_severity_map
+from repro.core.results import ResultStore
+from repro.data.calibration import chip_calibration
+from repro.workloads import get_benchmark
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--full", action="store_true",
+                        help="run the paper's full grid (slow)")
+    parser.add_argument("--out", default=None,
+                        help="directory for CSV outputs (default: temp)")
+    args = parser.parse_args()
+
+    study = PAPER_STUDY if args.full else QUICK_STUDY
+    out_dir = args.out or tempfile.mkdtemp(prefix="repro-results-")
+    store = ResultStore(out_dir)
+
+    all_results = []
+    fig3 = {}
+    fig5_by_core = {}
+    for chip in study.chips:
+        machine = XGene2Machine(chip, seed=study.seed)
+        machine.power_on()
+        framework = CharacterizationFramework(machine, study.framework)
+        robust_core = chip_calibration(chip).most_robust_core()
+        for name in study.benchmarks:
+            bench = get_benchmark(name)
+            for core in study.cores:
+                print(f"characterizing {chip}/{name}/core{core} ...")
+                result = framework.characterize(bench, core)
+                all_results.append(result)
+                if core == robust_core or core == max(study.cores):
+                    fig3[(chip, name)] = result.highest_vmin_mv
+                if chip == study.chips[0] and name == study.benchmarks[0]:
+                    fig5_by_core[core] = result
+        store.write_all_raw_logs(framework.raw_logs)
+
+    runs_csv = store.write_runs_csv(all_results)
+    severity_csv = store.write_severity_csv(all_results)
+    print(f"\nwrote {runs_csv}")
+    print(f"wrote {severity_csv}")
+
+    print("\nFigure-3-style series (highest safe Vmin, mV):")
+    print(bar_chart({f"{c}/{b}": v for (c, b), v in fig3.items()},
+                    unit="mV", baseline=850))
+
+    first_bench = study.benchmarks[0]
+    print(f"\nFigure-5-style severity map ({study.chips[0]} / {first_bench}):")
+    matrix = figure5_severity_map(fig5_by_core)
+    print(heatmap({v: {c: (s or 0.0) for c, s in row.items()}
+                   for v, row in matrix.items()}))
+
+
+if __name__ == "__main__":
+    main()

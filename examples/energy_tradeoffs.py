@@ -1,0 +1,63 @@
+#!/usr/bin/env python3
+"""Energy-performance trade-offs: Figure 9 and the headline savings.
+
+Builds the Figure-9 ladder for the paper's eight-benchmark workload,
+prints every point next to the published one, and quantifies the two
+Section-6 design-enhancement ablations (stronger ECC is exercised by
+the benchmark harness; the finer-voltage-domain one is shown here).
+
+Run:  python examples/energy_tradeoffs.py
+"""
+
+from repro.analysis.ascii_plots import scatter
+from repro.energy import (
+    FIGURE9_WORKLOAD,
+    figure9_ladder,
+    finer_domains_ablation,
+    headline_savings,
+)
+
+PAPER_POINTS = {
+    980: (100.0, 100.0),
+    915: (100.0, 87.2),
+    900: (87.5, 73.8),
+    885: (75.0, 61.2),
+    875: (62.5, 49.8),
+    760: (50.0, 37.6),  # the figure's value; the prose implies 30.1
+}
+
+
+def main() -> None:
+    print(f"workload: {', '.join(FIGURE9_WORKLOAD)} (one task per core, TTT)\n")
+
+    print("Figure 9 ladder (model, clock-tree term off -- matches the prose):")
+    print(f"{'step':<16}{'Vdd':>7}{'perf %':>8}{'power %':>9}"
+          f"{'paper %':>9}")
+    ladder = figure9_ladder()
+    for point in ladder:
+        paper = PAPER_POINTS.get(point.chip_voltage_mv, ("-", "-"))
+        print(f"{point.label:<16}{point.chip_voltage_mv:>5}mV"
+              f"{100 * point.performance_rel:>8.1f}"
+              f"{100 * point.power_rel:>9.1f}{paper[1]:>9}")
+
+    variant = figure9_ladder(clock_tree_fraction=0.25)
+    print(f"\nwith the clock-tree residual (0.25) the 760 mV point becomes "
+          f"{100 * variant[-1].power_rel:.1f} % -- the figure's 37.6 %.")
+
+    print("\nheadline savings:")
+    for key, value in headline_savings().as_percent().items():
+        print(f"  {key:<36} {value:>5.1f} %")
+
+    ablation = finer_domains_ablation()
+    print("\nSection-6 finer-voltage-domains ablation (Figure-9 workload):")
+    print(f"  shared plane power : {100 * ablation.shared_plane_power_rel:.1f} %")
+    print(f"  per-PMD planes     : {100 * ablation.per_pmd_power_rel:.1f} %")
+    print(f"  extra saving       : {100 * ablation.extra_saving_fraction:.1f} %")
+
+    print("\nthe Pareto frontier (x = power %, y = performance %):")
+    points = [(100 * p.power_rel, 100 * p.performance_rel) for p in ladder]
+    print(scatter(points, x_label="power %", y_label="perf %"))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,106 @@
+#!/usr/bin/env python3
+"""Online voltage governance and severity-aware scheduling (Section 5).
+
+The full system-software loop the paper sketches:
+
+1. characterize a training set of programs (offline);
+2. train the governor's Vmin model on the five predictive PMU events;
+3. schedule an eight-task workload -- naive vs robust-first placement;
+4. let the governor pick the plane voltage from live PMU snapshots;
+5. show the severity-tolerant "aggressive" mode for SDC-tolerant
+   applications, and what mitigation each severity regime needs.
+
+Run:  python examples/governor_demo.py
+"""
+
+from repro import PredictionPipeline, SeverityAwareScheduler, XGene2Machine
+from repro.data.calibration import chip_calibration
+from repro.energy.tradeoffs import FIGURE9_WORKLOAD
+from repro.scheduling import (
+    ApplicationClass,
+    CheckpointRollback,
+    VoltageGovernor,
+    recommend_mitigation,
+)
+from repro.workloads import all_programs, get_benchmark
+
+
+def main() -> None:
+    calibration = chip_calibration("TTT")
+    machine = XGene2Machine("TTT", seed=2017)
+    machine.power_on()
+    pipeline = PredictionPipeline(machine)
+
+    # -- offline: train on a 14-program set ------------------------------
+    training = [p for p in all_programs() if p.input_set == "ref"][:14]
+    print(f"training the governor on {len(training)} programs ...")
+    snapshots = [pipeline.profile(p) for p in training]
+    vmins = [float(pipeline.characterize(p, core=4).highest_vmin_mv)
+             for p in training]
+    governor = VoltageGovernor.train_from_observations(
+        snapshots, vmins, core_offsets_mv=calibration.core_offsets_mv,
+        margin_mv=15,
+    )
+
+    # -- scheduling: naive vs robust-first -------------------------------------
+    workload = [get_benchmark(name) for name in FIGURE9_WORKLOAD]
+    scheduler = SeverityAwareScheduler("TTT")
+    print("\ntask-to-core placement for the Figure-9 workload:")
+    for policy, assignment in scheduler.compare_policies(workload).items():
+        print(f"  {policy:<13} chip Vmin {assignment.chip_vmin_mv} mV "
+              f"-> {100 * assignment.saving_fraction:.1f} % saving")
+
+    # -- online: the governor reacts to live snapshots -----------------------------
+    print("\ngovernor decisions (robust-first placement, live snapshots):")
+    assignment = scheduler.assign(workload, policy="robust_first")
+    live = {
+        core: pipeline.profile(get_benchmark(name))
+        for name, core in assignment.placement.items()
+    }
+    decision = governor.decide(live)
+    print(f"  plane voltage : {decision.voltage_mv} mV "
+          f"(limited by core {decision.limiting_core})")
+
+    # -- aggressive mode for SDC-tolerant applications ---------------------------------
+    severity_samples = []
+    for program in training[:6]:
+        result = pipeline.characterize(program, core=4)
+        snapshot = pipeline.profile(program)
+        for voltage, severity in result.severity_by_voltage().items():
+            severity_samples.append((snapshot, voltage, severity))
+    severity_model = VoltageGovernor.fit_severity_model(
+        [s for s, _v, _y in severity_samples],
+        [v for _s, v, _y in severity_samples],
+        [y for _s, _v, y in severity_samples],
+    )
+    aggressive = VoltageGovernor(
+        governor.vmin_model, core_offsets_mv=calibration.core_offsets_mv,
+        margin_mv=15, severity_model=severity_model,
+    )
+    tolerant = ApplicationClass.SDC_TOLERANT
+    deep = aggressive.decide_aggressive(
+        live, severity_tolerance=tolerant.severity_tolerance)
+    print(f"  aggressive    : {deep.voltage_mv} mV for "
+          f"severity <= {tolerant.severity_tolerance} applications"
+          f"{' (deeper than conservative)' if deep.aggressive else ''}")
+
+    # -- mitigation ladder -----------------------------------------------------------------
+    print("\nmitigation per predicted severity (Section 4.4):")
+    for severity in (0.0, 1.0, 4.0, 6.0, 12.0):
+        exact = recommend_mitigation(severity).value
+        tol = recommend_mitigation(severity, application=tolerant).value
+        print(f"  severity {severity:>4.1f}: exact apps -> {exact:<20} "
+              f"SDC-tolerant -> {tol}")
+
+    checkpointing = CheckpointRollback(checkpoint_interval_s=120.0,
+                                       checkpoint_cost_s=1.5)
+    rate = 1e-4
+    print(f"\ncheckpoint/rollback at failure rate {rate:g}/s: "
+          f"overhead {100 * checkpointing.expected_overhead_fraction(rate):.2f} %, "
+          f"optimal interval {checkpointing.optimal_interval_s(rate):.0f} s; "
+          f"worthwhile for a 19.4 % saving: "
+          f"{checkpointing.worthwhile(rate, 0.194)}")
+
+
+if __name__ == "__main__":
+    main()

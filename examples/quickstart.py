@@ -1,0 +1,54 @@
+#!/usr/bin/env python3
+"""Quickstart: characterize one benchmark on one core.
+
+Boots a simulated X-Gene 2 (TTT part), runs the paper's automated
+undervolting campaign for bwaves on core 0, and prints the regions of
+operation, the safe Vmin and the severity ramp -- the minimal version
+of the paper's Figures 4 and 5.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import CharacterizationFramework, FrameworkConfig, XGene2Machine
+from repro.analysis.ascii_plots import region_strip
+from repro.units import PMD_NOMINAL_MV
+from repro.workloads import get_benchmark
+
+
+def main() -> None:
+    # A powered-on machine; every run is deterministic in the seed.
+    machine = XGene2Machine("TTT", seed=2017)
+    machine.power_on()
+
+    # The paper's configuration: sweep down in 5 mV steps, 10 runs per
+    # level, 10 campaign repetitions, watchdog-recovered crashes.
+    framework = CharacterizationFramework(
+        machine, FrameworkConfig(start_mv=930, campaigns=10)
+    )
+    bench = get_benchmark("bwaves")
+    print(f"characterizing {bench.name} on {machine.chip.name} core 0 ...")
+    result = framework.characterize(bench, core=0)
+
+    regions = result.pooled_regions()
+    print(f"\nsafe Vmin           : {result.highest_vmin_mv} mV "
+          f"(nominal {PMD_NOMINAL_MV} mV)")
+    print(f"guardband           : {regions.guardband_mv(PMD_NOMINAL_MV)} mV")
+    print(f"highest crash level : {result.highest_crash_mv} mV")
+    print(f"watchdog recoveries : {framework.watchdog.intervention_count}")
+
+    print("\nregions (S=safe, u=unsafe, #=crash):")
+    print(region_strip({v: regions.classify(v) for v in result.campaigns[0].voltages()}))
+
+    print("\nseverity ramp (Table-4 weights):")
+    severity = result.severity_by_voltage()
+    for voltage in sorted(severity, reverse=True):
+        bar = "#" * int(round(severity[voltage] * 3))
+        print(f"  {voltage} mV  {severity[voltage]:5.2f}  {bar}")
+
+    saving = 1 - (result.highest_vmin_mv / PMD_NOMINAL_MV) ** 2
+    print(f"\nrunning this benchmark at its Vmin would save "
+          f"{saving * 100:.1f} % power at full speed.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,74 @@
+"""repro: a full reproduction of *"Harnessing Voltage Margins for
+Energy Efficiency in Multicore CPUs"* (Papadimitriou et al., MICRO-50,
+2017) on a behavioural X-Gene 2 simulator.
+
+The package mirrors the paper's structure:
+
+* :mod:`repro.hardware` -- the simulated APM X-Gene 2 micro-server
+  (8 ARMv8 cores in 4 PMDs on a shared voltage plane, SLIMpro/PMpro
+  management, parity/ECC caches, EDAC, PMU, serial console).
+* :mod:`repro.faults` -- voltage-dependent failure models and real
+  ECC codecs.
+* :mod:`repro.workloads` -- the synthetic SPEC CPU2006 suite and the
+  Section-3.4 self-tests.
+* :mod:`repro.core` -- **contribution 1 & 2**: the automated
+  characterization framework (Figure 2) and the severity function.
+* :mod:`repro.prediction` -- **contribution 3**: Vmin/severity
+  prediction from performance counters (Figure 6).
+* :mod:`repro.energy` -- **contribution 4**: energy-performance
+  trade-offs (Figure 9) and the headline savings.
+* :mod:`repro.scheduling` -- severity-aware scheduling, the online
+  voltage governor, DVFS baseline and Section-4.4 mitigations.
+* :mod:`repro.analysis` -- regeneration of every table and figure.
+
+Quick start::
+
+    from repro import XGene2Machine, CharacterizationFramework
+    from repro.workloads import get_benchmark
+
+    machine = XGene2Machine("TTT", seed=2017)
+    machine.power_on()
+    framework = CharacterizationFramework(machine)
+    result = framework.characterize(get_benchmark("bwaves"), core=0)
+    print(result.highest_vmin_mv, result.severity_by_voltage())
+"""
+
+from ._version import __version__
+from .effects import EffectType
+from .errors import ReproError
+from .config import PAPER_STUDY, QUICK_STUDY, StudyConfig
+from .core import (
+    CharacterizationFramework,
+    CharacterizationResult,
+    FrameworkConfig,
+    SeverityWeights,
+    WatchdogMonitor,
+    severity_value,
+)
+from .hardware import XGene2Chip, XGene2Machine
+from .prediction import PredictionPipeline, PredictionReport
+from .energy import figure9_ladder, headline_savings
+from .scheduling import SeverityAwareScheduler, VoltageGovernor
+
+__all__ = [
+    "__version__",
+    "EffectType",
+    "ReproError",
+    "PAPER_STUDY",
+    "QUICK_STUDY",
+    "StudyConfig",
+    "CharacterizationFramework",
+    "CharacterizationResult",
+    "FrameworkConfig",
+    "SeverityWeights",
+    "WatchdogMonitor",
+    "severity_value",
+    "XGene2Chip",
+    "XGene2Machine",
+    "PredictionPipeline",
+    "PredictionReport",
+    "figure9_ladder",
+    "headline_savings",
+    "SeverityAwareScheduler",
+    "VoltageGovernor",
+]

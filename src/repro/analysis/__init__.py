@@ -1,0 +1,56 @@
+"""Analysis & regeneration of every table and figure in the paper.
+
+* :mod:`repro.analysis.variation` -- core-to-core / chip-to-chip /
+  workload-to-workload variation statistics (Section 3.3).
+* :mod:`repro.analysis.tables` -- Tables 1-4 as data + text rendering.
+* :mod:`repro.analysis.figures` -- Figures 3, 4, 5, 7, 8, 9 as data
+  series, from either the calibration anchors (instant) or measured
+  characterization results.
+* :mod:`repro.analysis.ascii_plots` -- terminal rendering.
+* :mod:`repro.analysis.report` -- paper-vs-measured comparison report.
+"""
+
+from .variation import (
+    VariationSummary,
+    chip_to_chip_summary,
+    core_to_core_spread,
+    workload_ordering_consistency,
+)
+from .tables import table1_prior_work, table2_parameters, table3_effects, table4_weights
+from .figures import (
+    figure3_vmin_series,
+    figure4_region_grid,
+    figure5_severity_map,
+    figure7_prediction_series,
+    figure9_series,
+)
+from .ascii_plots import bar_chart, heatmap, scatter
+from .error_locations import LocationProfile, location_profiles, onset_table
+from .export import FigureExporter
+from .report import PAPER_CLAIMS, ClaimCheck, check_claims
+
+__all__ = [
+    "VariationSummary",
+    "chip_to_chip_summary",
+    "core_to_core_spread",
+    "workload_ordering_consistency",
+    "table1_prior_work",
+    "table2_parameters",
+    "table3_effects",
+    "table4_weights",
+    "figure3_vmin_series",
+    "figure4_region_grid",
+    "figure5_severity_map",
+    "figure7_prediction_series",
+    "figure9_series",
+    "bar_chart",
+    "heatmap",
+    "scatter",
+    "FigureExporter",
+    "LocationProfile",
+    "location_profiles",
+    "onset_table",
+    "PAPER_CLAIMS",
+    "ClaimCheck",
+    "check_claims",
+]

@@ -1,0 +1,101 @@
+"""Terminal rendering of the regenerated figures.
+
+Deliberately dependency-free (no matplotlib offline): bar charts,
+heat-maps and scatter plots as monospace text, good enough to eyeball
+the shapes the paper's figures show.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Optional, Sequence, Tuple
+
+from ..errors import ConfigurationError
+
+
+def bar_chart(
+    values: Mapping[str, float],
+    width: int = 50,
+    unit: str = "",
+    baseline: Optional[float] = None,
+) -> str:
+    """Horizontal bar chart; bars start at ``baseline`` (default min)."""
+    if not values:
+        raise ConfigurationError("bar_chart needs at least one value")
+    label_width = max(len(str(k)) for k in values)
+    low = baseline if baseline is not None else min(values.values())
+    high = max(values.values())
+    span = max(high - low, 1e-12)
+    lines = []
+    for key, value in values.items():
+        filled = int(round((value - low) / span * width))
+        bar = "#" * filled
+        lines.append(f"{str(key).ljust(label_width)} |{bar.ljust(width)}| "
+                     f"{value:g}{unit}")
+    return "\n".join(lines)
+
+
+def heatmap(
+    matrix: Mapping[float, Mapping[int, float]],
+    value_format: str = "{:5.1f}",
+    empty: str = "    .",
+    col_header: str = "core",
+) -> str:
+    """Row-keyed heat-map with numeric cells (the Figure-5 shape).
+
+    ``matrix`` maps row key (e.g. voltage) -> {column key: value};
+    zero cells render as ``empty``.
+    """
+    if not matrix:
+        raise ConfigurationError("heatmap needs at least one row")
+    columns = sorted({c for row in matrix.values() for c in row})
+    header = "        " + " ".join(f"{col_header}{c}".rjust(5) for c in columns)
+    lines = [header]
+    for row_key in sorted(matrix, reverse=True):
+        cells = []
+        for column in columns:
+            value = matrix[row_key].get(column, 0.0)
+            cells.append(value_format.format(value) if value else empty)
+        lines.append(f"{row_key:>6}  " + " ".join(cells))
+    return "\n".join(lines)
+
+
+def scatter(
+    points: Sequence[Tuple[float, float]],
+    width: int = 60,
+    height: int = 20,
+    x_label: str = "x",
+    y_label: str = "y",
+    marks: str = "o",
+) -> str:
+    """Monospace scatter plot of (x, y) points."""
+    if not points:
+        raise ConfigurationError("scatter needs at least one point")
+    xs = [p[0] for p in points]
+    ys = [p[1] for p in points]
+    x_lo, x_hi = min(xs), max(xs)
+    y_lo, y_hi = min(ys), max(ys)
+    x_span = max(x_hi - x_lo, 1e-12)
+    y_span = max(y_hi - y_lo, 1e-12)
+    grid = [[" "] * width for _ in range(height)]
+    for x, y in points:
+        col = int((x - x_lo) / x_span * (width - 1))
+        row = height - 1 - int((y - y_lo) / y_span * (height - 1))
+        grid[row][col] = marks
+    lines = [f"{y_label} [{y_lo:g} .. {y_hi:g}]"]
+    lines.extend("|" + "".join(row) for row in grid)
+    lines.append("+" + "-" * width)
+    lines.append(f" {x_label} [{x_lo:g} .. {x_hi:g}]")
+    return "\n".join(lines)
+
+
+def region_strip(
+    regions: Mapping[int, object], symbols: Optional[Mapping[str, str]] = None
+) -> str:
+    """One Figure-4 column as a vertical strip of region glyphs."""
+    glyphs = symbols or {"safe": "S", "unsafe": "u", "crash": "#"}
+    lines = []
+    for voltage in sorted(regions, reverse=True):
+        region = regions[voltage]
+        name = getattr(region, "value", str(region))
+        lines.append(f"{voltage:>4} {glyphs.get(name, '?')}")
+    return "\n".join(lines)

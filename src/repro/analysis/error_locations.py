@@ -1,0 +1,85 @@
+"""Error-location analytics (Section 2.2's parser extension).
+
+*"the parser can also report the exact location that the correctable
+errors occurred (e.g. the cache level, the memory, etc.) using the
+logging information provided by the execution phase."*
+
+The machine's EDAC model attributes every corrected/uncorrected error
+to its reporting location (L1D, L2, L3, ...).  This module aggregates
+those attributions across a characterization, answering where the
+memory hierarchy starts to wear out as the voltage drops -- the
+location-resolved refinement of the CE/UE columns in Figure 4's
+unsafe band.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Tuple
+
+from ..core.runs import RunRecord
+from ..errors import CampaignError
+
+
+@dataclass(frozen=True)
+class LocationProfile:
+    """Error counts of one location across a voltage sweep."""
+
+    location: str
+    #: {voltage: (ce_events, ue_events)}
+    by_voltage: Mapping[int, Tuple[int, int]]
+
+    @property
+    def total_ce(self) -> int:
+        return sum(ce for ce, _ue in self.by_voltage.values())
+
+    @property
+    def total_ue(self) -> int:
+        return sum(ue for _ce, ue in self.by_voltage.values())
+
+    @property
+    def onset_voltage_mv(self) -> Optional[int]:
+        """Highest voltage at which this location reported anything."""
+        reporting = [
+            v for v, (ce, ue) in self.by_voltage.items() if ce or ue
+        ]
+        return max(reporting) if reporting else None
+
+
+def location_profiles(records: List[RunRecord]) -> Dict[str, LocationProfile]:
+    """Aggregate per-location error counts from run records.
+
+    Locations come from the fault model's detail keys (``ce_L2``,
+    ``ue_L3``, ...), which the machine also feeds to the EDAC driver.
+    """
+    if not records:
+        raise CampaignError("need at least one run record")
+    staging: Dict[str, Dict[int, List[int]]] = {}
+    for record in records:
+        voltage = record.setup.voltage_mv
+        for key, count in record.detail.items():
+            kind: Optional[str] = None
+            if key.startswith("ce_"):
+                kind, location = "ce", key[3:]
+            elif key.startswith("ue_"):
+                kind, location = "ue", key[3:]
+            else:
+                continue
+            slot = staging.setdefault(location, {}).setdefault(voltage, [0, 0])
+            slot[0 if kind == "ce" else 1] += int(count)
+    return {
+        location: LocationProfile(
+            location=location,
+            by_voltage={v: (ce, ue) for v, (ce, ue) in per_voltage.items()},
+        )
+        for location, per_voltage in staging.items()
+    }
+
+
+def onset_table(profiles: Mapping[str, LocationProfile]) -> List[Tuple[str, Optional[int], int, int]]:
+    """(location, onset mV, total CE, total UE), highest onset first."""
+    rows = [
+        (p.location, p.onset_voltage_mv, p.total_ce, p.total_ue)
+        for p in profiles.values()
+    ]
+    return sorted(rows, key=lambda r: (-(r[1] or 0), r[0]))

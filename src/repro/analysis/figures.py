@@ -1,0 +1,191 @@
+"""Figures 3, 4, 5, 7, 8 and 9 as data series.
+
+Each regenerator has two modes where applicable:
+
+* **from measurement** -- pass the characterization / prediction
+  results produced by the framework (what the benchmark harness does);
+* **from anchors** -- omit them and the series is derived from the
+  calibration model directly (instant, exact; useful for sanity checks
+  and documentation).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from ..core.campaign import CharacterizationResult
+from ..core.regions import Region
+from ..data.calibration import CHIP_NAMES, chip_calibration
+from ..energy.tradeoffs import TradeoffPoint, figure9_ladder
+from ..errors import CampaignError
+from ..prediction.pipeline import PredictionReport
+from ..units import voltage_sweep
+from ..workloads.spec2006 import figure_benchmarks
+
+
+# ---------------------------------------------------------------------------
+# Figure 3: Vmin at 2.4 GHz, most robust core, 10 benchmarks x 3 chips.
+# ---------------------------------------------------------------------------
+
+
+def figure3_vmin_series(
+    measured: Optional[Mapping[Tuple[str, str], CharacterizationResult]] = None,
+) -> Dict[str, Dict[str, int]]:
+    """{chip: {benchmark: Vmin mV}} for the most robust core.
+
+    ``measured`` maps (chip, benchmark) to characterization results;
+    omitted entries fall back to the calibration anchors.
+    """
+    series: Dict[str, Dict[str, int]] = {}
+    for chip in CHIP_NAMES:
+        calibration = chip_calibration(chip)
+        core = calibration.most_robust_core()
+        row: Dict[str, int] = {}
+        for bench in figure_benchmarks():
+            key = (chip, bench.name)
+            if measured is not None and key in measured:
+                row[bench.name] = measured[key].highest_vmin_mv
+            else:
+                row[bench.name] = calibration.vmin_mv(core, bench.stress)
+        series[chip] = row
+    return series
+
+
+# ---------------------------------------------------------------------------
+# Figure 4: per-core region grid for every benchmark and chip.
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class RegionColumn:
+    """One bar of Figure 4: a core's regions for one benchmark."""
+
+    chip: str
+    benchmark: str
+    core: int
+    vmin_mv: int
+    crash_mv: Optional[int]
+    #: {voltage: region} across the plotted range.
+    regions: Mapping[int, Region]
+
+
+def figure4_region_grid(
+    measured: Optional[
+        Mapping[Tuple[str, str, int], CharacterizationResult]
+    ] = None,
+    top_mv: int = 930,
+    bottom_mv: int = 850,
+) -> List[RegionColumn]:
+    """All Figure-4 columns (3 chips x 10 benchmarks x 8 cores).
+
+    ``measured`` maps (chip, benchmark, core) to results; omitted cells
+    fall back to anchors.
+    """
+    columns: List[RegionColumn] = []
+    plot_range = voltage_sweep(top_mv, bottom_mv)
+    for chip in CHIP_NAMES:
+        calibration = chip_calibration(chip)
+        for bench in figure_benchmarks():
+            for core in range(8):
+                key = (chip, bench.name, core)
+                if measured is not None and key in measured:
+                    regions_obj = measured[key].pooled_regions()
+                    vmin = regions_obj.vmin_mv
+                    crash = regions_obj.crash_mv
+                    region_map = {v: regions_obj.classify(v) for v in plot_range}
+                else:
+                    vmin = calibration.vmin_mv(core, bench.stress)
+                    crash = calibration.crash_voltage_mv(
+                        core, bench.stress, bench.smoothness
+                    )
+                    def classify(v, vmin=vmin, crash=crash):
+                        if v >= vmin:
+                            return Region.SAFE
+                        if v > crash:
+                            return Region.UNSAFE
+                        return Region.CRASH
+                    region_map = {v: classify(v) for v in plot_range}
+                columns.append(
+                    RegionColumn(
+                        chip=chip, benchmark=bench.name, core=core,
+                        vmin_mv=vmin, crash_mv=crash, regions=region_map,
+                    )
+                )
+    return columns
+
+
+def figure4_chip_averages(
+    columns: Sequence[RegionColumn],
+) -> Dict[str, Tuple[float, float]]:
+    """Figure 4's green/red lines: (mean Vmin, mean crash) per chip."""
+    sums: Dict[str, List[float]] = {}
+    for column in columns:
+        slot = sums.setdefault(column.chip, [0.0, 0.0, 0.0])
+        slot[0] += column.vmin_mv
+        slot[1] += column.crash_mv if column.crash_mv is not None else 0.0
+        slot[2] += 1
+    return {
+        chip: (total_vmin / count, total_crash / count)
+        for chip, (total_vmin, total_crash, count) in sums.items()
+    }
+
+
+# ---------------------------------------------------------------------------
+# Figure 5: severity heat-map of one benchmark on one chip's cores.
+# ---------------------------------------------------------------------------
+
+
+def figure5_severity_map(
+    results_by_core: Mapping[int, CharacterizationResult],
+) -> Dict[int, Dict[int, Optional[float]]]:
+    """{voltage: {core: severity}} -- the Figure-5 matrix.
+
+    Only voltages where at least one core shows non-zero severity are
+    included (matching the figure, which annotates the abnormal cells).
+    Cells a core's sweep never measured -- its campaign stopped above
+    that voltage after hitting the crash floor -- are ``None``, not 0.
+    """
+    if not results_by_core:
+        raise CampaignError("need at least one core's result")
+    per_core = {
+        core: result.severity_by_voltage()
+        for core, result in results_by_core.items()
+    }
+    voltages = sorted(
+        {v for table in per_core.values() for v in table}, reverse=True
+    )
+    matrix: Dict[int, Dict[int, Optional[float]]] = {}
+    for voltage in voltages:
+        row = {
+            core: per_core[core].get(voltage)
+            for core in sorted(per_core)
+        }
+        if any(value is not None and value > 0 for value in row.values()):
+            matrix[voltage] = row
+    return matrix
+
+
+# ---------------------------------------------------------------------------
+# Figures 7/8: severity prediction scatter.
+# ---------------------------------------------------------------------------
+
+
+def figure7_prediction_series(
+    report: PredictionReport,
+) -> List[Tuple[str, float, float]]:
+    """(tag, observed, predicted) test points, sorted by observed --
+    the dots and line of Figures 7 and 8."""
+    return sorted(report.test_points, key=lambda point: point[1])
+
+
+# ---------------------------------------------------------------------------
+# Figure 9: energy-performance trade-off ladder.
+# ---------------------------------------------------------------------------
+
+
+def figure9_series(
+    chip: str = "TTT", clock_tree_fraction: float = 0.0
+) -> List[TradeoffPoint]:
+    """The Figure-9 point series (delegates to the energy package)."""
+    return figure9_ladder(chip, clock_tree_fraction=clock_tree_fraction)

@@ -1,0 +1,128 @@
+"""Process-variation statistics (Section 3.3).
+
+Three levels of Vmin variation, each a lever for energy savings:
+
+* **core-to-core**: up to 3.6 % more voltage reduction on the most
+  robust cores; PMD 2 is the most robust PMD on all three chips;
+* **chip-to-chip**: TFF averages below TTT, TSS significantly above;
+* **workload-to-workload**: the per-benchmark ordering is the same on
+  every chip ("there is a program dependency of Vmin behavior in all
+  chips").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Sequence, Tuple
+
+from ..data.calibration import CHIP_NAMES, chip_calibration
+from ..errors import ConfigurationError
+from ..units import PMD_NOMINAL_MV
+from ..workloads.benchmark import Benchmark
+
+
+@dataclass(frozen=True)
+class VariationSummary:
+    """Per-chip variation summary over a benchmark set."""
+
+    chip: str
+    #: Mean Vmin over cores and benchmarks, mV.
+    mean_vmin_mv: float
+    #: Most robust / most sensitive core indices.
+    most_robust_core: int
+    most_sensitive_core: int
+    #: Largest core-to-core Vmin gap for any single benchmark, mV.
+    max_core_spread_mv: int
+    #: That gap as a fraction of the nominal supply ("up to 3.6 %").
+    max_core_spread_fraction: float
+    #: Per-PMD mean variation offset, mV (PMD 2 should be smallest).
+    pmd_mean_offset_mv: Tuple[float, float, float, float]
+
+
+def _vmin_grid(chip: str, benchmarks: Sequence[Benchmark],
+               freq_mhz: int = 2400) -> Dict[Tuple[str, int], int]:
+    calibration = chip_calibration(chip)
+    return {
+        (bench.name, core): calibration.vmin_mv(core, bench.stress, freq_mhz)
+        for bench in benchmarks
+        for core in range(8)
+    }
+
+
+def core_to_core_spread(
+    chip: str, benchmarks: Sequence[Benchmark], freq_mhz: int = 2400
+) -> VariationSummary:
+    """Core-to-core variation summary from the calibration anchors."""
+    if not benchmarks:
+        raise ConfigurationError("need at least one benchmark")
+    calibration = chip_calibration(chip)
+    grid = _vmin_grid(chip, benchmarks, freq_mhz)
+    spreads = []
+    for bench in benchmarks:
+        values = [grid[(bench.name, core)] for core in range(8)]
+        spreads.append(max(values) - min(values))
+    max_spread = max(spreads)
+    offsets = calibration.core_offsets_mv
+    pmd_means = tuple(
+        (offsets[2 * pmd] + offsets[2 * pmd + 1]) / 2.0 for pmd in range(4)
+    )
+    return VariationSummary(
+        chip=chip,
+        mean_vmin_mv=sum(grid.values()) / len(grid),
+        most_robust_core=calibration.most_robust_core(),
+        most_sensitive_core=calibration.most_sensitive_core(),
+        max_core_spread_mv=max_spread,
+        max_core_spread_fraction=max_spread / PMD_NOMINAL_MV,
+        pmd_mean_offset_mv=pmd_means,
+    )
+
+
+def chip_to_chip_summary(
+    benchmarks: Sequence[Benchmark], freq_mhz: int = 2400
+) -> Dict[str, VariationSummary]:
+    """Variation summary of all three chips, keyed by chip name."""
+    return {
+        chip: core_to_core_spread(chip, benchmarks, freq_mhz)
+        for chip in CHIP_NAMES
+    }
+
+
+def workload_ordering_consistency(
+    benchmarks: Sequence[Benchmark], freq_mhz: int = 2400
+) -> float:
+    """Kendall-style concordance of the benchmark Vmin ordering across
+    chips (1.0 = identical ordering on all chips, as the paper finds).
+
+    Computed pairwise on the most robust core of each chip: the
+    fraction of benchmark pairs ordered consistently (ties ignored)
+    across every chip pair.
+    """
+    if len(benchmarks) < 2:
+        raise ConfigurationError("need at least two benchmarks")
+    per_chip: Dict[str, List[int]] = {}
+    for chip in CHIP_NAMES:
+        calibration = chip_calibration(chip)
+        core = calibration.most_robust_core()
+        per_chip[chip] = [
+            calibration.vmin_mv(core, bench.stress, freq_mhz)
+            for bench in benchmarks
+        ]
+    agreements = 0
+    comparisons = 0
+    n = len(benchmarks)
+    chips = list(CHIP_NAMES)
+    for a in range(len(chips)):
+        for b in range(a + 1, len(chips)):
+            va, vb = per_chip[chips[a]], per_chip[chips[b]]
+            for i in range(n):
+                for j in range(i + 1, n):
+                    da = va[i] - va[j]
+                    db = vb[i] - vb[j]
+                    if da == 0 or db == 0:
+                        continue
+                    comparisons += 1
+                    if (da > 0) == (db > 0):
+                        agreements += 1
+    if comparisons == 0:
+        return 1.0
+    return agreements / comparisons

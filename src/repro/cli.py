@@ -1,0 +1,241 @@
+"""Command-line interface.
+
+One subcommand per workflow::
+
+    repro tables [N]                  render Tables 1-4
+    repro claims                      check every model-derived claim
+    repro characterize CHIP BENCH     run an undervolting campaign
+    repro tradeoffs                   the Figure-9 ladder + headlines
+    repro predict                     the Section-4.3 studies
+    repro fleet                       generated-fleet Vmin statistics
+
+All numbers are deterministic in ``--seed``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from . import __version__
+from .analysis.report import check_claims, render_claims
+from .analysis.tables import (
+    render_table,
+    table1_prior_work,
+    table2_parameters,
+    table3_effects,
+    table4_weights,
+)
+from .core import CharacterizationFramework, FrameworkConfig
+from .core.results import ResultStore
+from .data.calibration import CHIP_NAMES
+from .energy import figure9_ladder, headline_savings
+from .hardware import ChipGenerator, XGene2Machine, fleet_vmin_distribution
+from .prediction import PredictionPipeline
+from .units import PMD_NOMINAL_MV
+from .workloads import all_programs, get_benchmark
+
+
+def _cmd_tables(args: argparse.Namespace) -> int:
+    tables = {
+        1: ("Table 1: summary of studies on commercial chips", table1_prior_work),
+        2: ("Table 2: basic parameters of APM X-Gene 2", table2_parameters),
+        3: ("Table 3: effects classification", table3_effects),
+        4: ("Table 4: severity weights", table4_weights),
+    }
+    wanted = [args.number] if args.number else sorted(tables)
+    for number in wanted:
+        title, builder = tables[number]
+        print(title)
+        print(render_table(*builder()))
+        print()
+    return 0
+
+
+def _cmd_claims(_args: argparse.Namespace) -> int:
+    checks = check_claims()
+    print(render_claims(checks))
+    failed = [c for c in checks if not c.passed]
+    print(f"\n{len(checks) - len(failed)}/{len(checks)} claims reproduced")
+    return 1 if failed else 0
+
+
+def _cmd_characterize(args: argparse.Namespace) -> int:
+    machine = XGene2Machine(args.chip, seed=args.seed)
+    machine.power_on()
+    framework = CharacterizationFramework(
+        machine,
+        FrameworkConfig(start_mv=args.start_mv, campaigns=args.campaigns),
+    )
+    bench = get_benchmark(args.benchmark)
+    print(f"characterizing {bench.name} on {args.chip} core {args.core} "
+          f"({args.campaigns} campaigns) ...")
+    result = framework.characterize(bench, core=args.core)
+    regions = result.pooled_regions()
+    print(f"safe Vmin      : {result.highest_vmin_mv} mV")
+    print(f"crash level    : {result.highest_crash_mv} mV")
+    print(f"guardband      : {regions.guardband_mv(PMD_NOMINAL_MV)} mV")
+    print(f"recoveries     : {framework.watchdog.intervention_count}")
+    print("severity:")
+    severity = result.severity_by_voltage()
+    for voltage in sorted(severity, reverse=True):
+        if severity[voltage] > 0:
+            print(f"  {voltage} mV  {severity[voltage]:6.2f}")
+    if args.out:
+        store = ResultStore(args.out)
+        store.write_runs_csv([result])
+        store.write_severity_csv([result])
+        print(f"CSV results written to {args.out}")
+    return 0
+
+
+def _cmd_tradeoffs(args: argparse.Namespace) -> int:
+    fraction = 0.25 if args.clock_tree else 0.0
+    print("Figure-9 ladder:")
+    for point in figure9_ladder(args.chip, clock_tree_fraction=fraction):
+        print(f"  {point.label:<16} {point.chip_voltage_mv:>4} mV  "
+              f"perf {100 * point.performance_rel:5.1f} %  "
+              f"power {100 * point.power_rel:5.1f} %")
+    print("\nheadline savings:")
+    for key, value in headline_savings(args.chip).as_percent().items():
+        print(f"  {key:<36} {value:>5.1f} %")
+    return 0
+
+
+def _cmd_predict(args: argparse.Namespace) -> int:
+    machine = XGene2Machine(args.chip, seed=args.seed)
+    machine.power_on()
+    pipeline = PredictionPipeline(machine)
+    programs = all_programs()[: args.programs]
+    print(f"running the Section-4.3 studies over {len(programs)} programs ...")
+    print(pipeline.vmin_study(programs, core=0).summary())
+    print(pipeline.severity_study(programs, core=0, max_samples=100).summary())
+    print(pipeline.severity_study(programs, core=4, max_samples=90).summary())
+    return 0
+
+
+def _cmd_fleet(args: argparse.Namespace) -> int:
+    generator = ChipGenerator(args.corner, lot_seed=args.seed)
+    fleet = generator.fleet(args.count)
+    stats = fleet_vmin_distribution(fleet)
+    print(f"{args.count} generated {args.corner}-population parts "
+          f"(worst-case chip Vmin @2.4 GHz):")
+    for key in ("mean_mv", "std_mv", "min_mv", "max_mv"):
+        print(f"  {key:<10} {stats[key]:8.1f}")
+    print(f"  one fleet-wide setting wastes "
+          f"{100 * stats['fleet_setting_penalty']:.1f} % power vs per-chip "
+          f"settings")
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    """Write a self-contained markdown reproduction report."""
+    lines: List[str] = [
+        "# repro reproduction report",
+        "",
+        "Model-derived results regenerated by `repro report`; see",
+        "EXPERIMENTS.md for the measurement-derived figures.",
+        "",
+        "## Claim checks",
+        "",
+        "| claim | paper | measured | status |",
+        "|---|---|---|---|",
+    ]
+    checks = check_claims()
+    for check in checks:
+        status = "ok" if check.passed else "FAIL"
+        lines.append(
+            f"| {check.description} | {check.paper_value:g} | "
+            f"{check.measured_value:g} | {status} |"
+        )
+    lines += ["", "## Figure 9 ladder", "",
+              "| step | Vdd (mV) | perf (%) | power (%) |", "|---|---|---|---|"]
+    for point in figure9_ladder():
+        lines.append(
+            f"| {point.label} | {point.chip_voltage_mv} | "
+            f"{100 * point.performance_rel:.1f} | "
+            f"{100 * point.power_rel:.1f} |"
+        )
+    for number, (title, builder) in {
+        2: ("Table 2", table2_parameters),
+        4: ("Table 4", table4_weights),
+    }.items():
+        lines += ["", f"## {title}", "", "```",
+                  render_table(*builder()), "```"]
+    text = "\n".join(lines) + "\n"
+    if args.out:
+        with open(args.out, "w") as handle:
+            handle.write(text)
+        print(f"report written to {args.out}")
+    else:
+        print(text)
+    return 1 if any(not c.passed for c in checks) else 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction of 'Harnessing Voltage Margins for "
+                    "Energy Efficiency in Multicore CPUs' (MICRO-50 2017).",
+    )
+    parser.add_argument("--version", action="version",
+                        version=f"repro {__version__}")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_tables = sub.add_parser("tables", help="render Tables 1-4")
+    p_tables.add_argument("number", nargs="?", type=int, choices=(1, 2, 3, 4))
+    p_tables.set_defaults(func=_cmd_tables)
+
+    p_claims = sub.add_parser("claims", help="check the model-derived claims")
+    p_claims.set_defaults(func=_cmd_claims)
+
+    p_char = sub.add_parser("characterize", help="run a characterization")
+    p_char.add_argument("chip", choices=CHIP_NAMES)
+    p_char.add_argument("benchmark")
+    p_char.add_argument("--core", type=int, default=0)
+    p_char.add_argument("--campaigns", type=int, default=10)
+    p_char.add_argument("--start-mv", type=int, default=930)
+    p_char.add_argument("--seed", type=int, default=2017)
+    p_char.add_argument("--out", default=None, help="CSV output directory")
+    p_char.set_defaults(func=_cmd_characterize)
+
+    p_trade = sub.add_parser("tradeoffs", help="Figure 9 and headlines")
+    p_trade.add_argument("--chip", choices=CHIP_NAMES, default="TTT")
+    p_trade.add_argument("--clock-tree", action="store_true",
+                         help="include the clock-tree residual (figure's "
+                              "760 mV point)")
+    p_trade.set_defaults(func=_cmd_tradeoffs)
+
+    p_pred = sub.add_parser("predict", help="the Section-4.3 studies")
+    p_pred.add_argument("--chip", choices=CHIP_NAMES, default="TTT")
+    p_pred.add_argument("--programs", type=int, default=40)
+    p_pred.add_argument("--seed", type=int, default=2017)
+    p_pred.set_defaults(func=_cmd_predict)
+
+    p_report = sub.add_parser("report", help="write a markdown report")
+    p_report.add_argument("--out", default=None, help="output file path")
+    p_report.set_defaults(func=_cmd_report)
+
+    p_fleet = sub.add_parser("fleet", help="generated-fleet statistics")
+    p_fleet.add_argument("--corner", choices=CHIP_NAMES, default="TTT")
+    p_fleet.add_argument("--count", type=int, default=50)
+    p_fleet.add_argument("--seed", type=int, default=0)
+    p_fleet.set_defaults(func=_cmd_fleet)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except BrokenPipeError:
+        # Output piped into a pager/head that closed early; not an error.
+        return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

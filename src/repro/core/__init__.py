@@ -1,0 +1,59 @@
+"""The paper's primary contribution: the characterization framework.
+
+* :mod:`repro.core.effects` -- Table-3 effect classes and per-run
+  classification rules.
+* :mod:`repro.core.severity` -- the severity function (contribution 2,
+  Section 3.4.1) with the Table-4 weights.
+* :mod:`repro.core.runs` / :mod:`repro.core.campaign` -- run and
+  campaign records.
+* :mod:`repro.core.watchdog` -- the Raspberry-Pi-style watchdog monitor
+  that recovers the machine after system crashes.
+* :mod:`repro.core.framework` -- the three-phase automation of
+  Figure 2: initialization, execution, parsing.
+* :mod:`repro.core.parser` -- log parsing into classified results.
+* :mod:`repro.core.regions` -- safe/unsafe/crash regions and Vmin.
+* :mod:`repro.core.results` -- CSV persistence of everything above.
+"""
+
+from ..effects import EFFECT_DESCRIPTIONS, EFFECT_ORDER, EffectType
+from .effects import classify_run, effect_counts
+from .severity import (
+    DEFAULT_WEIGHTS,
+    SeverityWeights,
+    deepest_voltage_within,
+    severity_value,
+    severity_of_runs,
+)
+from .runs import CharacterizationSetup, RunRecord
+from .campaign import CampaignResult, CharacterizationResult
+from .watchdog import WatchdogMonitor
+from .framework import CharacterizationFramework, FrameworkConfig
+from .parser import ParsedRun, parse_log
+from .regions import OperatingRegions, Region, regions_from_counts
+from .results import ResultStore
+
+__all__ = [
+    "EFFECT_DESCRIPTIONS",
+    "EFFECT_ORDER",
+    "EffectType",
+    "classify_run",
+    "effect_counts",
+    "DEFAULT_WEIGHTS",
+    "SeverityWeights",
+    "deepest_voltage_within",
+    "severity_value",
+    "severity_of_runs",
+    "CharacterizationSetup",
+    "RunRecord",
+    "CampaignResult",
+    "CharacterizationResult",
+    "WatchdogMonitor",
+    "CharacterizationFramework",
+    "FrameworkConfig",
+    "ParsedRun",
+    "parse_log",
+    "OperatingRegions",
+    "Region",
+    "regions_from_counts",
+    "ResultStore",
+]

@@ -1,0 +1,172 @@
+"""Campaign aggregates.
+
+Paper terminology (Section 2.2): a *characterization run* is one
+execution of a benchmark under one setup; the set of all runs of the
+same benchmark over different setups is a *campaign*.  The study runs
+every campaign ten times to capture non-determinism; Figures 3/4 plot
+the highest Vmin / highest crash voltage over those repetitions and
+Figure 5 the severity aggregated across them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from ..effects import EffectType
+from ..errors import CampaignError
+from .regions import OperatingRegions, merge_counts, regions_from_counts
+from .runs import RunRecord
+from .severity import DEFAULT_WEIGHTS, SeverityWeights, severity_value
+
+
+@dataclass(frozen=True)
+class CampaignResult:
+    """One campaign: a benchmark swept over voltages on one core."""
+
+    chip: str
+    benchmark: str
+    core: int
+    freq_mhz: int
+    campaign_index: int
+    records: Tuple[RunRecord, ...]
+
+    def __post_init__(self) -> None:
+        if not self.records:
+            raise CampaignError("a campaign needs at least one run record")
+
+    # -- aggregation ------------------------------------------------------
+
+    def voltages(self) -> Tuple[int, ...]:
+        """Tested voltage levels, descending."""
+        return tuple(sorted({r.setup.voltage_mv for r in self.records}, reverse=True))
+
+    def runs_at(self, voltage_mv: int) -> List[RunRecord]:
+        return [r for r in self.records if r.setup.voltage_mv == voltage_mv]
+
+    def counts_by_voltage(self) -> Dict[int, Dict[EffectType, int]]:
+        """Per-voltage effect counts (runs in which each effect appeared)."""
+        out: Dict[int, Dict[EffectType, int]] = {}
+        for record in self.records:
+            slot = out.setdefault(
+                record.setup.voltage_mv, {effect: 0 for effect in EffectType}
+            )
+            for effect in record.effects:
+                slot[effect] += 1
+        return out
+
+    def severity_by_voltage(
+        self, weights: SeverityWeights = DEFAULT_WEIGHTS
+    ) -> Dict[int, float]:
+        """Severity at each tested voltage level."""
+        out: Dict[int, float] = {}
+        for voltage, counts in self.counts_by_voltage().items():
+            n_runs = len(self.runs_at(voltage))
+            out[voltage] = severity_value(counts, n_runs, weights)
+        return out
+
+    def regions(self) -> OperatingRegions:
+        """This campaign's region decomposition."""
+        return regions_from_counts(self.counts_by_voltage())
+
+    @property
+    def vmin_mv(self) -> int:
+        """This campaign's safe Vmin."""
+        return self.regions().vmin_mv
+
+    @property
+    def crash_mv(self) -> Optional[int]:
+        return self.regions().crash_mv
+
+
+@dataclass(frozen=True)
+class CharacterizationResult:
+    """All repetitions of one campaign (the paper runs ten).
+
+    This is the unit Figures 3-5 are drawn from.
+    """
+
+    campaigns: Tuple[CampaignResult, ...]
+
+    def __post_init__(self) -> None:
+        if not self.campaigns:
+            raise CampaignError("need at least one campaign")
+        first = self.campaigns[0]
+        for campaign in self.campaigns[1:]:
+            if (campaign.chip, campaign.benchmark, campaign.core,
+                    campaign.freq_mhz) != (first.chip, first.benchmark,
+                                           first.core, first.freq_mhz):
+                raise CampaignError(
+                    "all campaigns of a characterization must share "
+                    "chip/benchmark/core/frequency"
+                )
+
+    @property
+    def chip(self) -> str:
+        return self.campaigns[0].chip
+
+    @property
+    def benchmark(self) -> str:
+        return self.campaigns[0].benchmark
+
+    @property
+    def core(self) -> int:
+        return self.campaigns[0].core
+
+    @property
+    def freq_mhz(self) -> int:
+        return self.campaigns[0].freq_mhz
+
+    # -- the published aggregates ---------------------------------------------
+
+    @property
+    def highest_vmin_mv(self) -> int:
+        """Highest safe Vmin across campaigns (Figures 3/4 bars)."""
+        return max(c.vmin_mv for c in self.campaigns)
+
+    @property
+    def mean_vmin_mv(self) -> float:
+        """Average Vmin across campaigns (Figure 4 green line)."""
+        return sum(c.vmin_mv for c in self.campaigns) / len(self.campaigns)
+
+    @property
+    def highest_crash_mv(self) -> Optional[int]:
+        """Highest crash voltage across campaigns (Figure 4 black tops)."""
+        crashes = [c.crash_mv for c in self.campaigns if c.crash_mv is not None]
+        return max(crashes) if crashes else None
+
+    @property
+    def mean_crash_mv(self) -> Optional[float]:
+        """Average crash voltage across campaigns (Figure 4 red line)."""
+        crashes = [c.crash_mv for c in self.campaigns if c.crash_mv is not None]
+        return sum(crashes) / len(crashes) if crashes else None
+
+    def pooled_counts(self) -> Dict[int, Dict[EffectType, int]]:
+        """Effect counts pooled over all campaigns, per voltage."""
+        return merge_counts(c.counts_by_voltage() for c in self.campaigns)
+
+    def pooled_regions(self) -> OperatingRegions:
+        """Regions from all campaigns pooled -- equals (highest Vmin,
+        highest crash) by construction."""
+        return regions_from_counts(self.pooled_counts())
+
+    def severity_by_voltage(
+        self, weights: SeverityWeights = DEFAULT_WEIGHTS
+    ) -> Dict[int, float]:
+        """Severity per voltage over *all* runs of all campaigns --
+        the Figure-5 cell values (mean severity across repetitions)."""
+        pooled = self.pooled_counts()
+        runs_per_level: Dict[int, int] = {}
+        for campaign in self.campaigns:
+            for voltage in campaign.voltages():
+                runs_per_level[voltage] = runs_per_level.get(voltage, 0) + len(
+                    campaign.runs_at(voltage)
+                )
+        return {
+            voltage: severity_value(counts, runs_per_level[voltage], weights)
+            for voltage, counts in pooled.items()
+        }
+
+    def all_records(self) -> List[RunRecord]:
+        """Every run record of every campaign."""
+        return [record for campaign in self.campaigns for record in campaign.records]

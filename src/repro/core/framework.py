@@ -1,0 +1,264 @@
+"""The automated characterization framework (Figure 2).
+
+Three phases, as in the paper:
+
+1. **Initialization**: the user declares benchmarks and the
+   characterization setups (voltage schedule, frequency, cores).
+2. **Execution**: for every setup, the framework programs the machine
+   through SLIMpro, pins the benchmark to the core under test with
+   every other PMD parked at 300 MHz (the "reliable cores setup"),
+   runs it, *restores nominal voltage to store the log files safely*,
+   and lets the watchdog recover the board whenever a run hangs it.
+3. **Parsing**: raw logs are parsed into classified runs, severity
+   tables and region decompositions, exported as CSV.
+
+The framework is deliberately restricted to the surfaces a real
+harness has: SLIMpro calls, program launches, the serial console and
+the watchdog's buttons.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..effects import EffectType
+from ..errors import CampaignError, ConfigurationError
+from ..units import (
+    FREQ_MAX_MHZ,
+    PMD_NOMINAL_MV,
+    validate_frequency_mhz,
+    voltage_sweep,
+)
+from ..workloads.benchmark import Benchmark, Program
+from ..hardware.xgene2 import MachineState, XGene2Machine
+from .campaign import CampaignResult, CharacterizationResult
+from .parser import format_run_block, parse_log
+from .runs import CharacterizationSetup, RunRecord
+from .watchdog import WatchdogAction, WatchdogMonitor
+
+
+@dataclass(frozen=True)
+class FrameworkConfig:
+    """User-declared configuration of a characterization (phase 1).
+
+    The defaults mirror the paper: 10 runs per voltage level, 10
+    campaign repetitions, 5 mV descending schedule.  ``start_mv`` of
+    ``None`` starts at nominal; ``stop_mv`` of ``None`` sweeps until
+    ``stop_after_crash_levels`` consecutive all-crash levels, which is
+    how the study detects the "cannot operate" floor without a
+    predeclared stop.
+    """
+
+    start_mv: Optional[int] = None
+    stop_mv: Optional[int] = None
+    freq_mhz: int = FREQ_MAX_MHZ
+    runs_per_level: int = 10
+    campaigns: int = 10
+    stop_after_crash_levels: int = 2
+    run_timeout_s: float = 3600.0
+
+    def __post_init__(self) -> None:
+        validate_frequency_mhz(self.freq_mhz)
+        if self.runs_per_level <= 0:
+            raise ConfigurationError("runs_per_level must be positive")
+        if self.campaigns <= 0:
+            raise ConfigurationError("campaigns must be positive")
+        if self.stop_after_crash_levels <= 0:
+            raise ConfigurationError("stop_after_crash_levels must be positive")
+
+
+class CharacterizationFramework:
+    """Drives one machine through undervolting campaigns."""
+
+    def __init__(
+        self,
+        machine: XGene2Machine,
+        config: FrameworkConfig = FrameworkConfig(),
+        watchdog: Optional[WatchdogMonitor] = None,
+    ) -> None:
+        self.machine = machine
+        self.config = config
+        self.watchdog = watchdog or WatchdogMonitor(machine)
+        #: Raw log text of every campaign, keyed by
+        #: (benchmark, core, freq, campaign_index).
+        self.raw_logs: Dict[Tuple[str, int, int, int], str] = {}
+
+    # -- phase 2: execution -----------------------------------------------
+
+    def _prepare_machine(self, core: int, freq_mhz: int, voltage_mv: int) -> None:
+        """Reliable-cores setup + V/F programming for one run."""
+        if self.machine.state is not MachineState.RUNNING:
+            self.watchdog.ensure_alive()
+        self.machine.clocks.set_pmd_frequency_mhz(core // 2, freq_mhz)
+        self.machine.clocks.park_all_except([core])
+        self.machine.slimpro.set_pmd_voltage_mv(voltage_mv)
+
+    def _restore_safe_state(self) -> None:
+        """Back to nominal before logs are persisted (Section 2.2.1)."""
+        if self.machine.state is MachineState.RUNNING:
+            self.machine.slimpro.restore_nominal_voltages()
+
+    def run_campaign(
+        self,
+        workload: object,
+        core: int,
+        campaign_index: int = 1,
+    ) -> CampaignResult:
+        """Execute one campaign: the full voltage schedule once.
+
+        Returns the parsed :class:`CampaignResult`; the raw log text is
+        kept in :attr:`raw_logs`.
+        """
+        program = self._as_program(workload)
+        cfg = self.config
+        start = cfg.start_mv if cfg.start_mv is not None else PMD_NOMINAL_MV
+        floor = cfg.stop_mv if cfg.stop_mv is not None else 700
+        schedule = voltage_sweep(start, floor)
+
+        log_parts: List[str] = []
+        consecutive_crash_levels = 0
+        for voltage_mv in schedule:
+            level_all_crashed = True
+            for run_index in range(1, cfg.runs_per_level + 1):
+                block = self._execute_one(
+                    program, core, voltage_mv, campaign_index, run_index
+                )
+                log_parts.append(block)
+                if "status=system_crash" not in block:
+                    level_all_crashed = False
+            if level_all_crashed:
+                consecutive_crash_levels += 1
+                if (cfg.stop_mv is None
+                        and consecutive_crash_levels >= cfg.stop_after_crash_levels):
+                    break
+            else:
+                consecutive_crash_levels = 0
+
+        log_text = "".join(log_parts)
+        key = (program.name, core, cfg.freq_mhz, campaign_index)
+        self.raw_logs[key] = log_text
+        return self._parse_campaign(log_text, campaign_index)
+
+    def _execute_one(
+        self,
+        program: Program,
+        core: int,
+        voltage_mv: int,
+        campaign_index: int,
+        run_index: int,
+    ) -> str:
+        """One characterization run -> its raw log block."""
+        cfg = self.config
+        self._prepare_machine(core, cfg.freq_mhz, voltage_mv)
+        outcome = self.machine.run_program(
+            program, core, timeout_s=cfg.run_timeout_s
+        )
+        responsive = self.machine.is_responsive()
+        action = WatchdogAction.NONE
+        if not responsive:
+            action = self.watchdog.ensure_alive()
+        self._restore_safe_state()
+        locations = {
+            key: count for key, count in outcome.detail.items()
+            if key.startswith(("ce_", "ue_"))
+        }
+        return format_run_block(
+            chip=self.machine.chip.name,
+            benchmark=program.name,
+            core=core,
+            voltage_mv=voltage_mv,
+            freq_mhz=cfg.freq_mhz,
+            campaign_index=campaign_index,
+            run_index=run_index,
+            exit_code=outcome.exit_code,
+            output=outcome.output,
+            expected_output=outcome.expected_output,
+            edac_ce=outcome.edac_ce,
+            edac_ue=outcome.edac_ue,
+            responsive=responsive,
+            watchdog_action=action.value,
+            edac_locations=locations,
+        )
+
+    # -- phase 3: parsing ----------------------------------------------------
+
+    def _parse_campaign(self, log_text: str, campaign_index: int) -> CampaignResult:
+        parsed = parse_log(log_text)
+        if not parsed:
+            raise CampaignError("campaign produced no runs")
+        records = tuple(
+            RunRecord(
+                chip=run.chip,
+                benchmark=run.benchmark,
+                setup=CharacterizationSetup(
+                    voltage_mv=run.voltage_mv,
+                    freq_mhz=run.freq_mhz,
+                    core=run.core,
+                ),
+                campaign_index=run.campaign_index,
+                run_index=run.run_index,
+                effects=run.effects,
+                exit_code=run.exit_code,
+                output_matches=run.output_matches,
+                edac_ce=run.edac_ce,
+                edac_ue=run.edac_ue,
+                watchdog_intervened=run.watchdog_action != "none",
+                detail=dict(run.edac_locations),
+            )
+            for run in parsed
+        )
+        first = parsed[0]
+        return CampaignResult(
+            chip=first.chip,
+            benchmark=first.benchmark,
+            core=first.core,
+            freq_mhz=first.freq_mhz,
+            campaign_index=campaign_index,
+            records=records,
+        )
+
+    # -- orchestration ---------------------------------------------------------
+
+    def characterize(self, workload: object, core: int) -> CharacterizationResult:
+        """Run the configured number of campaign repetitions."""
+        campaigns = tuple(
+            self.run_campaign(workload, core, campaign_index=i)
+            for i in range(1, self.config.campaigns + 1)
+        )
+        return CharacterizationResult(campaigns=campaigns)
+
+    def characterize_many(
+        self,
+        workloads: Sequence[object],
+        cores: Sequence[int],
+    ) -> Dict[Tuple[str, int], CharacterizationResult]:
+        """Full grid: every workload on every core (Figure 4's sweep)."""
+        results: Dict[Tuple[str, int], CharacterizationResult] = {}
+        for workload in workloads:
+            program = self._as_program(workload)
+            for core in cores:
+                results[(program.name, core)] = self.characterize(program, core)
+        return results
+
+    # -- misc -----------------------------------------------------------------------
+
+    @staticmethod
+    def _as_program(workload: object) -> Program:
+        if isinstance(workload, Program):
+            return workload
+        if isinstance(workload, Benchmark):
+            return workload.programs()[0]
+        raise ConfigurationError(
+            f"expected a Program or Benchmark, got {type(workload).__name__}"
+        )
+
+    def abnormal_run_fraction(self) -> float:
+        """Fraction of logged runs with any abnormal effect (diagnostics)."""
+        parsed = [run for text in self.raw_logs.values() for run in parse_log(text)]
+        if not parsed:
+            return 0.0
+        abnormal = sum(
+            1 for run in parsed if run.effects != frozenset({EffectType.NO})
+        )
+        return abnormal / len(parsed)

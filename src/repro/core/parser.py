@@ -1,0 +1,172 @@
+"""Parsing phase (Figure 2): raw campaign logs -> classified runs.
+
+The execution phase appends plain-text blocks to a log (one block per
+run, the shape a shell-script harness would produce); the parsing phase
+turns them back into structured, classified results.  Keeping this a
+real text round-trip -- rather than passing Python objects through --
+preserves the paper's architecture and its failure mode: a system crash
+truncates the run's block (no exit-code line is ever written), and the
+parser classifies exactly from what survived.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Mapping, Optional
+
+from ..effects import EffectType
+from ..errors import ParseError
+from .effects import classify_run
+
+#: Start-of-block marker written by the execution phase.
+RUN_HEADER = "=== RUN"
+
+_HEADER_RE = re.compile(
+    r"^=== RUN chip=(?P<chip>\S+) benchmark=(?P<benchmark>\S+) "
+    r"core=(?P<core>\d+) voltage_mv=(?P<voltage>\d+) freq_mhz=(?P<freq>\d+) "
+    r"campaign=(?P<campaign>\d+) run=(?P<run>\d+) ===$"
+)
+_KV_RE = re.compile(r"(\w+)=(\S+)")
+
+
+@dataclass(frozen=True)
+class ParsedRun:
+    """One run block, parsed and classified."""
+
+    chip: str
+    benchmark: str
+    core: int
+    voltage_mv: int
+    freq_mhz: int
+    campaign_index: int
+    run_index: int
+    effects: FrozenSet[EffectType]
+    exit_code: Optional[int]
+    output_matches: Optional[bool]
+    edac_ce: int
+    edac_ue: int
+    watchdog_action: str
+    #: Per-location error attribution (``{"ce_L2": 1, ...}``) from the
+    #: execution phase's logging (Section 2.2's parser extension).
+    edac_locations: Mapping[str, int] = field(default_factory=dict)
+
+
+def format_run_block(
+    chip: str,
+    benchmark: str,
+    core: int,
+    voltage_mv: int,
+    freq_mhz: int,
+    campaign_index: int,
+    run_index: int,
+    exit_code: Optional[int],
+    output: Optional[str],
+    expected_output: str,
+    edac_ce: int,
+    edac_ue: int,
+    responsive: bool,
+    watchdog_action: str = "none",
+    edac_locations: Optional[Mapping[str, int]] = None,
+) -> str:
+    """Render one run as the log block the execution phase stores.
+
+    Mirrors the real framework: a system crash means the in-band lines
+    (exit code, output, EDAC) were never flushed; only the header and
+    the post-recovery status/watchdog lines exist.
+    """
+    lines = [
+        f"=== RUN chip={chip} benchmark={benchmark} core={core} "
+        f"voltage_mv={voltage_mv} freq_mhz={freq_mhz} "
+        f"campaign={campaign_index} run={run_index} ==="
+    ]
+    if responsive and exit_code is not None:
+        lines.append(f"exit_code={exit_code}")
+        if output is not None:
+            lines.append(f"output={output} expected={expected_output}")
+        lines.append(f"edac_ce={edac_ce} edac_ue={edac_ue}")
+        if edac_locations:
+            encoded = ",".join(
+                f"{key}:{count}" for key, count in sorted(edac_locations.items())
+            )
+            lines.append(f"edac_locations={encoded}")
+        status = "completed" if exit_code == 0 else "app_crash"
+    else:
+        status = "system_crash"
+    lines.append(f"status={status}")
+    lines.append(f"watchdog={watchdog_action}")
+    return "\n".join(lines) + "\n"
+
+
+def _parse_block(lines: List[str]) -> ParsedRun:
+    header = _HEADER_RE.match(lines[0])
+    if header is None:
+        raise ParseError(f"malformed run header: {lines[0]!r}")
+    fields: Dict[str, str] = {}
+    for line in lines[1:]:
+        for key, value in _KV_RE.findall(line):
+            fields[key] = value
+
+    status = fields.get("status")
+    if status is None:
+        raise ParseError(f"run block missing status line: {lines[0]!r}")
+    responsive = status != "system_crash"
+    exit_code = int(fields["exit_code"]) if "exit_code" in fields else None
+    output = fields.get("output")
+    expected = fields.get("expected", "")
+    edac_ce = int(fields.get("edac_ce", 0))
+    edac_ue = int(fields.get("edac_ue", 0))
+    effects = classify_run(
+        responsive=responsive,
+        exit_code=exit_code,
+        output=output,
+        expected_output=expected,
+        edac_ce=edac_ce,
+        edac_ue=edac_ue,
+    )
+    output_matches: Optional[bool]
+    if output is None:
+        output_matches = None
+    else:
+        output_matches = output == expected
+    locations: Dict[str, int] = {}
+    if "edac_locations" in fields:
+        for pair in fields["edac_locations"].split(","):
+            key, _colon, count = pair.partition(":")
+            if not key or not count.isdigit():
+                raise ParseError(f"malformed edac_locations entry: {pair!r}")
+            locations[key] = int(count)
+    return ParsedRun(
+        chip=header["chip"],
+        benchmark=header["benchmark"],
+        core=int(header["core"]),
+        voltage_mv=int(header["voltage"]),
+        freq_mhz=int(header["freq"]),
+        campaign_index=int(header["campaign"]),
+        run_index=int(header["run"]),
+        effects=effects,
+        exit_code=exit_code,
+        output_matches=output_matches,
+        edac_ce=edac_ce,
+        edac_ue=edac_ue,
+        watchdog_action=fields.get("watchdog", "none"),
+        edac_locations=locations,
+    )
+
+
+def parse_log(text: str) -> List[ParsedRun]:
+    """Parse a whole campaign log into classified runs."""
+    blocks: List[List[str]] = []
+    current: List[str] = []
+    for line in text.splitlines():
+        if line.startswith(RUN_HEADER):
+            if current:
+                blocks.append(current)
+            current = [line]
+        elif current:
+            current.append(line)
+        elif line.strip():
+            raise ParseError(f"content before first run header: {line!r}")
+    if current:
+        blocks.append(current)
+    return [_parse_block(block) for block in blocks]

@@ -1,0 +1,77 @@
+"""The effect vocabulary of Table 3.
+
+Defined at the package root (rather than inside :mod:`repro.core`) so
+that both the fault substrate and the characterization framework can
+share it without import cycles; :mod:`repro.core.effects` re-exports it
+together with the classification helpers.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Dict, FrozenSet, Iterable
+
+
+class EffectType(enum.Enum):
+    """Classification of one characterization run (Table 3)."""
+
+    #: Normal operation: completed with the correct output, no errors.
+    NO = "NO"
+    #: Silent data corruption: completed but the output mismatches.
+    SDC = "SDC"
+    #: Corrected error reported by the EDAC driver.
+    CE = "CE"
+    #: Uncorrected (but detected) error reported by the EDAC driver.
+    UE = "UE"
+    #: Application crash: process exited abnormally.
+    AC = "AC"
+    #: System crash: machine unresponsive / timeout reached.
+    SC = "SC"
+
+    @property
+    def is_abnormal(self) -> bool:
+        """True for everything except normal operation."""
+        return self is not EffectType.NO
+
+
+#: Parse order used in reports: most to least severe.
+EFFECT_ORDER = (
+    EffectType.SC,
+    EffectType.AC,
+    EffectType.SDC,
+    EffectType.UE,
+    EffectType.CE,
+    EffectType.NO,
+)
+
+#: Table-3 effect descriptions, keyed by effect.
+EFFECT_DESCRIPTIONS: Dict[EffectType, str] = {
+    EffectType.NO: "The benchmark was successfully completed without any "
+                   "indications of failure.",
+    EffectType.SDC: "The benchmark was successfully completed, but a mismatch "
+                    "between the program output and the correct output was "
+                    "observed.",
+    EffectType.CE: "Errors were detected and corrected by the hardware "
+                   "(provided by Linux EDAC driver).",
+    EffectType.UE: "Errors were detected, but not corrected by the hardware "
+                   "(provided by Linux EDAC driver).",
+    EffectType.AC: "The application process was not terminated normally (the "
+                   "exit value of the process was different than zero).",
+    EffectType.SC: "The system was unresponsive; the machine is not responding "
+                   "or the timeout limit was reached.",
+}
+
+
+def normalize_effects(effects: Iterable[EffectType]) -> FrozenSet[EffectType]:
+    """Normalise an effect collection for one run.
+
+    A run that manifested any abnormal effect is not *also* a normal
+    run, and an empty collection means normal operation; this helper
+    enforces both conventions.
+    """
+    effect_set = frozenset(effects)
+    if not effect_set:
+        return frozenset({EffectType.NO})
+    if effect_set == {EffectType.NO}:
+        return effect_set
+    return effect_set - {EffectType.NO}

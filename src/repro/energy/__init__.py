@@ -1,0 +1,40 @@
+"""Energy-performance trade-off analysis (Section 5 / Figure 9).
+
+* :mod:`repro.energy.model` -- relative power/performance arithmetic.
+* :mod:`repro.energy.savings` -- the paper's headline savings numbers
+  and the Section-6 finer-voltage-domain ablation.
+* :mod:`repro.energy.tradeoffs` -- the Figure-9 ladder: progressively
+  slowing the weakest PMDs to unlock deeper undervolting.
+"""
+
+from .model import (
+    energy_saving_fraction,
+    relative_performance,
+    relative_power,
+)
+from .savings import (
+    HeadlineSavings,
+    finer_domains_ablation,
+    headline_savings,
+)
+from .tradeoffs import (
+    FIGURE9_PLACEMENT,
+    FIGURE9_WORKLOAD,
+    TradeoffPoint,
+    figure9_ladder,
+    ladder_from_vmins,
+)
+
+__all__ = [
+    "energy_saving_fraction",
+    "relative_performance",
+    "relative_power",
+    "HeadlineSavings",
+    "finer_domains_ablation",
+    "headline_savings",
+    "FIGURE9_PLACEMENT",
+    "FIGURE9_WORKLOAD",
+    "TradeoffPoint",
+    "figure9_ladder",
+    "ladder_from_vmins",
+]

@@ -1,0 +1,71 @@
+"""Relative power / performance arithmetic.
+
+All of the paper's savings percentages reduce to two formulas (see
+DESIGN.md section 5 for the point-by-point validation):
+
+* power relative to nominal: ``(V/V0)^2 * mean_pmd(f_eff/f0)``;
+* performance relative to nominal: ``mean_task(f_task/f0)`` (every
+  task equally weighted, which is how Figure 9's 87.5/75/62.5/50 %
+  steps arise from slowing one PMD pair at a time).
+
+The optional ``clock_tree_fraction`` reproduces Figure 9's divergent
+760 mV point (see :class:`repro.hardware.power.PowerModel`).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..errors import ConfigurationError
+from ..hardware.corners import corner_for_chip
+from ..hardware.power import PowerModel
+from ..units import FREQ_MAX_MHZ, PMD_NOMINAL_MV, validate_voltage_mv
+
+
+def _power_model(chip: str, clock_tree_fraction: float) -> PowerModel:
+    return PowerModel(
+        corner=corner_for_chip(chip), clock_tree_fraction=clock_tree_fraction
+    )
+
+
+def relative_power(
+    voltage_mv: int,
+    pmd_freqs_mhz: Sequence[int] = (FREQ_MAX_MHZ,) * 4,
+    chip: str = "TTT",
+    clock_tree_fraction: float = 0.0,
+) -> float:
+    """PMD-domain power relative to nominal (the Figure-9 x-axis)."""
+    validate_voltage_mv(voltage_mv)
+    return _power_model(chip, clock_tree_fraction).pmd_power_rel(
+        voltage_mv, list(pmd_freqs_mhz)
+    )
+
+
+def relative_performance(pmd_freqs_mhz: Sequence[int]) -> float:
+    """Equal-weight task throughput relative to all-PMDs-at-2.4 GHz."""
+    if not pmd_freqs_mhz:
+        raise ConfigurationError("need at least one PMD frequency")
+    return sum(f / FREQ_MAX_MHZ for f in pmd_freqs_mhz) / len(pmd_freqs_mhz)
+
+
+def energy_saving_fraction(
+    voltage_mv: int,
+    pmd_freqs_mhz: Sequence[int] = (FREQ_MAX_MHZ,) * 4,
+    chip: str = "TTT",
+    clock_tree_fraction: float = 0.0,
+) -> float:
+    """Power saving versus nominal operation, as a fraction.
+
+    With all PMDs at full frequency this is ``1 - (V/980)^2`` -- the
+    paper's 19.4 % (885 mV), 12.8 % (915 mV) and 15.7/18.4 % guardband
+    figures all come from this expression.
+    """
+    return 1.0 - relative_power(
+        voltage_mv, pmd_freqs_mhz, chip, clock_tree_fraction
+    )
+
+
+def guardband_saving_fraction(vmin_mv: int) -> float:
+    """Saving unlocked by running at a measured Vmin at full speed."""
+    validate_voltage_mv(vmin_mv)
+    return 1.0 - (vmin_mv / PMD_NOMINAL_MV) ** 2

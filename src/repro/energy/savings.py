@@ -1,0 +1,126 @@
+"""The paper's headline savings numbers, computed from the model.
+
+Abstract / Section 5:
+
+* **19.4 %** energy saving without compromising performance --
+  leslie3d's most robust PMD runs safely at 880 mV;
+* **12.8 %** chip-wide saving when the shared plane must satisfy the
+  most sensitive PMD (915 mV);
+* **38.8 %** saving at 25 % performance loss (two weakest PMDs at
+  1.2 GHz, plane at 885 mV);
+* **69.9 %** power saving at 50 % performance loss (everything at
+  1.2 GHz / 760 mV).
+
+Plus the Section-6 "finer-grained voltage domains" ablation: with one
+plane per PMD each pair runs at its own Vmin instead of the chip-wide
+worst case.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Mapping, Optional
+
+from ..data.calibration import chip_calibration
+from ..errors import ConfigurationError
+from ..units import FREQ_MAX_MHZ, PMD_NOMINAL_MV
+from ..workloads.spec2006 import benchmark as get_benchmark
+from .model import guardband_saving_fraction, relative_power
+from .tradeoffs import figure9_ladder, figure9_vmins
+
+
+@dataclass(frozen=True)
+class HeadlineSavings:
+    """The four headline percentages, as fractions."""
+
+    robust_core_full_speed: float       # paper: 0.194
+    chip_wide_full_speed: float         # paper: 0.128
+    two_pmds_slowed: float              # paper: 0.388
+    all_slowed_power: float             # paper: 0.699
+    all_slowed_performance_loss: float  # paper: 0.50
+
+    def as_percent(self) -> Dict[str, float]:
+        """Rounded percentage view for reports."""
+        return {
+            "robust_core_full_speed_pct": round(100 * self.robust_core_full_speed, 1),
+            "chip_wide_full_speed_pct": round(100 * self.chip_wide_full_speed, 1),
+            "two_pmds_slowed_pct": round(100 * self.two_pmds_slowed, 1),
+            "all_slowed_power_pct": round(100 * self.all_slowed_power, 1),
+            "all_slowed_performance_loss_pct": round(
+                100 * self.all_slowed_performance_loss, 1
+            ),
+        }
+
+
+def headline_savings(chip: str = "TTT") -> HeadlineSavings:
+    """Compute the abstract's numbers from the calibrated model."""
+    calibration = chip_calibration(chip)
+    leslie = get_benchmark("leslie3d")
+    robust_vmin = calibration.vmin_mv(calibration.most_robust_core(), leslie.stress)
+    sensitive_vmin = calibration.vmin_mv(
+        calibration.most_sensitive_core(), leslie.stress
+    )
+    ladder = figure9_ladder(chip)
+    two_slowed = next(
+        point for point in ladder if abs(point.performance_rel - 0.75) < 1e-9
+    )
+    all_slowed = next(
+        point for point in ladder if abs(point.performance_rel - 0.50) < 1e-9
+    )
+    return HeadlineSavings(
+        robust_core_full_speed=guardband_saving_fraction(robust_vmin),
+        chip_wide_full_speed=guardband_saving_fraction(sensitive_vmin),
+        two_pmds_slowed=two_slowed.saving_fraction,
+        all_slowed_power=all_slowed.saving_fraction,
+        all_slowed_performance_loss=all_slowed.performance_loss_fraction,
+    )
+
+
+@dataclass(frozen=True)
+class FinerDomainsAblation:
+    """Section-6 ablation: shared plane vs one plane per PMD."""
+
+    shared_plane_power_rel: float
+    per_pmd_power_rel: float
+
+    @property
+    def extra_saving_fraction(self) -> float:
+        """Additional saving unlocked by per-PMD planes."""
+        return self.shared_plane_power_rel - self.per_pmd_power_rel
+
+
+def finer_domains_ablation(
+    chip: str = "TTT",
+    vmin_by_core: Optional[Mapping[int, int]] = None,
+) -> FinerDomainsAblation:
+    """Quantify the finer-grained-voltage-domain design enhancement.
+
+    With the stock shared plane the whole chip runs at the worst per-
+    core Vmin; with per-PMD planes each PMD runs at its own worst-of-
+    two-cores Vmin.  Uses the Figure-9 workload by default.
+    """
+    vmins = (
+        dict(vmin_by_core) if vmin_by_core is not None else figure9_vmins(chip)
+    )
+    if not vmins:
+        raise ConfigurationError("need at least one core constraint")
+    freqs = [FREQ_MAX_MHZ] * 4
+    shared_voltage = max(vmins.values())
+    shared = relative_power(shared_voltage, freqs, chip)
+
+    per_pmd_total = 0.0
+    active_pmds = sorted({core // 2 for core in vmins})
+    for pmd in range(4):
+        if pmd in active_pmds:
+            pmd_voltage = max(
+                vmin for core, vmin in vmins.items() if core // 2 == pmd
+            )
+        else:
+            pmd_voltage = PMD_NOMINAL_MV
+        # One PMD at (V, 2.4 GHz) contributes a quarter of the relative
+        # metric, by the power model's normalisation.
+        per_pmd_total += relative_power(pmd_voltage, freqs, chip) / 4.0
+    return FinerDomainsAblation(
+        shared_plane_power_rel=shared,
+        per_pmd_power_rel=per_pmd_total,
+    )

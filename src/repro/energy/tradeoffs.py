@@ -1,0 +1,172 @@
+"""The Figure-9 energy-performance ladder.
+
+Scenario (Section 5): eight benchmarks run simultaneously, one per
+core, on the TTT chip -- bwaves, cactusADM, dealII, gromacs, leslie3d,
+mcf, milc, namd.  Because all PMDs share one voltage plane, the chip
+voltage is pinned by the most demanding (benchmark, core) pair; but
+frequency is per-PMD, so slowing the *weakest* PMDs to 1.2 GHz (where
+every program is safe at 760 mV) progressively releases the voltage
+constraint of the remaining full-speed PMDs:
+
+====  ==========================  =========  ==========  =========
+step  PMDs at 1.2 GHz             chip Vdd   perf (rel)  power (rel)
+====  ==========================  =========  ==========  =========
+0     none                        915 mV     100 %       87.2 %
+1     PMD0                        900 mV     87.5 %      73.8 %
+2     PMD0,3                      885 mV     75 %        61.2 %
+3     PMD0,3,1                    875 mV     62.5 %      49.8 %
+4     all                         760 mV     50 %        30.1 %*
+====  ==========================  =========  ==========  =========
+
+(*) the paper's prose says 69.9 % saving here; its Figure 9 shows
+37.6 % power instead -- pass ``clock_tree_fraction=0.25`` to reproduce
+the figure's value (see DESIGN.md section 5).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from ..data.calibration import chip_calibration
+from ..errors import ConfigurationError
+from ..units import FREQ_MAX_MHZ, PMD_NOMINAL_MV
+from ..workloads.spec2006 import benchmark as get_benchmark
+from .model import relative_performance, relative_power
+
+#: The eight simultaneous benchmarks of the Figure-9 workload.
+FIGURE9_WORKLOAD: Tuple[str, ...] = (
+    "bwaves", "cactusADM", "dealII", "gromacs",
+    "leslie3d", "mcf", "milc", "namd",
+)
+
+#: Task placement that reproduces the paper's ladder: leslie3d lands on
+#: the most sensitive core (core 0 -> its 915 mV chip Vmin, the
+#: Section-5 example), and each PMD's constraint then matches the
+#: figure's voltage steps.
+FIGURE9_PLACEMENT: Mapping[str, int] = {
+    "leslie3d": 0, "cactusADM": 1, "milc": 2, "gromacs": 3,
+    "mcf": 4, "namd": 5, "dealII": 6, "bwaves": 7,
+}
+
+
+@dataclass(frozen=True)
+class TradeoffPoint:
+    """One step of the ladder."""
+
+    label: str
+    chip_voltage_mv: int
+    pmd_freqs_mhz: Tuple[int, int, int, int]
+    performance_rel: float
+    power_rel: float
+
+    @property
+    def saving_fraction(self) -> float:
+        return 1.0 - self.power_rel
+
+    @property
+    def performance_loss_fraction(self) -> float:
+        return 1.0 - self.performance_rel
+
+
+def _chip_vmin_for(
+    vmin_by_core: Mapping[int, int],
+    slow_pmds: Sequence[int],
+    vmin_1200_mv: int,
+) -> int:
+    """Chip voltage constraint: max Vmin over full-speed cores, but
+    never below what the slowed (1.2 GHz) cores themselves need."""
+    fast = [
+        vmin for core, vmin in vmin_by_core.items() if core // 2 not in slow_pmds
+    ]
+    constraint = max(fast) if fast else 0
+    return max(constraint, vmin_1200_mv)
+
+
+def ladder_from_vmins(
+    vmin_by_core: Mapping[int, int],
+    chip: str = "TTT",
+    clock_tree_fraction: float = 0.0,
+    include_nominal: bool = True,
+) -> List[TradeoffPoint]:
+    """Build the ladder from per-core Vmin constraints.
+
+    PMDs are slowed weakest-first (highest per-PMD Vmin constraint
+    first); each step re-evaluates the shared-plane voltage.
+    """
+    if set(vmin_by_core) - set(range(8)):
+        raise ConfigurationError("vmin_by_core keys must be core indices 0..7")
+    if not vmin_by_core:
+        raise ConfigurationError("need at least one core constraint")
+    calibration = chip_calibration(chip)
+    vmin_1200 = calibration.vmin_1200_mv
+
+    pmd_constraint: Dict[int, int] = {}
+    for core, vmin in vmin_by_core.items():
+        pmd = core // 2
+        pmd_constraint[pmd] = max(pmd_constraint.get(pmd, 0), vmin)
+    weakest_first = sorted(pmd_constraint, key=lambda p: -pmd_constraint[p])
+
+    points: List[TradeoffPoint] = []
+    if include_nominal:
+        freqs = (FREQ_MAX_MHZ,) * 4
+        points.append(
+            TradeoffPoint(
+                label="nominal",
+                chip_voltage_mv=PMD_NOMINAL_MV,
+                pmd_freqs_mhz=freqs,
+                performance_rel=1.0,
+                power_rel=relative_power(
+                    PMD_NOMINAL_MV, freqs, chip, clock_tree_fraction
+                ),
+            )
+        )
+    for n_slow in range(len(weakest_first) + 1):
+        slow = weakest_first[:n_slow]
+        freqs = tuple(
+            1200 if pmd in slow else FREQ_MAX_MHZ for pmd in range(4)
+        )
+        voltage = _chip_vmin_for(vmin_by_core, slow, vmin_1200)
+        label = "undervolt" if n_slow == 0 else (
+            "slow PMD" + "+".join(str(p) for p in slow)
+        )
+        points.append(
+            TradeoffPoint(
+                label=label,
+                chip_voltage_mv=voltage,
+                pmd_freqs_mhz=freqs,
+                performance_rel=relative_performance(freqs),
+                power_rel=relative_power(voltage, freqs, chip, clock_tree_fraction),
+            )
+        )
+    return points
+
+
+def figure9_vmins(
+    chip: str = "TTT",
+    placement: Optional[Mapping[str, int]] = None,
+) -> Dict[int, int]:
+    """Per-core Vmin constraints of the Figure-9 workload placement,
+    from the calibration anchors."""
+    placement = dict(placement or FIGURE9_PLACEMENT)
+    if sorted(placement.values()) != list(range(8)):
+        raise ConfigurationError("placement must assign all 8 cores exactly once")
+    calibration = chip_calibration(chip)
+    out: Dict[int, int] = {}
+    for name, core in placement.items():
+        bench = get_benchmark(name)
+        out[core] = calibration.vmin_mv(core, bench.stress)
+    return out
+
+
+def figure9_ladder(
+    chip: str = "TTT",
+    clock_tree_fraction: float = 0.0,
+    placement: Optional[Mapping[str, int]] = None,
+) -> List[TradeoffPoint]:
+    """The complete Figure-9 point series for the paper's scenario."""
+    return ladder_from_vmins(
+        figure9_vmins(chip, placement),
+        chip=chip,
+        clock_tree_fraction=clock_tree_fraction,
+    )

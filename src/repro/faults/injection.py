@@ -1,0 +1,78 @@
+"""Deterministic fault injection for tests and what-if studies.
+
+The characterization framework normally observes faults *sampled* by the
+voltage model.  For testing the full reporting path (cache -> ECC ->
+EDAC -> parser -> severity) it is much more convenient to *force* a
+specific fault at a specific place, which is what :class:`FaultInjector`
+provides: a scriptable queue of injections that a cache model or an
+effect sampler consumes instead of its random draw.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, Iterable, Optional, Tuple
+
+from ..errors import ConfigurationError
+from .models import FunctionalUnit
+
+
+@dataclass(frozen=True)
+class Injection:
+    """One scripted fault.
+
+    ``unit`` says where the fault lands; ``bit_positions`` is used for
+    SRAM units (how many / which codeword bits to flip); ``run_index``
+    optionally pins the injection to the n-th sampled run.
+    """
+
+    unit: FunctionalUnit
+    bit_positions: Tuple[int, ...] = (0,)
+    run_index: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if not self.bit_positions:
+            raise ConfigurationError("bit_positions must not be empty")
+
+
+class FaultInjector:
+    """FIFO of scripted injections consumed by the simulation hooks.
+
+    The injector is intentionally dumb: it neither knows voltages nor
+    probabilities.  Components that support injection call
+    :meth:`take` with their unit at each run; if the head of the queue
+    matches (unit and, when set, run index), the injection is consumed
+    and returned.
+    """
+
+    def __init__(self, injections: Iterable[Injection] = ()) -> None:
+        self._queue: Deque[Injection] = deque(injections)
+        self._run_counter = 0
+
+    def __len__(self) -> int:
+        return len(self._queue)
+
+    def schedule(self, injection: Injection) -> None:
+        """Append one scripted fault."""
+        self._queue.append(injection)
+
+    def begin_run(self) -> int:
+        """Advance the run counter; returns the new run index."""
+        self._run_counter += 1
+        return self._run_counter
+
+    @property
+    def current_run(self) -> int:
+        return self._run_counter
+
+    def take(self, unit: FunctionalUnit) -> Optional[Injection]:
+        """Consume the head injection if it targets ``unit`` now."""
+        if not self._queue:
+            return None
+        head = self._queue[0]
+        if head.unit is not unit:
+            return None
+        if head.run_index is not None and head.run_index != self._run_counter:
+            return None
+        return self._queue.popleft()

@@ -1,0 +1,282 @@
+"""Voltage-to-failure-probability models.
+
+The behavioural core of the simulator: logistic curves that give, for
+every component of a core, the probability that the component fails at
+least once during one characterization run at supply voltage ``v``.
+
+Curve placement is anchored on the calibration data
+(:mod:`repro.data.calibration`) so that the *observable* quantities of
+the paper come out right by construction:
+
+* the highest-of-ten-campaigns safe Vmin equals the calibration anchor
+  (the first-failing unit's probability is ~3e-4 per run at the anchor
+  and ~5 % one regulator step below -- so 100 runs at the anchor are
+  almost surely clean while ten campaigns almost surely catch the first
+  step below);
+* the highest crash voltage equals the crash anchor (same construction
+  for the system-crash curve);
+* between the two, the remaining units switch on at depths that produce
+  the paper's effect ordering -- for the X-Gene's *timing-dominated*
+  profile SDCs (ALU/FPU timing paths) precede lone corrected errors,
+  while the Itanium-like *sram-dominated* profile shows a wide CE-only
+  band first (Section 3.4).
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass
+from typing import Dict, Mapping, Optional
+
+from ..data.calibration import ChipCalibration
+from ..errors import ConfigurationError
+from ..units import FREQ_MAX_MHZ
+
+#: Logistic offset (in units of ``scale_mv``) between a curve's
+#: midpoint and the anchor voltage at which the failure probability is
+#: "practically zero" (sigmoid(-8) ~ 3.4e-4).
+_ANCHOR_MARGIN_STEPS = 8.0
+
+
+class FunctionalUnit(enum.Enum):
+    """Core components distinguished by the failure model."""
+
+    ALU = "alu"
+    FPU = "fpu"
+    LSU = "lsu"
+    CONTROL = "control"
+    CLOCK_UNCORE = "clock_uncore"
+    L1_SRAM = "l1_sram"
+    L2_SRAM = "l2_sram"
+    L3_SRAM = "l3_sram"
+
+
+#: Units whose failures are timing-path failures (datapath logic).
+TIMING_UNITS = (
+    FunctionalUnit.ALU,
+    FunctionalUnit.FPU,
+    FunctionalUnit.LSU,
+    FunctionalUnit.CONTROL,
+)
+
+#: Units whose failures are SRAM bit-cell failures.
+SRAM_UNITS = (
+    FunctionalUnit.L1_SRAM,
+    FunctionalUnit.L2_SRAM,
+    FunctionalUnit.L3_SRAM,
+)
+
+
+@dataclass(frozen=True)
+class FailureCurve:
+    """Logistic per-run failure probability in supply voltage.
+
+    ``probability(v) = ceiling * sigmoid((midpoint_mv - v) / scale_mv)``
+
+    so the probability rises toward ``ceiling`` as the voltage drops
+    below ``midpoint_mv``.
+    """
+
+    midpoint_mv: float
+    scale_mv: float
+    ceiling: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.scale_mv <= 0:
+            raise ConfigurationError("scale_mv must be positive")
+        if not 0.0 <= self.ceiling <= 1.0:
+            raise ConfigurationError("ceiling must be within [0, 1]")
+
+    def probability(self, voltage_mv: float) -> float:
+        """Per-run failure probability at the given supply voltage."""
+        z = (self.midpoint_mv - voltage_mv) / self.scale_mv
+        # Clamp to avoid overflow in exp for deep-margin voltages.
+        if z < -60.0:
+            return 0.0
+        if z > 60.0:
+            return self.ceiling
+        return self.ceiling / (1.0 + math.exp(-z))
+
+    @classmethod
+    def anchored(
+        cls,
+        anchor_mv: float,
+        scale_mv: float,
+        ceiling: float = 1.0,
+        margin_mv: Optional[float] = None,
+    ) -> "FailureCurve":
+        """Curve that is practically inactive at ``anchor_mv`` and wakes
+        up one 5 mV regulator step below it.
+
+        ``margin_mv`` is the gap between the anchor and the logistic
+        midpoint; by default it scales with the curve's steepness (so
+        the anchor-side probability is ~3e-4 regardless of scale),
+        which is what the observable Vmin/crash edges need.  Interior
+        curves pass a fixed margin instead, keeping their onset
+        ordering stable across unsafe-region widths.
+        """
+        if margin_mv is None:
+            margin_mv = _ANCHOR_MARGIN_STEPS * scale_mv
+        return cls(
+            midpoint_mv=anchor_mv - margin_mv,
+            scale_mv=scale_mv,
+            ceiling=ceiling,
+        )
+
+
+@dataclass(frozen=True)
+class UnitFailureModel:
+    """Failure curve of one functional unit under one workload.
+
+    ``stress`` is the workload's relative exercise of this unit in
+    [0, 1]; it scales the effective failure probability (a unit that a
+    program never exercises cannot corrupt that program's output).
+    """
+
+    unit: FunctionalUnit
+    curve: FailureCurve
+    stress: float = 1.0
+
+    def probability(self, voltage_mv: float) -> float:
+        """Per-run probability that this unit causes a visible failure."""
+        return self.curve.probability(voltage_mv) * self.stress
+
+
+def _relative_depths(profile: str) -> Dict[FunctionalUnit, float]:
+    """Fraction of the unsafe-region width at which each unit's curve
+    midpoint sits below the first-failing unit's midpoint.
+
+    Depth 0.0 marks the unit class that defines the safe Vmin.
+    """
+    if profile == "timing":
+        # X-Gene-like: stressed datapath timing fails first (SDCs),
+        # SRAM arrays hold on much longer (Section 3.4 self-tests), and
+        # the clock/uncore path defines the crash point.
+        return {
+            FunctionalUnit.FPU: 0.00,
+            FunctionalUnit.ALU: 0.05,
+            FunctionalUnit.L2_SRAM: 0.35,
+            FunctionalUnit.L3_SRAM: 0.45,
+            FunctionalUnit.LSU: 0.50,
+            FunctionalUnit.L1_SRAM: 0.55,
+            FunctionalUnit.CONTROL: 0.65,
+            FunctionalUnit.CLOCK_UNCORE: 1.00,
+        }
+    if profile == "sram":
+        # Itanium-like: cache bit-cells brown out first behind ECC, so a
+        # wide corrected-error band precedes any timing failure.
+        return {
+            FunctionalUnit.L2_SRAM: 0.00,
+            FunctionalUnit.L3_SRAM: 0.05,
+            FunctionalUnit.L1_SRAM: 0.25,
+            FunctionalUnit.FPU: 0.60,
+            FunctionalUnit.ALU: 0.65,
+            FunctionalUnit.LSU: 0.70,
+            FunctionalUnit.CONTROL: 0.80,
+            FunctionalUnit.CLOCK_UNCORE: 1.00,
+        }
+    raise ConfigurationError(f"unknown failure profile {profile!r}")
+
+
+def build_unit_models(
+    calibration: ChipCalibration,
+    core: int,
+    stress: float,
+    smoothness: float,
+    freq_mhz: int = FREQ_MAX_MHZ,
+    unit_stress: Optional[Mapping[FunctionalUnit, float]] = None,
+    profile: Optional[str] = None,
+    anchor_shift_mv: float = 0.0,
+    timing_relief_mv: float = 0.0,
+) -> Dict[FunctionalUnit, UnitFailureModel]:
+    """Build the per-unit failure models for one characterization setup.
+
+    Parameters
+    ----------
+    calibration:
+        Chip anchor model.
+    core:
+        Core index 0..7.
+    stress, smoothness:
+        The workload's aggregate timing stress and severity smoothness
+        (see :mod:`repro.workloads.benchmark`).
+    freq_mhz:
+        PMD frequency.  At or below the clock-division boundary
+        (1.2 GHz) the paper observed *only* crashes below the safe Vmin,
+        so every unit except the clock/uncore path is disabled.
+    unit_stress:
+        Optional per-unit relative exercise in [0, 1].  Unknown units
+        default to 1.0 (fully exercised).
+    profile:
+        Override the chip's failure profile ("timing" / "sram").
+    anchor_shift_mv:
+        Uniform upward shift of every anchor: the dynamic-margin
+        erosions of the extension models (elevated die temperature,
+        NBTI aging, supply droop) all act by needing that much more
+        voltage for the same behaviour.
+    timing_relief_mv:
+        Downward shift of the *timing-path* anchors only (ALU, FPU,
+        LSU, control): what an adaptive-clocking unit recovers by
+        stretching the clock through droops (the paper's footnote 1 --
+        "adaptive-clocking can reduce the voltage at which SDCs
+        occur").  SRAM retention and the clock/uncore crash point are
+        not helped.
+    """
+    if anchor_shift_mv < 0:
+        raise ConfigurationError("anchor_shift_mv must be non-negative")
+    if timing_relief_mv < 0:
+        raise ConfigurationError("timing_relief_mv must be non-negative")
+    profile = profile or calibration.failure_profile
+    vmin = calibration.vmin_mv(core, stress, freq_mhz) + anchor_shift_mv
+    width = calibration.unsafe_width_mv(smoothness, freq_mhz)
+    crash = vmin - width
+    depths = dict(_relative_depths(profile))
+    stresses = dict(unit_stress or {})
+    # The calibration anchor already folds the workload's *absolute*
+    # stress level into the Vmin, so the datapath stress vector is
+    # interpreted relatively: the most exercised of ALU/FPU defines the
+    # observable Vmin edge (stress 1.0, depth 0) and the other one sits
+    # just behind it.
+    alu = float(stresses.get(FunctionalUnit.ALU, 1.0))
+    fpu = float(stresses.get(FunctionalUnit.FPU, 1.0))
+    peak = max(alu, fpu)
+    if peak > 0:
+        stresses[FunctionalUnit.ALU] = alu / peak
+        stresses[FunctionalUnit.FPU] = fpu / peak
+    if profile == "timing" and alu > fpu:
+        depths[FunctionalUnit.ALU], depths[FunctionalUnit.FPU] = (
+            depths[FunctionalUnit.FPU],
+            depths[FunctionalUnit.ALU],
+        )
+
+    models: Dict[FunctionalUnit, UnitFailureModel] = {}
+    for unit in FunctionalUnit:
+        if unit is FunctionalUnit.CLOCK_UNCORE:
+            # Defines the crash anchor; steep and workload-independent.
+            curve = FailureCurve.anchored(crash + 5, scale_mv=1.0)
+            models[unit] = UnitFailureModel(unit, curve, stress=1.0)
+            continue
+        if width <= 5:
+            # Clock-division regime: no unsafe region, nothing but
+            # crashes below the safe Vmin (Section 3.2).
+            curve = FailureCurve(midpoint_mv=0.0, scale_mv=1.0, ceiling=0.0)
+            models[unit] = UnitFailureModel(unit, curve, stress=0.0)
+            continue
+        depth = depths[unit]
+        anchor = vmin - depth * width
+        if unit in TIMING_UNITS:
+            anchor -= timing_relief_mv
+        # The first-failing class is steep (it defines the observable
+        # Vmin edge); deeper classes wake up more gradually -- with a
+        # fixed 10 mV onset margin so their ordering holds for every
+        # unsafe-region width -- which is what produces the smooth
+        # severity ramps of Figure 5.
+        if depth <= 0.05:
+            curve = FailureCurve.anchored(anchor, scale_mv=1.0)
+        else:
+            curve = FailureCurve.anchored(anchor, scale_mv=2.5, margin_mv=10.0)
+        models[unit] = UnitFailureModel(
+            unit, curve, stress=float(stresses.get(unit, 1.0))
+        )
+    return models

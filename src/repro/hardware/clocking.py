@@ -1,0 +1,109 @@
+"""Per-PMD clock generation: skipping and division (Section 3.2).
+
+The X-Gene 2 derives each PMD's clock from a fixed 2.4 GHz input clock:
+
+* ratios **above or below 1/2** are produced by *clock skipping* on the
+  input clock (the input clock tree keeps toggling at full rate and
+  pulses are swallowed);
+* a ratio of **exactly 1/2** is produced by *clock division*.
+
+This is why the paper only characterizes 2.4 GHz and 1.2 GHz: every
+frequency above 1.2 GHz behaves like 2.4 GHz for timing purposes and
+every frequency at or below behaves like 1.2 GHz.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import List
+
+from ..data.calibration import CLOCK_DIVISION_BOUNDARY_MHZ
+from ..errors import ConfigurationError
+from ..units import FREQ_MAX_MHZ, PARK_FREQ_MHZ, validate_frequency_mhz
+from .domains import NUM_PMDS, pmd_of_core
+
+
+class ClockMechanism(enum.Enum):
+    """How a PMD frequency is derived from the input clock."""
+
+    #: Full-rate input clock, no gating.
+    DIRECT = "direct"
+    #: Pulse swallowing on the full-rate input clock.
+    SKIPPING = "skipping"
+    #: True divide-by-two of the input clock.
+    DIVISION = "division"
+
+
+def mechanism_for(freq_mhz: int, input_clock_mhz: int = FREQ_MAX_MHZ) -> ClockMechanism:
+    """Clock mechanism used for a requested PMD frequency."""
+    validate_frequency_mhz(freq_mhz)
+    if freq_mhz == input_clock_mhz:
+        return ClockMechanism.DIRECT
+    if freq_mhz * 2 == input_clock_mhz:
+        return ClockMechanism.DIVISION
+    return ClockMechanism.SKIPPING
+
+
+def timing_equivalent_mhz(freq_mhz: int) -> int:
+    """The frequency whose Vmin behaviour a request inherits.
+
+    Above the division boundary everything behaves like the maximum
+    frequency; at or below, like the boundary itself (Section 3.2).
+    """
+    validate_frequency_mhz(freq_mhz)
+    if freq_mhz > CLOCK_DIVISION_BOUNDARY_MHZ:
+        return FREQ_MAX_MHZ
+    return CLOCK_DIVISION_BOUNDARY_MHZ
+
+
+class ClockController:
+    """Per-PMD frequency control.
+
+    Each PMD can run at a different frequency (300 MHz..2.4 GHz in
+    300 MHz steps) even though all PMDs share one voltage plane --
+    the asymmetry the Section-5 trade-off analysis exploits.
+    """
+
+    def __init__(self, input_clock_mhz: int = FREQ_MAX_MHZ) -> None:
+        self.input_clock_mhz = validate_frequency_mhz(input_clock_mhz)
+        self._pmd_freqs_mhz: List[int] = [self.input_clock_mhz] * NUM_PMDS
+
+    def pmd_frequency_mhz(self, pmd: int) -> int:
+        """Programmed frequency of one PMD."""
+        self._check_pmd(pmd)
+        return self._pmd_freqs_mhz[pmd]
+
+    def core_frequency_mhz(self, core: int) -> int:
+        """Programmed frequency of the PMD hosting a core."""
+        return self.pmd_frequency_mhz(pmd_of_core(core))
+
+    def set_pmd_frequency_mhz(self, pmd: int, freq_mhz: int) -> None:
+        """Program one PMD's frequency."""
+        self._check_pmd(pmd)
+        self._pmd_freqs_mhz[pmd] = validate_frequency_mhz(freq_mhz)
+
+    def park_all_except(self, cores: List[int]) -> None:
+        """Reliable-cores setup (Section 2.2.1): park every PMD that
+        hosts none of ``cores`` at 300 MHz, keep the rest as-is."""
+        active_pmds = {pmd_of_core(core) for core in cores}
+        for pmd in range(NUM_PMDS):
+            if pmd not in active_pmds:
+                self._pmd_freqs_mhz[pmd] = PARK_FREQ_MHZ
+
+    def restore_all(self, freq_mhz: int = FREQ_MAX_MHZ) -> None:
+        """Set every PMD to one frequency."""
+        freq_mhz = validate_frequency_mhz(freq_mhz)
+        self._pmd_freqs_mhz = [freq_mhz] * NUM_PMDS
+
+    def mechanism(self, pmd: int) -> ClockMechanism:
+        """Clock mechanism currently in effect for a PMD."""
+        return mechanism_for(self.pmd_frequency_mhz(pmd), self.input_clock_mhz)
+
+    def frequencies(self) -> List[int]:
+        """Programmed frequency of every PMD, MHz."""
+        return list(self._pmd_freqs_mhz)
+
+    @staticmethod
+    def _check_pmd(pmd: int) -> None:
+        if not 0 <= pmd < NUM_PMDS:
+            raise ConfigurationError(f"PMD index must be 0..{NUM_PMDS - 1}, got {pmd}")

@@ -1,0 +1,74 @@
+"""Process corners of the characterized parts.
+
+Section 3 of the paper studies three 28 nm parts: the nominal **TTT**
+part, the fast/leaky **TFF** corner and the slow/low-leakage **TSS**
+corner.  This module captures the electrical personality of each corner
+(leakage, threshold voltage, attainable frequency) that the power and
+timing models consume; the Vmin anchors live separately in
+:mod:`repro.data.calibration`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..data.calibration import CHIP_NAMES, chip_calibration
+from ..errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class ProcessCorner:
+    """Electrical personality of one process corner."""
+
+    #: Corner name (matches the chip name in this study).
+    name: str
+    #: Leakage power relative to the TTT part at nominal V and T.
+    leakage_rel: float
+    #: Effective transistor threshold voltage in mV (drives the
+    #: alpha-power timing model; lower threshold = faster, leakier).
+    threshold_mv: float
+    #: Maximum PLL-stable frequency in MHz at nominal voltage.  All
+    #: three parts ship fused at 2.4 GHz, but the fast corner has
+    #: silicon headroom above it (Section 3: "can operate at higher
+    #: frequency").
+    silicon_fmax_mhz: int
+    #: Velocity-saturation exponent of the alpha-power delay law.
+    alpha: float = 1.3
+
+    def __post_init__(self) -> None:
+        if self.leakage_rel <= 0:
+            raise ConfigurationError("leakage_rel must be positive")
+        if not 300 <= self.threshold_mv <= 700:
+            raise ConfigurationError("threshold_mv out of plausible 28nm range")
+
+
+_CORNERS = {
+    "TTT": ProcessCorner(name="TTT", leakage_rel=1.00, threshold_mv=550.0,
+                         silicon_fmax_mhz=2400),
+    "TFF": ProcessCorner(name="TFF", leakage_rel=1.35, threshold_mv=525.0,
+                         silicon_fmax_mhz=2700),
+    "TSS": ProcessCorner(name="TSS", leakage_rel=0.70, threshold_mv=575.0,
+                         silicon_fmax_mhz=2400),
+}
+
+assert set(_CORNERS) == set(CHIP_NAMES)
+
+
+def corner_for_chip(chip: str) -> ProcessCorner:
+    """Process corner of one of the three characterized parts.
+
+    The leakage figure is cross-checked against the calibration table so
+    the two views of a chip can never drift apart.
+    """
+    try:
+        corner = _CORNERS[chip]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown chip {chip!r}; expected one of {CHIP_NAMES}"
+        ) from None
+    calibration = chip_calibration(chip)
+    if abs(corner.leakage_rel - calibration.leakage_rel) > 1e-9:
+        raise ConfigurationError(
+            f"corner/calibration leakage mismatch for {chip}"
+        )
+    return corner

@@ -1,0 +1,204 @@
+"""Dynamic-margin models: supply droop, adaptive clocking, temperature
+sensitivity and aging.
+
+These are the library's *extension* models -- phenomena the paper
+discusses (its guardbands exist exactly to cover them: Section 1,
+footnote 1 in Section 4.4, and the related work of Section 7) but does
+not characterize separately because a physical machine cannot switch
+them off.  A simulator can, so each becomes an explicit, ablatable
+knob:
+
+* :class:`SupplyDroopModel` -- workload-driven di/dt droop that erodes
+  the effective margin (more eroded for high-activity workloads);
+* :class:`AdaptiveClockingUnit` -- the circuit technique of
+  [Sundaram'16, Whatmough'15] (paper footnote 1): stretch the clock
+  through droops, recovering timing margin at a small throughput cost;
+* :class:`TemperatureSensitivity` -- Vmin drift per kelvin away from
+  the 43 C characterization setpoint;
+* :class:`AgingModel` -- NBTI/PBTI threshold-voltage drift over
+  operating hours, eroding the guardband of a deployed part.
+
+Every model reduces to a millivolt shift of the failure-model anchors
+(see :func:`repro.faults.models.build_unit_models`), so the whole
+characterization / prediction / scheduling stack works on top of any
+combination of them unchanged.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..errors import ConfigurationError
+from ..units import CHARACTERIZATION_TEMP_C, FREQ_MAX_MHZ
+from ..workloads.benchmark import WorkloadTraits
+
+
+@dataclass(frozen=True)
+class SupplyDroopModel:
+    """Workload-dependent di/dt supply droop.
+
+    The droop magnitude scales with the workload's switching activity
+    (IPC and datapath intensity are the classic di/dt drivers) and with
+    frequency; a resonance bonus models the mid-frequency PDN peak the
+    ARM power-delivery studies report [Whatmough'15].
+    """
+
+    #: Droop at full activity and full frequency, mV.
+    max_droop_mv: float = 15.0
+    #: Fraction of the droop present even for quiet workloads.
+    floor_fraction: float = 0.2
+    #: Extra droop multiplier at the PDN resonance frequency.
+    resonance_gain: float = 1.3
+    #: Frequency of the PDN resonance peak, MHz (first-droop band).
+    resonance_mhz: int = 1800
+
+    def __post_init__(self) -> None:
+        if self.max_droop_mv < 0:
+            raise ConfigurationError("max_droop_mv must be non-negative")
+        if not 0.0 <= self.floor_fraction <= 1.0:
+            raise ConfigurationError("floor_fraction must be within [0, 1]")
+
+    def activity_of(self, traits: WorkloadTraits) -> float:
+        """Switching-activity proxy in [0, 1] from a trait vector."""
+        compute = traits.fp_ratio + traits.simd_ratio
+        return min(1.0, (traits.ipc / 2.4) * (0.6 + 0.8 * compute))
+
+    def droop_mv(self, traits: WorkloadTraits, freq_mhz: int = FREQ_MAX_MHZ) -> float:
+        """Expected worst droop of one run, mV."""
+        activity = self.activity_of(traits)
+        f_rel = freq_mhz / FREQ_MAX_MHZ
+        resonance = 1.0 + (self.resonance_gain - 1.0) * math.exp(
+            -((freq_mhz - self.resonance_mhz) / 600.0) ** 2
+        )
+        level = self.floor_fraction + (1.0 - self.floor_fraction) * activity
+        return self.max_droop_mv * level * f_rel * resonance
+
+
+@dataclass(frozen=True)
+class AdaptiveClockingUnit:
+    """Droop-triggered clock stretching (paper footnote 1).
+
+    When armed, timing paths get ``recovery_mv`` of their margin back
+    (SDCs move to lower voltages) because the clock slows down through
+    the droop.  The cost is throughput: the deeper below the *unaided*
+    SDC onset the machine runs, the more often adaptation deploys.
+    """
+
+    #: Timing margin recovered, mV.
+    recovery_mv: float = 15.0
+    #: Throughput loss while adaptation is deployed (clock stretched).
+    stretch_penalty: float = 0.05
+    #: How quickly the deployment duty cycle saturates below the
+    #: unaided onset, per mV.
+    deployment_slope_per_mv: float = 0.1
+
+    def __post_init__(self) -> None:
+        if self.recovery_mv < 0:
+            raise ConfigurationError("recovery_mv must be non-negative")
+        if not 0.0 <= self.stretch_penalty <= 1.0:
+            raise ConfigurationError("stretch_penalty must be within [0, 1]")
+
+    def deployment_duty(self, voltage_mv: float, unaided_onset_mv: float) -> float:
+        """Fraction of cycles spent adapting at a supply voltage."""
+        depth = unaided_onset_mv - voltage_mv
+        if depth <= 0:
+            return 0.0
+        return min(1.0, self.deployment_slope_per_mv * depth)
+
+    def runtime_factor(self, voltage_mv: float, unaided_onset_mv: float) -> float:
+        """Multiplicative runtime overhead at a supply voltage."""
+        duty = self.deployment_duty(voltage_mv, unaided_onset_mv)
+        return 1.0 + self.stretch_penalty * duty
+
+
+@dataclass(frozen=True)
+class RollbackUnit:
+    """DeCoR-style delayed-commit-and-rollback (Section 7, ref. [34]).
+
+    Architectural state commits only after results are validated; a
+    detected timing error triggers a replay instead of corrupting the
+    output.  Detection is imperfect (``detection_coverage``) and each
+    replay costs ``rollback_penalty`` of the affected run's time.
+
+    The unit converts detected would-be SDCs into clean-but-slower
+    runs: an orthogonal mitigation to adaptive clocking (which shifts
+    the onset) and to stronger ECC (which protects state, not logic).
+    """
+
+    #: Fraction of timing-error SDCs the checker catches.
+    detection_coverage: float = 0.9
+    #: Runtime overhead of one detected-and-replayed run.
+    rollback_penalty: float = 0.10
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.detection_coverage <= 1.0:
+            raise ConfigurationError("detection_coverage must be within [0, 1]")
+        if self.rollback_penalty < 0:
+            raise ConfigurationError("rollback_penalty must be non-negative")
+
+
+@dataclass(frozen=True)
+class TemperatureSensitivity:
+    """Vmin drift away from the characterization temperature.
+
+    The study pins the die at 43 C precisely because Vmin is
+    temperature-dependent; this model makes the dependency explicit so
+    "what if the fan setpoint were 60 C" is answerable.
+    """
+
+    #: Vmin increase per kelvin above the setpoint, mV/K.  (Inverse
+    #: temperature dependence of delay is mild at 28 nm; retention
+    #: worsens with heat, so the net guardband erodes when hot.)
+    mv_per_kelvin: float = 0.3
+    reference_c: float = CHARACTERIZATION_TEMP_C
+
+    def shift_mv(self, temp_c: float) -> float:
+        """Anchor shift at a die temperature (never negative: running
+        colder does not relax the characterized anchors, it only adds
+        untapped margin)."""
+        return max(0.0, self.mv_per_kelvin * (temp_c - self.reference_c))
+
+
+@dataclass(frozen=True)
+class AgingModel:
+    """BTI-style guardband erosion over operating time.
+
+    Threshold-voltage drift follows the classic power law in stress
+    time; the chip's Vmin rises accordingly.  A freshly characterized
+    part therefore *loses* harvested margin in deployment -- the reason
+    the paper's online predictor (rather than a one-off table) matters.
+    """
+
+    #: Vmin shift after 1000 hours at full activity, mV.
+    shift_mv_per_1000h: float = 8.0
+    #: Power-law time exponent (classic BTI ~ t^0.2).
+    exponent: float = 0.2
+
+    def __post_init__(self) -> None:
+        if self.shift_mv_per_1000h < 0:
+            raise ConfigurationError("shift_mv_per_1000h must be non-negative")
+        if not 0.0 < self.exponent <= 1.0:
+            raise ConfigurationError("exponent must be within (0, 1]")
+
+    def shift_mv(self, stress_hours: float) -> float:
+        """Anchor shift after ``stress_hours`` of full-activity life."""
+        if stress_hours < 0:
+            raise ConfigurationError("stress_hours must be non-negative")
+        return self.shift_mv_per_1000h * (stress_hours / 1000.0) ** self.exponent
+
+    def remaining_guardband_mv(
+        self, initial_guardband_mv: float, stress_hours: float
+    ) -> float:
+        """Guardband left after aging (floored at zero)."""
+        return max(0.0, initial_guardband_mv - self.shift_mv(stress_hours))
+
+    def hours_until_exhausted(self, guardband_mv: float) -> float:
+        """Operating hours until aging consumes a given guardband."""
+        if guardband_mv <= 0:
+            return 0.0
+        if self.shift_mv_per_1000h == 0:
+            return float("inf")
+        return 1000.0 * (guardband_mv / self.shift_mv_per_1000h) ** (
+            1.0 / self.exponent
+        )

@@ -1,0 +1,81 @@
+"""Linux-EDAC-driver-like error reporting (Table 3's CE/UE source).
+
+The paper's framework learns about corrected and uncorrected errors from
+the kernel's EDAC driver.  This module models that reporting surface: a
+persistent log of :class:`EdacRecord` entries with per-location counters
+mirroring the ``/sys/devices/system/edac`` counter files, which the
+characterization framework polls after every run.
+
+Records survive application crashes (the kernel keeps running) but are
+lost in a system crash -- which is why a crashed run can never
+contribute CE/UE observations (Section 3.4.1 severity accounting).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+
+@dataclass(frozen=True)
+class EdacRecord:
+    """One reported hardware error."""
+
+    #: "ce" or "ue".
+    kind: str
+    #: Reporting location, e.g. "L2", "L3", "L1D", "DRAM".
+    location: str
+    #: Core affected (for core-private structures) or -1 for shared.
+    core: int
+    #: Monotonic event sequence number.
+    seqno: int
+
+
+class EdacDriver:
+    """In-kernel error accounting, as the framework's parser sees it."""
+
+    def __init__(self) -> None:
+        self._records: List[EdacRecord] = []
+        self._seqno = 0
+        self._cursor = 0
+
+    def report(self, kind: str, location: str, core: int = -1, count: int = 1) -> None:
+        """Driver-side entry point used by the cache/memory models."""
+        if kind not in ("ce", "ue"):
+            raise ValueError(f"kind must be 'ce' or 'ue', got {kind!r}")
+        for _ in range(int(count)):
+            self._seqno += 1
+            self._records.append(EdacRecord(kind, location, core, self._seqno))
+
+    # -- reader side -------------------------------------------------------
+
+    def counters(self) -> Dict[str, int]:
+        """Aggregate counters, like the sysfs ``ce_count``/``ue_count``."""
+        out = {"ce_count": 0, "ue_count": 0}
+        for record in self._records:
+            out[f"{record.kind}_count"] += 1
+        return out
+
+    def counters_by_location(self) -> Dict[Tuple[str, str], int]:
+        """Counters keyed by (kind, location) -- the fine-grained view
+        the parser can optionally report (Section 2.2)."""
+        out: Dict[Tuple[str, str], int] = {}
+        for record in self._records:
+            key = (record.kind, record.location)
+            out[key] = out.get(key, 0) + 1
+        return out
+
+    def poll_new(self) -> List[EdacRecord]:
+        """Records added since the previous poll (framework's per-run read)."""
+        new = self._records[self._cursor:]
+        self._cursor = len(self._records)
+        return list(new)
+
+    def clear(self) -> None:
+        """Reset all state (system reboot: dmesg/EDAC counters are gone)."""
+        self._records.clear()
+        self._seqno = 0
+        self._cursor = 0
+
+    def __len__(self) -> int:
+        return len(self._records)

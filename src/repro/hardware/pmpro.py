@@ -1,0 +1,102 @@
+"""PMpro: the Power Management processor.
+
+Section 2.1: *"The dedicated PMpro processor provides advanced power
+management capabilities, such as multiple power planes and clock
+gating, thermal protection circuits, Advanced Configuration Power
+Interface (ACPI) power management states and external power throttling
+support."*
+
+The model keeps the pieces the study interacts with: ACPI state
+transitions (what the watchdog's power button toggles), thermal
+protection (hard trip that forces a shutdown) and an external throttle
+that caps PMD frequencies.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import List, Optional, Tuple
+
+from ..errors import MachineStateError
+from ..units import FREQ_MAX_MHZ, validate_frequency_mhz
+from .clocking import ClockController
+
+
+class AcpiState(enum.Enum):
+    """The ACPI system states the platform exposes."""
+
+    #: Working.
+    S0 = "S0"
+    #: Suspend-to-RAM (not used by the campaigns, modelled for API
+    #: completeness).
+    S3 = "S3"
+    #: Soft-off -- what the power button toggles into.
+    S5 = "S5"
+
+
+class PmPro:
+    """Power-management processor: ACPI, thermal trip, throttling."""
+
+    #: Thermal protection trip point, degrees Celsius.
+    THERMAL_TRIP_C = 95.0
+
+    def __init__(self, clocks: ClockController) -> None:
+        self._clocks = clocks
+        self._state = AcpiState.S5
+        self._throttle_cap_mhz: Optional[int] = None
+        #: Event log of (event, detail) tuples.
+        self.events: List[Tuple[str, str]] = []
+
+    @property
+    def acpi_state(self) -> AcpiState:
+        return self._state
+
+    # -- ACPI transitions --------------------------------------------------
+
+    def power_up(self) -> None:
+        """S5 -> S0 (power button while off)."""
+        if self._state is AcpiState.S0:
+            raise MachineStateError("already in S0")
+        self._state = AcpiState.S0
+        self.events.append(("acpi", "S0"))
+
+    def power_down(self) -> None:
+        """Any state -> S5 (power button held / watchdog power cut)."""
+        self._state = AcpiState.S5
+        self.events.append(("acpi", "S5"))
+
+    def suspend(self) -> None:
+        """S0 -> S3."""
+        if self._state is not AcpiState.S0:
+            raise MachineStateError("can only suspend from S0")
+        self._state = AcpiState.S3
+        self.events.append(("acpi", "S3"))
+
+    # -- protection ---------------------------------------------------------
+
+    def check_thermal(self, temp_c: float) -> bool:
+        """Thermal protection: trips (and powers down) above the limit.
+
+        Returns True when the trip fired.
+        """
+        if temp_c >= self.THERMAL_TRIP_C:
+            self.events.append(("thermal_trip", f"{temp_c:.1f}C"))
+            self.power_down()
+            return True
+        return False
+
+    def set_throttle_cap_mhz(self, cap_mhz: Optional[int]) -> None:
+        """External power throttling: cap every PMD's frequency."""
+        if cap_mhz is not None:
+            cap_mhz = validate_frequency_mhz(cap_mhz)
+            for pmd in range(len(self._clocks.frequencies())):
+                if self._clocks.pmd_frequency_mhz(pmd) > cap_mhz:
+                    self._clocks.set_pmd_frequency_mhz(pmd, cap_mhz)
+            self.events.append(("throttle", f"cap={cap_mhz}MHz"))
+        else:
+            self.events.append(("throttle", "released"))
+        self._throttle_cap_mhz = cap_mhz
+
+    def effective_cap_mhz(self) -> int:
+        """Current frequency ceiling (max frequency when unthrottled)."""
+        return self._throttle_cap_mhz or FREQ_MAX_MHZ

@@ -1,0 +1,87 @@
+"""Performance Monitoring Unit: the 101-event counter bank.
+
+Models ``perf``-style profiling of a program run at *nominal*
+conditions, which is what the paper's prediction flow consumes
+(Section 4.1: counters are always collected in nominal conditions; the
+voltage of the later characterization step is a separate feature).
+
+The PMU is per-core; each programmed run produces a full 101-event
+snapshot synthesised from the workload's trait vector through
+:class:`repro.data.counters.CounterCatalog` with per-run measurement
+noise.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional
+
+import numpy as np
+
+from ..data.counters import COUNTER_NAMES, CounterCatalog
+from ..errors import MachineStateError, UnknownCounterError
+
+
+class PerformanceMonitoringUnit:
+    """One core's PMU.
+
+    The real hardware multiplexes a handful of physical counters over
+    the event space; profiling a whole benchmark with ``perf`` yields
+    the full set, which is the granularity this model works at.
+    """
+
+    def __init__(self, core: int, catalog: Optional[CounterCatalog] = None) -> None:
+        self.core = int(core)
+        self.catalog = catalog or CounterCatalog()
+        self._active = False
+        self._last_snapshot: Optional[Dict[str, float]] = None
+        self._history: List[Dict[str, float]] = []
+
+    @property
+    def is_counting(self) -> bool:
+        return self._active
+
+    def start(self) -> None:
+        """Arm the counters for the next run."""
+        if self._active:
+            raise MachineStateError(f"PMU of core {self.core} is already counting")
+        self._active = True
+
+    def record_run(
+        self, traits: Mapping[str, float], rng: Optional[np.random.Generator] = None
+    ) -> Dict[str, float]:
+        """Account one full program execution while counting."""
+        if not self._active:
+            raise MachineStateError(
+                f"PMU of core {self.core} must be started before recording"
+            )
+        snapshot = self.catalog.synthesize(traits, rng)
+        self._last_snapshot = snapshot
+        return dict(snapshot)
+
+    def stop(self) -> Dict[str, float]:
+        """Disarm and return the last snapshot."""
+        if not self._active:
+            raise MachineStateError(f"PMU of core {self.core} is not counting")
+        self._active = False
+        if self._last_snapshot is None:
+            self._last_snapshot = {name: 0.0 for name in COUNTER_NAMES}
+        self._history.append(self._last_snapshot)
+        return dict(self._last_snapshot)
+
+    def read(self, event: str) -> float:
+        """Read one event from the last completed snapshot."""
+        if self._last_snapshot is None:
+            raise MachineStateError(f"PMU of core {self.core} has no snapshot yet")
+        if event not in self._last_snapshot:
+            raise UnknownCounterError(f"unknown PMU event {event!r}")
+        return self._last_snapshot[event]
+
+    def history(self) -> List[Dict[str, float]]:
+        """All completed snapshots, oldest first."""
+        return [dict(snapshot) for snapshot in self._history]
+
+    def reset(self) -> None:
+        """Clear state (power cycle)."""
+        self._active = False
+        self._last_snapshot = None
+        self._history.clear()

@@ -1,0 +1,72 @@
+"""Temperature sensing and fan control.
+
+Section 3.1: *"we also control the temperature by adjusting the CPU's
+fan speed accordingly.  We stabilize the temperature at 43C, and thus,
+all benchmarks complete their execution at the same temperature."*
+
+The thermal model is a simple lumped RC in steady state: die temperature
+is ambient plus thermal resistance times power, minus the fan's
+contribution.  The fan controller solves for the duty cycle that holds
+the setpoint; the characterization framework asserts the setpoint was
+reachable before trusting a campaign (temperature is a controlled
+variable in the study, not a free one).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ConfigurationError
+
+
+@dataclass
+class TemperatureSensor:
+    """Die temperature sensor with a steady-state thermal model."""
+
+    ambient_c: float = 25.0
+    #: Thermal resistance at zero airflow, C per watt.
+    theta_ja_still_c_per_w: float = 1.6
+    #: Factor by which full airflow divides the thermal resistance.
+    max_airflow_gain: float = 4.0
+
+    def temperature_c(self, power_w: float, fan_duty: float) -> float:
+        """Steady-state die temperature at a power and fan duty cycle."""
+        if power_w < 0:
+            raise ConfigurationError("power_w must be non-negative")
+        if not 0.0 <= fan_duty <= 1.0:
+            raise ConfigurationError("fan_duty must be within [0, 1]")
+        gain = 1.0 + (self.max_airflow_gain - 1.0) * fan_duty
+        return self.ambient_c + self.theta_ja_still_c_per_w * power_w / gain
+
+
+class FanController:
+    """Closed-loop fan control holding the characterization setpoint."""
+
+    def __init__(self, sensor: TemperatureSensor, setpoint_c: float = 43.0) -> None:
+        if setpoint_c <= sensor.ambient_c:
+            raise ConfigurationError("setpoint must be above ambient")
+        self.sensor = sensor
+        self.setpoint_c = float(setpoint_c)
+        self.duty = 0.5
+
+    def regulate(self, power_w: float) -> float:
+        """Solve for the duty cycle that holds the setpoint at ``power_w``.
+
+        Returns the achieved temperature; when the setpoint is
+        unreachable (power too high even at full fan, or so low the die
+        never warms to the setpoint) the closest achievable temperature
+        is returned and the duty saturates.
+        """
+        lo, hi = 0.0, 1.0
+        for _ in range(40):
+            mid = (lo + hi) / 2.0
+            if self.sensor.temperature_c(power_w, mid) > self.setpoint_c:
+                lo = mid
+            else:
+                hi = mid
+        self.duty = (lo + hi) / 2.0
+        return self.sensor.temperature_c(power_w, self.duty)
+
+    def holds_setpoint(self, power_w: float, tolerance_c: float = 0.5) -> bool:
+        """True when regulation lands within tolerance of the setpoint."""
+        return abs(self.regulate(power_w) - self.setpoint_c) <= tolerance_c

@@ -1,0 +1,69 @@
+"""Serial console: the watchdog's window into the machine.
+
+The Raspberry-Pi watchdog of the paper is physically wired to the
+X-Gene 2's serial port and power/reset buttons (Figure 2).  This model
+provides the serial side: a line buffer the machine writes boot banners
+and kernel messages into, plus a heartbeat the watchdog polls to decide
+whether the machine is still alive.
+
+Time is logical: the machine advances a monotonic tick counter as it
+executes; a heartbeat older than the watchdog's timeout means "hung".
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+BOOT_BANNER = "X-Gene 2 (Potenza) 8-core ARMv8 -- kernel 4.x booting"
+LOGIN_PROMPT = "xgene2 login:"
+
+
+class SerialConsole:
+    """Line-oriented serial console with a liveness heartbeat."""
+
+    def __init__(self) -> None:
+        self._lines: List[str] = []
+        self._cursor = 0
+        self._last_heartbeat_tick: Optional[int] = None
+
+    # -- machine side ---------------------------------------------------
+
+    def write_line(self, line: str) -> None:
+        """The machine prints a line to the console."""
+        self._lines.append(line)
+
+    def heartbeat(self, tick: int) -> None:
+        """The machine signals liveness at a logical tick."""
+        self._last_heartbeat_tick = int(tick)
+
+    def go_silent(self) -> None:
+        """The machine hangs: the heartbeat stops updating."""
+        # Nothing to do -- the stale timestamp *is* the signal -- but the
+        # explicit method documents intent at call sites.
+
+    def clear(self) -> None:
+        """Power cycle: console buffer and heartbeat state reset."""
+        self._lines.clear()
+        self._cursor = 0
+        self._last_heartbeat_tick = None
+
+    # -- watchdog side ------------------------------------------------------
+
+    def read_new_lines(self) -> List[str]:
+        """Lines printed since the previous read."""
+        new = self._lines[self._cursor:]
+        self._cursor = len(self._lines)
+        return list(new)
+
+    def all_lines(self) -> List[str]:
+        return list(self._lines)
+
+    def last_heartbeat_tick(self) -> Optional[int]:
+        """Logical tick of the latest heartbeat, or None if never seen."""
+        return self._last_heartbeat_tick
+
+    def is_alive(self, now_tick: int, timeout_ticks: int) -> bool:
+        """Liveness check: a recent-enough heartbeat exists."""
+        if self._last_heartbeat_tick is None:
+            return False
+        return now_tick - self._last_heartbeat_tick <= timeout_ticks

@@ -1,0 +1,88 @@
+"""SLIMpro: the Scalable Lightweight Intelligent Management processor.
+
+Section 2.1: *"The dedicated SLIMpro processor monitors system sensors,
+configures system attributes (e.g. regulate supply voltage, change DRAM
+refresh rate etc.) and accesses all error reporting infrastructure,
+using an integrated I2C controller as the instrumentation interface...
+SLIMpro can be accessed by the system's running Linux Kernel."*
+
+This model is exactly that interface: voltage regulation, sensor reads
+and error-report access, each recorded as an I2C transaction.  The
+characterization framework only ever touches the machine through
+SLIMpro (plus the serial console and the physical buttons), matching
+how the real framework drives the real board.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from .domains import VoltageRegulator
+from .edac import EdacDriver
+from .sensors import FanController
+
+
+class SlimPro:
+    """Management-processor front-end over regulator, sensors and EDAC."""
+
+    def __init__(
+        self,
+        regulator: VoltageRegulator,
+        fan: FanController,
+        edac: EdacDriver,
+    ) -> None:
+        self._regulator = regulator
+        self._fan = fan
+        self._edac = edac
+        #: I2C transaction log: (operation, argument) tuples.
+        self.i2c_log: List[Tuple[str, str]] = []
+        self._last_power_w = 0.0
+
+    # -- voltage regulation ----------------------------------------------
+
+    def set_pmd_voltage_mv(self, voltage_mv: int, pmd: int = None) -> None:
+        """Program the PMD plane (or one plane in the per-PMD ablation)."""
+        self._regulator.set_pmd_voltage_mv(voltage_mv, pmd=pmd)
+        target = "PMD" if pmd is None else f"PMD{pmd}"
+        self.i2c_log.append(("set_voltage", f"{target}={voltage_mv}mV"))
+
+    def get_pmd_voltage_mv(self, pmd: int = 0) -> int:
+        return self._regulator.pmd_voltage_mv(pmd)
+
+    def set_soc_voltage_mv(self, voltage_mv: int) -> None:
+        self._regulator.set_soc_voltage_mv(voltage_mv)
+        self.i2c_log.append(("set_voltage", f"SoC={voltage_mv}mV"))
+
+    def get_soc_voltage_mv(self) -> int:
+        return self._regulator.soc.voltage_mv
+
+    def restore_nominal_voltages(self) -> None:
+        """Safe-state entry before log collection (Section 2.2.1)."""
+        self._regulator.restore_nominal()
+        self.i2c_log.append(("set_voltage", "all=nominal"))
+
+    # -- sensors / thermal -------------------------------------------------
+
+    def update_power_estimate(self, power_w: float) -> None:
+        """The machine reports its current draw for the thermal loop."""
+        self._last_power_w = float(power_w)
+
+    def read_temperature_c(self) -> float:
+        """Regulated die temperature at the current power draw."""
+        temp = self._fan.regulate(self._last_power_w)
+        self.i2c_log.append(("read_sensor", f"temp={temp:.1f}C"))
+        return temp
+
+    def set_fan_setpoint_c(self, setpoint_c: float) -> None:
+        self._fan.setpoint_c = float(setpoint_c)
+        self.i2c_log.append(("set_fan", f"setpoint={setpoint_c:.1f}C"))
+
+    # -- error reporting access ----------------------------------------------
+
+    def read_error_counters(self) -> Dict[str, int]:
+        """EDAC aggregate counters, through the instrumentation path."""
+        counters = self._edac.counters()
+        self.i2c_log.append(
+            ("read_edac", f"ce={counters['ce_count']},ue={counters['ue_count']}")
+        )
+        return counters

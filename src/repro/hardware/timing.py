@@ -1,0 +1,94 @@
+"""Critical-path timing under voltage scaling: the alpha-power law.
+
+The classic alpha-power delay model [Sakurai & Newton, 1990]:
+
+    delay(V)  ~  V / (V - Vth)^alpha
+
+With the 28 nm-plausible parameters used here (Vth = 550 mV,
+alpha = 1.3 for the TTT part) the model independently *predicts* the
+paper's headline frequency/voltage pairing: the maximum stable frequency
+at 760 mV comes out at ~1.22 GHz, which is exactly why every TTT core
+runs every program safely at 760 mV / 1.2 GHz (Section 3.2) while
+2.4 GHz needs ~900 mV.  The characterization anchors remain the source
+of truth for Vmin; this model supplies the physical narrative and the
+frequency-margin queries used by the governor.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ConfigurationError
+from ..units import FREQ_MAX_MHZ, PMD_NOMINAL_MV
+from .corners import ProcessCorner
+
+
+@dataclass(frozen=True)
+class AlphaPowerTimingModel:
+    """Alpha-power critical-path model, normalised at nominal conditions.
+
+    ``fmax_nominal_mhz`` is the silicon speed at ``nominal_mv``
+    *including* the design guardband, i.e. the critical path closes at
+    ``design_margin`` above the fused frequency.
+    """
+
+    threshold_mv: float
+    alpha: float
+    nominal_mv: int = PMD_NOMINAL_MV
+    fused_fmax_mhz: int = FREQ_MAX_MHZ
+    #: Fraction of extra silicon speed at nominal voltage beyond the
+    #: fused maximum frequency (the designed-in timing guardband).
+    design_margin: float = 0.08
+
+    def __post_init__(self) -> None:
+        if self.threshold_mv >= self.nominal_mv:
+            raise ConfigurationError("threshold must be below nominal voltage")
+        if self.alpha <= 0:
+            raise ConfigurationError("alpha must be positive")
+
+    @classmethod
+    def for_corner(cls, corner: ProcessCorner) -> "AlphaPowerTimingModel":
+        """Timing model matching a process corner's personality."""
+        return cls(threshold_mv=corner.threshold_mv, alpha=corner.alpha)
+
+    def relative_delay(self, voltage_mv: float) -> float:
+        """Critical-path delay relative to nominal voltage."""
+        if voltage_mv <= self.threshold_mv:
+            return float("inf")
+        def delay(v: float) -> float:
+            return v / (v - self.threshold_mv) ** self.alpha
+        return delay(voltage_mv) / delay(float(self.nominal_mv))
+
+    def max_frequency_mhz(self, voltage_mv: float) -> float:
+        """Maximum timing-stable frequency at a supply voltage."""
+        rel = self.relative_delay(voltage_mv)
+        if rel == float("inf"):
+            return 0.0
+        return self.fused_fmax_mhz * (1.0 + self.design_margin) / rel
+
+    def min_voltage_mv(self, freq_mhz: float) -> float:
+        """Lowest (continuous) voltage whose critical path closes at a
+        frequency -- the *physical* floor the characterization anchors
+        sit slightly above.  Solved by bisection."""
+        if freq_mhz <= 0:
+            raise ConfigurationError("freq_mhz must be positive")
+        lo = self.threshold_mv + 1.0
+        hi = float(self.nominal_mv)
+        if self.max_frequency_mhz(hi) < freq_mhz:
+            raise ConfigurationError(
+                f"{freq_mhz} MHz unreachable even at nominal voltage"
+            )
+        for _ in range(60):
+            mid = (lo + hi) / 2.0
+            if self.max_frequency_mhz(mid) >= freq_mhz:
+                hi = mid
+            else:
+                lo = mid
+        return hi
+
+    def timing_slack(self, voltage_mv: float, freq_mhz: float) -> float:
+        """Fractional cycle slack at (V, f); negative means violation."""
+        fmax = self.max_frequency_mhz(voltage_mv)
+        if fmax == 0.0:
+            return -1.0
+        return 1.0 - freq_mhz / fmax

@@ -1,0 +1,193 @@
+"""Process-variation model: generating additional chips.
+
+The paper characterizes three specific parts (TTT/TFF/TSS).  This
+module generalises their calibration into a *population* model so
+fleet-level questions -- how do Vmin guardbands distribute across a
+rack of micro-servers? how conservative is a single chip-wide setting
+for a whole fleet? -- become runnable experiments:
+
+* per-corner distributions of the robust-core floor and the
+  stress span, centred on the characterized parts;
+* per-core variation offsets drawn with the same structure the real
+  parts show (a robust PMD, a sensitive PMD, bounded spread);
+* deterministic generation: a (corner, serial) pair always yields the
+  same chip.
+
+Generated chips are ordinary :class:`~repro.data.calibration.
+ChipCalibration` objects, so every framework, predictor and scheduler
+in the library runs on them unchanged.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from ..data.calibration import ChipCalibration, chip_calibration, round5
+from ..errors import ConfigurationError
+from ..units import PMD_NOMINAL_MV
+from .corners import corner_for_chip
+from .xgene2 import XGene2Chip
+
+
+@dataclass(frozen=True)
+class CornerPopulation:
+    """Distribution parameters of one process corner's population."""
+
+    corner: str
+    #: Mean / sigma of the zero-stress robust-core Vmin at 2.4 GHz, mV.
+    base_vmin_mean_mv: float
+    base_vmin_sigma_mv: float
+    #: Mean / sigma of the stress span, mV.
+    span_mean_mv: float
+    span_sigma_mv: float
+    #: Sigma of the per-core variation offsets around their PMD mean.
+    core_offset_sigma_mv: float
+    #: Mean / sigma of the 1.2 GHz program-independent Vmin, mV.
+    vmin_1200_mean_mv: float
+    vmin_1200_sigma_mv: float
+
+
+def _population_for(corner: str) -> CornerPopulation:
+    """Population centred on the characterized part of that corner."""
+    anchor = chip_calibration(corner)
+    return CornerPopulation(
+        corner=corner,
+        base_vmin_mean_mv=float(anchor.base_vmin_2400_mv),
+        base_vmin_sigma_mv=6.0,
+        span_mean_mv=float(anchor.stress_span_mv),
+        span_sigma_mv=4.0,
+        core_offset_sigma_mv=5.0,
+        vmin_1200_mean_mv=float(anchor.vmin_1200_mv),
+        vmin_1200_sigma_mv=4.0,
+    )
+
+
+class ChipGenerator:
+    """Draws additional parts from a corner's population.
+
+    Parameters
+    ----------
+    corner:
+        "TTT", "TFF" or "TSS" -- the population to sample from.
+    lot_seed:
+        Identifies the wafer lot; (lot_seed, serial index) is the full
+        deterministic identity of a generated chip.
+    """
+
+    def __init__(self, corner: str = "TTT", lot_seed: int = 0) -> None:
+        self.population = _population_for(corner)
+        self.corner = corner_for_chip(corner)
+        self.lot_seed = int(lot_seed)
+
+    def _rng_for(self, serial_index: int) -> np.random.Generator:
+        key = f"lot{self.lot_seed}|{self.population.corner}|{serial_index}"
+        digest = np.frombuffer(
+            hashlib.sha256(key.encode()).digest(), dtype=np.uint64
+        )
+        return np.random.default_rng(digest)
+
+    def calibration(self, serial_index: int) -> ChipCalibration:
+        """Generate the calibration of the ``serial_index``-th part."""
+        if serial_index < 0:
+            raise ConfigurationError("serial_index must be non-negative")
+        pop = self.population
+        rng = self._rng_for(serial_index)
+        base = round5(float(rng.normal(pop.base_vmin_mean_mv,
+                                       pop.base_vmin_sigma_mv)))
+        span = max(10, round5(float(rng.normal(pop.span_mean_mv,
+                                               pop.span_sigma_mv))))
+        vmin_1200 = round5(float(rng.normal(pop.vmin_1200_mean_mv,
+                                            pop.vmin_1200_sigma_mv)))
+
+        # PMD-structured core offsets: draw a mean offset per PMD, then
+        # split it across the pair; shift so the most robust core is 0.
+        pmd_means = np.abs(rng.normal(0.0, 12.0, size=4))
+        offsets: List[int] = []
+        for pmd in range(4):
+            for _core in range(2):
+                offsets.append(round5(float(
+                    pmd_means[pmd] + abs(rng.normal(0.0, pop.core_offset_sigma_mv))
+                )))
+        floor = min(offsets)
+        offsets = [o - floor for o in offsets]
+        # Keep the characterized parts' structural invariant: a PMD-2
+        # core is the most robust (swap PMD2 with the actually most
+        # robust PMD -- equivalent to relabelling the die's PMDs the
+        # way the vendor's fusing would).
+        robust_pmd = min(range(4), key=lambda p: min(offsets[2 * p:2 * p + 2]))
+        if robust_pmd != 2:
+            offsets[4:6], offsets[2 * robust_pmd:2 * robust_pmd + 2] = (
+                offsets[2 * robust_pmd:2 * robust_pmd + 2], offsets[4:6]
+            )
+        # Break ties so the most robust core is unambiguously on PMD 2
+        # (two exactly-equal cores on one die are a measurement fiction
+        # anyway -- 5 mV is the resolution floor).
+        for core in (0, 1, 2, 3, 6, 7):
+            if offsets[core] == 0:
+                offsets[core] = 5
+        return ChipCalibration(
+            name=f"{pop.corner}-{self.lot_seed}-{serial_index:04d}",
+            corner_description=f"generated part, {pop.corner} population",
+            base_vmin_2400_mv=base,
+            stress_span_mv=span,
+            core_offsets_mv=tuple(offsets),
+            vmin_1200_mv=vmin_1200,
+            leakage_rel=self.corner.leakage_rel * float(rng.uniform(0.9, 1.1)),
+            failure_profile="timing",
+        )
+
+    def chip(self, serial_index: int) -> XGene2Chip:
+        """Generate a full :class:`XGene2Chip` (usable by the machine)."""
+        calibration = self.calibration(serial_index)
+        return XGene2Chip(
+            name=calibration.name,
+            calibration=calibration,
+            corner=self.corner,
+            serial=f"XG2-{calibration.name}",
+        )
+
+    def fleet(self, count: int) -> List[XGene2Chip]:
+        """Generate ``count`` parts."""
+        if count < 0:
+            raise ConfigurationError("count must be non-negative")
+        return [self.chip(index) for index in range(count)]
+
+
+def fleet_vmin_distribution(
+    chips: Sequence[XGene2Chip],
+    stress: float = 1.0,
+    freq_mhz: int = 2400,
+) -> Dict[str, float]:
+    """Fleet statistics of the chip-level worst-case Vmin.
+
+    The chip-level Vmin (most sensitive core, most demanding workload)
+    is what a fleet-wide voltage setting must respect; the gap between
+    its mean and max is the saving a per-chip setting recovers.
+    """
+    if not chips:
+        raise ConfigurationError("need at least one chip")
+    worst = [
+        max(chip.calibration.vmin_mv(core, stress, freq_mhz)
+            for core in range(8))
+        for chip in chips
+    ]
+    arr = np.array(worst, dtype=float)
+    fleet_setting = float(arr.max())
+    per_chip_mean = float(arr.mean())
+    return {
+        "chips": float(len(chips)),
+        "mean_mv": per_chip_mean,
+        "std_mv": float(arr.std()),
+        "min_mv": float(arr.min()),
+        "max_mv": fleet_setting,
+        # Saving left on the table by one fleet-wide setting vs
+        # per-chip settings, as a fraction of nominal power.
+        "fleet_setting_penalty": float(
+            (fleet_setting / PMD_NOMINAL_MV) ** 2
+            - np.mean((arr / PMD_NOMINAL_MV) ** 2)
+        ),
+    }

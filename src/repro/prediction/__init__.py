@@ -1,0 +1,52 @@
+"""Prediction of Vmin and severity from performance counters (Section 4).
+
+The four-phase flow of Figure 6:
+
+1. **Characterization** (offline) -- :mod:`repro.core` produces Vmin and
+   severity tables.
+2. **Profiling** -- the machine's PMU collects all 101 events per
+   program at nominal conditions.
+3. **Model training** -- Recursive Feature Elimination down to the five
+   most informative events, then ordinary-least-squares regression.
+4. **Prediction** -- held-out evaluation with R-squared and RMSE
+   against the naive mean-of-training-targets baseline.
+"""
+
+from .metrics import r2_score, rmse
+from .linreg import OrdinaryLeastSquares
+from .rfe import RecursiveFeatureElimination
+from .naive import NaiveMeanPredictor
+from .dataset import RegressionDataset, train_test_split
+from .features import FeatureAssembler, VOLTAGE_FEATURE
+from .pipeline import (
+    PredictionReport,
+    PredictionPipeline,
+    SeverityStudy,
+    VminStudy,
+)
+from .crossval import (
+    CrossValidationReport,
+    TransferReport,
+    cross_core_transfer,
+    kfold_cross_validate,
+)
+
+__all__ = [
+    "r2_score",
+    "rmse",
+    "OrdinaryLeastSquares",
+    "RecursiveFeatureElimination",
+    "NaiveMeanPredictor",
+    "RegressionDataset",
+    "train_test_split",
+    "FeatureAssembler",
+    "VOLTAGE_FEATURE",
+    "PredictionReport",
+    "PredictionPipeline",
+    "SeverityStudy",
+    "VminStudy",
+    "CrossValidationReport",
+    "TransferReport",
+    "cross_core_transfer",
+    "kfold_cross_validate",
+]

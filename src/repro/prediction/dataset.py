@@ -1,0 +1,93 @@
+"""Regression datasets and the 80/20 split (Section 4.3).
+
+A *sample* is "an information vector ... consisting of the values of
+the dependent and independent variables": here a feature vector (PMU
+counters, optionally plus the characterization voltage), a target
+(Vmin or severity) and a metadata tag identifying its origin.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..errors import DatasetError
+
+
+@dataclass(frozen=True)
+class RegressionDataset:
+    """Feature matrix + targets + provenance."""
+
+    x: np.ndarray
+    y: np.ndarray
+    feature_names: Tuple[str, ...]
+    #: One tag per sample, e.g. "bwaves@895mV".
+    tags: Tuple[str, ...] = ()
+
+    def __post_init__(self) -> None:
+        x = np.asarray(self.x, dtype=float)
+        y = np.asarray(self.y, dtype=float)
+        if x.ndim != 2:
+            raise DatasetError("x must be 2-D (samples x features)")
+        if y.ndim != 1 or y.shape[0] != x.shape[0]:
+            raise DatasetError("y must be 1-D with one target per sample")
+        if len(self.feature_names) != x.shape[1]:
+            raise DatasetError("feature_names must match x columns")
+        if self.tags and len(self.tags) != x.shape[0]:
+            raise DatasetError("tags must match sample count")
+        object.__setattr__(self, "x", x)
+        object.__setattr__(self, "y", y)
+
+    def __len__(self) -> int:
+        return int(self.x.shape[0])
+
+    def subset(self, indices: Sequence[int]) -> "RegressionDataset":
+        """Row subset preserving order of ``indices``."""
+        indices = list(indices)
+        return RegressionDataset(
+            x=self.x[indices],
+            y=self.y[indices],
+            feature_names=self.feature_names,
+            tags=tuple(self.tags[i] for i in indices) if self.tags else (),
+        )
+
+    def select_features(self, names: Sequence[str]) -> "RegressionDataset":
+        """Column subset by feature name (post-RFE restriction)."""
+        missing = [n for n in names if n not in self.feature_names]
+        if missing:
+            raise DatasetError(f"unknown features: {missing}")
+        cols = [self.feature_names.index(n) for n in names]
+        return RegressionDataset(
+            x=self.x[:, cols],
+            y=self.y,
+            feature_names=tuple(names),
+            tags=self.tags,
+        )
+
+
+def train_test_split(
+    dataset: RegressionDataset,
+    test_fraction: float = 0.2,
+    seed: Optional[int] = 0,
+) -> Tuple[RegressionDataset, RegressionDataset]:
+    """Deterministic shuffled split; the paper uses 80 % / 20 %.
+
+    ``seed=None`` disables shuffling (first rows train, last rows
+    test), which is occasionally useful for time-ordered data.
+    """
+    if not 0.0 < test_fraction < 1.0:
+        raise DatasetError("test_fraction must be in (0, 1)")
+    n = len(dataset)
+    n_test = max(1, int(round(n * test_fraction)))
+    if n_test >= n:
+        raise DatasetError(
+            f"{n} samples cannot support a {test_fraction:.0%} test split"
+        )
+    indices = np.arange(n)
+    if seed is not None:
+        np.random.default_rng(seed).shuffle(indices)
+    test_idx = indices[-n_test:]
+    train_idx = indices[:-n_test]
+    return dataset.subset(train_idx.tolist()), dataset.subset(test_idx.tolist())

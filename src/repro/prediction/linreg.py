@@ -1,0 +1,121 @@
+"""Ordinary-least-squares linear regression (Section 4).
+
+    y_i = b0 + b1*x1_i + ... + bk*xk_i + e_i
+
+implemented from the definition with a numerically robust least-squares
+solve (``numpy.linalg.lstsq`` on the design matrix, which handles the
+rank-deficient designs that raw PMU counters produce -- many of the 101
+events are near-linear combinations of each other).
+
+Features are internally standardised (zero mean, unit variance over the
+training set) so the fitted weights are comparable across features;
+that comparability is what Recursive Feature Elimination ranks on.
+Coefficients are reported in both spaces.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from ..errors import DatasetError, PredictionError
+
+
+class OrdinaryLeastSquares:
+    """OLS regression with internal feature standardisation."""
+
+    def __init__(self) -> None:
+        self._mean: Optional[np.ndarray] = None
+        self._scale: Optional[np.ndarray] = None
+        self._beta_std: Optional[np.ndarray] = None
+        self._intercept_std: float = 0.0
+        self.feature_names: Optional[Sequence[str]] = None
+
+    # -- fitting ---------------------------------------------------------
+
+    @staticmethod
+    def _check_xy(x, y):
+        x = np.asarray(x, dtype=float)
+        y = np.asarray(y, dtype=float)
+        if x.ndim != 2:
+            raise DatasetError("X must be 2-D (samples x features)")
+        if y.ndim != 1:
+            raise DatasetError("y must be 1-D")
+        if x.shape[0] != y.shape[0]:
+            raise DatasetError(
+                f"X has {x.shape[0]} samples but y has {y.shape[0]}"
+            )
+        if x.shape[0] == 0:
+            raise DatasetError("cannot fit on zero samples")
+        return x, y
+
+    def fit(self, x, y, feature_names: Optional[Sequence[str]] = None
+            ) -> "OrdinaryLeastSquares":
+        """Fit the model; returns self for chaining."""
+        x, y = self._check_xy(x, y)
+        if feature_names is not None and len(feature_names) != x.shape[1]:
+            raise DatasetError("feature_names length must match X columns")
+        self.feature_names = tuple(feature_names) if feature_names else None
+
+        self._mean = x.mean(axis=0)
+        scale = x.std(axis=0)
+        scale[scale == 0.0] = 1.0  # constant features carry no signal
+        self._scale = scale
+        x_std = (x - self._mean) / self._scale
+
+        design = np.hstack([np.ones((x_std.shape[0], 1)), x_std])
+        solution, _residuals, _rank, _sv = np.linalg.lstsq(design, y, rcond=None)
+        self._intercept_std = float(solution[0])
+        self._beta_std = solution[1:]
+        return self
+
+    @property
+    def is_fitted(self) -> bool:
+        return self._beta_std is not None
+
+    def _require_fit(self) -> None:
+        if not self.is_fitted:
+            raise PredictionError("model must be fitted before use")
+
+    # -- inference ----------------------------------------------------------
+
+    def predict(self, x) -> np.ndarray:
+        """Predict targets for a feature matrix."""
+        self._require_fit()
+        x = np.asarray(x, dtype=float)
+        if x.ndim == 1:
+            x = x.reshape(1, -1)
+        if x.shape[1] != self._mean.shape[0]:
+            raise DatasetError(
+                f"X has {x.shape[1]} features; model expects {self._mean.shape[0]}"
+            )
+        x_std = (x - self._mean) / self._scale
+        return self._intercept_std + x_std @ self._beta_std
+
+    # -- coefficients ----------------------------------------------------------
+
+    @property
+    def standardized_coef(self) -> np.ndarray:
+        """Weights in standardised feature space (RFE ranks on these)."""
+        self._require_fit()
+        return self._beta_std.copy()
+
+    @property
+    def coef(self) -> np.ndarray:
+        """Weights in the original feature units."""
+        self._require_fit()
+        return self._beta_std / self._scale
+
+    @property
+    def intercept(self) -> float:
+        """Intercept in the original feature units."""
+        self._require_fit()
+        return float(self._intercept_std - np.sum(self._beta_std * self._mean / self._scale))
+
+    def coefficients_by_name(self) -> dict:
+        """{feature: original-space weight}; requires feature names."""
+        self._require_fit()
+        if self.feature_names is None:
+            raise PredictionError("model was fitted without feature names")
+        return dict(zip(self.feature_names, self.coef))

@@ -1,0 +1,49 @@
+"""Regression quality metrics (Section 4): R-squared and RMSE.
+
+Both implemented from their definitions; the paper quotes both for
+every test case, because R-squared alone is misleading when the target
+barely varies (the Vmin case: RMSE of 5 mV yet R-squared near 0).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import PredictionError
+
+
+def _check_pair(y_true, y_pred):
+    y_true = np.asarray(y_true, dtype=float)
+    y_pred = np.asarray(y_pred, dtype=float)
+    if y_true.ndim != 1 or y_pred.ndim != 1:
+        raise PredictionError("metric inputs must be 1-D arrays")
+    if y_true.shape != y_pred.shape:
+        raise PredictionError(
+            f"shape mismatch: {y_true.shape} vs {y_pred.shape}"
+        )
+    if y_true.size == 0:
+        raise PredictionError("metric inputs must be non-empty")
+    return y_true, y_pred
+
+
+def rmse(y_true, y_pred) -> float:
+    """Root mean square error: deviation of predictions from truth."""
+    y_true, y_pred = _check_pair(y_true, y_pred)
+    return float(np.sqrt(np.mean((y_true - y_pred) ** 2)))
+
+
+def r2_score(y_true, y_pred) -> float:
+    """Coefficient of determination.
+
+    1 is a perfect fit; 0 means the model is no better than predicting
+    the mean; negative means worse than the mean ("the model can be
+    arbitrary worse", Section 4).  A constant target with a perfect
+    prediction scores 1; constant target with any error scores 0 (the
+    conventional degenerate-case choice).
+    """
+    y_true, y_pred = _check_pair(y_true, y_pred)
+    ss_res = float(np.sum((y_true - y_pred) ** 2))
+    ss_tot = float(np.sum((y_true - np.mean(y_true)) ** 2))
+    if ss_tot == 0.0:
+        return 1.0 if ss_res == 0.0 else 0.0
+    return 1.0 - ss_res / ss_tot

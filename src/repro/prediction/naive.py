@@ -1,0 +1,44 @@
+"""The naive baseline predictor (Section 4.3).
+
+Predicts the mean of the training targets for every input -- "the
+average of the target values (Vmin or severity) of the samples of the
+training set".  The paper's headline comparison: for Vmin this baseline
+is as good as the linear model; for severity it is 2.3-2.6x worse.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import DatasetError, PredictionError
+
+
+class NaiveMeanPredictor:
+    """Constant-mean predictor."""
+
+    def __init__(self) -> None:
+        self._mean: float = 0.0
+        self._fitted = False
+
+    def fit(self, x, y, feature_names=None) -> "NaiveMeanPredictor":
+        """Record the training-target mean (features are ignored)."""
+        y = np.asarray(y, dtype=float)
+        if y.ndim != 1 or y.size == 0:
+            raise DatasetError("y must be a non-empty 1-D array")
+        self._mean = float(np.mean(y))
+        self._fitted = True
+        return self
+
+    @property
+    def mean(self) -> float:
+        if not self._fitted:
+            raise PredictionError("predictor must be fitted before use")
+        return self._mean
+
+    def predict(self, x) -> np.ndarray:
+        """Predict the stored mean for every row of ``x``."""
+        if not self._fitted:
+            raise PredictionError("predictor must be fitted before use")
+        x = np.asarray(x, dtype=float)
+        n_rows = x.shape[0] if x.ndim >= 1 else 1
+        return np.full(n_rows, self._mean)

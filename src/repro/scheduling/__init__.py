@@ -1,0 +1,39 @@
+"""System-software use of the characterization: scheduling, voltage
+governance and undervolting-effects mitigation (Sections 4.4 and 5).
+
+* :mod:`repro.scheduling.scheduler` -- severity/Vmin-aware task-to-core
+  allocation on the shared voltage plane.
+* :mod:`repro.scheduling.governor` -- an online voltage governor that
+  monitors the five predictive PMU events and programs the plane.
+* :mod:`repro.scheduling.dvfs` -- the conventional DVFS baseline
+  (frequency scaling at nominal-guardband voltages).
+* :mod:`repro.scheduling.mitigation` -- the Section-4.4 mitigation
+  ladder keyed on predicted severity.
+"""
+
+from .scheduler import Assignment, SeverityAwareScheduler
+from .governor import GovernorDecision, VoltageGovernor
+from .dvfs import DVFS_OPP_TABLE, DvfsPolicy, OperatingPoint
+from .mitigation import (
+    ApplicationClass,
+    CheckpointRollback,
+    Mitigation,
+    recommend_mitigation,
+)
+from .simulation import EnergyEfficiencySimulation, SimulationReport
+
+__all__ = [
+    "Assignment",
+    "SeverityAwareScheduler",
+    "GovernorDecision",
+    "VoltageGovernor",
+    "DVFS_OPP_TABLE",
+    "DvfsPolicy",
+    "OperatingPoint",
+    "ApplicationClass",
+    "CheckpointRollback",
+    "Mitigation",
+    "recommend_mitigation",
+    "EnergyEfficiencySimulation",
+    "SimulationReport",
+]

@@ -1,0 +1,199 @@
+"""Online voltage governor (the "online" half of Figure 6).
+
+The governor is the software daemon the paper sketches: it watches the
+five predictive PMU events per core, predicts each (core, workload)
+pair's safe Vmin or severity curve, and programs the shared plane to
+the highest predicted Vmin plus a configurable safety margin.  For
+severity-tolerant applications (Section 4.4's approximate-computing /
+video classes) it can instead target the deepest voltage whose
+predicted severity stays within the application's tolerance.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Sequence
+
+import numpy as np
+
+from ..data.counters import RFE_SELECTED_FEATURES
+from ..errors import ConfigurationError, PredictionError
+from ..prediction.features import VOLTAGE_FEATURE
+from ..prediction.linreg import OrdinaryLeastSquares
+from ..units import PMD_NOMINAL_MV, snap_down_mv, validate_voltage_mv
+from ..workloads.benchmark import Benchmark
+
+
+@dataclass(frozen=True)
+class GovernorDecision:
+    """One voltage decision for the shared plane."""
+
+    voltage_mv: int
+    #: Per-core predicted safe Vmin driving the decision.
+    predicted_vmin_by_core: Mapping[int, float]
+    #: Which core pinned the decision.
+    limiting_core: int
+    #: True when the severity-tolerant path was used.
+    aggressive: bool = False
+
+
+class VoltageGovernor:
+    """Predictor-driven governor for the shared PMD plane.
+
+    Parameters
+    ----------
+    vmin_model:
+        Fitted model mapping the five RFE events (per kilo-instruction)
+        to a Vmin estimate for *some* reference core; per-core offsets
+        adjust it (trained models are core-specific in the paper; the
+        offset table generalises one model across cores).
+    core_offsets_mv:
+        Process-variation offsets per core (0 for the reference core).
+    margin_mv:
+        Safety margin added above every predicted Vmin.
+    severity_model:
+        Optional fitted model over the five events plus voltage,
+        predicting severity; enables :meth:`decide_aggressive`.
+    """
+
+    def __init__(
+        self,
+        vmin_model: OrdinaryLeastSquares,
+        core_offsets_mv: Sequence[int] = (0,) * 8,
+        margin_mv: int = 10,
+        severity_model: Optional[OrdinaryLeastSquares] = None,
+    ) -> None:
+        if not vmin_model.is_fitted:
+            raise PredictionError("vmin_model must be fitted")
+        if len(core_offsets_mv) != 8:
+            raise ConfigurationError("core_offsets_mv must have 8 entries")
+        if margin_mv < 0:
+            raise ConfigurationError("margin_mv must be non-negative")
+        self.vmin_model = vmin_model
+        self.severity_model = severity_model
+        self.core_offsets_mv = tuple(int(o) for o in core_offsets_mv)
+        self.margin_mv = int(margin_mv)
+
+    # -- feature extraction -------------------------------------------------
+
+    @staticmethod
+    def features_from_snapshot(snapshot: Mapping[str, float]) -> np.ndarray:
+        """The five RFE events, per kilo-instruction."""
+        instructions = float(snapshot["INST_RETIRED"])
+        if instructions <= 0:
+            raise PredictionError("snapshot must have positive INST_RETIRED")
+        return np.array(
+            [float(snapshot[name]) / instructions * 1000.0
+             for name in RFE_SELECTED_FEATURES]
+        )
+
+    # -- decisions --------------------------------------------------------------
+
+    def decide(
+        self, snapshots_by_core: Mapping[int, Mapping[str, float]]
+    ) -> GovernorDecision:
+        """Conservative decision: highest predicted Vmin plus margin."""
+        if not snapshots_by_core:
+            raise ConfigurationError("need at least one active core")
+        predicted: Dict[int, float] = {}
+        for core, snapshot in snapshots_by_core.items():
+            features = self.features_from_snapshot(snapshot)
+            base = float(self.vmin_model.predict(features.reshape(1, -1))[0])
+            predicted[core] = base + self.core_offsets_mv[core]
+        limiting_core = max(predicted, key=lambda c: (predicted[c], c))
+        target = predicted[limiting_core] + self.margin_mv
+        target = min(target, float(PMD_NOMINAL_MV))
+        voltage = snap_down_mv(max(target, 700.0))
+        return GovernorDecision(
+            voltage_mv=voltage,
+            predicted_vmin_by_core=predicted,
+            limiting_core=limiting_core,
+        )
+
+    def decide_aggressive(
+        self,
+        snapshots_by_core: Mapping[int, Mapping[str, float]],
+        severity_tolerance: float,
+        floor_mv: int = 760,
+    ) -> GovernorDecision:
+        """Severity-tolerant decision (Section 4.4).
+
+        Walks the plane downward while the predicted severity of every
+        active core stays within ``severity_tolerance`` (e.g. 4 for
+        SDC-tolerant approximate-computing workloads).
+        """
+        if self.severity_model is None:
+            raise PredictionError("decide_aggressive needs a severity_model")
+        if severity_tolerance < 0:
+            raise ConfigurationError("severity_tolerance must be non-negative")
+        conservative = self.decide(snapshots_by_core)
+        validate_voltage_mv(floor_mv)
+
+        voltage = conservative.voltage_mv
+        candidate = voltage
+        while candidate - 5 >= floor_mv:
+            candidate -= 5
+            worst = 0.0
+            for core, snapshot in snapshots_by_core.items():
+                features = self.features_from_snapshot(snapshot)
+                row = np.concatenate(
+                    [features, [candidate + self.core_offsets_mv[core]]]
+                )
+                worst = max(
+                    worst, float(self.severity_model.predict(row.reshape(1, -1))[0])
+                )
+            if worst > severity_tolerance:
+                break
+            voltage = candidate
+        return GovernorDecision(
+            voltage_mv=voltage,
+            predicted_vmin_by_core=conservative.predicted_vmin_by_core,
+            limiting_core=conservative.limiting_core,
+            aggressive=voltage < conservative.voltage_mv,
+        )
+
+    # -- training helper ------------------------------------------------------------
+
+    @staticmethod
+    def fit_severity_model(
+        samples: Sequence[Mapping[str, float]],
+        voltages_mv: Sequence[int],
+        severities: Sequence[float],
+    ) -> OrdinaryLeastSquares:
+        """Fit a severity model in the governor's feature layout.
+
+        The layout is the five RFE events (per kilo-instruction)
+        followed by the supply voltage -- pass the result as
+        ``severity_model`` to enable :meth:`decide_aggressive`.
+        """
+        if not (len(samples) == len(voltages_mv) == len(severities)):
+            raise PredictionError("samples, voltages and severities must align")
+        rows = [
+            np.concatenate(
+                [VoltageGovernor.features_from_snapshot(snap), [float(volt)]]
+            )
+            for snap, volt in zip(samples, voltages_mv)
+        ]
+        return OrdinaryLeastSquares().fit(
+            np.vstack(rows),
+            np.asarray(severities, dtype=float),
+            feature_names=tuple(RFE_SELECTED_FEATURES) + (VOLTAGE_FEATURE,),
+        )
+
+    @classmethod
+    def train_from_observations(
+        cls,
+        snapshots: Sequence[Mapping[str, float]],
+        vmins_mv: Sequence[float],
+        core_offsets_mv: Sequence[int] = (0,) * 8,
+        margin_mv: int = 10,
+    ) -> "VoltageGovernor":
+        """Fit the Vmin model from (snapshot, observed Vmin) pairs."""
+        if len(snapshots) != len(vmins_mv):
+            raise PredictionError("one Vmin per snapshot required")
+        x = np.vstack([cls.features_from_snapshot(s) for s in snapshots])
+        model = OrdinaryLeastSquares().fit(
+            x, np.asarray(vmins_mv, dtype=float),
+            feature_names=RFE_SELECTED_FEATURES,
+        )
+        return cls(model, core_offsets_mv=core_offsets_mv, margin_mv=margin_mv)

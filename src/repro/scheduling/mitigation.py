@@ -1,0 +1,145 @@
+"""Undervolting-effects mitigation (Section 4.4).
+
+The first observed (or predicted) effect as voltage drops determines
+the suitable approach:
+
+=================  ==========  =======================================
+predicted regime   severity    mitigation
+=================  ==========  =======================================
+nothing abnormal   0           none needed; minimum savings
+corrected errors   ~1          ECC is the proxy; no extra mitigation
+SDCs (+/- errors)  4..7        checkpoint/rollback or re-execution;
+                               tolerable outright for SDC-tolerant
+                               application classes
+crashes            8..19       unusable without hardware redesign
+=================  ==========  =======================================
+
+:class:`CheckpointRollback` additionally models the recovery-cost side:
+given a per-run failure probability and checkpoint interval, it
+computes the expected runtime overhead -- the quantity a system
+integrator weighs against the undervolting savings.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from ..errors import ConfigurationError
+
+
+class Mitigation(enum.Enum):
+    """Mitigation approaches of Section 4.4."""
+
+    #: Safe region: no action required.
+    NONE = "none"
+    #: Corrected-errors-first regime: ECC already absorbs the effects
+    #: and serves as the undervolting proxy (the Itanium behaviour).
+    ECC_PROXY = "ecc_proxy"
+    #: Roll back to a stored checkpoint on detected anomaly.
+    CHECKPOINT_ROLLBACK = "checkpoint_rollback"
+    #: Re-execute the program at a safe V/F combination.
+    REEXECUTION = "reexecution"
+    #: Application tolerates the effects (approximate computing, video
+    #: processing, jammer detection, ...).
+    TOLERATE = "tolerate"
+    #: Crash regime: unusable without serious hardware redesign.
+    AVOID = "avoid"
+
+
+class ApplicationClass(enum.Enum):
+    """Workload classes by SDC tolerance (Section 4.4)."""
+
+    #: Correctness-critical: any SDC is unacceptable.
+    EXACT = "exact"
+    #: Tolerates bounded output error (approximate computing, image /
+    #: video processing, detector-style applications).
+    SDC_TOLERANT = "sdc_tolerant"
+
+    @property
+    def severity_tolerance(self) -> float:
+        """Highest acceptable severity for unmitigated operation
+        ("for such applications, severity <= 4 can be used")."""
+        return 4.0 if self is ApplicationClass.SDC_TOLERANT else 0.0
+
+
+def recommend_mitigation(
+    severity: float,
+    application: ApplicationClass = ApplicationClass.EXACT,
+    detectable: bool = True,
+) -> Mitigation:
+    """Mitigation recommendation for a predicted severity level.
+
+    ``detectable`` says whether anomalies announce themselves (ECC
+    notifications accompany the SDCs); a silent-SDC regime
+    (severity = 4 with nothing else) cannot be rolled back because
+    nothing triggers the rollback -- those areas "should be avoided"
+    for exact applications.
+    """
+    if severity < 0:
+        raise ConfigurationError("severity must be non-negative")
+    if severity == 0:
+        return Mitigation.NONE
+    if severity <= application.severity_tolerance:
+        return Mitigation.TOLERATE
+    if severity <= 1.0:
+        return Mitigation.ECC_PROXY
+    if severity < 8.0:
+        if not detectable:
+            return Mitigation.AVOID
+        return Mitigation.CHECKPOINT_ROLLBACK
+    return Mitigation.AVOID
+
+
+@dataclass(frozen=True)
+class CheckpointRollback:
+    """Expected-overhead model of checkpoint/rollback recovery.
+
+    ``checkpoint_cost_s`` is paid every interval; on a detected anomaly
+    the work since the last checkpoint (half an interval in
+    expectation) is redone.
+    """
+
+    checkpoint_interval_s: float
+    checkpoint_cost_s: float
+
+    def __post_init__(self) -> None:
+        if self.checkpoint_interval_s <= 0:
+            raise ConfigurationError("checkpoint_interval_s must be positive")
+        if self.checkpoint_cost_s < 0:
+            raise ConfigurationError("checkpoint_cost_s must be non-negative")
+
+    def expected_overhead_fraction(
+        self, failure_rate_per_s: float
+    ) -> float:
+        """Expected runtime overhead fraction at a failure rate.
+
+        Checkpointing overhead plus expected rework:
+        ``cost/interval + rate * interval/2``.
+        """
+        if failure_rate_per_s < 0:
+            raise ConfigurationError("failure_rate_per_s must be non-negative")
+        checkpointing = self.checkpoint_cost_s / self.checkpoint_interval_s
+        rework = failure_rate_per_s * self.checkpoint_interval_s / 2.0
+        return checkpointing + rework
+
+    def optimal_interval_s(self, failure_rate_per_s: float) -> float:
+        """Young's approximation for the overhead-minimising interval:
+        ``sqrt(2 * cost / rate)``."""
+        if failure_rate_per_s <= 0:
+            raise ConfigurationError("failure_rate_per_s must be positive")
+        return (2.0 * self.checkpoint_cost_s / failure_rate_per_s) ** 0.5
+
+    def worthwhile(
+        self,
+        failure_rate_per_s: float,
+        saving_fraction: float,
+    ) -> bool:
+        """Is undervolting net-positive under this recovery scheme?
+
+        True when the energy saving exceeds the expected overhead (both
+        as fractions of nominal runtime/energy).
+        """
+        if not 0.0 <= saving_fraction <= 1.0:
+            raise ConfigurationError("saving_fraction must be within [0, 1]")
+        return saving_fraction > self.expected_overhead_fraction(failure_rate_per_s)

@@ -1,0 +1,194 @@
+"""Severity/Vmin-aware task-to-core allocation (Section 5).
+
+Because the X-Gene 2's PMDs share one voltage plane, the chip voltage
+is set by the *worst* (task, core) pairing.  The scheduler therefore
+matches demanding tasks to robust cores: "the predictor ... can also
+guide task scheduling so that tasks are assigned first to more robust
+cores to obtain higher power savings".
+
+Two policies are provided:
+
+* ``"naive"`` -- tasks land on cores in arrival order (what a
+  variation-oblivious OS does);
+* ``"robust_first"`` -- tasks sorted by descending Vmin demand are
+  placed on cores sorted by ascending process-variation offset.
+
+The robust-first policy strictly dominates on the shared plane, and
+the gap is one of the library's reproducible results (see the
+scheduling ablation benchmark).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from ..data.calibration import ChipCalibration, chip_calibration
+from ..errors import ConfigurationError
+from ..units import FREQ_MAX_MHZ
+from ..workloads.benchmark import Benchmark
+from ..energy.model import guardband_saving_fraction
+
+#: Type of a Vmin oracle: (core, benchmark) -> safe Vmin in mV.  The
+#: default oracle reads the calibration anchors; a prediction-backed
+#: oracle can be swapped in (Figure 6's "online" path).
+VminOracle = Callable[[int, Benchmark], int]
+
+
+@dataclass(frozen=True)
+class Assignment:
+    """A complete placement of tasks onto cores."""
+
+    #: benchmark name -> core index.
+    placement: Mapping[str, int]
+    #: Safe chip voltage for this placement (shared plane), mV.
+    chip_vmin_mv: int
+    #: Per-core safe Vmin of the placed task, mV.
+    vmin_by_core: Mapping[int, int]
+    policy: str
+
+    @property
+    def saving_fraction(self) -> float:
+        """Full-speed power saving this placement unlocks."""
+        return guardband_saving_fraction(self.chip_vmin_mv)
+
+
+class SeverityAwareScheduler:
+    """Places a workload set onto the chip's eight cores."""
+
+    def __init__(
+        self,
+        chip: str = "TTT",
+        freq_mhz: int = FREQ_MAX_MHZ,
+        vmin_oracle: Optional[VminOracle] = None,
+    ) -> None:
+        self.calibration: ChipCalibration = chip_calibration(chip)
+        self.freq_mhz = int(freq_mhz)
+        self._oracle = vmin_oracle or self._calibration_oracle
+
+    def _calibration_oracle(self, core: int, bench: Benchmark) -> int:
+        return self.calibration.vmin_mv(core, bench.stress, self.freq_mhz)
+
+    # -- policies ----------------------------------------------------------
+
+    def assign(
+        self,
+        benchmarks: Sequence[Benchmark],
+        policy: str = "robust_first",
+        cores: Optional[Sequence[int]] = None,
+    ) -> Assignment:
+        """Place ``benchmarks`` onto ``cores`` under a policy."""
+        cores = list(cores) if cores is not None else list(range(8))
+        if len(benchmarks) > len(cores):
+            raise ConfigurationError(
+                f"{len(benchmarks)} tasks do not fit on {len(cores)} cores"
+            )
+        if len(set(cores)) != len(cores):
+            raise ConfigurationError("cores must be distinct")
+        if policy == "naive":
+            order = list(benchmarks)
+            core_order = list(cores)
+        elif policy == "robust_first":
+            # Most voltage-demanding tasks first, onto the most robust
+            # (lowest variation offset) cores.
+            order = sorted(benchmarks, key=lambda b: -b.stress)
+            core_order = sorted(
+                cores, key=lambda c: (self.calibration.core_offsets_mv[c], c)
+            )
+        else:
+            raise ConfigurationError(f"unknown policy {policy!r}")
+
+        placement: Dict[str, int] = {}
+        vmin_by_core: Dict[int, int] = {}
+        for bench, core in zip(order, core_order):
+            placement[bench.name] = core
+            vmin_by_core[core] = self._oracle(core, bench)
+        chip_vmin = max(vmin_by_core.values())
+        return Assignment(
+            placement=placement,
+            chip_vmin_mv=chip_vmin,
+            vmin_by_core=vmin_by_core,
+            policy=policy,
+        )
+
+    def best_assignment(
+        self, benchmarks: Sequence[Benchmark], cores: Optional[Sequence[int]] = None
+    ) -> Assignment:
+        """Optimal placement for the shared plane.
+
+        Minimising ``max(vmin(core, task))`` over placements is solved
+        exactly by the rearrangement pairing used in ``robust_first``
+        when the oracle is additive in (task demand, core offset) -- as
+        the calibration model is -- so this simply returns that
+        placement; it exists as a named method so prediction-backed
+        oracles (not necessarily additive) can override it later.
+        """
+        return self.assign(benchmarks, policy="robust_first", cores=cores)
+
+    def compare_policies(
+        self, benchmarks: Sequence[Benchmark]
+    ) -> Dict[str, Assignment]:
+        """Naive vs robust-first on the same workload set."""
+        return {
+            policy: self.assign(benchmarks, policy=policy)
+            for policy in ("naive", "robust_first")
+        }
+
+    def assign_waves(
+        self,
+        benchmarks: Sequence[Benchmark],
+        policy: str = "robust_first",
+        cores: Optional[Sequence[int]] = None,
+    ) -> List[Assignment]:
+        """Place more tasks than cores: consecutive waves.
+
+        Tasks are placed wave by wave (each wave at most one task per
+        core) under the chosen policy; returns one :class:`Assignment`
+        per wave.  With robust-first ordering the most demanding tasks
+        land in the first wave on the most robust cores, so *later*
+        waves run at deeper voltages -- a free scheduling win the
+        shared-plane constraint makes possible.
+        """
+        cores = list(cores) if cores is not None else list(range(8))
+        if not benchmarks:
+            raise ConfigurationError("need at least one task")
+        ordered = (
+            sorted(benchmarks, key=lambda b: -b.stress)
+            if policy == "robust_first" else list(benchmarks)
+        )
+        waves: List[Assignment] = []
+        for start in range(0, len(ordered), len(cores)):
+            wave = ordered[start:start + len(cores)]
+            waves.append(self.assign(wave, policy=policy, cores=cores))
+        return waves
+
+    # -- per-PMD frequency planning (the Figure-9 knob) -----------------------
+
+    def slowdown_plan(
+        self, assignment: Assignment, max_perf_loss: float
+    ) -> Tuple[int, List[int]]:
+        """Choose PMDs to slow to 1.2 GHz within a performance budget.
+
+        Returns (chip voltage after slowing, slowed PMD indices),
+        slowing weakest PMDs first; each slowed PMD costs 1/8 of
+        throughput per core, i.e. 12.5 % per PMD pair.
+        """
+        if not 0.0 <= max_perf_loss < 1.0:
+            raise ConfigurationError("max_perf_loss must be within [0, 1)")
+        # Slowing one PMD (a pair of cores) to half speed costs 2/8 of
+        # aggregate throughput = 12.5% per core pair at equal weights.
+        budget_pmds = int(max_perf_loss // 0.125)
+        pmd_constraint: Dict[int, int] = {}
+        for core, vmin in assignment.vmin_by_core.items():
+            pmd = core // 2
+            pmd_constraint[pmd] = max(pmd_constraint.get(pmd, 0), vmin)
+        weakest_first = sorted(pmd_constraint, key=lambda p: -pmd_constraint[p])
+        slowed = weakest_first[: min(budget_pmds, len(weakest_first))]
+        remaining = [
+            vmin for core, vmin in assignment.vmin_by_core.items()
+            if core // 2 not in slowed
+        ]
+        voltage = max(
+            remaining + [self.calibration.vmin_1200_mv]
+        ) if remaining else self.calibration.vmin_1200_mv
+        return voltage, slowed

@@ -1,0 +1,268 @@
+"""Closed-loop energy-efficiency simulation.
+
+The paper's end goal is operational: run real work at harvested
+voltages, save energy, *preserve correctness*.  This module closes the
+loop that Sections 4-5 sketch: place a workload on the cores, pick a
+plane voltage with a policy, actually execute every task on the
+simulated machine at that voltage, meter the energy, and account for
+what goes wrong -- silently corrupted outputs, or crashes that force
+nominal-voltage re-execution and burn the saving.
+
+Policies compared:
+
+* ``nominal``     -- stock operation at 980 mV (the baseline energy);
+* ``static_vmin`` -- the shared plane at the placement's worst measured
+  (or calibrated) Vmin plus a safety margin;
+* ``oracle``      -- zero-margin static Vmin (the upper bound on
+  savings; any mis-measurement shows up as violations).
+
+A margin sweep turns the safety margin into the energy-vs-risk frontier
+the paper's severity discussion is about: at healthy margins the
+savings are free; as the margin shrinks through zero the SDC and crash
+accounting starts eating them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Mapping, Optional, Sequence
+
+from ..data.calibration import chip_calibration
+from ..effects import EffectType
+from ..errors import ConfigurationError
+from ..hardware.xgene2 import MachineState, XGene2Machine
+from ..units import FREQ_MAX_MHZ, PMD_NOMINAL_MV, snap_down_mv
+from ..workloads.benchmark import Benchmark
+from .scheduler import Assignment, SeverityAwareScheduler
+
+
+@dataclass(frozen=True)
+class SimulationReport:
+    """Metered outcome of running one workload under one policy."""
+
+    policy: str
+    voltage_mv: int
+    #: Total chip energy including re-executions, joules.
+    energy_j: float
+    #: Wall-clock of the batch (longest core, incl. re-runs), seconds.
+    wall_s: float
+    #: Runs that completed with corrupted output and were *not* caught.
+    sdc_runs: int
+    #: System crashes the watchdog had to recover (task re-run at
+    #: nominal voltage afterwards).
+    crash_recoveries: int
+    #: Application crashes (re-run at nominal).
+    app_crashes: int
+    #: Corrected/uncorrected error events logged by EDAC.
+    edac_ce: int
+    edac_ue: int
+    #: Energy of the nominal baseline for the same workload, joules.
+    baseline_energy_j: float
+
+    @property
+    def saving_fraction(self) -> float:
+        """Net energy saving vs the nominal baseline."""
+        if self.baseline_energy_j <= 0:
+            return 0.0
+        return 1.0 - self.energy_j / self.baseline_energy_j
+
+    @property
+    def correct(self) -> bool:
+        """True when every task produced a correct output."""
+        return self.sdc_runs == 0
+
+    def violations(self, application=None) -> int:
+        """Correctness violations under an application class.
+
+        SDC-tolerant workloads (Section 4.4: approximate computing,
+        video, detector-style applications) absorb silent corruptions;
+        for them only crashes count as violations -- and those were
+        already re-executed, so they cost energy, not correctness.
+        """
+        from .mitigation import ApplicationClass
+        if application is ApplicationClass.SDC_TOLERANT:
+            return 0
+        return self.sdc_runs
+
+
+class EnergyEfficiencySimulation:
+    """Runs one workload under several voltage policies on fresh,
+    identically seeded machines (so policies are compared on the same
+    fault realisations wherever voltages coincide)."""
+
+    def __init__(
+        self,
+        workload: Sequence[Benchmark],
+        chip: str = "TTT",
+        seed: int = 2017,
+        scheduler_policy: str = "robust_first",
+        machine_factory: Optional[Callable[[], XGene2Machine]] = None,
+    ) -> None:
+        if not workload:
+            raise ConfigurationError("workload must not be empty")
+        if len(workload) > 8:
+            raise ConfigurationError("at most one task per core (8)")
+        self.workload = list(workload)
+        self.chip = chip
+        self.seed = int(seed)
+        self.scheduler = SeverityAwareScheduler(chip)
+        self.assignment: Assignment = self.scheduler.assign(
+            self.workload, policy=scheduler_policy
+        )
+        self._machine_factory = machine_factory or (
+            lambda: XGene2Machine(self.chip, seed=self.seed)
+        )
+
+    # -- policy voltages ---------------------------------------------------
+
+    def policy_voltage_mv(
+        self, policy: str, margin_mv: int = 10,
+        governor: Optional[object] = None,
+    ) -> int:
+        """Shared-plane voltage a policy programs for this placement."""
+        if policy == "nominal":
+            return PMD_NOMINAL_MV
+        if policy == "static_vmin":
+            return min(
+                PMD_NOMINAL_MV,
+                snap_down_mv(self.assignment.chip_vmin_mv + margin_mv),
+            )
+        if policy == "oracle":
+            return self.assignment.chip_vmin_mv
+        if policy == "predicted":
+            if governor is None:
+                raise ConfigurationError(
+                    "the 'predicted' policy needs a trained governor")
+            machine = self._machine_factory()
+            machine.power_on()
+            snapshots = {
+                core: machine.profile_program(
+                    next(b for b in self.workload if b.name == name), core=core
+                )
+                for name, core in self.assignment.placement.items()
+            }
+            return governor.decide(snapshots).voltage_mv
+        raise ConfigurationError(f"unknown policy {policy!r}")
+
+    # -- execution --------------------------------------------------------------
+
+    def run_policy(
+        self, policy: str, margin_mv: int = 10, repeats: int = 1,
+        governor: Optional[object] = None,
+    ) -> SimulationReport:
+        """Execute the workload ``repeats`` times under a policy."""
+        if repeats <= 0:
+            raise ConfigurationError("repeats must be positive")
+        voltage = self.policy_voltage_mv(policy, margin_mv, governor=governor)
+        baseline_energy = self._execute(PMD_NOMINAL_MV, repeats,
+                                        meter_only=True)
+        metered = self._execute(voltage, repeats)
+        return SimulationReport(
+            policy=policy,
+            voltage_mv=voltage,
+            energy_j=metered["energy_j"],
+            wall_s=metered["wall_s"],
+            sdc_runs=metered["sdc"],
+            crash_recoveries=metered["sc"],
+            app_crashes=metered["ac"],
+            edac_ce=metered["ce"],
+            edac_ue=metered["ue"],
+            baseline_energy_j=baseline_energy["energy_j"],
+        )
+
+    def _execute(
+        self, voltage_mv: int, repeats: int, meter_only: bool = False
+    ) -> Dict[str, float]:
+        machine = self._machine_factory()
+        machine.power_on()
+        freqs = [FREQ_MAX_MHZ] * 4
+        power_w = machine.power_model.chip_power_w(voltage_mv, freqs)
+        nominal_power_w = machine.power_model.chip_power_w(
+            PMD_NOMINAL_MV, freqs)
+
+        totals = {"energy_j": 0.0, "wall_s": 0.0, "sdc": 0, "sc": 0,
+                  "ac": 0, "ce": 0, "ue": 0}
+        for _round in range(repeats):
+            round_wall = 0.0
+            for name, core in self.assignment.placement.items():
+                bench = next(b for b in self.workload if b.name == name)
+                if meter_only:
+                    # Baseline metering: no fault sampling needed.
+                    from ..workloads.execution import runtime_seconds
+                    runtime = runtime_seconds(bench.programs()[0], FREQ_MAX_MHZ)
+                    totals["energy_j"] += nominal_power_w * runtime / 8.0
+                    round_wall = max(round_wall, runtime)
+                    continue
+                if machine.state is not MachineState.RUNNING:
+                    machine.press_reset()
+                machine.slimpro.set_pmd_voltage_mv(voltage_mv)
+                outcome = machine.run_program(bench, core)
+                # Per-core share of the chip power; the whole chip is
+                # active the whole batch, so 1/8 per task-run is the
+                # clean accounting at equal runtimes.
+                totals["energy_j"] += power_w * outcome.runtime_s / 8.0
+                round_wall = max(round_wall, outcome.runtime_s)
+                totals["ce"] += outcome.edac_ce
+                totals["ue"] += outcome.edac_ue
+                rerun = False
+                if EffectType.SC in outcome.effects:
+                    totals["sc"] += 1
+                    machine.press_reset()
+                    rerun = True
+                elif EffectType.AC in outcome.effects:
+                    totals["ac"] += 1
+                    rerun = True
+                elif EffectType.SDC in outcome.effects:
+                    # Silent: nobody notices, the wrong result ships.
+                    totals["sdc"] += 1
+                if rerun:
+                    # Crash recovery: re-execute at nominal voltage.
+                    machine.slimpro.restore_nominal_voltages()
+                    retry = machine.run_program(bench, core)
+                    totals["energy_j"] += (
+                        nominal_power_w * retry.runtime_s / 8.0
+                    )
+                    round_wall += retry.runtime_s
+                    machine.slimpro.set_pmd_voltage_mv(voltage_mv)
+            totals["wall_s"] += round_wall
+        return totals
+
+    # -- sweeps -------------------------------------------------------------------
+
+    def margin_sweep(
+        self, margins_mv: Sequence[int], repeats: int = 1
+    ) -> List[SimulationReport]:
+        """The energy-vs-risk frontier: static_vmin at several margins.
+
+        Negative margins deliberately program below the measured Vmin
+        -- the regime the severity function grades.
+        """
+        reports = []
+        for margin in margins_mv:
+            voltage = max(
+                700,
+                min(PMD_NOMINAL_MV, self.assignment.chip_vmin_mv + margin),
+            )
+            voltage = snap_down_mv(voltage)
+            baseline = self._execute(PMD_NOMINAL_MV, repeats, meter_only=True)
+            metered = self._execute(voltage, repeats)
+            reports.append(SimulationReport(
+                policy=f"static_vmin{margin:+d}mV",
+                voltage_mv=voltage,
+                energy_j=metered["energy_j"],
+                wall_s=metered["wall_s"],
+                sdc_runs=metered["sdc"],
+                crash_recoveries=metered["sc"],
+                app_crashes=metered["ac"],
+                edac_ce=metered["ce"],
+                edac_ue=metered["ue"],
+                baseline_energy_j=baseline["energy_j"],
+            ))
+        return reports
+
+    def compare_policies(self, repeats: int = 1) -> Dict[str, SimulationReport]:
+        """nominal vs static_vmin(+10 mV) vs oracle."""
+        return {
+            policy: self.run_policy(policy, repeats=repeats)
+            for policy in ("nominal", "static_vmin", "oracle")
+        }

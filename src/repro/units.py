@@ -1,0 +1,124 @@
+"""Value helpers for the physical units used throughout the library.
+
+The X-Gene 2 regulator and PLL work on coarse grids (5 mV voltage steps,
+300 MHz frequency steps), so rather than introducing heavyweight unit
+types the library standardises on plain numbers with explicit unit
+suffixes in names:
+
+* voltages are **millivolts** (``int``), e.g. ``980``;
+* frequencies are **megahertz** (``int``), e.g. ``2400``;
+* temperatures are **degrees Celsius** (``float``);
+* power is **watts** (``float``), energy **joules** (``float``).
+
+This module centralises the grid constants and the snapping/validation
+helpers so every subsystem agrees on what a legal operating point is.
+"""
+
+from __future__ import annotations
+
+from .errors import FrequencyRangeError, VoltageRangeError
+
+#: Nominal PMD (core) supply voltage in mV (Section 2.1 of the paper).
+PMD_NOMINAL_MV = 980
+#: Nominal PCP/SoC supply voltage in mV.
+SOC_NOMINAL_MV = 950
+#: Regulator granularity for both scalable domains, in mV.
+VOLTAGE_STEP_MV = 5
+#: Lowest voltage the characterization framework ever requests.  The
+#: paper's sweeps bottom out around 850 mV at 2.4 GHz and ~740 mV at
+#: 1.2 GHz; the simulated regulator allows a wider floor.
+VOLTAGE_FLOOR_MV = 700
+
+#: PMD frequency range and granularity (Section 2.1): 300 MHz..2.4 GHz
+#: in 300 MHz steps.
+FREQ_MIN_MHZ = 300
+FREQ_MAX_MHZ = 2400
+FREQ_STEP_MHZ = 300
+
+#: Frequency used to park PMDs that are not under characterization
+#: ("reliable cores setup", Section 2.2.1).
+PARK_FREQ_MHZ = 300
+
+#: Temperature at which the fan controller stabilises the chip during
+#: characterization (Section 3.1).
+CHARACTERIZATION_TEMP_C = 43.0
+
+
+def validate_voltage_mv(voltage_mv: int, *, nominal_mv: int = PMD_NOMINAL_MV) -> int:
+    """Validate a supply-voltage request against the regulator grid.
+
+    Returns the voltage unchanged when it is an integer on the 5 mV grid
+    within ``[VOLTAGE_FLOOR_MV, nominal_mv]``; raises
+    :class:`~repro.errors.VoltageRangeError` otherwise.
+    """
+    if int(voltage_mv) != voltage_mv:
+        raise VoltageRangeError(f"voltage must be an integer mV value, got {voltage_mv!r}")
+    voltage_mv = int(voltage_mv)
+    if not VOLTAGE_FLOOR_MV <= voltage_mv <= nominal_mv:
+        raise VoltageRangeError(
+            f"voltage {voltage_mv} mV outside regulator range "
+            f"[{VOLTAGE_FLOOR_MV}, {nominal_mv}] mV"
+        )
+    if (nominal_mv - voltage_mv) % VOLTAGE_STEP_MV:
+        raise VoltageRangeError(
+            f"voltage {voltage_mv} mV not on the {VOLTAGE_STEP_MV} mV grid "
+            f"anchored at {nominal_mv} mV"
+        )
+    return voltage_mv
+
+
+def validate_frequency_mhz(freq_mhz: int) -> int:
+    """Validate a PMD frequency request against the PLL grid."""
+    if int(freq_mhz) != freq_mhz:
+        raise FrequencyRangeError(f"frequency must be an integer MHz value, got {freq_mhz!r}")
+    freq_mhz = int(freq_mhz)
+    if not FREQ_MIN_MHZ <= freq_mhz <= FREQ_MAX_MHZ:
+        raise FrequencyRangeError(
+            f"frequency {freq_mhz} MHz outside [{FREQ_MIN_MHZ}, {FREQ_MAX_MHZ}] MHz"
+        )
+    if freq_mhz % FREQ_STEP_MHZ:
+        raise FrequencyRangeError(
+            f"frequency {freq_mhz} MHz not a multiple of {FREQ_STEP_MHZ} MHz"
+        )
+    return freq_mhz
+
+
+def snap_down_mv(voltage_mv: float, *, nominal_mv: int = PMD_NOMINAL_MV) -> int:
+    """Snap an arbitrary voltage down onto the regulator grid.
+
+    Used by policies that compute a continuous voltage target and must
+    program the closest *safe* (i.e. not lower than intended -- so the
+    snap direction is up) regulator step.  Despite the name, the snap is
+    toward the next representable value **at or above** the request,
+    because programming a lower voltage than the computed safe bound
+    would be unsafe.
+    """
+    steps = (nominal_mv - voltage_mv) / VOLTAGE_STEP_MV
+    snapped = nominal_mv - int(steps) * VOLTAGE_STEP_MV
+    return validate_voltage_mv(snapped, nominal_mv=nominal_mv)
+
+
+def voltage_sweep(start_mv: int, stop_mv: int, *, nominal_mv: int = PMD_NOMINAL_MV) -> list:
+    """Inclusive descending sweep from ``start_mv`` to ``stop_mv`` on the
+    5 mV grid -- the voltage schedule of an undervolting campaign."""
+    start_mv = validate_voltage_mv(start_mv, nominal_mv=nominal_mv)
+    stop_mv = validate_voltage_mv(stop_mv, nominal_mv=nominal_mv)
+    if stop_mv > start_mv:
+        raise VoltageRangeError(
+            f"sweep stop {stop_mv} mV must not exceed start {start_mv} mV"
+        )
+    return list(range(start_mv, stop_mv - 1, -VOLTAGE_STEP_MV))
+
+
+def effective_frequency_mhz(freq_mhz: int, input_clock_mhz: int = FREQ_MAX_MHZ) -> float:
+    """Effective PMD frequency under clock skipping / division.
+
+    The X-Gene 2 derives PMD clocks from a fixed input clock: ratios
+    greater or less than 1/2 use clock *skipping*, exactly 1/2 uses
+    clock *division* (Section 3.2).  Either way the effective frequency
+    equals the requested one; this helper exists so the clock-tree power
+    model can distinguish the mechanisms (see
+    :mod:`repro.hardware.clocking`).
+    """
+    validate_frequency_mhz(freq_mhz)
+    return float(min(freq_mhz, input_clock_mhz))

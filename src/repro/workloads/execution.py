@@ -1,0 +1,52 @@
+"""Pure execution arithmetic shared by the machine model.
+
+Runtime, reference outputs and output corruption are deterministic
+functions of the program; the machine (:mod:`repro.hardware.xgene2`)
+calls into this module so the same arithmetic is usable standalone
+(e.g. by the energy analysis, which needs runtimes without running the
+full fault path).
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+from ..errors import ConfigurationError
+from ..units import FREQ_MAX_MHZ, validate_frequency_mhz
+from .benchmark import Program
+
+
+def runtime_seconds(program: Program, freq_mhz: int = FREQ_MAX_MHZ) -> float:
+    """Wall-clock runtime of one full program execution.
+
+    ``instructions / (IPC * f)``; IPC is treated as frequency-
+    independent, which overstates the slowdown of memory-bound programs
+    at low frequency -- a conservative choice for the performance-loss
+    side of the trade-off analysis (the paper likewise quotes the
+    nominal 2x slowdown for the 1.2 GHz point).
+    """
+    validate_frequency_mhz(freq_mhz)
+    traits = program.traits
+    return traits.instructions / (traits.ipc * freq_mhz * 1e6)
+
+
+def reference_output(program: Program) -> str:
+    """Golden output digest of a program (what a correct run produces).
+
+    The characterization framework compares run outputs against this,
+    exactly like the real framework diffs program output files.
+    """
+    payload = f"{program.name}:reference".encode()
+    return hashlib.sha256(payload).hexdigest()
+
+
+def corrupted_output(program: Program, run_token: int) -> str:
+    """Output digest of a run whose result was silently corrupted.
+
+    Distinct from the reference with certainty, and distinct between
+    runs (two SDCs rarely corrupt identically).
+    """
+    if run_token < 0:
+        raise ConfigurationError("run_token must be non-negative")
+    payload = f"{program.name}:sdc:{run_token}".encode()
+    return hashlib.sha256(payload).hexdigest()

@@ -1,0 +1,149 @@
+"""Component-focused self-tests (Section 3.4).
+
+To explain why the X-Gene 2 shows SDCs before lone corrected errors,
+the paper's authors wrote self-tests that stress one component each:
+
+* **cache tests** completely fill a cache array and flip all bits of
+  each block, looking for cell bit errors;
+* **ALU/FPU tests** perform many different concurrent operations with
+  random values to stress different timing paths.
+
+Their observation -- cache tests crash at much *lower* voltages than
+the ALU/FPU tests produce SDCs -- is what identifies the chip as
+timing-path-limited rather than SRAM-limited.  These models reproduce
+that: the pipeline tests carry high timing stress (high Vmin, SDCs
+first), the cache tests carry almost none (their anchors sit far lower
+and the first observable event is the crash or an ECC event).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from ..errors import UnknownBenchmarkError
+from ..faults.models import FunctionalUnit
+from .benchmark import Benchmark, WorkloadTraits, solve_traits_for_stress
+
+
+def _selftest(
+    name: str,
+    description: str,
+    stress: float,
+    smoothness: float,
+    unit_stress: Dict[FunctionalUnit, float],
+    *,
+    load: float,
+    branch: float,
+    btb: float,
+    **trait_overrides,
+) -> Benchmark:
+    template = WorkloadTraits(
+        load_ratio=load,
+        store_ratio=round(load * 0.45, 4),
+        branch_ratio=branch,
+        btb_misp_rate=btb,
+        **trait_overrides,
+    )
+    traits = solve_traits_for_stress(template, stress)
+    return Benchmark(
+        name=name,
+        suite="selftest",
+        description=description,
+        traits=traits,
+        stress=stress,
+        smoothness=smoothness,
+        unit_stress=unit_stress,
+    )
+
+
+def _build() -> Dict[str, Benchmark]:
+    tests = [
+        _selftest(
+            "alu-stress",
+            "concurrent random integer operations across all ALU paths",
+            stress=0.95, smoothness=0.30,
+            unit_stress={
+                FunctionalUnit.ALU: 1.0, FunctionalUnit.FPU: 0.05,
+                FunctionalUnit.LSU: 0.10, FunctionalUnit.CONTROL: 0.30,
+                FunctionalUnit.L1_SRAM: 0.05, FunctionalUnit.L2_SRAM: 0.02,
+                FunctionalUnit.L3_SRAM: 0.02,
+            },
+            load=0.10, branch=0.22, btb=0.018, fp_ratio=0.0,
+            ipc=2.4,
+        ),
+        _selftest(
+            "fpu-stress",
+            "concurrent random floating-point operations across FPU paths",
+            stress=1.00, smoothness=0.30,
+            unit_stress={
+                FunctionalUnit.ALU: 0.20, FunctionalUnit.FPU: 1.0,
+                FunctionalUnit.LSU: 0.10, FunctionalUnit.CONTROL: 0.30,
+                FunctionalUnit.L1_SRAM: 0.05, FunctionalUnit.L2_SRAM: 0.02,
+                FunctionalUnit.L3_SRAM: 0.02,
+            },
+            load=0.10, branch=0.25, btb=0.020, fp_ratio=0.60,
+            ipc=2.2,
+        ),
+        _selftest(
+            "l1-march",
+            "march test: fill L1, flip all bits of each block, verify",
+            stress=0.05, smoothness=0.20,
+            unit_stress={
+                FunctionalUnit.ALU: 0.10, FunctionalUnit.FPU: 0.0,
+                FunctionalUnit.LSU: 0.9, FunctionalUnit.CONTROL: 0.10,
+                FunctionalUnit.L1_SRAM: 1.0, FunctionalUnit.L2_SRAM: 0.10,
+                FunctionalUnit.L3_SRAM: 0.05,
+            },
+            load=0.34, branch=0.05, btb=0.0005, fp_ratio=0.0,
+            ipc=0.8, l1d_miss_rate=0.0,
+        ),
+        _selftest(
+            "l2-march",
+            "march test over the PMD's L2 array",
+            stress=0.04, smoothness=0.20,
+            unit_stress={
+                FunctionalUnit.ALU: 0.10, FunctionalUnit.FPU: 0.0,
+                FunctionalUnit.LSU: 0.9, FunctionalUnit.CONTROL: 0.10,
+                FunctionalUnit.L1_SRAM: 0.3, FunctionalUnit.L2_SRAM: 1.0,
+                FunctionalUnit.L3_SRAM: 0.10,
+            },
+            load=0.34, branch=0.05, btb=0.0005, fp_ratio=0.0,
+            ipc=0.5, l1d_miss_rate=0.9,
+        ),
+        _selftest(
+            "l3-march",
+            "march test over the shared L3 array",
+            stress=0.03, smoothness=0.20,
+            unit_stress={
+                FunctionalUnit.ALU: 0.10, FunctionalUnit.FPU: 0.0,
+                FunctionalUnit.LSU: 0.9, FunctionalUnit.CONTROL: 0.10,
+                FunctionalUnit.L1_SRAM: 0.2, FunctionalUnit.L2_SRAM: 0.4,
+                FunctionalUnit.L3_SRAM: 1.0,
+            },
+            load=0.34, branch=0.05, btb=0.0005, fp_ratio=0.0,
+            ipc=0.3, l1d_miss_rate=0.9, l2_miss_rate=0.9,
+        ),
+    ]
+    return {test.name: test for test in tests}
+
+
+#: All self-tests, keyed by name.
+SELF_TESTS: Dict[str, Benchmark] = _build()
+
+
+def self_test(name: str) -> Benchmark:
+    """Look up a self-test by name."""
+    try:
+        return SELF_TESTS[name]
+    except KeyError:
+        raise UnknownBenchmarkError(f"unknown self-test {name!r}") from None
+
+
+def pipeline_tests() -> List[Benchmark]:
+    """The ALU/FPU stress tests."""
+    return [SELF_TESTS["alu-stress"], SELF_TESTS["fpu-stress"]]
+
+
+def cache_tests() -> List[Benchmark]:
+    """The cache march tests."""
+    return [SELF_TESTS["l1-march"], SELF_TESTS["l2-march"], SELF_TESTS["l3-march"]]

@@ -1,0 +1,133 @@
+"""di/dt stressmark generation (related work, Section 7).
+
+Ketkar & Chiprout and Kim et al. (AUDIT) generate workloads that
+maximise supply droop to find a machine's worst-case margin; the
+characterization then only needs the stressmark instead of hoping some
+benchmark excites the worst droop.  This module reproduces the idea on
+top of the library's droop model: a deterministic local search over
+workload-trait space for the configuration that maximises
+:meth:`repro.hardware.dynamics.SupplyDroopModel.droop_mv`.
+
+The search operates on the same :class:`SyntheticWorkloadGenerator`
+substrate as every other generated workload, so the resulting
+stressmark can be characterized, profiled and scheduled like any
+benchmark.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from ..errors import ConfigurationError
+from ..hardware.dynamics import SupplyDroopModel
+from ..units import FREQ_MAX_MHZ
+from .benchmark import Benchmark, WorkloadTraits, solve_traits_for_stress
+
+
+@dataclass(frozen=True)
+class StressmarkResult:
+    """Outcome of a stressmark search."""
+
+    workload: Benchmark
+    droop_mv: float
+    iterations: int
+    #: Droop of the best suite benchmark, for comparison.
+    reference_droop_mv: float
+
+    @property
+    def droop_gain(self) -> float:
+        """How much worse the stressmark droops than the worst
+        benchmark (>= 1 when the search succeeded)."""
+        if self.reference_droop_mv <= 0:
+            return float("inf")
+        return self.droop_mv / self.reference_droop_mv
+
+
+def _droop_of(traits: WorkloadTraits, droop_model: SupplyDroopModel,
+              freq_mhz: int) -> float:
+    return droop_model.droop_mv(traits, freq_mhz)
+
+
+def generate_didt_stressmark(
+    droop_model: Optional[SupplyDroopModel] = None,
+    freq_mhz: int = FREQ_MAX_MHZ,
+    iterations: int = 200,
+    step: float = 0.05,
+) -> StressmarkResult:
+    """Hill-climb the trait space toward maximum droop.
+
+    Coordinates searched: IPC and FP/SIMD intensity (the di/dt
+    drivers).  The search is deterministic: fixed starting point, fixed
+    coordinate order, accept-if-better.
+    """
+    if iterations <= 0:
+        raise ConfigurationError("iterations must be positive")
+    if step <= 0:
+        raise ConfigurationError("step must be positive")
+    droop_model = droop_model or SupplyDroopModel()
+
+    # Coordinates: (ipc, fp_ratio, simd_ratio) with physical bounds.
+    bounds = {"ipc": (0.3, 2.4), "fp_ratio": (0.0, 0.5),
+              "simd_ratio": (0.0, 0.08)}
+    current = {"ipc": 1.2, "fp_ratio": 0.2, "simd_ratio": 0.02}
+
+    def traits_of(point) -> WorkloadTraits:
+        template = WorkloadTraits(
+            ipc=point["ipc"],
+            fp_ratio=round(point["fp_ratio"], 4),
+            simd_ratio=round(point["simd_ratio"], 4),
+            load_ratio=0.12, branch_ratio=0.10, btb_misp_rate=0.008,
+        )
+        # Full timing stress: a stressmark exercises the datapath hard.
+        return solve_traits_for_stress(template, 1.0, clamp=True)
+
+    best_traits = traits_of(current)
+    best_droop = _droop_of(best_traits, droop_model, freq_mhz)
+    used = 0
+    for iteration in range(iterations):
+        used = iteration + 1
+        improved = False
+        for key in ("ipc", "fp_ratio", "simd_ratio"):
+            lo, hi = bounds[key]
+            span = hi - lo
+            for direction in (+1.0, -1.0):
+                candidate = dict(current)
+                candidate[key] = min(
+                    hi, max(lo, candidate[key] + direction * step * span))
+                traits = traits_of(candidate)
+                droop = _droop_of(traits, droop_model, freq_mhz)
+                if droop > best_droop + 1e-12:
+                    current = candidate
+                    best_traits = traits
+                    best_droop = droop
+                    improved = True
+        if not improved:
+            break
+
+    reference = _reference_droop(droop_model, freq_mhz)
+    workload = Benchmark(
+        name="didt-stressmark",
+        suite="stressmark",
+        description="generated worst-case di/dt droop workload",
+        traits=best_traits,
+        stress=1.0,
+        smoothness=0.3,
+    )
+    return StressmarkResult(
+        workload=workload,
+        droop_mv=best_droop,
+        iterations=used,
+        reference_droop_mv=reference,
+    )
+
+
+def _reference_droop(droop_model: SupplyDroopModel, freq_mhz: int) -> float:
+    """Worst droop among the SPEC suite (the 'hope a benchmark finds
+    it' baseline the stressmark papers argue against)."""
+    from .spec2006 import SPEC2006_SUITE
+
+    return max(
+        droop_model.droop_mv(bench.traits, freq_mhz)
+        for bench in SPEC2006_SUITE.values()
+    )

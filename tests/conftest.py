@@ -1,0 +1,53 @@
+"""Shared fixtures.
+
+Heavy objects (characterization results, prediction pipelines) are
+session-scoped: the simulator is deterministic, so sharing them across
+tests loses nothing and keeps the suite fast.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import CharacterizationFramework, FrameworkConfig
+from repro.hardware import XGene2Machine
+from repro.workloads import get_benchmark
+
+
+@pytest.fixture()
+def machine():
+    """A powered-on TTT machine with a fixed seed."""
+    m = XGene2Machine("TTT", seed=2017)
+    m.power_on()
+    return m
+
+
+@pytest.fixture()
+def rng():
+    return np.random.default_rng(123)
+
+
+@pytest.fixture(scope="session")
+def bwaves_characterization():
+    """bwaves on TTT core 0: 10 campaigns, the paper's configuration."""
+    m = XGene2Machine("TTT", seed=42)
+    m.power_on()
+    framework = CharacterizationFramework(
+        m, FrameworkConfig(start_mv=930, campaigns=10)
+    )
+    return framework.characterize(get_benchmark("bwaves"), core=0)
+
+
+@pytest.fixture(scope="session")
+def leslie3d_characterizations():
+    """leslie3d on TTT cores 0 and 4 (the Section-5 example pair)."""
+    m = XGene2Machine("TTT", seed=8)
+    m.power_on()
+    framework = CharacterizationFramework(
+        m, FrameworkConfig(start_mv=930, campaigns=10)
+    )
+    bench = get_benchmark("leslie3d")
+    return {
+        core: framework.characterize(bench, core) for core in (0, 4)
+    }

@@ -1,0 +1,190 @@
+"""Analysis: variation stats, tables, figures, ASCII plots, claims."""
+
+import pytest
+
+from repro.analysis import (
+    PAPER_CLAIMS,
+    bar_chart,
+    chip_to_chip_summary,
+    check_claims,
+    core_to_core_spread,
+    figure3_vmin_series,
+    figure4_region_grid,
+    figure5_severity_map,
+    figure7_prediction_series,
+    figure9_series,
+    heatmap,
+    scatter,
+    table1_prior_work,
+    table2_parameters,
+    table3_effects,
+    table4_weights,
+    workload_ordering_consistency,
+)
+from repro.analysis.figures import figure4_chip_averages
+from repro.analysis.report import render_claims
+from repro.analysis.tables import render_table
+from repro.core.regions import Region
+from repro.errors import ConfigurationError
+from repro.workloads import figure_benchmarks
+
+
+class TestVariation:
+    def test_core_spread_matches_paper(self):
+        summary = core_to_core_spread("TTT", figure_benchmarks())
+        assert summary.most_robust_core in (4, 5)
+        assert summary.most_sensitive_core in (0, 1)
+        assert summary.max_core_spread_fraction == pytest.approx(0.036, abs=0.001)
+
+    def test_pmd2_smallest_mean_offset_on_all_chips(self):
+        for chip, summary in chip_to_chip_summary(figure_benchmarks()).items():
+            assert min(summary.pmd_mean_offset_mv) == \
+                summary.pmd_mean_offset_mv[2], chip
+
+    def test_chip_mean_ordering(self):
+        summaries = chip_to_chip_summary(figure_benchmarks())
+        assert summaries["TFF"].mean_vmin_mv < summaries["TTT"].mean_vmin_mv
+        assert summaries["TSS"].mean_vmin_mv > summaries["TTT"].mean_vmin_mv
+
+    def test_workload_ordering_fully_consistent(self):
+        # "the workload-to-workload variation remains the same across
+        # the 3 chips"
+        assert workload_ordering_consistency(figure_benchmarks()) == 1.0
+
+    def test_too_few_benchmarks_rejected(self):
+        with pytest.raises(ConfigurationError):
+            workload_ordering_consistency(figure_benchmarks()[:1])
+
+
+class TestTables:
+    def test_table1_lists_this_work(self):
+        headers, rows = table1_prior_work()
+        assert headers[0] == "ISA"
+        assert any("This work" in row for row in [r[-1] for r in rows])
+        assert any("X-Gene 2" in r[1] for r in rows)
+
+    def test_table2_matches_live_configuration(self):
+        _headers, rows = table2_parameters()
+        table = dict(rows)
+        assert table["CPU"] == "8 cores"
+        assert table["Core clock"] == "2.4 GHz"
+        assert "32KB" in table["L1 Instr. cache"]
+        assert "Parity" in table["L1 Data cache"]
+        assert "256KB" in table["L2 cache"]
+        assert "8MB" in table["L3 cache"]
+
+    def test_table3_six_effects(self):
+        _headers, rows = table3_effects()
+        assert [row[0] for row in rows] == ["NO", "SDC", "CE", "UE", "AC", "SC"]
+
+    def test_table4_weights(self):
+        _headers, rows = table4_weights()
+        assert dict(rows) == {"W_SC": "16", "W_AC": "8", "W_SDC": "4",
+                              "W_UE": "2", "W_CE": "1", "W_NO": "0"}
+
+    def test_render_table_alignment(self):
+        text = render_table(["A", "Bee"], [["1", "2"], ["333", "4"]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert len(set(len(line) for line in lines)) == 1
+
+
+class TestFigures:
+    def test_figure3_from_anchors(self):
+        series = figure3_vmin_series()
+        assert set(series) == {"TTT", "TFF", "TSS"}
+        assert series["TTT"]["leslie3d"] == 880
+        assert series["TSS"]["zeusmp"] == 900
+
+    def test_figure3_measured_overrides(self, bwaves_characterization):
+        series = figure3_vmin_series(
+            measured={("TTT", "bwaves"): bwaves_characterization})
+        # Core 0's measurement replaces the robust-core anchor.
+        assert series["TTT"]["bwaves"] == \
+            bwaves_characterization.highest_vmin_mv
+
+    def test_figure4_grid_shape(self):
+        columns = figure4_region_grid()
+        assert len(columns) == 3 * 10 * 8
+        column = columns[0]
+        assert column.regions[930] is Region.SAFE
+        assert column.regions[850] is Region.CRASH
+
+    def test_figure4_chip_averages(self):
+        columns = figure4_region_grid()
+        averages = figure4_chip_averages(columns)
+        assert averages["TFF"][0] < averages["TTT"][0] < averages["TSS"][0]
+        for chip in averages:
+            mean_vmin, mean_crash = averages[chip]
+            assert mean_crash < mean_vmin
+
+    def test_figure5_matrix(self, bwaves_characterization):
+        matrix = figure5_severity_map({0: bwaves_characterization})
+        voltages = sorted(matrix, reverse=True)
+        assert voltages  # non-empty
+        values = [matrix[v][0] for v in voltages if matrix[v][0] is not None]
+        assert max(values) > 15.0
+        assert all(0.0 <= value <= 16.0 for value in values)
+
+    def test_figure7_series_sorted(self):
+        from repro.prediction import PredictionReport
+        report = PredictionReport(
+            target="severity", chip="TTT", core=0,
+            selected_features=("VOLTAGE_MV",), r2=0.9,
+            rmse_model=2.8, rmse_naive=6.4, n_train=80, n_test=3,
+            test_points=(("a@900", 4.0, 3.5), ("b@890", 1.0, 1.2),
+                         ("c@880", 9.0, 8.1)),
+        )
+        series = figure7_prediction_series(report)
+        assert [truth for _tag, truth, _pred in series] == [1.0, 4.0, 9.0]
+
+    def test_figure9_series(self):
+        points = figure9_series()
+        assert [p.chip_voltage_mv for p in points] == \
+            [980, 915, 900, 885, 875, 760]
+
+
+class TestAsciiPlots:
+    def test_bar_chart(self):
+        text = bar_chart({"TTT": 885, "TFF": 885, "TSS": 900}, unit="mV")
+        assert "TSS" in text and "900" in text
+        assert text.count("|") == 6
+
+    def test_heatmap(self):
+        text = heatmap({905: {0: 4.0, 4: 0.0}, 900: {0: 16.0, 4: 2.0}})
+        assert "core0" in text and "core4" in text
+        assert "16.0" in text
+        assert "." in text  # zero cell placeholder
+
+    def test_scatter(self):
+        points = [(0.0, 0.0), (1.0, 1.0), (0.5, 0.6)]
+        text = scatter(points, width=20, height=5)
+        assert text.count("o") >= 2
+
+    def test_empty_inputs_rejected(self):
+        with pytest.raises(ConfigurationError):
+            bar_chart({})
+        with pytest.raises(ConfigurationError):
+            heatmap({})
+        with pytest.raises(ConfigurationError):
+            scatter([])
+
+
+class TestClaims:
+    def test_all_model_claims_pass(self):
+        checks = check_claims()
+        failing = [c.claim_id for c in checks if not c.passed]
+        assert not failing, failing
+
+    def test_claim_inventory_covers_headlines(self):
+        assert "abstract.energy_saving_no_perf_loss" in PAPER_CLAIMS
+        assert "fig9.step4_power_pct_figure_variant" in PAPER_CLAIMS
+        assert len(PAPER_CLAIMS) >= 12
+
+    def test_subset_selection(self):
+        checks = check_claims(only=["s5.chip_wide_saving"])
+        assert len(checks) == 1
+
+    def test_render(self):
+        text = render_claims(check_claims(only=["s5.chip_wide_saving"]))
+        assert "OK" in text and "12.8" in text

@@ -1,0 +1,185 @@
+"""Calibration anchors: every number the paper publishes."""
+
+import pytest
+
+from repro.data.calibration import (
+    CHIP_NAMES,
+    ChipCalibration,
+    chip_calibration,
+    crash_voltage_mv,
+    round5,
+    unsafe_width_mv,
+    vmin_mv,
+)
+from repro.errors import ConfigurationError
+from repro.workloads import figure_benchmarks, get_benchmark
+
+
+class TestLookup:
+    def test_three_chips(self):
+        assert CHIP_NAMES == ("TTT", "TFF", "TSS")
+        for chip in CHIP_NAMES:
+            assert chip_calibration(chip).name == chip
+
+    def test_unknown_chip_rejected(self):
+        with pytest.raises(ConfigurationError):
+            chip_calibration("TXX")
+
+    def test_round5(self):
+        assert round5(873) == 875
+        assert round5(871) == 870
+        assert round5(880) == 880
+
+
+class TestFigure3Anchors:
+    """Most-robust-core Vmin at 2.4 GHz (Figure 3)."""
+
+    EXPECTED = {
+        "TTT": {"bwaves": 875, "cactusADM": 870, "dealII": 865,
+                "gromacs": 860, "leslie3d": 880, "mcf": 860, "milc": 870,
+                "namd": 865, "soplex": 875, "zeusmp": 885},
+        "TFF": {"bwaves": 880, "cactusADM": 875, "dealII": 875,
+                "gromacs": 870, "leslie3d": 880, "mcf": 870, "milc": 875,
+                "namd": 875, "soplex": 880, "zeusmp": 885},
+        "TSS": {"bwaves": 890, "cactusADM": 880, "dealII": 875,
+                "gromacs": 870, "leslie3d": 895, "mcf": 870, "milc": 880,
+                "namd": 875, "soplex": 890, "zeusmp": 900},
+    }
+
+    @pytest.mark.parametrize("chip", CHIP_NAMES)
+    def test_series(self, chip):
+        calibration = chip_calibration(chip)
+        for bench in figure_benchmarks():
+            assert calibration.robust_vmin_2400_mv(bench.stress) == \
+                self.EXPECTED[chip][bench.name], bench.name
+
+    def test_published_ranges(self):
+        # "the Vmin varies from 885mV to 860mV for TTT, from 885mV to
+        # 870mV for TFF and from 900mV to 870mV for TSS"
+        ranges = {"TTT": (860, 885), "TFF": (870, 885), "TSS": (870, 900)}
+        for chip, (low, high) in ranges.items():
+            values = list(self.EXPECTED[chip].values())
+            assert min(values) == low and max(values) == high
+
+
+class TestSection5Anchors:
+    def test_leslie3d_pmd_pair(self):
+        leslie = get_benchmark("leslie3d")
+        cal = chip_calibration("TTT")
+        assert cal.vmin_mv(4, leslie.stress) == 880  # robust PMD
+        assert cal.vmin_mv(0, leslie.stress) == 915  # sensitive PMD
+
+    def test_core0_unsafe_band_matches_prose(self):
+        # Section 4.3.1: core 0's unsafe region spans 910 down to 885.
+        bwaves = get_benchmark("bwaves")
+        cal = chip_calibration("TTT")
+        vmin = cal.vmin_mv(0, bwaves.stress)
+        crash = cal.crash_voltage_mv(0, bwaves.stress, bwaves.smoothness)
+        assert vmin == 910
+        assert crash == 875
+
+
+class TestCoreToCoreStructure:
+    @pytest.mark.parametrize("chip", CHIP_NAMES)
+    def test_pmd2_most_robust(self, chip):
+        cal = chip_calibration(chip)
+        assert cal.most_robust_core() in (4, 5)
+
+    @pytest.mark.parametrize("chip", CHIP_NAMES)
+    def test_pmd0_most_sensitive(self, chip):
+        cal = chip_calibration(chip)
+        assert cal.most_sensitive_core() in (0, 1)
+
+    def test_max_spread_is_3_6_percent(self):
+        # "up to 3.6% more voltage reduction compared to the most
+        # sensitive cores"
+        cal = chip_calibration("TTT")
+        spread = max(cal.core_offsets_mv) - min(cal.core_offsets_mv)
+        assert spread / 980 == pytest.approx(0.036, abs=0.001)
+
+    def test_chip_average_ordering(self):
+        # TFF averages below TTT; TSS significantly above (Section 3.3).
+        def mean_vmin(chip):
+            cal = chip_calibration(chip)
+            return sum(
+                cal.vmin_mv(core, bench.stress)
+                for core in range(8)
+                for bench in figure_benchmarks()
+            ) / (8 * 10)
+        assert mean_vmin("TFF") < mean_vmin("TTT") < mean_vmin("TSS")
+
+
+class TestFrequencyRegimes:
+    def test_1200_is_program_independent(self):
+        cal = chip_calibration("TTT")
+        values = {
+            cal.vmin_mv(core, bench.stress, 1200)
+            for core in range(8)
+            for bench in figure_benchmarks()
+        }
+        assert values == {760}
+
+    def test_1200_has_no_unsafe_region(self):
+        assert unsafe_width_mv("TTT", 1.0, 1200) == 5
+
+    def test_intermediate_frequencies_inherit_regimes(self):
+        # Section 3.2: >1.2 GHz behaves like 2.4 GHz; <=1.2 GHz like
+        # 1.2 GHz (clock skipping vs division).
+        bench = get_benchmark("leslie3d")
+        assert vmin_mv("TTT", 0, bench.stress, 1500) == \
+            vmin_mv("TTT", 0, bench.stress, 2400)
+        assert vmin_mv("TTT", 0, bench.stress, 600) == \
+            vmin_mv("TTT", 0, bench.stress, 1200)
+
+    def test_chip_1200_ordering(self):
+        assert chip_calibration("TFF").vmin_1200_mv < \
+            chip_calibration("TTT").vmin_1200_mv < \
+            chip_calibration("TSS").vmin_1200_mv
+
+
+class TestUnsafeWidth:
+    def test_bwaves_widest(self):
+        widths = {
+            bench.name: unsafe_width_mv("TTT", bench.smoothness)
+            for bench in figure_benchmarks()
+        }
+        assert widths["bwaves"] == max(widths.values()) == 35
+
+    def test_crash_below_vmin(self):
+        for bench in figure_benchmarks():
+            for core in (0, 4, 7):
+                vmin = vmin_mv("TTT", core, bench.stress)
+                crash = crash_voltage_mv("TTT", core, bench.stress, bench.smoothness)
+                assert crash < vmin
+
+    def test_guardband_positive_everywhere(self):
+        for chip in CHIP_NAMES:
+            cal = chip_calibration(chip)
+            for core in range(8):
+                assert cal.guardband_mv(core, 1.0) > 0
+
+
+class TestValidation:
+    def test_core_range_checked(self):
+        with pytest.raises(ConfigurationError):
+            vmin_mv("TTT", 8, 0.5)
+
+    def test_stress_range_checked(self):
+        with pytest.raises(ConfigurationError):
+            vmin_mv("TTT", 0, 1.5)
+
+    def test_calibration_rejects_wrong_core_count(self):
+        with pytest.raises(ConfigurationError):
+            ChipCalibration(
+                name="X", corner_description="", base_vmin_2400_mv=860,
+                stress_span_mv=25, core_offsets_mv=(0,) * 4,
+                vmin_1200_mv=760, leakage_rel=1.0,
+            )
+
+    def test_calibration_requires_pmd2_robust(self):
+        with pytest.raises(ConfigurationError):
+            ChipCalibration(
+                name="X", corner_description="", base_vmin_2400_mv=860,
+                stress_span_mv=25, core_offsets_mv=(0, 5, 10, 10, 20, 20, 5, 5),
+                vmin_1200_mv=760, leakage_rel=1.0,
+            )

@@ -1,0 +1,147 @@
+"""Campaign aggregates and the CSV result store."""
+
+import pytest
+
+from repro.core.campaign import CampaignResult, CharacterizationResult
+from repro.core.results import ResultStore
+from repro.core.runs import CharacterizationSetup, RunRecord
+from repro.effects import EffectType
+from repro.errors import CampaignError, ConfigurationError
+
+
+def record(voltage, effects, campaign=1, run=1, core=0, **kwargs):
+    return RunRecord(
+        chip="TTT", benchmark="bwaves",
+        setup=CharacterizationSetup(voltage_mv=voltage, freq_mhz=2400, core=core),
+        campaign_index=campaign, run_index=run,
+        effects=frozenset(effects),
+        exit_code=kwargs.pop("exit_code", 0),
+        output_matches=kwargs.pop("output_matches", True),
+        **kwargs,
+    )
+
+
+@pytest.fixture()
+def campaign():
+    records = []
+    for run in range(1, 11):
+        records.append(record(910, {EffectType.NO}, run=run))
+    for run in range(1, 11):
+        effect = {EffectType.SDC} if run <= 4 else {EffectType.NO}
+        records.append(record(905, effect, run=run))
+    for run in range(1, 11):
+        records.append(record(900, {EffectType.SC}, run=run, exit_code=None,
+                              output_matches=None))
+    return CampaignResult(
+        chip="TTT", benchmark="bwaves", core=0, freq_mhz=2400,
+        campaign_index=1, records=tuple(records),
+    )
+
+
+class TestSetupAndRecord:
+    def test_setup_validation(self):
+        with pytest.raises(ConfigurationError):
+            CharacterizationSetup(voltage_mv=905, freq_mhz=2400, core=8)
+
+    def test_setup_label(self):
+        setup = CharacterizationSetup(voltage_mv=905, freq_mhz=2400, core=3)
+        assert setup.label() == "c3@905mV/2400MHz"
+
+    def test_record_flags(self):
+        rec = record(905, {EffectType.SC}, exit_code=None, output_matches=None)
+        assert rec.crashed_system and not rec.is_normal
+        assert record(910, {EffectType.NO}).is_normal
+
+    def test_csv_row_shape(self):
+        row = record(905, {EffectType.SDC, EffectType.CE},
+                     output_matches=False, edac_ce=2).csv_row()
+        assert row["effects"] == "CE+SDC"
+        assert row["voltage_mv"] == 905
+        assert row["edac_ce"] == 2
+
+
+class TestCampaignResult:
+    def test_counts_by_voltage(self, campaign):
+        counts = campaign.counts_by_voltage()
+        assert counts[905][EffectType.SDC] == 4
+        assert counts[900][EffectType.SC] == 10
+
+    def test_severity_by_voltage(self, campaign):
+        severity = campaign.severity_by_voltage()
+        assert severity[910] == 0.0
+        assert severity[905] == pytest.approx(1.6)
+        assert severity[900] == 16.0
+
+    def test_vmin_and_crash(self, campaign):
+        assert campaign.vmin_mv == 910
+        assert campaign.crash_mv == 900
+
+    def test_empty_campaign_rejected(self):
+        with pytest.raises(CampaignError):
+            CampaignResult(chip="TTT", benchmark="x", core=0,
+                           freq_mhz=2400, campaign_index=1, records=())
+
+
+class TestCharacterizationResult:
+    def test_highest_of_campaigns(self, campaign):
+        lucky = CampaignResult(
+            chip="TTT", benchmark="bwaves", core=0, freq_mhz=2400,
+            campaign_index=2,
+            records=tuple(
+                record(v, {EffectType.NO}, campaign=2, run=r)
+                for v in (910, 905) for r in range(1, 11)
+            ) + tuple(
+                record(900, {EffectType.SDC}, campaign=2, run=r,
+                       output_matches=False)
+                for r in range(1, 11)
+            ),
+        )
+        result = CharacterizationResult(campaigns=(campaign, lucky))
+        assert result.highest_vmin_mv == 910       # campaign 1's
+        assert result.mean_vmin_mv == pytest.approx((910 + 905) / 2)
+        assert result.highest_crash_mv == 900
+        assert result.pooled_regions().vmin_mv == 910
+
+    def test_mismatched_campaigns_rejected(self, campaign):
+        other = CampaignResult(
+            chip="TFF", benchmark="bwaves", core=0, freq_mhz=2400,
+            campaign_index=2, records=(record(910, {EffectType.NO}),),
+        )
+        with pytest.raises(CampaignError):
+            CharacterizationResult(campaigns=(campaign, other))
+
+    def test_all_records_flat(self, campaign):
+        result = CharacterizationResult(campaigns=(campaign,))
+        assert len(result.all_records()) == 30
+
+
+class TestResultStore:
+    def test_runs_csv_roundtrip(self, campaign, tmp_path):
+        store = ResultStore(tmp_path)
+        result = CharacterizationResult(campaigns=(campaign,))
+        path = store.write_runs_csv([result])
+        rows = store.read_runs_csv()
+        assert path.exists()
+        assert len(rows) == 30
+        assert rows[0]["chip"] == "TTT"
+        assert {row["voltage_mv"] for row in rows} == {"910", "905", "900"}
+
+    def test_severity_csv_roundtrip(self, campaign, tmp_path):
+        store = ResultStore(tmp_path)
+        result = CharacterizationResult(campaigns=(campaign,))
+        store.write_severity_csv([result])
+        table = store.read_severity_csv()
+        assert table[("TTT", "bwaves", 0, 2400, 905)] == pytest.approx(1.6)
+        assert table[("TTT", "bwaves", 0, 2400, 900)] == 16.0
+
+    def test_missing_file_rejected(self, tmp_path):
+        store = ResultStore(tmp_path)
+        with pytest.raises(CampaignError):
+            store.read_runs_csv("nope.csv")
+
+    def test_raw_log_persistence(self, tmp_path):
+        store = ResultStore(tmp_path)
+        path = store.write_raw_log(("gcc/200", 0, 2400, 1), "=== RUN ...\n")
+        assert store.read_raw_log(path) == "=== RUN ...\n"
+        assert "gcc_200" in path.name
+        assert store.read_raw_log(tmp_path / "missing.txt") is None

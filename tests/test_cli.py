@@ -1,0 +1,104 @@
+"""The command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_version(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--version"])
+        assert excinfo.value.code == 0
+        assert "repro" in capsys.readouterr().out
+
+    def test_unknown_subcommand(self):
+        with pytest.raises(SystemExit):
+            main(["frobnicate"])
+
+
+class TestTables:
+    def test_all_tables(self, capsys):
+        assert main(["tables"]) == 0
+        out = capsys.readouterr().out
+        for marker in ("Table 1", "Table 2", "Table 3", "Table 4",
+                       "X-Gene 2", "W_SC"):
+            assert marker in out
+
+    def test_single_table(self, capsys):
+        assert main(["tables", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "W_SC" in out and "Table 1" not in out
+
+
+class TestClaims:
+    def test_all_claims_pass(self, capsys):
+        assert main(["claims"]) == 0
+        out = capsys.readouterr().out
+        assert "13/13 claims reproduced" in out
+        assert "FAIL" not in out
+
+
+class TestCharacterize:
+    def test_quick_campaign_with_csv(self, capsys, tmp_path):
+        code = main([
+            "characterize", "TTT", "mcf", "--campaigns", "2",
+            "--start-mv", "910", "--out", str(tmp_path),
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "safe Vmin" in out
+        assert (tmp_path / "runs.csv").exists()
+        assert (tmp_path / "severity.csv").exists()
+
+    def test_unknown_chip_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["characterize", "XXX", "mcf"])
+
+
+class TestTradeoffs:
+    def test_default(self, capsys):
+        assert main(["tradeoffs"]) == 0
+        out = capsys.readouterr().out
+        assert "915 mV" in out
+        assert "19.4" in out and "38.8" in out
+
+    def test_clock_tree_variant(self, capsys):
+        assert main(["tradeoffs", "--clock-tree"]) == 0
+        assert "37.6" in capsys.readouterr().out
+
+
+class TestFleet:
+    def test_statistics(self, capsys):
+        assert main(["fleet", "--count", "12", "--seed", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "12 generated TTT-population parts" in out
+        assert "fleet-wide setting wastes" in out
+
+
+class TestPredict:
+    def test_reduced_study(self, capsys):
+        assert main(["predict", "--programs", "8"]) == 0
+        out = capsys.readouterr().out
+        assert "vmin_mv on TTT core 0" in out
+        assert "severity on TTT core 4" in out
+
+
+class TestReport:
+    def test_report_to_stdout(self, capsys):
+        assert main(["report"]) == 0
+        out = capsys.readouterr().out
+        assert "## Claim checks" in out
+        assert "## Figure 9 ladder" in out
+        assert "FAIL" not in out
+
+    def test_report_to_file(self, tmp_path, capsys):
+        target = tmp_path / "report.md"
+        assert main(["report", "--out", str(target)]) == 0
+        text = target.read_text()
+        assert "# repro reproduction report" in text
+        assert "87.2" in text

@@ -1,0 +1,90 @@
+"""Clock skipping/division and per-PMD frequencies (Section 3.2)."""
+
+import pytest
+
+from repro.errors import ConfigurationError, FrequencyRangeError
+from repro.hardware.clocking import (
+    ClockController,
+    ClockMechanism,
+    mechanism_for,
+    timing_equivalent_mhz,
+)
+
+
+class TestMechanism:
+    def test_full_rate_is_direct(self):
+        assert mechanism_for(2400) is ClockMechanism.DIRECT
+
+    def test_half_rate_is_division(self):
+        assert mechanism_for(1200) is ClockMechanism.DIVISION
+
+    def test_other_ratios_are_skipping(self):
+        for freq in (300, 600, 900, 1500, 1800, 2100):
+            assert mechanism_for(freq) is ClockMechanism.SKIPPING, freq
+
+    def test_invalid_frequency_rejected(self):
+        with pytest.raises(FrequencyRangeError):
+            mechanism_for(1000)
+
+
+class TestTimingEquivalence:
+    def test_above_boundary_behaves_like_max(self):
+        # "clock frequencies greater than 1.2 GHz have similar behavior
+        # as in 2.4 GHz"
+        for freq in (1500, 1800, 2100, 2400):
+            assert timing_equivalent_mhz(freq) == 2400
+
+    def test_at_or_below_boundary_behaves_like_half(self):
+        for freq in (300, 600, 900, 1200):
+            assert timing_equivalent_mhz(freq) == 1200
+
+
+class TestClockController:
+    def test_boots_at_full_rate(self):
+        clocks = ClockController()
+        assert clocks.frequencies() == [2400] * 4
+
+    def test_per_pmd_programming(self):
+        clocks = ClockController()
+        clocks.set_pmd_frequency_mhz(1, 1200)
+        assert clocks.frequencies() == [2400, 1200, 2400, 2400]
+
+    def test_core_frequency_follows_pmd(self):
+        clocks = ClockController()
+        clocks.set_pmd_frequency_mhz(3, 900)
+        assert clocks.core_frequency_mhz(6) == 900
+        assert clocks.core_frequency_mhz(7) == 900
+        assert clocks.core_frequency_mhz(0) == 2400
+
+    def test_park_all_except(self):
+        """The reliable-cores setup of Section 2.2.1."""
+        clocks = ClockController()
+        clocks.park_all_except([0])
+        assert clocks.frequencies() == [2400, 300, 300, 300]
+
+    def test_park_keeps_shared_pmd_fast(self):
+        clocks = ClockController()
+        clocks.park_all_except([4, 5])
+        assert clocks.frequencies() == [300, 300, 2400, 300]
+
+    def test_restore_all(self):
+        clocks = ClockController()
+        clocks.park_all_except([0])
+        clocks.restore_all(1200)
+        assert clocks.frequencies() == [1200] * 4
+
+    def test_mechanism_view(self):
+        clocks = ClockController()
+        clocks.set_pmd_frequency_mhz(0, 1200)
+        clocks.set_pmd_frequency_mhz(1, 1800)
+        assert clocks.mechanism(0) is ClockMechanism.DIVISION
+        assert clocks.mechanism(1) is ClockMechanism.SKIPPING
+        assert clocks.mechanism(2) is ClockMechanism.DIRECT
+
+    def test_bad_pmd_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ClockController().set_pmd_frequency_mhz(4, 1200)
+
+    def test_bad_frequency_rejected(self):
+        with pytest.raises(FrequencyRangeError):
+            ClockController().set_pmd_frequency_mhz(0, 1250)

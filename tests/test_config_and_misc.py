@@ -1,0 +1,110 @@
+"""Study configuration, PMU unit behaviour, and package surface."""
+
+import pytest
+
+import repro
+from repro.config import PAPER_STUDY, QUICK_STUDY, StudyConfig
+from repro.errors import ConfigurationError, MachineStateError, UnknownCounterError
+from repro.hardware.pmu import PerformanceMonitoringUnit
+from repro.workloads import get_benchmark
+
+
+class TestStudyConfig:
+    def test_paper_study_is_the_full_grid(self):
+        assert PAPER_STUDY.chips == ("TTT", "TFF", "TSS")
+        assert len(PAPER_STUDY.benchmarks) == 10
+        assert PAPER_STUDY.cores == tuple(range(8))
+        assert PAPER_STUDY.framework.campaigns == 10
+        assert 2400 in PAPER_STUDY.frequencies_mhz
+        assert 1200 in PAPER_STUDY.frequencies_mhz
+
+    def test_quick_study_is_a_strict_subset(self):
+        assert set(QUICK_STUDY.chips) <= set(PAPER_STUDY.chips)
+        assert set(QUICK_STUDY.benchmarks) <= set(PAPER_STUDY.benchmarks)
+        assert QUICK_STUDY.framework.campaigns < PAPER_STUDY.framework.campaigns
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            StudyConfig(chips=("XXX",))
+        with pytest.raises(ConfigurationError):
+            StudyConfig(benchmarks=())
+        with pytest.raises(ConfigurationError):
+            StudyConfig(cores=(0, 9))
+
+
+class TestPmuUnit:
+    def test_start_record_stop_cycle(self):
+        pmu = PerformanceMonitoringUnit(core=3)
+        traits = get_benchmark("mcf").traits.as_dict()
+        pmu.start()
+        assert pmu.is_counting
+        pmu.record_run(traits)
+        snapshot = pmu.stop()
+        assert len(snapshot) == 101
+        assert not pmu.is_counting
+        assert pmu.read("INST_RETIRED") == snapshot["INST_RETIRED"]
+
+    def test_double_start_rejected(self):
+        pmu = PerformanceMonitoringUnit(core=0)
+        pmu.start()
+        with pytest.raises(MachineStateError):
+            pmu.start()
+
+    def test_record_without_start_rejected(self):
+        pmu = PerformanceMonitoringUnit(core=0)
+        with pytest.raises(MachineStateError):
+            pmu.record_run(get_benchmark("mcf").traits.as_dict())
+
+    def test_stop_without_start_rejected(self):
+        with pytest.raises(MachineStateError):
+            PerformanceMonitoringUnit(core=0).stop()
+
+    def test_read_before_any_snapshot_rejected(self):
+        with pytest.raises(MachineStateError):
+            PerformanceMonitoringUnit(core=0).read("CPU_CYCLES")
+
+    def test_unknown_event_rejected(self):
+        pmu = PerformanceMonitoringUnit(core=0)
+        pmu.start()
+        pmu.record_run(get_benchmark("mcf").traits.as_dict())
+        pmu.stop()
+        with pytest.raises(UnknownCounterError):
+            pmu.read("NOT_AN_EVENT")
+
+    def test_reset_clears_history(self):
+        pmu = PerformanceMonitoringUnit(core=0)
+        pmu.start()
+        pmu.record_run(get_benchmark("mcf").traits.as_dict())
+        pmu.stop()
+        pmu.reset()
+        assert pmu.history() == []
+        with pytest.raises(MachineStateError):
+            pmu.read("CPU_CYCLES")
+
+    def test_stop_with_no_recorded_run_yields_zeros(self):
+        pmu = PerformanceMonitoringUnit(core=0)
+        pmu.start()
+        snapshot = pmu.stop()
+        assert all(value == 0.0 for value in snapshot.values())
+
+
+class TestPackageSurface:
+    def test_version_exposed(self):
+        assert repro.__version__ == "1.0.0"
+
+    def test_public_names_importable(self):
+        for name in repro.__all__:
+            assert getattr(repro, name) is not None, name
+
+    def test_quickstart_docstring_is_runnable(self):
+        """The __init__ docstring's example must not rot."""
+        from repro import XGene2Machine, CharacterizationFramework
+        from repro.workloads import get_benchmark as gb
+        machine = XGene2Machine("TTT", seed=2017)
+        machine.power_on()
+        framework = CharacterizationFramework(
+            machine, repro.FrameworkConfig(start_mv=915, campaigns=1)
+        )
+        result = framework.characterize(gb("bwaves"), core=0)
+        assert result.highest_vmin_mv > 0
+        assert isinstance(result.severity_by_voltage(), dict)

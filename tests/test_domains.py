@@ -1,0 +1,136 @@
+"""Power domains and the voltage regulator (Section 2.1)."""
+
+import pytest
+
+from repro.errors import ConfigurationError, VoltageRangeError
+from repro.hardware.domains import (
+    NUM_CORES,
+    NUM_PMDS,
+    PowerDomain,
+    VoltageRegulator,
+    cores_of_pmd,
+    pmd_of_core,
+)
+
+
+class TestTopology:
+    def test_eight_cores_in_four_pmds(self):
+        assert NUM_CORES == 8 and NUM_PMDS == 4
+
+    def test_core_to_pmd_mapping(self):
+        assert [pmd_of_core(c) for c in range(8)] == [0, 0, 1, 1, 2, 2, 3, 3]
+
+    def test_pmd_to_cores_mapping(self):
+        assert cores_of_pmd(2) == (4, 5)
+
+    def test_bad_indices_rejected(self):
+        with pytest.raises(ConfigurationError):
+            pmd_of_core(8)
+        with pytest.raises(ConfigurationError):
+            cores_of_pmd(4)
+
+
+class TestPowerDomain:
+    def test_starts_at_nominal(self):
+        domain = PowerDomain("PMD", 980)
+        assert domain.voltage_mv == 980
+        assert domain.undervolt_mv == 0
+
+    def test_programming(self):
+        domain = PowerDomain("PMD", 980)
+        domain.set_voltage_mv(905)
+        assert domain.voltage_mv == 905
+        assert domain.undervolt_mv == 75
+
+    def test_restore_nominal(self):
+        domain = PowerDomain("PMD", 980)
+        domain.set_voltage_mv(760)
+        domain.restore_nominal()
+        assert domain.voltage_mv == 980
+
+    def test_non_scalable_domain_rejects_programming(self):
+        standby = PowerDomain("Standby", 950, scalable=False)
+        with pytest.raises(VoltageRangeError):
+            standby.set_voltage_mv(900)
+
+    def test_grid_enforced(self):
+        domain = PowerDomain("PMD", 980)
+        with pytest.raises(VoltageRangeError):
+            domain.set_voltage_mv(902)
+
+
+class TestSharedPlane:
+    """Stock X-Gene 2: one plane feeds all four PMDs."""
+
+    def test_one_voltage_for_all_pmds(self):
+        regulator = VoltageRegulator()
+        regulator.set_pmd_voltage_mv(905)
+        assert [regulator.pmd_voltage_mv(p) for p in range(4)] == [905] * 4
+
+    def test_core_voltage_follows_plane(self):
+        regulator = VoltageRegulator()
+        regulator.set_pmd_voltage_mv(890)
+        assert all(regulator.core_voltage_mv(c) == 890 for c in range(8))
+
+    def test_per_pmd_programming_impossible(self):
+        # The design limitation Section 6 calls out.
+        regulator = VoltageRegulator()
+        with pytest.raises(VoltageRangeError):
+            regulator.set_pmd_voltage_mv(905, pmd=2)
+
+    def test_soc_domain_independent(self):
+        regulator = VoltageRegulator()
+        regulator.set_soc_voltage_mv(905)
+        regulator.set_pmd_voltage_mv(890)
+        assert regulator.soc.voltage_mv == 905
+        assert regulator.pmd_voltage_mv(0) == 890
+
+    def test_soc_nominal_is_950(self):
+        regulator = VoltageRegulator()
+        assert regulator.soc.nominal_mv == 950
+
+    def test_restore_nominal_restores_everything(self):
+        regulator = VoltageRegulator()
+        regulator.set_pmd_voltage_mv(760)
+        regulator.set_soc_voltage_mv(900)
+        regulator.restore_nominal()
+        assert regulator.pmd_voltage_mv(0) == 980
+        assert regulator.soc.voltage_mv == 950
+
+    def test_transactions_logged(self):
+        regulator = VoltageRegulator()
+        regulator.set_pmd_voltage_mv(905)
+        regulator.set_soc_voltage_mv(945)
+        assert ("PMD", 905) in regulator.transactions
+        assert ("PCP/SoC", 945) in regulator.transactions
+
+    def test_domains_view(self):
+        domains = VoltageRegulator().domains()
+        assert set(domains) == {"PMD", "PCP/SoC", "Standby"}
+
+
+class TestPerPmdPlanes:
+    """Section-6 finer-grained-voltage-domain variant."""
+
+    def test_independent_programming(self):
+        regulator = VoltageRegulator(per_pmd_domains=True)
+        regulator.set_pmd_voltage_mv(905, pmd=0)
+        regulator.set_pmd_voltage_mv(875, pmd=2)
+        assert regulator.pmd_voltage_mv(0) == 905
+        assert regulator.pmd_voltage_mv(1) == 980
+        assert regulator.pmd_voltage_mv(2) == 875
+
+    def test_broadcast_still_works(self):
+        regulator = VoltageRegulator(per_pmd_domains=True)
+        regulator.set_pmd_voltage_mv(890)
+        assert [regulator.pmd_voltage_mv(p) for p in range(4)] == [890] * 4
+
+    def test_four_distinct_domains(self):
+        domains = VoltageRegulator(per_pmd_domains=True).domains()
+        assert {"PMD0", "PMD1", "PMD2", "PMD3"} <= set(domains)
+
+    def test_restore_nominal_all_planes(self):
+        regulator = VoltageRegulator(per_pmd_domains=True)
+        regulator.set_pmd_voltage_mv(905, pmd=1)
+        regulator.restore_nominal()
+        assert regulator.pmd_voltage_mv(1) == 980

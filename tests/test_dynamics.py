@@ -1,0 +1,176 @@
+"""Dynamic-margin extension models: droop, adaptive clocking,
+temperature sensitivity, aging -- units and end-to-end."""
+
+import pytest
+
+from repro.core import CharacterizationFramework, FrameworkConfig
+from repro.errors import ConfigurationError
+from repro.hardware import (
+    AdaptiveClockingUnit,
+    AgingModel,
+    SupplyDroopModel,
+    TemperatureSensitivity,
+    XGene2Machine,
+)
+from repro.workloads import get_benchmark
+
+
+class TestSupplyDroop:
+    def test_activity_scaling(self):
+        droop = SupplyDroopModel()
+        quiet = get_benchmark("mcf").traits         # low-IPC memory-bound
+        busy = get_benchmark("leslie3d").traits     # high-IPC FP
+        assert droop.droop_mv(busy) > droop.droop_mv(quiet)
+
+    def test_frequency_scaling(self):
+        droop = SupplyDroopModel()
+        traits = get_benchmark("bwaves").traits
+        assert droop.droop_mv(traits, 2400) > droop.droop_mv(traits, 300)
+
+    def test_resonance_peak(self):
+        droop = SupplyDroopModel()
+        traits = get_benchmark("bwaves").traits
+        # Per normalised frequency, the resonance band droops hardest.
+        per_rel_1800 = droop.droop_mv(traits, 1800) / (1800 / 2400)
+        per_rel_300 = droop.droop_mv(traits, 300) / (300 / 2400)
+        assert per_rel_1800 > per_rel_300
+
+    def test_floor_for_quiet_workloads(self):
+        droop = SupplyDroopModel(max_droop_mv=20.0, floor_fraction=0.25)
+        quiet = get_benchmark("mcf").traits
+        assert droop.droop_mv(quiet, 2400) >= 20.0 * 0.25 * 0.9
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            SupplyDroopModel(max_droop_mv=-1)
+        with pytest.raises(ConfigurationError):
+            SupplyDroopModel(floor_fraction=1.5)
+
+
+class TestAdaptiveClocking:
+    def test_no_deployment_above_onset(self):
+        unit = AdaptiveClockingUnit()
+        assert unit.deployment_duty(920, unaided_onset_mv=910) == 0.0
+        assert unit.runtime_factor(920, 910) == 1.0
+
+    def test_deployment_grows_below_onset(self):
+        unit = AdaptiveClockingUnit(deployment_slope_per_mv=0.1)
+        assert unit.deployment_duty(905, 910) == pytest.approx(0.5)
+        assert unit.deployment_duty(880, 910) == 1.0
+
+    def test_runtime_overhead_bounded(self):
+        unit = AdaptiveClockingUnit(stretch_penalty=0.05)
+        assert unit.runtime_factor(700, 910) == pytest.approx(1.05)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            AdaptiveClockingUnit(recovery_mv=-1)
+        with pytest.raises(ConfigurationError):
+            AdaptiveClockingUnit(stretch_penalty=2.0)
+
+
+class TestTemperatureSensitivity:
+    def test_hotter_needs_more_voltage(self):
+        sens = TemperatureSensitivity(mv_per_kelvin=0.3)
+        assert sens.shift_mv(73.0) == pytest.approx(9.0)
+
+    def test_colder_does_not_relax_anchors(self):
+        sens = TemperatureSensitivity()
+        assert sens.shift_mv(20.0) == 0.0
+
+    def test_reference_is_characterization_setpoint(self):
+        assert TemperatureSensitivity().shift_mv(43.0) == 0.0
+
+
+class TestAging:
+    def test_power_law(self):
+        aging = AgingModel(shift_mv_per_1000h=8.0, exponent=0.2)
+        assert aging.shift_mv(1000.0) == pytest.approx(8.0)
+        assert aging.shift_mv(0.0) == 0.0
+        # Sub-linear: 10x the time is far less than 10x the shift.
+        assert aging.shift_mv(10_000.0) < 3 * aging.shift_mv(1000.0)
+
+    def test_guardband_exhaustion_inverse(self):
+        aging = AgingModel(shift_mv_per_1000h=8.0, exponent=0.2)
+        hours = aging.hours_until_exhausted(8.0)
+        assert hours == pytest.approx(1000.0)
+        assert aging.remaining_guardband_mv(8.0, hours) == pytest.approx(0.0)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            AgingModel(shift_mv_per_1000h=-1)
+        with pytest.raises(ConfigurationError):
+            AgingModel(exponent=0.0)
+        with pytest.raises(ConfigurationError):
+            AgingModel().shift_mv(-1)
+
+
+def _measured_vmin(**machine_kwargs):
+    machine = XGene2Machine("TTT", seed=5, **machine_kwargs)
+    machine.power_on()
+    if machine.aging_model is not None:
+        machine.age(20_000.0)
+    framework = CharacterizationFramework(
+        machine, FrameworkConfig(start_mv=950, campaigns=3)
+    )
+    return framework.characterize(get_benchmark("bwaves"), core=0)
+
+
+class TestEndToEnd:
+    """The extension models measured through the full framework."""
+
+    def test_droop_raises_measured_vmin(self):
+        base = _measured_vmin().highest_vmin_mv
+        droopy = _measured_vmin(
+            droop_model=SupplyDroopModel()).highest_vmin_mv
+        assert droopy > base
+
+    def test_adaptive_clocking_recovers_droop(self):
+        droopy = _measured_vmin(
+            droop_model=SupplyDroopModel()).highest_vmin_mv
+        relieved = _measured_vmin(
+            droop_model=SupplyDroopModel(),
+            adaptive_clock=AdaptiveClockingUnit(recovery_mv=15.0),
+        ).highest_vmin_mv
+        assert relieved < droopy
+
+    def test_adaptive_clocking_costs_runtime_when_deployed(self):
+        machine = XGene2Machine(
+            "TTT", seed=5, adaptive_clock=AdaptiveClockingUnit()
+        )
+        machine.power_on()
+        bench = get_benchmark("bwaves")
+        nominal = machine.run_program(bench, core=0).runtime_s
+        machine.slimpro.set_pmd_voltage_mv(895)  # below the unaided onset
+        stretched = machine.run_program(bench, core=0).runtime_s
+        assert stretched > nominal
+
+    def test_aging_erodes_guardband(self):
+        fresh = _measured_vmin().highest_vmin_mv
+        aged = _measured_vmin(aging_model=AgingModel()).highest_vmin_mv
+        assert aged > fresh
+
+    def test_hot_operation_raises_vmin(self):
+        machine = XGene2Machine(
+            "TTT", seed=5, temperature_sensitivity=TemperatureSensitivity()
+        )
+        machine.power_on()
+        machine.slimpro.set_fan_setpoint_c(75.0)
+        framework = CharacterizationFramework(
+            machine, FrameworkConfig(start_mv=950, campaigns=3)
+        )
+        hot = framework.characterize(get_benchmark("bwaves"), core=0)
+        assert hot.highest_vmin_mv > _measured_vmin().highest_vmin_mv
+
+    def test_setpoint_temperature_does_not_shift(self):
+        at_setpoint = _measured_vmin(
+            temperature_sensitivity=TemperatureSensitivity()
+        ).highest_vmin_mv
+        assert at_setpoint == _measured_vmin().highest_vmin_mv
+
+    def test_age_bookkeeping(self):
+        machine = XGene2Machine("TTT")
+        machine.age(100.0, activity=0.5)
+        assert machine.stress_hours == 50.0
+        with pytest.raises(ConfigurationError):
+            machine.age(-1.0)

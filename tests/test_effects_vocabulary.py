@@ -1,0 +1,104 @@
+"""The Table-3 effect vocabulary and run classification."""
+
+import pytest
+
+from repro.core.effects import classify_run, effect_counts
+from repro.effects import (
+    EFFECT_DESCRIPTIONS,
+    EFFECT_ORDER,
+    EffectType,
+    normalize_effects,
+)
+
+
+class TestEffectType:
+    def test_all_six_classes_exist(self):
+        assert {e.value for e in EffectType} == {"NO", "SDC", "CE", "UE", "AC", "SC"}
+
+    def test_abnormality(self):
+        assert not EffectType.NO.is_abnormal
+        for effect in (EffectType.SDC, EffectType.CE, EffectType.UE,
+                       EffectType.AC, EffectType.SC):
+            assert effect.is_abnormal
+
+    def test_order_most_severe_first(self):
+        assert EFFECT_ORDER[0] is EffectType.SC
+        assert EFFECT_ORDER[-1] is EffectType.NO
+
+    def test_descriptions_cover_all(self):
+        assert set(EFFECT_DESCRIPTIONS) == set(EffectType)
+
+
+class TestNormalizeEffects:
+    def test_empty_means_normal(self):
+        assert normalize_effects([]) == frozenset({EffectType.NO})
+
+    def test_no_alone_preserved(self):
+        assert normalize_effects([EffectType.NO]) == frozenset({EffectType.NO})
+
+    def test_no_dropped_when_abnormal_present(self):
+        result = normalize_effects([EffectType.NO, EffectType.CE])
+        assert result == frozenset({EffectType.CE})
+
+    def test_multiple_effects_kept(self):
+        result = normalize_effects([EffectType.SDC, EffectType.CE])
+        assert result == frozenset({EffectType.SDC, EffectType.CE})
+
+
+class TestClassifyRun:
+    def test_normal_run(self):
+        effects = classify_run(True, 0, "abc", "abc")
+        assert effects == frozenset({EffectType.NO})
+
+    def test_system_crash_from_unresponsive(self):
+        effects = classify_run(False, None, None, "abc")
+        assert effects == frozenset({EffectType.SC})
+
+    def test_system_crash_from_missing_exit(self):
+        effects = classify_run(True, None, None, "abc")
+        assert effects == frozenset({EffectType.SC})
+
+    def test_application_crash(self):
+        effects = classify_run(True, 139, None, "abc")
+        assert effects == frozenset({EffectType.AC})
+
+    def test_sdc_on_output_mismatch(self):
+        effects = classify_run(True, 0, "wrong", "abc")
+        assert effects == frozenset({EffectType.SDC})
+
+    def test_ac_suppresses_sdc_check(self):
+        # A crashed process produced no comparable output.
+        effects = classify_run(True, 1, "partial", "abc")
+        assert EffectType.AC in effects
+        assert EffectType.SDC not in effects
+
+    def test_edac_counts_accompany_crash(self):
+        effects = classify_run(True, 139, None, "abc", edac_ce=2, edac_ue=1)
+        assert effects == frozenset({EffectType.AC, EffectType.CE, EffectType.UE})
+
+    def test_ce_alone(self):
+        effects = classify_run(True, 0, "abc", "abc", edac_ce=3)
+        assert effects == frozenset({EffectType.CE})
+
+    def test_sdc_with_ce(self):
+        # Section 3.4.1: "in a run both SDC and CE can be observed".
+        effects = classify_run(True, 0, "bad", "abc", edac_ce=1)
+        assert effects == frozenset({EffectType.SDC, EffectType.CE})
+
+
+class TestEffectCounts:
+    def test_counts_runs_not_events(self):
+        runs = [
+            frozenset({EffectType.SDC, EffectType.CE}),
+            frozenset({EffectType.SDC}),
+            frozenset({EffectType.NO}),
+        ]
+        counts = effect_counts(runs)
+        assert counts[EffectType.SDC] == 2
+        assert counts[EffectType.CE] == 1
+        assert counts[EffectType.NO] == 1
+        assert counts[EffectType.SC] == 0
+
+    def test_empty_input(self):
+        counts = effect_counts([])
+        assert all(v == 0 for v in counts.values())

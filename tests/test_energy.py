@@ -1,0 +1,121 @@
+"""Energy model, Figure-9 ladder, headline savings, ablations."""
+
+import pytest
+
+from repro.energy import (
+    FIGURE9_PLACEMENT,
+    FIGURE9_WORKLOAD,
+    energy_saving_fraction,
+    figure9_ladder,
+    finer_domains_ablation,
+    headline_savings,
+    ladder_from_vmins,
+    relative_performance,
+    relative_power,
+)
+from repro.energy.model import guardband_saving_fraction
+from repro.energy.tradeoffs import figure9_vmins
+from repro.errors import ConfigurationError
+
+
+class TestRelativeModel:
+    def test_nominal_unity(self):
+        assert relative_power(980) == pytest.approx(1.0)
+        assert relative_performance([2400] * 4) == 1.0
+
+    def test_quadratic_voltage_scaling(self):
+        assert relative_power(885) == pytest.approx((885 / 980) ** 2)
+
+    def test_performance_steps(self):
+        # Figure 9's x-axis steps under equal task weights.
+        assert relative_performance([1200, 2400, 2400, 2400]) == 0.875
+        assert relative_performance([1200, 1200, 2400, 2400]) == 0.75
+        assert relative_performance([1200] * 4) == 0.5
+
+    def test_guardband_savings(self):
+        assert guardband_saving_fraction(880) == pytest.approx(0.194, abs=0.0005)
+        assert guardband_saving_fraction(915) == pytest.approx(0.128, abs=0.0005)
+
+    def test_energy_saving_wrapper(self):
+        assert energy_saving_fraction(915) == pytest.approx(0.128, abs=0.0005)
+
+    def test_empty_freqs_rejected(self):
+        with pytest.raises(ConfigurationError):
+            relative_performance([])
+
+
+class TestFigure9:
+    def test_exact_paper_points(self):
+        ladder = figure9_ladder()
+        table = [(p.chip_voltage_mv, round(p.performance_rel, 3),
+                  round(p.power_rel, 3)) for p in ladder]
+        assert table == [
+            (980, 1.0, 1.0),
+            (915, 1.0, 0.872),
+            (900, 0.875, 0.738),
+            (885, 0.75, 0.612),
+            (875, 0.625, 0.498),
+            (760, 0.5, 0.301),
+        ]
+
+    def test_figure_variant_760_point(self):
+        ladder = figure9_ladder(clock_tree_fraction=0.25)
+        assert ladder[-1].power_rel == pytest.approx(0.376, abs=0.001)
+
+    def test_ladder_monotone(self):
+        ladder = figure9_ladder()
+        powers = [p.power_rel for p in ladder]
+        perfs = [p.performance_rel for p in ladder]
+        assert powers == sorted(powers, reverse=True)
+        assert perfs == sorted(perfs, reverse=True)
+
+    def test_placement_covers_all_cores(self):
+        assert sorted(FIGURE9_PLACEMENT.values()) == list(range(8))
+        assert set(FIGURE9_PLACEMENT) == set(FIGURE9_WORKLOAD)
+
+    def test_vmins_from_placement(self):
+        vmins = figure9_vmins()
+        assert vmins[0] == 915   # leslie3d on the most sensitive core
+        assert max(vmins.values()) == 915
+
+    def test_custom_vmins_ladder(self):
+        ladder = ladder_from_vmins({0: 915, 2: 890, 4: 870, 6: 900},
+                                   include_nominal=False)
+        assert ladder[0].chip_voltage_mv == 915
+        # Slowing PMD0 (the weakest) relaxes the plane to PMD3's 900.
+        assert ladder[1].chip_voltage_mv == 900
+
+    def test_invalid_inputs_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ladder_from_vmins({})
+        with pytest.raises(ConfigurationError):
+            ladder_from_vmins({9: 900})
+        with pytest.raises(ConfigurationError):
+            figure9_vmins(placement={"leslie3d": 0})
+
+
+class TestHeadlines:
+    def test_abstract_numbers(self):
+        savings = headline_savings().as_percent()
+        assert savings["robust_core_full_speed_pct"] == 19.4
+        assert savings["chip_wide_full_speed_pct"] == 12.8
+        assert savings["two_pmds_slowed_pct"] == 38.8
+        assert savings["all_slowed_power_pct"] == 69.9
+        assert savings["all_slowed_performance_loss_pct"] == 50.0
+
+
+class TestFinerDomainsAblation:
+    def test_per_pmd_planes_save_more(self):
+        ablation = finer_domains_ablation()
+        assert ablation.per_pmd_power_rel < ablation.shared_plane_power_rel
+        assert 0.0 < ablation.extra_saving_fraction < 0.2
+
+    def test_uniform_vmins_yield_no_gain(self):
+        ablation = finer_domains_ablation(
+            vmin_by_core={core: 900 for core in range(8)}
+        )
+        assert ablation.extra_saving_fraction == pytest.approx(0.0, abs=1e-9)
+
+    def test_empty_constraints_rejected(self):
+        with pytest.raises(ConfigurationError):
+            finer_domains_ablation(vmin_by_core={})

@@ -1,0 +1,144 @@
+"""Figure exporter, cross-validation/transfer, and wave scheduling."""
+
+import csv
+
+import numpy as np
+import pytest
+
+from repro.analysis.export import FigureExporter
+from repro.data.calibration import chip_calibration
+from repro.errors import ConfigurationError, DatasetError
+from repro.prediction import RegressionDataset
+from repro.prediction.crossval import (
+    cross_core_transfer,
+    kfold_cross_validate,
+)
+from repro.scheduling import SeverityAwareScheduler
+from repro.workloads import SPEC2006_SUITE, figure_benchmarks
+
+
+def read_csv(path):
+    with path.open(newline="") as handle:
+        return list(csv.DictReader(handle))
+
+
+class TestFigureExporter:
+    def test_model_figures(self, tmp_path):
+        exporter = FigureExporter(tmp_path)
+        paths = exporter.export_model_figures()
+        assert set(paths) == {"figure3", "figure4", "figure9"}
+        fig3 = read_csv(paths["figure3"])
+        assert len(fig3) == 30
+        leslie = next(r for r in fig3
+                      if r["chip"] == "TTT" and r["benchmark"] == "leslie3d")
+        assert leslie["vmin_mv"] == "880"
+        fig4 = read_csv(paths["figure4"])
+        assert len(fig4) == 240
+        fig9 = read_csv(paths["figure9"])
+        assert fig9[1]["power_pct"] == "87.2"
+
+    def test_figure5_export(self, tmp_path, bwaves_characterization):
+        exporter = FigureExporter(tmp_path)
+        path = exporter.figure5({0: bwaves_characterization})
+        rows = read_csv(path)
+        assert rows
+        assert {r["core"] for r in rows} == {"0"}
+        assert max(float(r["severity"]) for r in rows) == 16.0
+
+    def test_figure7_export(self, tmp_path):
+        from repro.prediction import PredictionReport
+        report = PredictionReport(
+            target="severity", chip="TTT", core=0,
+            selected_features=("VOLTAGE_MV",), r2=0.9, rmse_model=2.8,
+            rmse_naive=6.4, n_train=80, n_test=2,
+            test_points=(("a@900", 4.0, 3.5), ("b@880", 9.0, 8.4)),
+        )
+        path = FigureExporter(tmp_path).figure7(report)
+        rows = read_csv(path)
+        assert [r["sample"] for r in rows] == ["a@900", "b@880"]
+
+    def test_empty_figure9_rejected(self, tmp_path):
+        with pytest.raises(ConfigurationError):
+            FigureExporter(tmp_path).figure9([])
+
+
+def _linear_dataset(n=60, noise=0.1, seed=0, offset=0.0):
+    rng = np.random.default_rng(seed)
+    x = rng.normal(size=(n, 4))
+    y = 3.0 * x[:, 0] - 2.0 * x[:, 1] + offset + rng.normal(0, noise, n)
+    return RegressionDataset(x=x, y=y, feature_names=("a", "b", "c", "d"))
+
+
+class TestKfold:
+    def test_low_noise_gives_tight_folds(self):
+        report = kfold_cross_validate(_linear_dataset(noise=0.05), k=5)
+        assert report.k == 5
+        assert len(report.fold_rmse) == 5
+        assert report.mean_rmse < 0.15
+        assert report.mean_r2 > 0.95
+        assert report.r2_range[0] > 0.8
+
+    def test_noise_widens_the_folds(self):
+        quiet = kfold_cross_validate(_linear_dataset(noise=0.05), k=5)
+        loud = kfold_cross_validate(_linear_dataset(noise=2.0), k=5)
+        assert loud.mean_rmse > quiet.mean_rmse
+        assert loud.mean_r2 < quiet.mean_r2
+
+    def test_validation(self):
+        with pytest.raises(DatasetError):
+            kfold_cross_validate(_linear_dataset(), k=1)
+        with pytest.raises(DatasetError):
+            kfold_cross_validate(_linear_dataset(n=3), k=5)
+
+
+class TestCrossCoreTransfer:
+    def test_pure_offset_transfers_cleanly(self):
+        source = _linear_dataset(seed=1)
+        target = _linear_dataset(seed=2, offset=35.0)
+        report = cross_core_transfer(source, target, 4, 0, offset_mv=35.0)
+        assert report.rmse_transferred < 0.5
+        assert abs(report.transfer_penalty) < 0.5
+
+    def test_wrong_offset_shows_up(self):
+        source = _linear_dataset(seed=1)
+        target = _linear_dataset(seed=2, offset=35.0)
+        report = cross_core_transfer(source, target, 4, 0, offset_mv=0.0)
+        assert report.rmse_transferred > 30.0
+
+    def test_feature_space_mismatch_rejected(self):
+        source = _linear_dataset()
+        bad = RegressionDataset(
+            x=source.x, y=source.y, feature_names=("w", "x", "y", "z"))
+        with pytest.raises(DatasetError):
+            cross_core_transfer(source, bad, 0, 4, 0.0)
+
+
+class TestWaveScheduling:
+    def test_waves_cover_all_tasks_once(self):
+        scheduler = SeverityAwareScheduler("TTT")
+        tasks = list(SPEC2006_SUITE.values())[:20]
+        waves = scheduler.assign_waves(tasks, cores=[0, 2, 4, 6])
+        assert len(waves) == 5
+        placed = [name for wave in waves for name in wave.placement]
+        assert sorted(placed) == sorted(b.name for b in tasks)
+
+    def test_robust_first_waves_get_easier(self):
+        scheduler = SeverityAwareScheduler("TTT")
+        tasks = figure_benchmarks()  # 10 tasks over 4 cores = 3 waves
+        waves = scheduler.assign_waves(tasks, cores=[0, 2, 4, 6])
+        vmins = [wave.chip_vmin_mv for wave in waves]
+        assert vmins == sorted(vmins, reverse=True)
+        # The deepest wave runs measurably below the first.
+        assert vmins[-1] < vmins[0]
+
+    def test_single_wave_equals_assign(self):
+        scheduler = SeverityAwareScheduler("TTT")
+        tasks = figure_benchmarks()[:4]
+        waves = scheduler.assign_waves(tasks, cores=[0, 2, 4, 6])
+        direct = scheduler.assign(tasks, cores=[0, 2, 4, 6])
+        assert len(waves) == 1
+        assert waves[0].chip_vmin_mv == direct.chip_vmin_mv
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SeverityAwareScheduler("TTT").assign_waves([])

@@ -1,0 +1,127 @@
+"""Voltage-to-failure curves and their anchor placement."""
+
+import pytest
+
+from repro.data.calibration import chip_calibration
+from repro.errors import ConfigurationError
+from repro.faults.models import (
+    SRAM_UNITS,
+    TIMING_UNITS,
+    FailureCurve,
+    FunctionalUnit,
+    build_unit_models,
+)
+
+
+class TestFailureCurve:
+    def test_monotone_decreasing_in_voltage(self):
+        curve = FailureCurve(midpoint_mv=900, scale_mv=2.0)
+        probs = [curve.probability(v) for v in range(940, 860, -5)]
+        assert all(b >= a for a, b in zip(probs, probs[1:]))
+
+    def test_midpoint_is_half_ceiling(self):
+        curve = FailureCurve(midpoint_mv=900, scale_mv=2.0, ceiling=0.8)
+        assert curve.probability(900) == pytest.approx(0.4)
+
+    def test_extremes_clamped(self):
+        curve = FailureCurve(midpoint_mv=900, scale_mv=1.0)
+        assert curve.probability(2000) == 0.0
+        assert curve.probability(100) == 1.0
+
+    def test_anchored_is_negligible_at_anchor(self):
+        curve = FailureCurve.anchored(905, scale_mv=1.0)
+        assert curve.probability(905) < 5e-4
+        assert curve.probability(900) > 0.04
+
+    def test_invalid_scale_rejected(self):
+        with pytest.raises(ConfigurationError):
+            FailureCurve(midpoint_mv=900, scale_mv=0.0)
+
+    def test_invalid_ceiling_rejected(self):
+        with pytest.raises(ConfigurationError):
+            FailureCurve(midpoint_mv=900, scale_mv=1.0, ceiling=1.5)
+
+
+@pytest.fixture(scope="module")
+def ttt():
+    return chip_calibration("TTT")
+
+
+class TestUnitModelPlacement:
+    def test_all_units_present(self, ttt):
+        models = build_unit_models(ttt, core=0, stress=0.6, smoothness=1.0)
+        assert set(models) == set(FunctionalUnit)
+
+    def test_timing_profile_ordering(self, ttt):
+        """X-Gene signature: datapath timing wakes before SRAM, SRAM
+        before control, clock/uncore defines the crash point."""
+        models = build_unit_models(ttt, core=0, stress=0.6, smoothness=1.0)
+        def midpoint(unit):
+            return models[unit].curve.midpoint_mv
+        assert midpoint(FunctionalUnit.FPU) > midpoint(FunctionalUnit.L2_SRAM)
+        assert midpoint(FunctionalUnit.L2_SRAM) > midpoint(FunctionalUnit.CONTROL)
+        assert midpoint(FunctionalUnit.CONTROL) > midpoint(FunctionalUnit.CLOCK_UNCORE)
+
+    def test_sram_profile_ordering(self, ttt):
+        """Itanium-like signature: SRAM first, timing much later."""
+        models = build_unit_models(
+            ttt, core=0, stress=0.6, smoothness=1.0, profile="sram"
+        )
+        def midpoint(unit):
+            return models[unit].curve.midpoint_mv
+        assert midpoint(FunctionalUnit.L2_SRAM) > midpoint(FunctionalUnit.FPU)
+        assert midpoint(FunctionalUnit.L1_SRAM) > midpoint(FunctionalUnit.ALU)
+
+    def test_unknown_profile_rejected(self, ttt):
+        with pytest.raises(ConfigurationError):
+            build_unit_models(ttt, 0, 0.5, 0.5, profile="quantum")
+
+    def test_first_unit_anchored_at_vmin(self, ttt):
+        models = build_unit_models(ttt, core=0, stress=0.6, smoothness=1.0)
+        vmin = ttt.vmin_mv(0, 0.6)
+        fpu = models[FunctionalUnit.FPU]
+        assert fpu.probability(vmin) < 5e-4
+        assert fpu.probability(vmin - 5) > 0.04
+
+    def test_clock_anchored_at_crash(self, ttt):
+        models = build_unit_models(ttt, core=0, stress=0.6, smoothness=1.0)
+        crash = ttt.crash_voltage_mv(0, 0.6, 1.0)
+        clock = models[FunctionalUnit.CLOCK_UNCORE]
+        assert clock.probability(crash + 5) < 5e-4
+        assert clock.probability(crash) > 0.04
+        assert clock.probability(crash - 10) > 0.99
+
+    def test_datapath_stress_normalised(self, ttt):
+        models = build_unit_models(
+            ttt, core=0, stress=0.6, smoothness=1.0,
+            unit_stress={FunctionalUnit.ALU: 0.4, FunctionalUnit.FPU: 0.2},
+        )
+        # The dominant datapath unit is always fully stressed so the
+        # Vmin edge stays at the anchor.
+        assert models[FunctionalUnit.ALU].stress == pytest.approx(1.0)
+        assert models[FunctionalUnit.FPU].stress == pytest.approx(0.5)
+
+    def test_alu_dominant_workload_swaps_first_unit(self, ttt):
+        models = build_unit_models(
+            ttt, core=0, stress=0.6, smoothness=1.0,
+            unit_stress={FunctionalUnit.ALU: 1.0, FunctionalUnit.FPU: 0.1},
+        )
+        assert models[FunctionalUnit.ALU].curve.midpoint_mv > \
+            models[FunctionalUnit.FPU].curve.midpoint_mv
+
+    def test_clock_division_regime_disables_everything_but_crash(self, ttt):
+        """Section 3.2: at 1.2 GHz nothing but crashes below Vmin."""
+        models = build_unit_models(ttt, core=0, stress=0.6, smoothness=1.0,
+                                   freq_mhz=1200)
+        for unit in list(TIMING_UNITS) + list(SRAM_UNITS):
+            assert models[unit].probability(700) == 0.0
+        clock = models[FunctionalUnit.CLOCK_UNCORE]
+        assert clock.probability(ttt.vmin_1200_mv) < 5e-4
+        assert clock.probability(ttt.vmin_1200_mv - 10) > 0.5
+
+    def test_core_offsets_shift_curves(self, ttt):
+        robust = build_unit_models(ttt, core=4, stress=0.6, smoothness=1.0)
+        sensitive = build_unit_models(ttt, core=0, stress=0.6, smoothness=1.0)
+        shift = ttt.core_offsets_mv[0] - ttt.core_offsets_mv[4]
+        assert sensitive[FunctionalUnit.FPU].curve.midpoint_mv - \
+            robust[FunctionalUnit.FPU].curve.midpoint_mv == pytest.approx(shift)

@@ -1,0 +1,87 @@
+"""Characterization at non-default frequencies through the framework.
+
+Section 2.2: the framework "determines the safe, unsafe and
+non-operating voltage regions for each application for all
+frequencies" -- these tests exercise the 1.2 GHz regime and an
+intermediate skipping frequency end to end (the benchmark harness
+holds the bigger sweeps).
+"""
+
+import pytest
+
+from repro.core import CharacterizationFramework, FrameworkConfig
+from repro.data.calibration import chip_calibration
+from repro.effects import EffectType
+from repro.hardware import XGene2Machine
+from repro.workloads import get_benchmark
+
+
+@pytest.fixture(scope="module")
+def results_1200():
+    machine = XGene2Machine("TTT", seed=23)
+    machine.power_on()
+    framework = CharacterizationFramework(
+        machine, FrameworkConfig(start_mv=790, campaigns=5, freq_mhz=1200)
+    )
+    return framework.characterize(get_benchmark("leslie3d"), core=0)
+
+
+class TestClockDivisionRegime:
+    def test_vmin_program_independent_value(self, results_1200):
+        assert abs(results_1200.highest_vmin_mv - 760) <= 5
+
+    def test_only_crashes_below_vmin(self, results_1200):
+        pooled = results_1200.pooled_counts()
+        for effect in (EffectType.SDC, EffectType.CE, EffectType.UE,
+                       EffectType.AC):
+            assert all(counts[effect] == 0 for counts in pooled.values()), effect
+        assert any(counts[EffectType.SC] > 0 for counts in pooled.values())
+
+    def test_no_unsafe_region(self, results_1200):
+        assert results_1200.pooled_regions().unsafe_width_mv == 0
+
+    def test_records_carry_the_frequency(self, results_1200):
+        assert all(
+            record.setup.freq_mhz == 1200
+            for record in results_1200.all_records()
+        )
+
+
+class TestClockSkippingRegime:
+    def test_1800mhz_behaves_like_2400(self):
+        """Frequencies above the division boundary inherit the 2.4 GHz
+        Vmin behaviour (Section 3.2)."""
+        bench = get_benchmark("mcf")
+        machine = XGene2Machine("TTT", seed=23)
+        machine.power_on()
+        framework = CharacterizationFramework(
+            machine, FrameworkConfig(start_mv=910, campaigns=3, freq_mhz=1800)
+        )
+        result = framework.characterize(bench, core=0)
+        anchor = chip_calibration("TTT").vmin_mv(0, bench.stress, 2400)
+        assert abs(result.highest_vmin_mv - anchor) <= 5
+
+    def test_runtime_reflects_the_lower_frequency(self):
+        machine = XGene2Machine("TTT", seed=23)
+        machine.power_on()
+        bench = get_benchmark("mcf")
+        machine.clocks.set_pmd_frequency_mhz(0, 1800)
+        slow = machine.run_program(bench, core=0)
+        machine.clocks.set_pmd_frequency_mhz(0, 2400)
+        fast = machine.run_program(bench, core=0)
+        assert slow.runtime_s == pytest.approx(fast.runtime_s * 2400 / 1800)
+
+
+class TestExplicitStopWithCrashes:
+    def test_stop_mv_overrides_early_termination(self):
+        """With an explicit floor the sweep records the full crash
+        region instead of stopping after consecutive all-SC levels."""
+        machine = XGene2Machine("TTT", seed=23)
+        machine.power_on()
+        framework = CharacterizationFramework(
+            machine,
+            FrameworkConfig(start_mv=890, stop_mv=855, campaigns=1),
+        )
+        result = framework.run_campaign(get_benchmark("mcf"), core=0)
+        assert min(result.voltages()) == 855
+        assert max(result.voltages()) == 890

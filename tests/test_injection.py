@@ -1,0 +1,133 @@
+"""Scripted fault injection through the full reporting path."""
+
+import numpy as np
+import pytest
+
+from repro.data.calibration import chip_calibration
+from repro.effects import EffectType
+from repro.errors import ConfigurationError
+from repro.faults.injection import FaultInjector, Injection
+from repro.faults.manifestation import EffectSampler
+from repro.faults.models import FunctionalUnit, build_unit_models
+from repro.hardware import XGene2Machine
+from repro.workloads import get_benchmark
+
+
+class TestInjectorQueue:
+    def test_fifo_consumption(self):
+        injector = FaultInjector([
+            Injection(FunctionalUnit.ALU),
+            Injection(FunctionalUnit.FPU),
+        ])
+        assert len(injector) == 2
+        assert injector.take(FunctionalUnit.FPU) is None  # head is ALU
+        assert injector.take(FunctionalUnit.ALU).unit is FunctionalUnit.ALU
+        assert injector.take(FunctionalUnit.FPU).unit is FunctionalUnit.FPU
+        assert len(injector) == 0
+
+    def test_run_pinning(self):
+        injector = FaultInjector([
+            Injection(FunctionalUnit.ALU, run_index=2),
+        ])
+        injector.begin_run()  # run 1
+        assert injector.take(FunctionalUnit.ALU) is None
+        injector.begin_run()  # run 2
+        assert injector.take(FunctionalUnit.ALU) is not None
+
+    def test_schedule_appends(self):
+        injector = FaultInjector()
+        injector.schedule(Injection(FunctionalUnit.L2_SRAM, (3, 7)))
+        assert len(injector) == 1
+
+    def test_empty_positions_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Injection(FunctionalUnit.L2_SRAM, ())
+
+
+@pytest.fixture()
+def sampler_with(request):
+    def build(injector, cache_stack=True):
+        cal = chip_calibration("TTT")
+        models = build_unit_models(cal, core=0, stress=0.6, smoothness=1.0)
+        stack = None
+        if cache_stack:
+            from repro.hardware.caches import CacheStack
+            stack = CacheStack.for_core(models)
+        return EffectSampler(models, cache_stack=stack, injector=injector)
+    return build
+
+
+class TestSamplerIntegration:
+    SAFE_V = 960  # no probabilistic effects up here
+
+    def test_injected_sdc(self, sampler_with):
+        injector = FaultInjector([Injection(FunctionalUnit.FPU)])
+        sampler = sampler_with(injector)
+        outcome = sampler.sample(self.SAFE_V, np.random.default_rng(0))
+        assert outcome.effects == frozenset({EffectType.SDC})
+
+    def test_injected_sc(self, sampler_with):
+        injector = FaultInjector([Injection(FunctionalUnit.CLOCK_UNCORE)])
+        sampler = sampler_with(injector)
+        outcome = sampler.sample(self.SAFE_V, np.random.default_rng(0))
+        assert outcome.effects == frozenset({EffectType.SC})
+
+    def test_injected_ac(self, sampler_with):
+        injector = FaultInjector([Injection(FunctionalUnit.LSU)])
+        sampler = sampler_with(injector)
+        outcome = sampler.sample(self.SAFE_V, np.random.default_rng(0))
+        assert EffectType.AC in outcome.effects
+
+    def test_injected_single_bit_becomes_ce_through_codec(self, sampler_with):
+        injector = FaultInjector([Injection(FunctionalUnit.L2_SRAM, (17,))])
+        sampler = sampler_with(injector)
+        outcome = sampler.sample(self.SAFE_V, np.random.default_rng(0))
+        assert outcome.effects == frozenset({EffectType.CE})
+        assert outcome.detail["corrected_errors"] == 1
+
+    def test_injected_double_bit_becomes_ue_through_codec(self, sampler_with):
+        injector = FaultInjector([Injection(FunctionalUnit.L2_SRAM, (17, 40))])
+        sampler = sampler_with(injector)
+        # UE consumption can also abort the app; either way UE reported.
+        outcome = sampler.sample(self.SAFE_V, np.random.default_rng(0))
+        assert EffectType.UE in outcome.effects
+
+    def test_analytic_path_without_cache_stack(self, sampler_with):
+        injector = FaultInjector([Injection(FunctionalUnit.L3_SRAM, (1, 2))])
+        sampler = sampler_with(injector, cache_stack=False)
+        outcome = sampler.sample(self.SAFE_V, np.random.default_rng(0))
+        assert EffectType.UE in outcome.effects
+
+    def test_no_injection_is_clean_at_safe_voltage(self, sampler_with):
+        sampler = sampler_with(FaultInjector())
+        outcome = sampler.sample(self.SAFE_V, np.random.default_rng(0))
+        assert outcome.is_normal
+
+
+class TestMachineIntegration:
+    def test_injected_sdc_corrupts_real_output(self):
+        injector = FaultInjector([Injection(FunctionalUnit.FPU, run_index=2)])
+        machine = XGene2Machine("TTT", seed=3, injector=injector)
+        machine.power_on()
+        bench = get_benchmark("gromacs")
+        clean = machine.run_program(bench, core=0)    # run 1: untouched
+        corrupted = machine.run_program(bench, core=0)  # run 2: injected
+        assert clean.output_matches
+        assert not corrupted.output_matches
+        assert corrupted.effects == frozenset({EffectType.SDC})
+
+    def test_injected_ce_reaches_edac(self):
+        injector = FaultInjector([Injection(FunctionalUnit.L2_SRAM, (5,))])
+        machine = XGene2Machine("TTT", seed=3, injector=injector)
+        machine.power_on()
+        outcome = machine.run_program(get_benchmark("gromacs"), core=0)
+        assert EffectType.CE in outcome.effects
+        assert machine.edac.counters()["ce_count"] == 1
+
+    def test_injected_sc_hangs_machine(self):
+        injector = FaultInjector([Injection(FunctionalUnit.CLOCK_UNCORE)])
+        machine = XGene2Machine("TTT", seed=3, injector=injector)
+        machine.power_on()
+        outcome = machine.run_program(get_benchmark("gromacs"), core=0)
+        assert outcome.effects == frozenset({EffectType.SC})
+        assert machine.state.value == "hung"

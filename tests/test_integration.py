@@ -1,0 +1,218 @@
+"""Cross-module integration: the paper's full workflows end to end."""
+
+import pytest
+
+from repro import (
+    CharacterizationFramework,
+    FrameworkConfig,
+    PredictionPipeline,
+    SeverityAwareScheduler,
+    XGene2Machine,
+)
+from repro.core.results import ResultStore
+from repro.data.calibration import chip_calibration
+from repro.effects import EffectType
+from repro.faults.manifestation import ProtectionConfig
+from repro.scheduling import VoltageGovernor
+from repro.workloads import get_benchmark
+from repro.workloads.selftests import cache_tests, pipeline_tests
+
+
+class TestSelfTestStory:
+    """Section 3.4: why the X-Gene shows SDCs first."""
+
+    @pytest.fixture(scope="class")
+    def results(self):
+        machine = XGene2Machine("TTT", seed=31)
+        machine.power_on()
+        framework = CharacterizationFramework(
+            machine, FrameworkConfig(campaigns=2, runs_per_level=5)
+        )
+        out = {}
+        for test in pipeline_tests() + cache_tests():
+            out[test.name] = framework.characterize(test, core=0)
+        return out
+
+    def test_pipeline_tests_fail_at_much_higher_voltages(self, results):
+        pipeline_vmin = min(
+            results[t.name].highest_vmin_mv for t in pipeline_tests()
+        )
+        cache_vmin = max(
+            results[t.name].highest_vmin_mv for t in cache_tests()
+        )
+        # "the cache tests crash in much lower voltages than the ALU and
+        # FPU tests [show SDCs]"
+        assert pipeline_vmin - cache_vmin >= 15
+
+    def test_pipeline_tests_show_sdcs(self, results):
+        for test in pipeline_tests():
+            pooled = results[test.name].pooled_counts()
+            assert any(c[EffectType.SDC] > 0 for c in pooled.values()), test.name
+
+
+class TestFullStudyPipeline:
+    """Characterize -> profile -> predict -> govern -> schedule."""
+
+    @pytest.fixture(scope="class")
+    def stack(self):
+        machine = XGene2Machine("TTT", seed=2017)
+        machine.power_on()
+        pipeline = PredictionPipeline(
+            machine, characterization=FrameworkConfig(campaigns=2)
+        )
+        from repro.workloads import all_programs
+        programs = [p for p in all_programs() if p.input_set == "ref"][:10]
+        return machine, pipeline, programs
+
+    def test_characterization_feeds_prediction(self, stack):
+        _machine, pipeline, programs = stack
+        report = pipeline.severity_study(programs, core=0, max_samples=50)
+        assert report.rmse_model < report.rmse_naive
+
+    def test_prediction_feeds_governor(self, stack):
+        machine, pipeline, programs = stack
+        cal = chip_calibration("TTT")
+        snapshots = [pipeline.profile(p) for p in programs]
+        vmins = [
+            float(pipeline.characterize(p, 4).highest_vmin_mv)
+            for p in programs
+        ]
+        governor = VoltageGovernor.train_from_observations(
+            snapshots, vmins, core_offsets_mv=cal.core_offsets_mv,
+            margin_mv=15,
+        )
+        decision = governor.decide({4: snapshots[0]})
+        assert 760 <= decision.voltage_mv <= 980
+
+    def test_scheduler_uses_measured_oracle(self, stack):
+        machine, pipeline, programs = stack
+        measured = {}
+        for program in programs[:4]:
+            for core in (0, 4):
+                measured[(program.name, core)] = \
+                    pipeline.characterize(program, core).highest_vmin_mv
+        def oracle(core, bench):
+            return measured.get((bench.name, core),
+                                chip_calibration("TTT").vmin_mv(core, bench.stress))
+        scheduler = SeverityAwareScheduler("TTT", vmin_oracle=oracle)
+        benches = [p.benchmark for p in programs[:2]]
+        assignment = scheduler.assign(benches, policy="robust_first",
+                                      cores=[0, 4])
+        assert assignment.chip_vmin_mv in set(measured.values())
+
+
+class TestCsvExportPipeline:
+    def test_full_flow_to_disk(self, tmp_path, bwaves_characterization):
+        store = ResultStore(tmp_path)
+        runs_path = store.write_runs_csv([bwaves_characterization])
+        severity_path = store.write_severity_csv([bwaves_characterization])
+        assert runs_path.exists() and severity_path.exists()
+        rows = store.read_runs_csv()
+        assert len(rows) == len(bwaves_characterization.all_records())
+        severity = store.read_severity_csv()
+        in_memory = bwaves_characterization.severity_by_voltage()
+        for (chip, bench, core, freq, voltage), value in severity.items():
+            assert value == pytest.approx(in_memory[voltage], abs=1e-3)
+
+
+class TestDeterminism:
+    def test_identical_campaigns_bit_identical(self):
+        def run():
+            machine = XGene2Machine("TTT", seed=77)
+            machine.power_on()
+            framework = CharacterizationFramework(
+                machine, FrameworkConfig(start_mv=920, campaigns=2)
+            )
+            framework.run_campaign(get_benchmark("bwaves"), core=0)
+            return framework.raw_logs[("bwaves", 0, 2400, 1)]
+        assert run() == run()
+
+    def test_chips_differ(self):
+        def vmin(chip):
+            machine = XGene2Machine(chip, seed=77)
+            machine.power_on()
+            framework = CharacterizationFramework(
+                machine, FrameworkConfig(start_mv=930, campaigns=3)
+            )
+            return framework.characterize(
+                get_benchmark("zeusmp"), core=4).highest_vmin_mv
+        assert vmin("TSS") > vmin("TTT")
+
+
+class TestSection6Ablations:
+    def test_stronger_protection_shrinks_sdc_band(self):
+        """Section 6: stronger ECC + wider coverage turns SDC behaviour
+        into corrected-error behaviour, measured through the full
+        framework."""
+        def sdc_and_ce(protection):
+            machine = XGene2Machine("TTT", seed=13, protection=protection)
+            machine.power_on()
+            framework = CharacterizationFramework(
+                machine, FrameworkConfig(start_mv=920, campaigns=3)
+            )
+            result = framework.characterize(get_benchmark("bwaves"), core=0)
+            pooled = result.pooled_counts()
+            sdc = sum(c[EffectType.SDC] for c in pooled.values())
+            ce = sum(c[EffectType.CE] for c in pooled.values())
+            return sdc, ce
+        stock_sdc, stock_ce = sdc_and_ce(ProtectionConfig())
+        strong_sdc, strong_ce = sdc_and_ce(
+            ProtectionConfig(ecc="dected", coverage=0.7))
+        assert strong_sdc < 0.6 * stock_sdc
+        assert strong_ce > stock_ce
+
+    def test_itanium_profile_has_ce_first(self):
+        """The cross-architecture comparison of Sections 3.4/4.4."""
+        machine = XGene2Machine("TTT", seed=13, failure_profile="sram")
+        machine.power_on()
+        framework = CharacterizationFramework(
+            machine, FrameworkConfig(start_mv=920, campaigns=3)
+        )
+        result = framework.characterize(get_benchmark("bwaves"), core=0)
+        pooled = result.pooled_counts()
+        first_ce = max((v for v, c in pooled.items() if c[EffectType.CE] > 0),
+                       default=None)
+        first_sdc = max((v for v, c in pooled.items() if c[EffectType.SDC] > 0),
+                        default=None)
+        assert first_ce is not None
+        assert first_sdc is None or first_ce > first_sdc
+
+    def test_per_pmd_domains_machine_variant(self):
+        machine = XGene2Machine("TTT", per_pmd_domains=True)
+        machine.power_on()
+        machine.slimpro.set_pmd_voltage_mv(905, pmd=2)
+        assert machine.regulator.pmd_voltage_mv(2) == 905
+        assert machine.regulator.pmd_voltage_mv(0) == 980
+
+
+class TestFinerDomainsEndToEnd:
+    def test_per_pmd_undervolting_isolates_failures(self):
+        """Section-6 finer domains, exercised through real execution:
+        undervolting only PMD 0 crashes its cores while PMD 2 keeps
+        running the same benchmark safely at nominal."""
+        machine = XGene2Machine("TTT", seed=17, per_pmd_domains=True)
+        machine.power_on()
+        bench = get_benchmark("bwaves")
+        machine.slimpro.set_pmd_voltage_mv(855, pmd=0)  # deep crash region
+        crashed = machine.run_program(bench, core=0)
+        assert EffectType.SC in crashed.effects
+        machine.press_reset()
+        machine.slimpro.set_pmd_voltage_mv(855, pmd=0)
+        clean = machine.run_program(bench, core=4)  # PMD 2 at nominal
+        assert clean.effects == frozenset({EffectType.NO})
+
+    def test_per_pmd_planes_allow_mixed_undervolting(self):
+        """Each PMD runs at its own Vmin simultaneously: the robust PMD
+        goes deeper than the sensitive one, both stay correct."""
+        from repro.data.calibration import chip_calibration
+        cal = chip_calibration("TTT")
+        bench = get_benchmark("leslie3d")
+        machine = XGene2Machine("TTT", seed=17, per_pmd_domains=True)
+        machine.power_on()
+        machine.slimpro.set_pmd_voltage_mv(cal.vmin_mv(0, bench.stress), pmd=0)
+        machine.slimpro.set_pmd_voltage_mv(cal.vmin_mv(4, bench.stress), pmd=2)
+        sensitive = machine.run_program(bench, core=0)
+        robust = machine.run_program(bench, core=4)
+        assert sensitive.effects == frozenset({EffectType.NO})
+        assert robust.effects == frozenset({EffectType.NO})
+        assert robust.voltage_mv < sensitive.voltage_mv

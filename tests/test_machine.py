@@ -1,0 +1,167 @@
+"""The X-Gene 2 machine: states, execution, crash semantics, PMU."""
+
+import pytest
+
+from repro.effects import EffectType
+from repro.errors import ConfigurationError, MachineStateError
+from repro.hardware import MachineState, XGene2Chip, XGene2Machine
+from repro.hardware.serial_console import BOOT_BANNER
+from repro.units import PMD_NOMINAL_MV
+from repro.workloads import get_benchmark, get_program
+
+
+class TestLifecycle:
+    def test_starts_off(self):
+        machine = XGene2Machine("TTT")
+        assert machine.state is MachineState.OFF
+        assert not machine.is_responsive()
+
+    def test_power_on_boots(self, machine):
+        assert machine.state is MachineState.RUNNING
+        assert BOOT_BANNER in machine.console.all_lines()[0]
+        assert machine.is_responsive()
+
+    def test_double_power_on_rejected(self, machine):
+        with pytest.raises(MachineStateError):
+            machine.power_on()
+
+    def test_reset_while_off_rejected(self):
+        machine = XGene2Machine("TTT")
+        with pytest.raises(MachineStateError):
+            machine.press_reset()
+
+    def test_power_off_from_running(self, machine):
+        machine.power_off()
+        assert machine.state is MachineState.OFF
+
+    def test_boot_restores_firmware_defaults(self, machine):
+        machine.slimpro.set_pmd_voltage_mv(760)
+        machine.clocks.set_pmd_frequency_mhz(0, 1200)
+        machine.edac.report("ce", "L2")
+        machine.press_reset()
+        assert machine.regulator.pmd_voltage_mv(0) == PMD_NOMINAL_MV
+        assert machine.clocks.frequencies() == [2400] * 4
+        assert len(machine.edac) == 0
+
+    def test_chip_identity(self):
+        chip = XGene2Chip.part("TFF")
+        assert chip.name == "TFF"
+        assert chip.serial == "XG2-TFF-0001"
+        assert chip.corner.name == "TFF"
+
+
+class TestRunProgram:
+    def test_nominal_run_is_clean(self, machine):
+        outcome = machine.run_program(get_benchmark("bwaves"), core=0)
+        assert outcome.effects == frozenset({EffectType.NO})
+        assert outcome.completed
+        assert outcome.output_matches
+        assert outcome.voltage_mv == PMD_NOMINAL_MV
+        assert outcome.freq_mhz == 2400
+
+    def test_program_and_benchmark_accepted(self, machine):
+        prog = get_program("gcc/200")
+        outcome = machine.run_program(prog, core=2)
+        assert outcome.program == "gcc/200"
+
+    def test_invalid_core_rejected(self, machine):
+        with pytest.raises(ConfigurationError):
+            machine.run_program(get_benchmark("mcf"), core=9)
+
+    def test_non_workload_rejected(self, machine):
+        with pytest.raises(ConfigurationError):
+            machine.run_program("bwaves", core=0)
+
+    def test_run_while_off_rejected(self):
+        machine = XGene2Machine("TTT")
+        with pytest.raises(MachineStateError):
+            machine.run_program(get_benchmark("mcf"), core=0)
+
+    def test_runtime_scales_with_frequency(self, machine):
+        bench = get_benchmark("mcf")
+        fast = machine.run_program(bench, core=0)
+        machine.clocks.set_pmd_frequency_mhz(0, 1200)
+        slow = machine.run_program(bench, core=0)
+        assert slow.runtime_s == pytest.approx(2 * fast.runtime_s)
+
+    def test_sdc_produces_distinct_output(self, machine):
+        bench = get_benchmark("bwaves")
+        machine.clocks.park_all_except([0])
+        machine.slimpro.set_pmd_voltage_mv(895)  # deep in the SDC band
+        for _ in range(20):
+            outcome = machine.run_program(bench, core=0)
+            if EffectType.SDC in outcome.effects:
+                assert outcome.completed
+                assert not outcome.output_matches
+                break
+        else:
+            pytest.fail("no SDC observed in the SDC band")
+
+    def test_system_crash_hangs_the_machine(self, machine):
+        bench = get_benchmark("bwaves")
+        machine.slimpro.set_pmd_voltage_mv(855)  # deep in the crash region
+        outcome = machine.run_program(bench, core=0)
+        assert outcome.effects == frozenset({EffectType.SC})
+        assert machine.state is MachineState.HUNG
+        assert not machine.is_responsive()
+        with pytest.raises(MachineStateError):
+            machine.run_program(bench, core=0)
+
+    def test_reset_recovers_hung_machine(self, machine):
+        machine.slimpro.set_pmd_voltage_mv(855)
+        machine.run_program(get_benchmark("bwaves"), core=0)
+        assert machine.state is MachineState.HUNG
+        machine.press_reset()
+        assert machine.state is MachineState.RUNNING
+        outcome = machine.run_program(get_benchmark("bwaves"), core=0)
+        assert outcome.effects == frozenset({EffectType.NO})
+
+    def test_edac_records_appear_for_ce(self, machine):
+        bench = get_benchmark("bwaves")
+        machine.clocks.park_all_except([0])
+        machine.slimpro.set_pmd_voltage_mv(880)
+        found = False
+        for _ in range(60):
+            if machine.state is not MachineState.RUNNING:
+                machine.press_reset()
+                machine.clocks.park_all_except([0])
+                machine.slimpro.set_pmd_voltage_mv(880)
+            outcome = machine.run_program(bench, core=0)
+            if EffectType.CE in outcome.effects:
+                assert outcome.edac_ce > 0
+                found = True
+                break
+        assert found, "no corrected error observed in the unsafe region"
+
+    def test_determinism_same_seed(self):
+        def run_sequence(seed):
+            machine = XGene2Machine("TTT", seed=seed)
+            machine.power_on()
+            machine.slimpro.set_pmd_voltage_mv(885)
+            effects = []
+            for _ in range(10):
+                if machine.state is not MachineState.RUNNING:
+                    machine.press_reset()
+                    machine.slimpro.set_pmd_voltage_mv(885)
+                outcome = machine.run_program(get_benchmark("bwaves"), core=0)
+                effects.append(sorted(e.value for e in outcome.effects))
+            return effects
+        assert run_sequence(11) == run_sequence(11)
+        assert run_sequence(11) != run_sequence(12)
+
+
+class TestProfiling:
+    def test_full_snapshot(self, machine):
+        snapshot = machine.profile_program(get_benchmark("gcc"), core=0)
+        assert len(snapshot) == 101
+        assert snapshot["INST_RETIRED"] > 0
+
+    def test_profiling_requires_nominal_voltage(self, machine):
+        machine.slimpro.set_pmd_voltage_mv(905)
+        with pytest.raises(MachineStateError):
+            machine.profile_program(get_benchmark("gcc"), core=0)
+
+    def test_pmu_history_kept(self, machine):
+        machine.profile_program(get_benchmark("gcc"), core=1)
+        machine.profile_program(get_benchmark("mcf"), core=1)
+        assert len(machine.pmus[1].history()) == 2

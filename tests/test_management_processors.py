@@ -1,0 +1,182 @@
+"""SLIMpro, PMpro, sensors, EDAC and the serial console."""
+
+import pytest
+
+from repro.errors import ConfigurationError, MachineStateError
+from repro.hardware.clocking import ClockController
+from repro.hardware.domains import VoltageRegulator
+from repro.hardware.edac import EdacDriver
+from repro.hardware.pmpro import AcpiState, PmPro
+from repro.hardware.sensors import FanController, TemperatureSensor
+from repro.hardware.serial_console import BOOT_BANNER, SerialConsole
+from repro.hardware.slimpro import SlimPro
+
+
+def make_slimpro():
+    regulator = VoltageRegulator()
+    fan = FanController(TemperatureSensor(), 43.0)
+    edac = EdacDriver()
+    return SlimPro(regulator, fan, edac), regulator, edac
+
+
+class TestSlimPro:
+    def test_voltage_regulation_path(self):
+        slimpro, regulator, _ = make_slimpro()
+        slimpro.set_pmd_voltage_mv(905)
+        assert regulator.pmd_voltage_mv(0) == 905
+        assert slimpro.get_pmd_voltage_mv() == 905
+        assert ("set_voltage", "PMD=905mV") in slimpro.i2c_log
+
+    def test_soc_regulation(self):
+        slimpro, regulator, _ = make_slimpro()
+        slimpro.set_soc_voltage_mv(920)
+        assert slimpro.get_soc_voltage_mv() == 920
+
+    def test_restore_nominal(self):
+        slimpro, regulator, _ = make_slimpro()
+        slimpro.set_pmd_voltage_mv(760)
+        slimpro.restore_nominal_voltages()
+        assert regulator.pmd_voltage_mv(0) == 980
+
+    def test_temperature_read_regulates_fan(self):
+        slimpro, _, _ = make_slimpro()
+        slimpro.update_power_estimate(30.0)
+        temp = slimpro.read_temperature_c()
+        assert temp == pytest.approx(43.0, abs=0.5)
+
+    def test_error_counter_access(self):
+        slimpro, _, edac = make_slimpro()
+        edac.report("ce", "L2", core=3)
+        edac.report("ue", "L3")
+        counters = slimpro.read_error_counters()
+        assert counters == {"ce_count": 1, "ue_count": 1}
+        assert any(op == "read_edac" for op, _ in slimpro.i2c_log)
+
+
+class TestEdacDriver:
+    def test_counters_accumulate(self):
+        edac = EdacDriver()
+        edac.report("ce", "L2", core=0, count=3)
+        edac.report("ue", "DRAM")
+        assert edac.counters() == {"ce_count": 3, "ue_count": 1}
+        assert len(edac) == 4
+
+    def test_location_breakdown(self):
+        edac = EdacDriver()
+        edac.report("ce", "L2", core=0)
+        edac.report("ce", "L3")
+        by_location = edac.counters_by_location()
+        assert by_location[("ce", "L2")] == 1
+        assert by_location[("ce", "L3")] == 1
+
+    def test_poll_new_is_incremental(self):
+        edac = EdacDriver()
+        edac.report("ce", "L2")
+        first = edac.poll_new()
+        assert len(first) == 1
+        assert edac.poll_new() == []
+        edac.report("ue", "L2")
+        second = edac.poll_new()
+        assert len(second) == 1 and second[0].kind == "ue"
+
+    def test_clear_wipes_everything(self):
+        edac = EdacDriver()
+        edac.report("ce", "L2")
+        edac.clear()
+        assert edac.counters() == {"ce_count": 0, "ue_count": 0}
+        assert edac.poll_new() == []
+
+    def test_bad_kind_rejected(self):
+        with pytest.raises(ValueError):
+            EdacDriver().report("fatal", "L2")
+
+
+class TestThermal:
+    def test_sensor_monotone_in_power(self):
+        sensor = TemperatureSensor()
+        assert sensor.temperature_c(30, 0.5) > sensor.temperature_c(10, 0.5)
+
+    def test_fan_cools(self):
+        sensor = TemperatureSensor()
+        assert sensor.temperature_c(30, 1.0) < sensor.temperature_c(30, 0.0)
+
+    def test_fan_controller_holds_43c(self):
+        fan = FanController(TemperatureSensor(), 43.0)
+        for power in (15.0, 25.0, 35.0):
+            assert fan.regulate(power) == pytest.approx(43.0, abs=0.5), power
+            assert fan.holds_setpoint(power)
+
+    def test_setpoint_unreachable_flagged(self):
+        fan = FanController(TemperatureSensor(), 43.0)
+        # At near-zero power the die cannot warm up to 43 C.
+        assert not fan.holds_setpoint(1.0)
+
+    def test_bad_setpoint_rejected(self):
+        with pytest.raises(ConfigurationError):
+            FanController(TemperatureSensor(ambient_c=25.0), 20.0)
+
+
+class TestPmPro:
+    def test_acpi_transitions(self):
+        pmpro = PmPro(ClockController())
+        assert pmpro.acpi_state is AcpiState.S5
+        pmpro.power_up()
+        assert pmpro.acpi_state is AcpiState.S0
+        pmpro.suspend()
+        assert pmpro.acpi_state is AcpiState.S3
+        pmpro.power_down()
+        assert pmpro.acpi_state is AcpiState.S5
+
+    def test_double_power_up_rejected(self):
+        pmpro = PmPro(ClockController())
+        pmpro.power_up()
+        with pytest.raises(MachineStateError):
+            pmpro.power_up()
+
+    def test_thermal_trip_powers_down(self):
+        pmpro = PmPro(ClockController())
+        pmpro.power_up()
+        assert pmpro.check_thermal(96.0)
+        assert pmpro.acpi_state is AcpiState.S5
+        assert ("thermal_trip", "96.0C") in pmpro.events
+
+    def test_no_trip_below_limit(self):
+        pmpro = PmPro(ClockController())
+        pmpro.power_up()
+        assert not pmpro.check_thermal(60.0)
+        assert pmpro.acpi_state is AcpiState.S0
+
+    def test_throttle_caps_frequencies(self):
+        clocks = ClockController()
+        pmpro = PmPro(clocks)
+        pmpro.set_throttle_cap_mhz(1200)
+        assert all(f <= 1200 for f in clocks.frequencies())
+        assert pmpro.effective_cap_mhz() == 1200
+        pmpro.set_throttle_cap_mhz(None)
+        assert pmpro.effective_cap_mhz() == 2400
+
+
+class TestSerialConsole:
+    def test_line_streaming(self):
+        console = SerialConsole()
+        console.write_line(BOOT_BANNER)
+        console.write_line("login:")
+        assert console.read_new_lines() == [BOOT_BANNER, "login:"]
+        assert console.read_new_lines() == []
+        console.write_line("$")
+        assert console.read_new_lines() == ["$"]
+
+    def test_heartbeat_liveness(self):
+        console = SerialConsole()
+        assert not console.is_alive(now_tick=0, timeout_ticks=10)
+        console.heartbeat(5)
+        assert console.is_alive(now_tick=10, timeout_ticks=10)
+        assert not console.is_alive(now_tick=16, timeout_ticks=10)
+
+    def test_clear_resets_everything(self):
+        console = SerialConsole()
+        console.write_line("x")
+        console.heartbeat(1)
+        console.clear()
+        assert console.all_lines() == []
+        assert console.last_heartbeat_tick() is None

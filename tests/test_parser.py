@@ -1,0 +1,89 @@
+"""Log round-trip: format -> parse -> classify."""
+
+import pytest
+
+from repro.core.parser import ParsedRun, format_run_block, parse_log
+from repro.effects import EffectType
+from repro.errors import ParseError
+
+
+def block(**overrides):
+    defaults = dict(
+        chip="TTT", benchmark="bwaves", core=0, voltage_mv=905,
+        freq_mhz=2400, campaign_index=1, run_index=3, exit_code=0,
+        output="aaa", expected_output="aaa", edac_ce=0, edac_ue=0,
+        responsive=True, watchdog_action="none",
+    )
+    defaults.update(overrides)
+    return format_run_block(**defaults)
+
+
+class TestRoundTrip:
+    def test_normal_run(self):
+        runs = parse_log(block())
+        assert len(runs) == 1
+        run = runs[0]
+        assert run.effects == frozenset({EffectType.NO})
+        assert run.chip == "TTT"
+        assert run.voltage_mv == 905
+        assert run.campaign_index == 1 and run.run_index == 3
+        assert run.output_matches is True
+
+    def test_sdc_run(self):
+        runs = parse_log(block(output="bbb"))
+        assert runs[0].effects == frozenset({EffectType.SDC})
+        assert runs[0].output_matches is False
+
+    def test_app_crash_run(self):
+        runs = parse_log(block(exit_code=139, output=None))
+        assert runs[0].effects == frozenset({EffectType.AC})
+        assert runs[0].exit_code == 139
+        assert runs[0].output_matches is None
+
+    def test_system_crash_truncates_block(self):
+        text = block(responsive=False, exit_code=None, output=None,
+                     watchdog_action="reset")
+        assert "exit_code" not in text
+        assert "edac" not in text
+        runs = parse_log(text)
+        assert runs[0].effects == frozenset({EffectType.SC})
+        assert runs[0].watchdog_action == "reset"
+
+    def test_edac_effects(self):
+        runs = parse_log(block(edac_ce=2, edac_ue=1))
+        assert runs[0].effects == frozenset({EffectType.CE, EffectType.UE})
+        assert runs[0].edac_ce == 2 and runs[0].edac_ue == 1
+
+    def test_multi_block_log(self):
+        text = block(run_index=1) + block(run_index=2, output="bad") + \
+            block(run_index=3, responsive=False, exit_code=None, output=None)
+        runs = parse_log(text)
+        assert [r.run_index for r in runs] == [1, 2, 3]
+        assert runs[1].effects == frozenset({EffectType.SDC})
+        assert runs[2].effects == frozenset({EffectType.SC})
+
+    def test_program_names_with_inputs(self):
+        runs = parse_log(block(benchmark="gcc/200"))
+        assert runs[0].benchmark == "gcc/200"
+
+
+class TestRobustness:
+    def test_empty_log(self):
+        assert parse_log("") == []
+
+    def test_garbage_before_header_rejected(self):
+        with pytest.raises(ParseError):
+            parse_log("random noise\n" + block())
+
+    def test_malformed_header_rejected(self):
+        with pytest.raises(ParseError):
+            parse_log("=== RUN gibberish ===\nstatus=completed\n")
+
+    def test_missing_status_rejected(self):
+        text = block().replace("status=completed\n", "")
+        with pytest.raises(ParseError):
+            parse_log(text)
+
+    def test_blank_lines_between_blocks_tolerated(self):
+        text = block(run_index=1) + "\n\n" + block(run_index=2)
+        assert len(parse_log(text)) == 2

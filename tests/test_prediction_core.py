@@ -1,0 +1,193 @@
+"""Prediction building blocks: metrics, OLS, RFE, naive, datasets."""
+
+import numpy as np
+import pytest
+
+from repro.errors import DatasetError, PredictionError
+from repro.prediction import (
+    NaiveMeanPredictor,
+    OrdinaryLeastSquares,
+    RecursiveFeatureElimination,
+    RegressionDataset,
+    r2_score,
+    rmse,
+    train_test_split,
+)
+
+
+class TestMetrics:
+    def test_perfect_prediction(self):
+        y = [1.0, 2.0, 3.0]
+        assert rmse(y, y) == 0.0
+        assert r2_score(y, y) == 1.0
+
+    def test_rmse_definition(self):
+        assert rmse([0, 0], [3, 4]) == pytest.approx((12.5) ** 0.5)
+
+    def test_r2_of_mean_prediction_is_zero(self):
+        y = [1.0, 2.0, 3.0]
+        assert r2_score(y, [2.0, 2.0, 2.0]) == pytest.approx(0.0)
+
+    def test_r2_can_be_negative(self):
+        assert r2_score([1.0, 2.0, 3.0], [3.0, 3.0, 3.0]) < 0.0
+
+    def test_constant_target_degenerate_cases(self):
+        assert r2_score([2.0, 2.0], [2.0, 2.0]) == 1.0
+        assert r2_score([2.0, 2.0], [3.0, 3.0]) == 0.0
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(PredictionError):
+            rmse([1.0], [1.0, 2.0])
+        with pytest.raises(PredictionError):
+            r2_score([], [])
+
+
+class TestOrdinaryLeastSquares:
+    def test_recovers_exact_linear_relation(self):
+        rng = np.random.default_rng(0)
+        x = rng.normal(size=(200, 3))
+        y = 2.0 + 3.0 * x[:, 0] - 1.5 * x[:, 1] + 0.0 * x[:, 2]
+        model = OrdinaryLeastSquares().fit(x, y, feature_names=["a", "b", "c"])
+        coef = model.coefficients_by_name()
+        assert coef["a"] == pytest.approx(3.0, abs=1e-9)
+        assert coef["b"] == pytest.approx(-1.5, abs=1e-9)
+        assert coef["c"] == pytest.approx(0.0, abs=1e-9)
+        assert model.intercept == pytest.approx(2.0, abs=1e-9)
+        assert rmse(y, model.predict(x)) < 1e-9
+
+    def test_predict_single_row(self):
+        x = np.array([[1.0], [2.0], [3.0]])
+        model = OrdinaryLeastSquares().fit(x, np.array([2.0, 4.0, 6.0]))
+        assert model.predict([4.0])[0] == pytest.approx(8.0)
+
+    def test_constant_feature_harmless(self):
+        x = np.column_stack([np.ones(50), np.arange(50.0)])
+        y = 5.0 + 2.0 * x[:, 1]
+        model = OrdinaryLeastSquares().fit(x, y)
+        assert rmse(y, model.predict(x)) < 1e-8
+
+    def test_collinear_features_handled(self):
+        # lstsq must survive rank deficiency (duplicated counters).
+        rng = np.random.default_rng(1)
+        base = rng.normal(size=(100, 1))
+        x = np.hstack([base, base, base * 2])
+        y = base[:, 0] * 4.0
+        model = OrdinaryLeastSquares().fit(x, y)
+        assert rmse(y, model.predict(x)) < 1e-8
+
+    def test_unfitted_use_rejected(self):
+        model = OrdinaryLeastSquares()
+        with pytest.raises(PredictionError):
+            model.predict([[1.0]])
+        with pytest.raises(PredictionError):
+            _ = model.coef
+
+    def test_shape_validation(self):
+        with pytest.raises(DatasetError):
+            OrdinaryLeastSquares().fit(np.zeros((3, 2)), np.zeros(4))
+        model = OrdinaryLeastSquares().fit(np.zeros((3, 2)) + np.arange(2),
+                                           np.zeros(3))
+        with pytest.raises(DatasetError):
+            model.predict(np.zeros((1, 3)))
+
+    def test_standardized_coef_comparable(self):
+        # A feature measured in huge units must not dominate the
+        # standardised weights when its real influence is small.
+        rng = np.random.default_rng(2)
+        small_units = rng.normal(size=200)
+        big_units = rng.normal(size=200) * 1e9
+        y = 10.0 * small_units + 1e-12 * big_units
+        x = np.column_stack([small_units, big_units])
+        model = OrdinaryLeastSquares().fit(x, y)
+        weights = np.abs(model.standardized_coef)
+        assert weights[0] > 100 * weights[1]
+
+
+class TestRfe:
+    def test_selects_informative_features(self):
+        rng = np.random.default_rng(3)
+        x = rng.normal(size=(300, 20))
+        y = 5 * x[:, 2] - 4 * x[:, 7] + 3 * x[:, 11] + rng.normal(0, 0.01, 300)
+        names = [f"f{i}" for i in range(20)]
+        result = RecursiveFeatureElimination(n_features=3).fit(x, y, names)
+        assert set(result.selected) == {"f2", "f7", "f11"}
+
+    def test_selected_ranked_one(self):
+        rng = np.random.default_rng(4)
+        x = rng.normal(size=(100, 6))
+        y = x[:, 0] + x[:, 1]
+        result = RecursiveFeatureElimination(n_features=2).fit(
+            x, y, [f"f{i}" for i in range(6)])
+        for idx in result.support:
+            assert result.ranking[idx] == 1
+        assert max(result.ranking) > 1
+
+    def test_large_step_same_selection(self):
+        rng = np.random.default_rng(5)
+        x = rng.normal(size=(300, 30))
+        y = 10 * x[:, 4] - 8 * x[:, 9]
+        names = [f"f{i}" for i in range(30)]
+        fine = RecursiveFeatureElimination(n_features=2, step=1).fit(x, y, names)
+        coarse = RecursiveFeatureElimination(n_features=2, step=7).fit(x, y, names)
+        assert set(fine.selected) == set(coarse.selected) == {"f4", "f9"}
+
+    def test_invalid_configuration_rejected(self):
+        with pytest.raises(PredictionError):
+            RecursiveFeatureElimination(n_features=0)
+        with pytest.raises(PredictionError):
+            RecursiveFeatureElimination(n_features=5).fit(
+                np.zeros((10, 3)), np.zeros(10), ["a", "b", "c"])
+
+
+class TestNaive:
+    def test_predicts_training_mean(self):
+        naive = NaiveMeanPredictor().fit(np.zeros((3, 2)), [1.0, 2.0, 6.0])
+        assert naive.mean == pytest.approx(3.0)
+        assert list(naive.predict(np.zeros((4, 2)))) == [3.0] * 4
+
+    def test_unfitted_rejected(self):
+        with pytest.raises(PredictionError):
+            NaiveMeanPredictor().predict(np.zeros((1, 1)))
+
+
+class TestDataset:
+    @pytest.fixture()
+    def dataset(self):
+        rng = np.random.default_rng(6)
+        return RegressionDataset(
+            x=rng.normal(size=(50, 4)),
+            y=rng.normal(size=50),
+            feature_names=("a", "b", "c", "d"),
+            tags=tuple(f"s{i}" for i in range(50)),
+        )
+
+    def test_shape_validation(self):
+        with pytest.raises(DatasetError):
+            RegressionDataset(x=np.zeros((3, 2)), y=np.zeros(4),
+                              feature_names=("a", "b"))
+        with pytest.raises(DatasetError):
+            RegressionDataset(x=np.zeros((3, 2)), y=np.zeros(3),
+                              feature_names=("a",))
+
+    def test_split_80_20(self, dataset):
+        train, test = train_test_split(dataset, test_fraction=0.2, seed=0)
+        assert len(train) == 40 and len(test) == 10
+        assert set(train.tags).isdisjoint(test.tags)
+        assert set(train.tags) | set(test.tags) == set(dataset.tags)
+
+    def test_split_deterministic(self, dataset):
+        first = train_test_split(dataset, seed=1)[1].tags
+        second = train_test_split(dataset, seed=1)[1].tags
+        assert first == second
+        assert train_test_split(dataset, seed=2)[1].tags != first
+
+    def test_feature_selection(self, dataset):
+        sub = dataset.select_features(["c", "a"])
+        assert sub.feature_names == ("c", "a")
+        assert np.allclose(sub.x[:, 1], dataset.x[:, 0])
+        with pytest.raises(DatasetError):
+            dataset.select_features(["z"])
+
+    def test_invalid_fraction_rejected(self, dataset):
+        with pytest.raises(DatasetError):
+            train_test_split(dataset, test_fraction=1.5)

@@ -1,0 +1,213 @@
+"""Property-based tests (hypothesis) on the core invariants."""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.regions import regions_from_counts
+from repro.core.severity import DEFAULT_WEIGHTS, SeverityWeights, severity_value
+from repro.effects import EffectType, normalize_effects
+from repro.faults.ecc import DecodeStatus, DectedCode, SecdedCode, flip_bits
+from repro.faults.models import FailureCurve
+from repro.prediction.metrics import r2_score, rmse
+from repro.units import validate_voltage_mv, voltage_sweep
+from repro.workloads.benchmark import (
+    WorkloadTraits,
+    solve_traits_for_stress,
+    stress_from_traits,
+)
+
+# Module-level codecs: construction (table generation) is the slow part.
+_SECDED = SecdedCode()
+_DECTED = DectedCode()
+
+words = st.integers(min_value=0, max_value=(1 << 64) - 1)
+
+
+class TestEccProperties:
+    @given(words)
+    @settings(max_examples=60)
+    def test_secded_roundtrip(self, word):
+        result = _SECDED.decode(_SECDED.encode(word))
+        assert result.status is DecodeStatus.CLEAN and result.data == word
+
+    @given(words, st.integers(min_value=0, max_value=71))
+    @settings(max_examples=60)
+    def test_secded_corrects_any_single(self, word, pos):
+        result = _SECDED.decode(flip_bits(_SECDED.encode(word), [pos]))
+        assert result.status is DecodeStatus.CORRECTED and result.data == word
+
+    @given(words, st.integers(min_value=0, max_value=78),
+           st.integers(min_value=0, max_value=78))
+    @settings(max_examples=60)
+    def test_dected_corrects_any_double(self, word, pos1, pos2):
+        corrupted = flip_bits(_DECTED.encode(word), [pos1, pos2])
+        result = _DECTED.decode(corrupted)
+        if pos1 == pos2:
+            assert result.status is DecodeStatus.CLEAN
+        else:
+            assert result.status is DecodeStatus.CORRECTED
+        assert result.data == word
+
+    @given(words, st.data())
+    @settings(max_examples=60)
+    def test_dected_detects_any_triple(self, word, data):
+        positions = data.draw(
+            st.lists(st.integers(min_value=0, max_value=78),
+                     min_size=3, max_size=3, unique=True))
+        corrupted = flip_bits(_DECTED.encode(word), positions)
+        result = _DECTED.decode(corrupted)
+        assert result.status is DecodeStatus.DETECTED_UNCORRECTABLE
+
+
+class TestSeverityProperties:
+    effect_counts = st.fixed_dictionaries({
+        effect: st.integers(min_value=0, max_value=10) for effect in EffectType
+    })
+
+    @given(effect_counts)
+    @settings(max_examples=100)
+    def test_bounded_by_weight_sum(self, counts):
+        severity = severity_value(counts, 10)
+        weights = DEFAULT_WEIGHTS
+        upper = weights.sc + weights.ac + weights.sdc + weights.ue + weights.ce
+        assert 0.0 <= severity <= upper
+
+    @given(effect_counts, st.integers(min_value=0, max_value=10))
+    @settings(max_examples=100)
+    def test_monotone_in_counts(self, counts, extra):
+        severity = severity_value(counts, 20)
+        bumped = dict(counts)
+        bumped[EffectType.SDC] = min(20, bumped[EffectType.SDC] + extra)
+        assert severity_value(bumped, 20) >= severity
+
+    @given(effect_counts)
+    @settings(max_examples=100)
+    def test_linear_in_weights(self, counts):
+        """Doubling all weights doubles the severity."""
+        base = severity_value(counts, 10)
+        doubled = severity_value(
+            counts, 10,
+            SeverityWeights(sc=32, ac=16, sdc=8, ue=4, ce=2))
+        assert doubled == base * 2
+
+    @given(st.lists(
+        st.sampled_from(list(EffectType)), min_size=0, max_size=5))
+    @settings(max_examples=100)
+    def test_normalize_effects_invariants(self, effects):
+        normalized = normalize_effects(effects)
+        assert normalized  # never empty
+        if len(normalized) > 1:
+            assert EffectType.NO not in normalized
+
+
+class TestRegionProperties:
+    @st.composite
+    def sweeps(draw):
+        """Random monotone-ish sweeps with a clean top level."""
+        n_levels = draw(st.integers(min_value=2, max_value=12))
+        voltages = [980 - 5 * i for i in range(n_levels)]
+        counts = {voltages[0]: {e: 0 for e in EffectType}}
+        counts[voltages[0]][EffectType.NO] = 10
+        for voltage in voltages[1:]:
+            level = {e: 0 for e in EffectType}
+            level[EffectType.NO] = draw(st.integers(0, 10))
+            level[EffectType.SDC] = draw(st.integers(0, 10))
+            level[EffectType.SC] = draw(st.integers(0, 10))
+            counts[voltage] = level
+        return counts
+
+    @given(sweeps())
+    @settings(max_examples=100)
+    def test_region_nesting(self, counts):
+        regions = regions_from_counts(counts)
+        voltages = sorted(counts, reverse=True)
+        # Regions appear in order safe -> unsafe -> crash as V drops.
+        seen = []
+        for voltage in voltages:
+            region = regions.classify(voltage).value
+            if not seen or seen[-1] != region:
+                seen.append(region)
+        allowed = ["safe", "unsafe", "crash"]
+        assert seen == [r for r in allowed if r in seen]
+
+    @given(sweeps())
+    @settings(max_examples=100)
+    def test_vmin_level_and_above_clean_of_observations(self, counts):
+        regions = regions_from_counts(counts)
+        for voltage, level in counts.items():
+            if voltage >= regions.vmin_mv:
+                abnormal = sum(
+                    n for effect, n in level.items()
+                    if effect is not EffectType.NO
+                )
+                assert abnormal == 0
+
+
+class TestMetricProperties:
+    vectors = st.lists(
+        st.floats(min_value=-1e6, max_value=1e6, allow_nan=False),
+        min_size=2, max_size=30)
+
+    @given(vectors)
+    @settings(max_examples=100)
+    def test_rmse_zero_iff_equal(self, y):
+        assert rmse(y, y) == 0.0
+
+    @given(vectors, st.floats(min_value=-100, max_value=100, allow_nan=False))
+    @settings(max_examples=100)
+    def test_rmse_shift_invariance(self, y, shift):
+        shifted_truth = [v + shift for v in y]
+        shifted_pred = [v + shift for v in y]
+        assert rmse(shifted_truth, shifted_pred) == 0.0
+
+    @given(vectors)
+    @settings(max_examples=100)
+    def test_r2_never_exceeds_one(self, y):
+        rng = random.Random(0)
+        predictions = [v + rng.uniform(-1, 1) for v in y]
+        assert r2_score(y, predictions) <= 1.0
+
+
+class TestVoltageGridProperties:
+    @given(st.integers(min_value=0, max_value=56),
+           st.integers(min_value=0, max_value=56))
+    @settings(max_examples=100)
+    def test_sweep_on_grid_and_descending(self, a, b):
+        start = 980 - 5 * min(a, b)
+        stop = 980 - 5 * max(a, b)
+        sweep = voltage_sweep(start, stop)
+        assert sweep[0] == start and sweep[-1] == stop
+        assert all(validate_voltage_mv(v) == v for v in sweep)
+        assert all(x - y == 5 for x, y in zip(sweep, sweep[1:]))
+
+
+class TestFailureCurveProperties:
+    @given(st.floats(min_value=750, max_value=950),
+           st.floats(min_value=0.5, max_value=5.0),
+           st.floats(min_value=700, max_value=1000),
+           st.floats(min_value=0, max_value=50))
+    @settings(max_examples=100)
+    def test_monotone_and_bounded(self, midpoint, scale, voltage, delta):
+        curve = FailureCurve(midpoint_mv=midpoint, scale_mv=scale)
+        high = curve.probability(voltage + delta)
+        low = curve.probability(voltage)
+        assert 0.0 <= high <= 1.0
+        assert high <= low
+
+
+class TestStressIdentityProperties:
+    # The default template's fixed contribution is ~0.173, so exact
+    # solutions exist for stress in [0.173, 0.773].
+    @given(st.floats(min_value=0.18, max_value=0.77))
+    @settings(max_examples=100)
+    def test_solver_exact_within_default_template(self, stress):
+        traits = solve_traits_for_stress(WorkloadTraits(), stress)
+        assert abs(stress_from_traits(traits) - stress) < 1e-9
+
+    @given(st.floats(min_value=0.0, max_value=1.0))
+    @settings(max_examples=100)
+    def test_clamped_solver_never_raises(self, stress):
+        traits = solve_traits_for_stress(WorkloadTraits(), stress, clamp=True)
+        assert 0.0 <= stress_from_traits(traits) <= 1.0

@@ -1,0 +1,144 @@
+"""Safe/unsafe/crash region extraction (Section 3.1)."""
+
+import pytest
+
+from repro.core.regions import (
+    OperatingRegions,
+    Region,
+    campaign_vmins,
+    merge_counts,
+    region_map,
+    regions_from_counts,
+)
+# Imported under an alias: the original name matches pytest's test-
+# function pattern and would be collected as a test.
+from repro.core.regions import tested_voltages as voltages_of
+from repro.effects import EffectType
+from repro.errors import CampaignError
+
+
+def counts(no=0, sdc=0, ce=0, ue=0, ac=0, sc=0):
+    return {
+        EffectType.NO: no, EffectType.SDC: sdc, EffectType.CE: ce,
+        EffectType.UE: ue, EffectType.AC: ac, EffectType.SC: sc,
+    }
+
+
+@pytest.fixture()
+def typical_sweep():
+    """A bwaves-like sweep: clean, then SDCs, then crashes."""
+    return {
+        915: counts(no=10),
+        910: counts(no=10),
+        905: counts(no=8, sdc=2),
+        900: counts(sdc=10),
+        895: counts(sdc=8, ce=3),
+        890: counts(sdc=5, ac=3, ce=4, no=2),
+        885: counts(ac=4, sc=2, ce=4, no=4),
+        880: counts(sc=10),
+    }
+
+
+class TestExtraction:
+    def test_vmin_above_first_abnormal(self, typical_sweep):
+        regions = regions_from_counts(typical_sweep)
+        assert regions.vmin_mv == 910
+        assert not regions.censored
+
+    def test_crash_is_highest_sc_level(self, typical_sweep):
+        assert regions_from_counts(typical_sweep).crash_mv == 885
+
+    def test_classification(self, typical_sweep):
+        regions = regions_from_counts(typical_sweep)
+        assert regions.classify(915) is Region.SAFE
+        assert regions.classify(910) is Region.SAFE
+        assert regions.classify(905) is Region.UNSAFE
+        assert regions.classify(890) is Region.UNSAFE
+        assert regions.classify(885) is Region.CRASH
+        assert regions.classify(880) is Region.CRASH
+
+    def test_unsafe_width(self, typical_sweep):
+        regions = regions_from_counts(typical_sweep)
+        # 905, 900, 895, 890 are unsafe: four 5 mV steps.
+        assert regions.unsafe_width_mv == 20
+
+    def test_guardband(self, typical_sweep):
+        assert regions_from_counts(typical_sweep).guardband_mv(980) == 70
+
+    def test_clean_sweep_censored(self):
+        regions = regions_from_counts({v: counts(no=10) for v in (910, 905, 900)})
+        assert regions.censored
+        assert regions.vmin_mv == 900  # only an upper bound
+
+    def test_no_crash_observed(self):
+        regions = regions_from_counts({
+            910: counts(no=10), 905: counts(sdc=5, no=5),
+        })
+        assert regions.crash_mv is None
+        assert regions.classify(905) is Region.UNSAFE
+
+    def test_abnormal_at_top_rejected(self):
+        with pytest.raises(CampaignError):
+            regions_from_counts({910: counts(sdc=1), 905: counts(no=10)})
+
+    def test_empty_rejected(self):
+        with pytest.raises(CampaignError):
+            regions_from_counts({})
+
+    def test_non_monotone_handled_conservatively(self):
+        # A clean level below an abnormal one does not lower the Vmin.
+        regions = regions_from_counts({
+            915: counts(no=10),
+            910: counts(sdc=1, no=9),
+            905: counts(no=10),  # lucky campaign
+            900: counts(sdc=10),
+        })
+        assert regions.vmin_mv == 915
+
+    def test_crash_only_sweep(self):
+        # The 1.2 GHz regime: nothing but crashes below the safe Vmin.
+        regions = regions_from_counts({
+            765: counts(no=10),
+            760: counts(no=10),
+            755: counts(sc=3, no=7),
+            750: counts(sc=10),
+        })
+        assert regions.vmin_mv == 760
+        assert regions.crash_mv == 755
+        assert regions.unsafe_width_mv == 0
+
+
+class TestHelpers:
+    def test_region_map(self, typical_sweep):
+        regions = regions_from_counts(typical_sweep)
+        mapping = region_map(regions, typical_sweep)
+        assert mapping[915] is Region.SAFE
+        assert mapping[880] is Region.CRASH
+
+    def test_campaign_vmins(self):
+        campaigns = [
+            {910: counts(no=10), 905: counts(sdc=1, no=9)},
+            {910: counts(no=10), 905: counts(no=10)},
+        ]
+        assert campaign_vmins(campaigns) == [910, 905]
+
+    def test_merge_counts_pools(self):
+        merged = merge_counts([
+            {905: counts(no=10)},
+            {905: counts(sdc=2, no=8)},
+        ])
+        assert merged[905][EffectType.NO] == 18
+        assert merged[905][EffectType.SDC] == 2
+
+    def test_tested_voltages_descending(self, typical_sweep):
+        voltages = voltages_of(typical_sweep)
+        assert voltages[0] == 915 and voltages[-1] == 880
+        assert list(voltages) == sorted(voltages, reverse=True)
+
+    def test_operating_regions_direct_construction(self):
+        regions = OperatingRegions(
+            vmin_mv=905, crash_mv=880, lowest_tested_mv=860,
+            highest_tested_mv=930,
+        )
+        assert regions.classify(860) is Region.CRASH
+        assert regions.unsafe_width_mv == 20

@@ -1,0 +1,251 @@
+"""Scheduler, governor, DVFS baseline and mitigation ladder."""
+
+import pytest
+
+from repro.data.calibration import chip_calibration
+from repro.energy.tradeoffs import FIGURE9_WORKLOAD
+from repro.errors import ConfigurationError, PredictionError
+from repro.scheduling import (
+    ApplicationClass,
+    CheckpointRollback,
+    DvfsPolicy,
+    DVFS_OPP_TABLE,
+    Mitigation,
+    SeverityAwareScheduler,
+    VoltageGovernor,
+    recommend_mitigation,
+)
+from repro.workloads import get_benchmark
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return [get_benchmark(name) for name in FIGURE9_WORKLOAD]
+
+
+class TestScheduler:
+    def test_robust_first_beats_naive(self, workload):
+        scheduler = SeverityAwareScheduler("TTT")
+        comparison = scheduler.compare_policies(workload)
+        assert comparison["robust_first"].chip_vmin_mv < \
+            comparison["naive"].chip_vmin_mv
+        assert comparison["robust_first"].saving_fraction > \
+            comparison["naive"].saving_fraction
+
+    def test_robust_first_places_demanding_on_robust(self, workload):
+        scheduler = SeverityAwareScheduler("TTT")
+        assignment = scheduler.assign(workload, policy="robust_first")
+        cal = chip_calibration("TTT")
+        # leslie3d (most demanding) lands on the most robust core.
+        assert assignment.placement["leslie3d"] == cal.most_robust_core()
+
+    def test_chip_vmin_is_worst_pair(self, workload):
+        scheduler = SeverityAwareScheduler("TTT")
+        assignment = scheduler.assign(workload, policy="naive")
+        assert assignment.chip_vmin_mv == max(assignment.vmin_by_core.values())
+
+    def test_best_assignment_is_optimal_for_additive_oracle(self, workload):
+        import itertools
+        scheduler = SeverityAwareScheduler("TTT")
+        best = scheduler.best_assignment(workload[:4], cores=[0, 2, 4, 6])
+        # Exhaustive check on the small instance.
+        cal = chip_calibration("TTT")
+        optimum = min(
+            max(cal.vmin_mv(core, bench.stress)
+                for bench, core in zip(workload[:4], perm))
+            for perm in itertools.permutations([0, 2, 4, 6])
+        )
+        assert best.chip_vmin_mv == optimum
+
+    def test_too_many_tasks_rejected(self, workload):
+        scheduler = SeverityAwareScheduler("TTT")
+        with pytest.raises(ConfigurationError):
+            scheduler.assign(workload * 2)
+
+    def test_unknown_policy_rejected(self, workload):
+        with pytest.raises(ConfigurationError):
+            SeverityAwareScheduler("TTT").assign(workload, policy="random")
+
+    def test_slowdown_plan_matches_figure9(self, workload):
+        from repro.energy.tradeoffs import FIGURE9_PLACEMENT, figure9_vmins
+        scheduler = SeverityAwareScheduler("TTT")
+        from repro.scheduling.scheduler import Assignment
+        assignment = Assignment(
+            placement=FIGURE9_PLACEMENT,
+            chip_vmin_mv=915,
+            vmin_by_core=figure9_vmins(),
+            policy="paper",
+        )
+        voltage, slowed = scheduler.slowdown_plan(assignment, max_perf_loss=0.25)
+        assert voltage == 885
+        assert set(slowed) == {0, 3}
+
+    def test_slowdown_plan_zero_budget(self, workload):
+        scheduler = SeverityAwareScheduler("TTT")
+        assignment = scheduler.assign(workload, policy="naive")
+        voltage, slowed = scheduler.slowdown_plan(assignment, max_perf_loss=0.0)
+        assert slowed == []
+        assert voltage == assignment.chip_vmin_mv
+
+
+class TestGovernor:
+    @pytest.fixture(scope="class")
+    def trained(self):
+        """Governor trained on (snapshot, Vmin) observations from the
+        calibration oracle."""
+        from repro.data.counters import CounterCatalog
+        from repro.workloads import SPEC2006_SUITE
+        catalog = CounterCatalog(noise_sigma=0.0)
+        cal = chip_calibration("TTT")
+        snapshots, vmins = [], []
+        for bench in SPEC2006_SUITE.values():
+            snapshots.append(catalog.synthesize(bench.traits.as_dict()))
+            vmins.append(cal.vmin_mv(4, bench.stress))
+        return VoltageGovernor.train_from_observations(
+            snapshots, vmins, core_offsets_mv=cal.core_offsets_mv,
+            margin_mv=10,
+        ), catalog, cal
+
+    def test_decision_shape(self, trained):
+        governor, catalog, cal = trained
+        snapshot = catalog.synthesize(get_benchmark("leslie3d").traits.as_dict())
+        decision = governor.decide({0: snapshot, 4: snapshot})
+        assert decision.limiting_core == 0  # most sensitive core pins it
+        assert 700 <= decision.voltage_mv <= 980
+        assert decision.voltage_mv % 5 == 0
+
+    def test_decision_above_true_vmin_with_margin(self, trained):
+        """The governor must never program below any task's true Vmin.
+
+        The Vmin model is trained on counter-visible stress only, so
+        its error includes the latent component; the margin must cover
+        it for the benchmarks it was trained on."""
+        governor, catalog, cal = trained
+        violations = 0
+        from repro.workloads import SPEC2006_SUITE
+        for bench in SPEC2006_SUITE.values():
+            snapshot = catalog.synthesize(bench.traits.as_dict())
+            decision = governor.decide({4: snapshot})
+            true_vmin = cal.vmin_mv(4, bench.stress)
+            if decision.voltage_mv < true_vmin:
+                violations += 1
+        # The latent component makes a few benchmarks unpredictable --
+        # this is the paper's case for severity-based margins -- but the
+        # bulk must be safely covered.
+        assert violations <= 3
+
+    def test_aggressive_needs_severity_model(self, trained):
+        governor, catalog, _ = trained
+        snapshot = catalog.synthesize(get_benchmark("mcf").traits.as_dict())
+        with pytest.raises(PredictionError):
+            governor.decide_aggressive({0: snapshot}, severity_tolerance=4.0)
+
+    def test_aggressive_goes_deeper_for_tolerant_apps(self, trained):
+        governor, catalog, cal = trained
+        # Synthetic severity model: severity rises 0.2 per mV below a
+        # 900 mV knee (trained from generated observations).
+        snaps, volts, sevs = [], [], []
+        for bench in ("mcf", "bwaves", "leslie3d"):
+            snapshot = catalog.synthesize(get_benchmark(bench).traits.as_dict())
+            for voltage in range(980, 850, -5):
+                snaps.append(snapshot)
+                volts.append(voltage)
+                sevs.append(max(0.0, (900 - voltage) * 0.2))
+        severity_model = VoltageGovernor.fit_severity_model(snaps, volts, sevs)
+        aggressive_governor = VoltageGovernor(
+            governor.vmin_model,
+            core_offsets_mv=cal.core_offsets_mv,
+            margin_mv=10,
+            severity_model=severity_model,
+        )
+        snapshot = catalog.synthesize(get_benchmark("mcf").traits.as_dict())
+        conservative = aggressive_governor.decide({4: snapshot})
+        aggressive = aggressive_governor.decide_aggressive(
+            {4: snapshot}, severity_tolerance=4.0)
+        assert aggressive.voltage_mv <= conservative.voltage_mv
+
+    def test_empty_snapshot_rejected(self, trained):
+        governor, _, _ = trained
+        with pytest.raises(ConfigurationError):
+            governor.decide({})
+
+
+class TestDvfs:
+    def test_opp_table_monotone(self):
+        voltages = [p.voltage_mv for p in DVFS_OPP_TABLE]
+        freqs = [p.freq_mhz for p in DVFS_OPP_TABLE]
+        assert freqs == sorted(freqs)
+        assert voltages == sorted(voltages)
+        assert DVFS_OPP_TABLE[-1].voltage_mv == 980
+
+    def test_point_for_utilisation(self):
+        policy = DvfsPolicy()
+        assert policy.point_for_utilisation(1.0).freq_mhz == 2400
+        assert policy.point_for_utilisation(0.5).freq_mhz == 1200
+        assert policy.point_for_utilisation(0.0).freq_mhz == 300
+
+    def test_harvesting_beats_baseline_at_full_speed(self):
+        policy = DvfsPolicy()
+        advantage = policy.undervolting_advantage(2400, harvested_vmin_mv=915)
+        assert advantage == pytest.approx(0.128, abs=0.001)
+
+    def test_harvesting_beats_baseline_at_1200(self):
+        policy = DvfsPolicy()
+        baseline_voltage = policy.point_for_frequency(1200).voltage_mv
+        assert baseline_voltage > 760  # guardband retained by the vendor
+        assert policy.undervolting_advantage(1200, harvested_vmin_mv=760) > 0
+
+    def test_unknown_frequency_rejected(self):
+        with pytest.raises(ConfigurationError):
+            DvfsPolicy().point_for_frequency(1250)
+
+
+class TestMitigation:
+    def test_ladder(self):
+        assert recommend_mitigation(0.0) is Mitigation.NONE
+        assert recommend_mitigation(1.0) is Mitigation.ECC_PROXY
+        assert recommend_mitigation(5.0) is Mitigation.CHECKPOINT_ROLLBACK
+        assert recommend_mitigation(9.0) is Mitigation.AVOID
+        assert recommend_mitigation(16.0) is Mitigation.AVOID
+
+    def test_silent_sdcs_avoided(self):
+        # severity=4 alone means undetectable corruption.
+        assert recommend_mitigation(4.0, detectable=False) is Mitigation.AVOID
+
+    def test_tolerant_applications(self):
+        tolerant = ApplicationClass.SDC_TOLERANT
+        assert recommend_mitigation(4.0, application=tolerant) is Mitigation.TOLERATE
+        assert recommend_mitigation(6.0, application=tolerant) is \
+            Mitigation.CHECKPOINT_ROLLBACK
+        assert tolerant.severity_tolerance == 4.0
+        assert ApplicationClass.EXACT.severity_tolerance == 0.0
+
+    def test_negative_severity_rejected(self):
+        with pytest.raises(ConfigurationError):
+            recommend_mitigation(-1.0)
+
+    def test_checkpoint_overhead_model(self):
+        ckpt = CheckpointRollback(checkpoint_interval_s=100.0,
+                                  checkpoint_cost_s=1.0)
+        # cost/interval + rate*interval/2 = 0.01 + 0.05
+        assert ckpt.expected_overhead_fraction(0.001) == pytest.approx(0.06)
+
+    def test_optimal_interval_youngs_formula(self):
+        ckpt = CheckpointRollback(checkpoint_interval_s=100.0,
+                                  checkpoint_cost_s=2.0)
+        assert ckpt.optimal_interval_s(0.001) == pytest.approx((4000.0) ** 0.5)
+
+    def test_worthwhile_tradeoff(self):
+        ckpt = CheckpointRollback(checkpoint_interval_s=100.0,
+                                  checkpoint_cost_s=1.0)
+        assert ckpt.worthwhile(failure_rate_per_s=0.0001, saving_fraction=0.19)
+        assert not ckpt.worthwhile(failure_rate_per_s=0.01, saving_fraction=0.19)
+
+    def test_invalid_configs_rejected(self):
+        with pytest.raises(ConfigurationError):
+            CheckpointRollback(checkpoint_interval_s=0, checkpoint_cost_s=1)
+        ckpt = CheckpointRollback(checkpoint_interval_s=10, checkpoint_cost_s=1)
+        with pytest.raises(ConfigurationError):
+            ckpt.expected_overhead_fraction(-1)
+        with pytest.raises(ConfigurationError):
+            ckpt.worthwhile(0.001, 1.5)

@@ -1,0 +1,143 @@
+"""The severity function (Section 3.4.1, Table 4)."""
+
+import pytest
+
+from repro.core.severity import (
+    DEFAULT_WEIGHTS,
+    SeverityWeights,
+    severity_of_runs,
+    severity_table,
+    severity_value,
+)
+from repro.effects import EffectType
+from repro.errors import ConfigurationError
+
+
+class TestWeights:
+    def test_table4_defaults(self):
+        w = DEFAULT_WEIGHTS
+        assert (w.sc, w.ac, w.sdc, w.ue, w.ce) == (16, 8, 4, 2, 1)
+
+    def test_no_weighs_zero(self):
+        assert DEFAULT_WEIGHTS.weight(EffectType.NO) == 0.0
+
+    def test_maximum_is_all_crash(self):
+        assert DEFAULT_WEIGHTS.maximum == 16.0
+
+    def test_negative_weight_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SeverityWeights(sc=-1)
+
+    def test_custom_weights_usable(self):
+        # "different weight values can be also used" (Section 3.4.1).
+        w = SeverityWeights(sc=100, ac=10, sdc=50, ue=2, ce=1)
+        counts = {EffectType.SDC: 1}
+        assert severity_value(counts, 1, w) == 50.0
+
+
+class TestSeverityValue:
+    def test_paper_formula(self):
+        # 2 SDC + 1 CE + 1 SC out of 10 runs:
+        # 4*2/10 + 1*1/10 + 16*1/10 = 2.5
+        counts = {EffectType.SDC: 2, EffectType.CE: 1, EffectType.SC: 1}
+        assert severity_value(counts, 10) == pytest.approx(2.5)
+
+    def test_all_clean_is_zero(self):
+        assert severity_value({EffectType.NO: 10}, 10) == 0.0
+
+    def test_all_crash_is_sixteen(self):
+        assert severity_value({EffectType.SC: 10}, 10) == 16.0
+
+    def test_count_exceeding_runs_rejected(self):
+        with pytest.raises(ConfigurationError):
+            severity_value({EffectType.CE: 11}, 10)
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ConfigurationError):
+            severity_value({EffectType.CE: -1}, 10)
+
+    def test_zero_runs_rejected(self):
+        with pytest.raises(ConfigurationError):
+            severity_value({}, 0)
+
+    def test_event_multiplicity_ignored(self):
+        # "the actual number of uncorrected errors during each run is
+        # not taken into consideration": counts are runs, so a single
+        # run with many UEs has the same severity as one with one UE.
+        assert severity_value({EffectType.UE: 1}, 1) == 2.0
+
+
+class TestSeverityOfRuns:
+    def test_multi_effect_runs(self):
+        runs = [
+            frozenset({EffectType.SDC, EffectType.CE}),
+            frozenset({EffectType.NO}),
+        ]
+        # (4*1 + 1*1) / 2
+        assert severity_of_runs(runs) == pytest.approx(2.5)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            severity_of_runs([])
+
+    def test_monotone_in_effect_escalation(self):
+        base = severity_of_runs([frozenset({EffectType.CE})])
+        worse = severity_of_runs([frozenset({EffectType.UE})])
+        worst = severity_of_runs([frozenset({EffectType.SC})])
+        assert base < worse < worst
+
+
+class TestSeverityTable:
+    def test_per_voltage_mapping(self):
+        table = severity_table({
+            905: [frozenset({EffectType.NO})] * 10,
+            900: [frozenset({EffectType.SDC})] * 4 + [frozenset({EffectType.NO})] * 6,
+        })
+        assert table[905] == 0.0
+        assert table[900] == pytest.approx(1.6)
+
+    def test_severity_bounded_by_max_weight(self):
+        table = severity_table({
+            860: [frozenset({EffectType.SC})] * 10,
+        })
+        assert table[860] <= DEFAULT_WEIGHTS.maximum
+
+
+class TestDeepestVoltageWithin:
+    def test_exact_tolerance_zero_returns_safe_vmin(self):
+        from repro.core.severity import deepest_voltage_within
+        table = {910: 0.0, 905: 0.0, 900: 0.16, 895: 4.0, 890: 16.0}
+        assert deepest_voltage_within(table, 0.0) == 905
+
+    def test_sdc_tolerant_apps_go_deeper(self):
+        from repro.core.severity import deepest_voltage_within
+        table = {910: 0.0, 905: 0.0, 900: 0.16, 895: 4.0, 890: 16.0}
+        assert deepest_voltage_within(table, 4.0) == 895
+
+    def test_contiguity_enforced(self):
+        from repro.core.severity import deepest_voltage_within
+        # A quiet level below a violating one is unusable.
+        table = {910: 0.0, 905: 6.0, 900: 0.0}
+        assert deepest_voltage_within(table, 1.0) == 910
+
+    def test_nothing_satisfies(self):
+        from repro.core.severity import deepest_voltage_within
+        from repro.errors import ConfigurationError
+        with pytest.raises(ConfigurationError):
+            deepest_voltage_within({905: 8.0}, 1.0)
+
+    def test_validation(self):
+        from repro.core.severity import deepest_voltage_within
+        from repro.errors import ConfigurationError
+        with pytest.raises(ConfigurationError):
+            deepest_voltage_within({}, 0.0)
+        with pytest.raises(ConfigurationError):
+            deepest_voltage_within({905: 0.0}, -1.0)
+
+    def test_on_a_real_characterization(self, bwaves_characterization):
+        from repro.core.severity import deepest_voltage_within
+        table = bwaves_characterization.severity_by_voltage()
+        safe = deepest_voltage_within(table, 0.0)
+        tolerant = deepest_voltage_within(table, 4.0)
+        assert safe == bwaves_characterization.highest_vmin_mv
+        assert tolerant < safe

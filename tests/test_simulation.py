@@ -1,0 +1,95 @@
+"""Closed-loop energy-efficiency simulation."""
+
+import pytest
+
+from repro.energy.tradeoffs import FIGURE9_WORKLOAD
+from repro.errors import ConfigurationError
+from repro.scheduling import EnergyEfficiencySimulation
+from repro.units import PMD_NOMINAL_MV
+from repro.workloads import get_benchmark
+
+
+@pytest.fixture(scope="module")
+def simulation():
+    workload = [get_benchmark(name) for name in FIGURE9_WORKLOAD]
+    return EnergyEfficiencySimulation(workload, seed=7)
+
+
+class TestSetup:
+    def test_placement_robust_first(self, simulation):
+        # robust-first placement gives a chip Vmin below the naive 910.
+        assert simulation.assignment.chip_vmin_mv == 895
+
+    def test_policy_voltages(self, simulation):
+        assert simulation.policy_voltage_mv("nominal") == PMD_NOMINAL_MV
+        assert simulation.policy_voltage_mv("static_vmin", margin_mv=10) == 905
+        assert simulation.policy_voltage_mv("oracle") == 895
+
+    def test_unknown_policy_rejected(self, simulation):
+        with pytest.raises(ConfigurationError):
+            simulation.policy_voltage_mv("yolo")
+
+    def test_empty_workload_rejected(self):
+        with pytest.raises(ConfigurationError):
+            EnergyEfficiencySimulation([])
+
+    def test_oversubscription_rejected(self):
+        workload = [get_benchmark(n) for n in FIGURE9_WORKLOAD]
+        with pytest.raises(ConfigurationError):
+            EnergyEfficiencySimulation(workload + workload)
+
+
+class TestPolicies:
+    @pytest.fixture(scope="class")
+    def reports(self, simulation):
+        return simulation.compare_policies(repeats=2)
+
+    def test_nominal_saves_nothing(self, reports):
+        assert reports["nominal"].saving_fraction == pytest.approx(0.0, abs=1e-9)
+        assert reports["nominal"].correct
+
+    def test_static_vmin_saves_without_violations(self, reports):
+        report = reports["static_vmin"]
+        assert report.saving_fraction > 0.08
+        assert report.correct
+        assert report.crash_recoveries == 0
+
+    def test_oracle_upper_bounds_static(self, reports):
+        assert reports["oracle"].saving_fraction >= \
+            reports["static_vmin"].saving_fraction
+
+    def test_energy_accounting_consistent(self, reports):
+        # Baseline metering equals the nominal policy's metered energy.
+        nominal = reports["nominal"]
+        assert nominal.energy_j == pytest.approx(nominal.baseline_energy_j,
+                                                 rel=1e-6)
+
+
+class TestMarginSweep:
+    @pytest.fixture(scope="class")
+    def sweep(self, simulation):
+        margins = [20, 10, 0, -10, -25]
+        return dict(zip(margins, simulation.margin_sweep(margins, repeats=2)))
+
+    def test_positive_margins_are_clean(self, sweep):
+        for margin in (20, 10, 0):
+            assert sweep[margin].correct, margin
+            assert sweep[margin].crash_recoveries == 0
+
+    def test_savings_grow_as_margin_shrinks_while_clean(self, sweep):
+        assert sweep[0].saving_fraction > sweep[10].saving_fraction > \
+            sweep[20].saving_fraction > 0
+
+    def test_below_vmin_violations_appear(self, sweep):
+        below = sweep[-10]
+        assert below.sdc_runs > 0 or below.crash_recoveries > 0
+
+    def test_deep_undervolt_destroys_the_saving(self, sweep):
+        deep = sweep[-25]
+        assert deep.crash_recoveries > 0
+        # Crash re-execution burns more than undervolting saves.
+        assert deep.saving_fraction < sweep[0].saving_fraction
+
+    def test_repeats_validated(self, simulation):
+        with pytest.raises(ConfigurationError):
+            simulation.run_policy("nominal", repeats=0)

@@ -1,0 +1,72 @@
+"""Closed loop with the predicted (governor) policy and the Section-4.4
+application-tolerance semantics."""
+
+import pytest
+
+from repro.data.calibration import chip_calibration
+from repro.data.counters import CounterCatalog
+from repro.energy.tradeoffs import FIGURE9_WORKLOAD
+from repro.errors import ConfigurationError
+from repro.hardware import XGene2Machine
+from repro.scheduling import (
+    ApplicationClass,
+    EnergyEfficiencySimulation,
+    VoltageGovernor,
+)
+from repro.workloads import SPEC2006_SUITE, get_benchmark
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return [get_benchmark(name) for name in FIGURE9_WORKLOAD]
+
+
+@pytest.fixture(scope="module")
+def governor():
+    """Governor trained on the calibration oracle over the full suite
+    for the most sensitive core (worst case on the shared plane)."""
+    catalog = CounterCatalog(noise_sigma=0.0)
+    cal = chip_calibration("TTT")
+    snapshots, vmins = [], []
+    for bench in SPEC2006_SUITE.values():
+        snapshots.append(catalog.synthesize(bench.traits.as_dict()))
+        vmins.append(cal.vmin_mv(0, bench.stress))
+    return VoltageGovernor.train_from_observations(
+        snapshots, vmins, core_offsets_mv=tuple(
+            o - cal.core_offsets_mv[0] for o in cal.core_offsets_mv
+        ),
+        margin_mv=20,
+    )
+
+
+class TestPredictedPolicy:
+    def test_governor_policy_runs_and_saves(self, workload, governor):
+        simulation = EnergyEfficiencySimulation(workload, seed=7)
+        report = simulation.run_policy("predicted", governor=governor,
+                                       repeats=2)
+        assert report.voltage_mv < 980
+        assert report.saving_fraction > 0.0
+        # The trained margin must keep it violation-free here.
+        assert report.crash_recoveries == 0
+
+    def test_predicted_requires_governor(self, workload):
+        simulation = EnergyEfficiencySimulation(workload, seed=7)
+        with pytest.raises(ConfigurationError):
+            simulation.run_policy("predicted")
+
+
+class TestApplicationTolerance:
+    def test_sdc_tolerant_apps_accept_the_deeper_point(self, workload):
+        simulation = EnergyEfficiencySimulation(workload, seed=7)
+        below = simulation.margin_sweep([-10], repeats=2)[0]
+        assert below.sdc_runs > 0
+        assert below.violations(ApplicationClass.EXACT) == below.sdc_runs
+        assert below.violations(ApplicationClass.SDC_TOLERANT) == 0
+        # ...and it actually saves more than the exact-app point.
+        safe = simulation.margin_sweep([10], repeats=2)[0]
+        assert below.saving_fraction > safe.saving_fraction
+
+    def test_default_violations_are_exact_semantics(self, workload):
+        simulation = EnergyEfficiencySimulation(workload, seed=7)
+        report = simulation.margin_sweep([-10], repeats=1)[0]
+        assert report.violations() == report.sdc_runs

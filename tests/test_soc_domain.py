@@ -1,0 +1,102 @@
+"""The PCP/SoC domain undervolting extension study."""
+
+from collections import Counter
+
+import pytest
+
+from repro.data.calibration import CHIP_NAMES, chip_calibration
+from repro.effects import EffectType
+from repro.hardware import MachineState, XGene2Machine
+from repro.units import SOC_NOMINAL_MV
+from repro.workloads import get_benchmark
+
+
+def sweep_soc(machine, voltage_mv, runs=30):
+    bench = get_benchmark("gromacs")
+    counts = Counter()
+    for _ in range(runs):
+        if machine.state is not MachineState.RUNNING:
+            machine.press_reset()
+        machine.slimpro.set_soc_voltage_mv(voltage_mv)
+        outcome = machine.run_program(bench, core=0)
+        for effect in outcome.effects:
+            counts[effect] += 1
+    return counts
+
+
+class TestAnchors:
+    def test_every_chip_has_a_soc_anchor(self):
+        for chip in CHIP_NAMES:
+            anchor = chip_calibration(chip).soc_vmin_mv
+            assert 700 < anchor < SOC_NOMINAL_MV
+
+    def test_corner_ordering_matches_core_domains(self):
+        # Fast corner lowest, slow corner highest -- same silicon.
+        assert chip_calibration("TFF").soc_vmin_mv < \
+            chip_calibration("TTT").soc_vmin_mv < \
+            chip_calibration("TSS").soc_vmin_mv
+
+
+class TestBehaviour:
+    @pytest.fixture()
+    def machine(self):
+        m = XGene2Machine("TTT", seed=4)
+        m.power_on()
+        return m
+
+    def test_safe_at_and_above_soc_vmin(self, machine):
+        anchor = machine.chip.calibration.soc_vmin_mv
+        counts = sweep_soc(machine, anchor)
+        assert counts[EffectType.NO] == sum(counts.values())
+
+    def test_ce_band_below_soc_vmin(self, machine):
+        anchor = machine.chip.calibration.soc_vmin_mv
+        counts = sweep_soc(machine, anchor - 10, runs=60)
+        assert counts[EffectType.CE] > 0
+        assert counts[EffectType.SC] == 0
+
+    def test_crash_region_below_the_ce_band(self, machine):
+        anchor = machine.chip.calibration.soc_vmin_mv
+        counts = sweep_soc(machine, anchor - 30, runs=20)
+        assert counts[EffectType.SC] == 20
+
+    def test_soc_ce_attributed_to_l3(self, machine):
+        anchor = machine.chip.calibration.soc_vmin_mv
+        machine.slimpro.set_soc_voltage_mv(anchor - 10)
+        bench = get_benchmark("gromacs")
+        for _ in range(60):
+            if machine.state is not MachineState.RUNNING:
+                machine.press_reset()
+                machine.slimpro.set_soc_voltage_mv(anchor - 10)
+            outcome = machine.run_program(bench, core=0)
+            if EffectType.CE in outcome.effects:
+                by_location = machine.edac.counters_by_location()
+                assert by_location.get(("ce", "L3"), 0) > 0
+                return
+        pytest.fail("no SoC corrected error observed")
+
+    def test_soc_crash_is_a_real_hang(self, machine):
+        machine.slimpro.set_soc_voltage_mv(
+            machine.chip.calibration.soc_vmin_mv - 40)
+        outcome = machine.run_program(get_benchmark("gromacs"), core=0)
+        assert outcome.effects == frozenset({EffectType.SC})
+        assert outcome.detail.get("soc_domain") == 1
+        assert machine.state is MachineState.HUNG
+
+    def test_core_domain_unaffected_by_safe_soc_undervolt(self, machine):
+        """Scaling the SoC domain to its Vmin leaves the cores' own
+        characterization untouched -- the domains are independent."""
+        machine.slimpro.set_soc_voltage_mv(
+            machine.chip.calibration.soc_vmin_mv)
+        outcome = machine.run_program(get_benchmark("bwaves"), core=0)
+        assert outcome.effects == frozenset({EffectType.NO})
+
+    def test_soc_undervolting_saves_power(self, machine):
+        anchor = machine.chip.calibration.soc_vmin_mv
+        nominal = machine.power_model.chip_power_w(980, [2400] * 4)
+        scaled = machine.power_model.chip_power_w(
+            980, [2400] * 4, soc_voltage_mv=anchor)
+        assert scaled < nominal
+        # ~6 W SoC budget scaled by (870/950)^2: ~0.9 W saved.
+        assert nominal - scaled == pytest.approx(
+            6.0 * (1 - (anchor / 950) ** 2), rel=0.05)

@@ -1,0 +1,129 @@
+"""di/dt stressmark search and the DeCoR-style rollback unit."""
+
+from collections import Counter
+
+import pytest
+
+from repro.core import CharacterizationFramework, FrameworkConfig
+from repro.effects import EffectType
+from repro.errors import ConfigurationError
+from repro.hardware import MachineState, RollbackUnit, SupplyDroopModel, XGene2Machine
+from repro.workloads import get_benchmark
+from repro.workloads.stressmark import generate_didt_stressmark
+
+
+class TestStressmark:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return generate_didt_stressmark(iterations=100)
+
+    def test_beats_every_suite_benchmark(self, result):
+        # The point of a stressmark: worse droop than any benchmark.
+        assert result.droop_mv >= result.reference_droop_mv
+        assert result.droop_gain >= 1.0
+
+    def test_converges_before_the_budget(self, result):
+        assert result.iterations <= 100
+
+    def test_deterministic(self):
+        first = generate_didt_stressmark(iterations=50)
+        second = generate_didt_stressmark(iterations=50)
+        assert first.droop_mv == second.droop_mv
+        assert first.workload.traits == second.workload.traits
+
+    def test_is_a_valid_workload(self, result):
+        bench = result.workload
+        assert bench.stress == 1.0
+        assert bench.suite == "stressmark"
+        # It runs on the machine like any benchmark.
+        machine = XGene2Machine("TTT", seed=2)
+        machine.power_on()
+        outcome = machine.run_program(bench, core=0)
+        assert outcome.effects == frozenset({EffectType.NO})
+
+    def test_raises_measured_vmin_when_droop_active(self, result):
+        """The stressmark exposes a deeper dynamic margin than the
+        suite: its droop-inclusive Vmin is the machine's true bound."""
+        def vmin(bench):
+            machine = XGene2Machine(
+                "TTT", seed=2, droop_model=SupplyDroopModel())
+            machine.power_on()
+            framework = CharacterizationFramework(
+                machine, FrameworkConfig(start_mv=960, campaigns=3))
+            return framework.characterize(bench, core=0).highest_vmin_mv
+        assert vmin(result.workload) >= vmin(get_benchmark("zeusmp"))
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            generate_didt_stressmark(iterations=0)
+        with pytest.raises(ConfigurationError):
+            generate_didt_stressmark(step=-1.0)
+
+
+class TestRollbackUnit:
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            RollbackUnit(detection_coverage=1.5)
+        with pytest.raises(ConfigurationError):
+            RollbackUnit(rollback_penalty=-0.1)
+
+    def _run_in_sdc_band(self, machine, runs=60):
+        bench = get_benchmark("bwaves")
+        machine.clocks.park_all_except([0])
+        machine.slimpro.set_pmd_voltage_mv(895)
+        counts = Counter()
+        rollbacks = 0
+        for _ in range(runs):
+            if machine.state is not MachineState.RUNNING:
+                machine.press_reset()
+                machine.clocks.park_all_except([0])
+                machine.slimpro.set_pmd_voltage_mv(895)
+            outcome = machine.run_program(bench, core=0)
+            for effect in outcome.effects:
+                counts[effect] += 1
+            rollbacks += outcome.detail.get("rollbacks", 0)
+        return counts, rollbacks
+
+    def test_rollback_suppresses_sdcs(self):
+        stock = XGene2Machine("TTT", seed=6)
+        stock.power_on()
+        stock_counts, _ = self._run_in_sdc_band(stock)
+
+        protected = XGene2Machine(
+            "TTT", seed=6, rollback_unit=RollbackUnit(detection_coverage=1.0))
+        protected.power_on()
+        protected_counts, rollbacks = self._run_in_sdc_band(protected)
+
+        assert stock_counts[EffectType.SDC] > 10
+        assert protected_counts[EffectType.SDC] == 0
+        assert rollbacks >= stock_counts[EffectType.SDC] * 0.5
+
+    def test_partial_coverage_leaks_some_sdcs(self):
+        machine = XGene2Machine(
+            "TTT", seed=6, rollback_unit=RollbackUnit(detection_coverage=0.5))
+        machine.power_on()
+        counts, rollbacks = self._run_in_sdc_band(machine)
+        assert counts[EffectType.SDC] > 0
+        assert rollbacks > 0
+
+    def test_rollback_costs_runtime(self):
+        machine = XGene2Machine(
+            "TTT", seed=6,
+            rollback_unit=RollbackUnit(detection_coverage=1.0,
+                                       rollback_penalty=0.25))
+        machine.power_on()
+        bench = get_benchmark("bwaves")
+        nominal_runtime = machine.run_program(bench, core=0).runtime_s
+        machine.clocks.park_all_except([0])
+        machine.slimpro.set_pmd_voltage_mv(895)
+        for _ in range(40):
+            if machine.state is not MachineState.RUNNING:
+                machine.press_reset()
+                machine.clocks.park_all_except([0])
+                machine.slimpro.set_pmd_voltage_mv(895)
+            outcome = machine.run_program(bench, core=0)
+            if outcome.detail.get("rollbacks"):
+                assert outcome.runtime_s == pytest.approx(
+                    nominal_runtime * 1.25)
+                return
+        pytest.fail("no rollback observed in the SDC band")

@@ -1,0 +1,127 @@
+"""Alpha-power timing model and the chip power model."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.hardware.corners import ProcessCorner, corner_for_chip
+from repro.hardware.power import PowerModel
+from repro.hardware.timing import AlphaPowerTimingModel
+
+
+@pytest.fixture(scope="module")
+def ttt_timing():
+    return AlphaPowerTimingModel.for_corner(corner_for_chip("TTT"))
+
+
+@pytest.fixture(scope="module")
+def ttt_power():
+    return PowerModel(corner=corner_for_chip("TTT"))
+
+
+class TestCorners:
+    def test_three_corners(self):
+        for chip in ("TTT", "TFF", "TSS"):
+            assert corner_for_chip(chip).name == chip
+
+    def test_corner_personalities(self):
+        ttt, tff, tss = (corner_for_chip(c) for c in ("TTT", "TFF", "TSS"))
+        assert tff.leakage_rel > ttt.leakage_rel > tss.leakage_rel
+        assert tff.threshold_mv < ttt.threshold_mv < tss.threshold_mv
+        assert tff.silicon_fmax_mhz > ttt.silicon_fmax_mhz
+
+    def test_unknown_corner_rejected(self):
+        with pytest.raises(ConfigurationError):
+            corner_for_chip("FFF")
+
+    def test_invalid_corner_values_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ProcessCorner("X", leakage_rel=-1, threshold_mv=550,
+                          silicon_fmax_mhz=2400)
+
+
+class TestAlphaPowerTiming:
+    def test_delay_normalised_at_nominal(self, ttt_timing):
+        assert ttt_timing.relative_delay(980) == pytest.approx(1.0)
+
+    def test_delay_grows_as_voltage_drops(self, ttt_timing):
+        assert ttt_timing.relative_delay(760) > ttt_timing.relative_delay(900)
+
+    def test_below_threshold_is_infinite(self, ttt_timing):
+        assert ttt_timing.relative_delay(500) == float("inf")
+        assert ttt_timing.max_frequency_mhz(500) == 0.0
+
+    def test_predicts_the_papers_760mv_1p2ghz_point(self, ttt_timing):
+        """The alpha-power law independently lands the paper's pairing:
+        fmax(760 mV) comes out at ~1.2 GHz."""
+        fmax = ttt_timing.max_frequency_mhz(760)
+        assert fmax == pytest.approx(1270, abs=120)
+
+    def test_min_voltage_inverse_of_fmax(self, ttt_timing):
+        for freq in (1200, 1800, 2400):
+            voltage = ttt_timing.min_voltage_mv(freq)
+            assert ttt_timing.max_frequency_mhz(voltage) == pytest.approx(
+                freq, rel=1e-3)
+
+    def test_unreachable_frequency_rejected(self, ttt_timing):
+        with pytest.raises(ConfigurationError):
+            ttt_timing.min_voltage_mv(10_000)
+
+    def test_slack_sign(self, ttt_timing):
+        assert ttt_timing.timing_slack(980, 2400) > 0
+        assert ttt_timing.timing_slack(760, 2400) < 0
+        assert ttt_timing.timing_slack(760, 1200) > 0
+
+
+class TestPowerModel:
+    def test_nominal_is_unity(self, ttt_power):
+        assert ttt_power.pmd_power_rel(980, [2400] * 4) == pytest.approx(1.0)
+
+    def test_paper_percentages(self, ttt_power):
+        assert ttt_power.pmd_power_rel(915, [2400] * 4) == pytest.approx(0.872, abs=0.001)
+        assert ttt_power.pmd_power_rel(900, [2400, 1200, 2400, 2400]) == \
+            pytest.approx(0.738, abs=0.001)
+        assert ttt_power.pmd_power_rel(885, [1200, 1200, 2400, 2400]) == \
+            pytest.approx(0.612, abs=0.001)
+        assert ttt_power.pmd_power_rel(760, [1200] * 4) == pytest.approx(0.301, abs=0.001)
+
+    def test_clock_tree_fraction_reproduces_figure9_variant(self):
+        model = PowerModel(corner=corner_for_chip("TTT"), clock_tree_fraction=0.25)
+        assert model.pmd_power_rel(760, [1200] * 4) == pytest.approx(0.376, abs=0.001)
+
+    def test_wrong_pmd_count_rejected(self, ttt_power):
+        with pytest.raises(ConfigurationError):
+            ttt_power.pmd_power_rel(980, [2400] * 3)
+
+    def test_leakage_scales_with_corner(self):
+        tff = PowerModel(corner=corner_for_chip("TFF"))
+        tss = PowerModel(corner=corner_for_chip("TSS"))
+        assert tff.leakage_w(980, 43.0) > tss.leakage_w(980, 43.0)
+
+    def test_leakage_grows_with_temperature(self, ttt_power):
+        assert ttt_power.leakage_w(980, 80.0) > ttt_power.leakage_w(980, 43.0)
+
+    def test_chip_power_within_tdp_budget(self, ttt_power):
+        watts = ttt_power.chip_power_w(980, [2400] * 4, temp_c=43.0)
+        assert 30.0 <= watts <= 36.0  # Table 2: max TDP 35 W
+
+    def test_undervolting_reduces_watts(self, ttt_power):
+        nominal = ttt_power.chip_power_w(980, [2400] * 4)
+        scaled = ttt_power.chip_power_w(885, [2400] * 4)
+        assert scaled < nominal
+
+    def test_energy_is_power_times_time(self, ttt_power):
+        watts = ttt_power.chip_power_w(980, [2400] * 4)
+        assert ttt_power.energy_j(10.0, 980, [2400] * 4) == pytest.approx(10 * watts)
+
+    def test_activity_scaling(self, ttt_power):
+        busy = ttt_power.chip_power_w(980, [2400] * 4, activity=1.0)
+        idle = ttt_power.chip_power_w(980, [2400] * 4, activity=0.1)
+        assert idle < busy
+
+    def test_invalid_inputs_rejected(self, ttt_power):
+        with pytest.raises(ConfigurationError):
+            ttt_power.chip_power_w(980, [2400] * 4, activity=1.5)
+        with pytest.raises(ConfigurationError):
+            ttt_power.energy_j(-1.0, 980, [2400] * 4)
+        with pytest.raises(ConfigurationError):
+            PowerModel(corner=corner_for_chip("TTT"), clock_tree_fraction=1.0)

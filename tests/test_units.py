@@ -1,0 +1,107 @@
+"""Unit helpers: voltage/frequency grids and sweeps."""
+
+import pytest
+
+from repro.errors import FrequencyRangeError, VoltageRangeError
+from repro.units import (
+    FREQ_MAX_MHZ,
+    PMD_NOMINAL_MV,
+    SOC_NOMINAL_MV,
+    effective_frequency_mhz,
+    snap_down_mv,
+    validate_frequency_mhz,
+    validate_voltage_mv,
+    voltage_sweep,
+)
+
+
+class TestValidateVoltage:
+    def test_nominal_is_valid(self):
+        assert validate_voltage_mv(PMD_NOMINAL_MV) == 980
+
+    def test_grid_steps_are_valid(self):
+        for v in (975, 905, 760, 700):
+            assert validate_voltage_mv(v) == v
+
+    def test_above_nominal_rejected(self):
+        with pytest.raises(VoltageRangeError):
+            validate_voltage_mv(985)
+
+    def test_below_floor_rejected(self):
+        with pytest.raises(VoltageRangeError):
+            validate_voltage_mv(695)
+
+    def test_off_grid_rejected(self):
+        with pytest.raises(VoltageRangeError):
+            validate_voltage_mv(977)
+
+    def test_non_integer_rejected(self):
+        with pytest.raises(VoltageRangeError):
+            validate_voltage_mv(902.5)
+
+    def test_soc_grid_anchored_at_soc_nominal(self):
+        assert validate_voltage_mv(945, nominal_mv=SOC_NOMINAL_MV) == 945
+        with pytest.raises(VoltageRangeError):
+            validate_voltage_mv(948, nominal_mv=SOC_NOMINAL_MV)
+
+
+class TestValidateFrequency:
+    def test_extremes(self):
+        assert validate_frequency_mhz(300) == 300
+        assert validate_frequency_mhz(2400) == 2400
+
+    def test_off_step_rejected(self):
+        with pytest.raises(FrequencyRangeError):
+            validate_frequency_mhz(1000)
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(FrequencyRangeError):
+            validate_frequency_mhz(2700)
+        with pytest.raises(FrequencyRangeError):
+            validate_frequency_mhz(0)
+
+
+class TestSnapDown:
+    def test_exact_value_unchanged(self):
+        assert snap_down_mv(905) == 905
+
+    def test_snaps_upward_for_safety(self):
+        # 903 must become 905, not 900: programming below a computed
+        # safe bound would be unsafe.
+        assert snap_down_mv(903.2) == 905
+
+    def test_nominal_cap(self):
+        assert snap_down_mv(979.9) == 980
+
+
+class TestVoltageSweep:
+    def test_descending_inclusive(self):
+        sweep = voltage_sweep(915, 900)
+        assert sweep == [915, 910, 905, 900]
+
+    def test_single_point(self):
+        assert voltage_sweep(905, 905) == [905]
+
+    def test_ascending_rejected(self):
+        with pytest.raises(VoltageRangeError):
+            voltage_sweep(900, 915)
+
+    def test_full_sweep_length(self):
+        sweep = voltage_sweep(PMD_NOMINAL_MV, 700)
+        assert len(sweep) == (980 - 700) // 5 + 1
+        assert sweep[0] == 980 and sweep[-1] == 700
+
+
+class TestEffectiveFrequency:
+    def test_identity_within_input_clock(self):
+        assert effective_frequency_mhz(1800) == 1800.0
+
+    def test_capped_by_input_clock(self):
+        assert effective_frequency_mhz(2400, input_clock_mhz=1200) == 1200.0
+
+    def test_validates(self):
+        with pytest.raises(FrequencyRangeError):
+            effective_frequency_mhz(1000)
+
+    def test_max(self):
+        assert effective_frequency_mhz(FREQ_MAX_MHZ) == 2400.0

@@ -1,0 +1,92 @@
+"""Fleet generation: additional chips from the corner populations."""
+
+import pytest
+
+from repro.core import CharacterizationFramework, FrameworkConfig
+from repro.errors import ConfigurationError
+from repro.hardware import ChipGenerator, XGene2Machine, fleet_vmin_distribution
+from repro.workloads import get_benchmark
+
+
+@pytest.fixture(scope="module")
+def fleet():
+    return ChipGenerator("TTT", lot_seed=1).fleet(25)
+
+
+class TestGeneration:
+    def test_deterministic_identity(self):
+        first = ChipGenerator("TTT", lot_seed=1).calibration(7)
+        second = ChipGenerator("TTT", lot_seed=1).calibration(7)
+        assert first == second
+
+    def test_distinct_parts(self, fleet):
+        names = {chip.name for chip in fleet}
+        assert len(names) == len(fleet)
+        offsets = {chip.calibration.core_offsets_mv for chip in fleet}
+        assert len(offsets) > 1
+
+    def test_lot_seed_changes_population(self):
+        lot_a = ChipGenerator("TTT", lot_seed=1).calibration(0)
+        lot_b = ChipGenerator("TTT", lot_seed=2).calibration(0)
+        assert lot_a != lot_b
+
+    def test_structural_invariants(self, fleet):
+        for chip in fleet:
+            cal = chip.calibration
+            # 5 mV grid everywhere.
+            assert cal.base_vmin_2400_mv % 5 == 0
+            assert all(offset % 5 == 0 for offset in cal.core_offsets_mv)
+            # The most robust core lives on PMD 2, as fused.
+            assert cal.most_robust_core() in (4, 5)
+            assert min(cal.core_offsets_mv) == 0
+            assert cal.stress_span_mv >= 10
+
+    def test_population_centred_on_characterized_part(self, fleet):
+        from repro.data.calibration import chip_calibration
+        anchor = chip_calibration("TTT")
+        mean_base = sum(c.calibration.base_vmin_2400_mv for c in fleet) / len(fleet)
+        assert abs(mean_base - anchor.base_vmin_2400_mv) < 10
+
+    def test_corner_personality_inherited(self):
+        tss_part = ChipGenerator("TSS", lot_seed=0).chip(0)
+        assert tss_part.corner.name == "TSS"
+        assert 0.5 < tss_part.calibration.leakage_rel < 0.85
+
+    def test_invalid_inputs_rejected(self):
+        generator = ChipGenerator("TTT")
+        with pytest.raises(ConfigurationError):
+            generator.calibration(-1)
+        with pytest.raises(ConfigurationError):
+            generator.fleet(-1)
+        with pytest.raises(ConfigurationError):
+            ChipGenerator("XYZ")
+
+
+class TestFleetStatistics:
+    def test_distribution_shape(self, fleet):
+        stats = fleet_vmin_distribution(fleet)
+        assert stats["chips"] == 25
+        assert stats["min_mv"] <= stats["mean_mv"] <= stats["max_mv"]
+        assert stats["std_mv"] > 0
+
+    def test_fleet_setting_penalty_positive(self, fleet):
+        stats = fleet_vmin_distribution(fleet)
+        assert stats["fleet_setting_penalty"] > 0
+
+    def test_empty_fleet_rejected(self):
+        with pytest.raises(ConfigurationError):
+            fleet_vmin_distribution([])
+
+
+class TestGeneratedChipsRunEverything:
+    def test_framework_runs_on_generated_part(self, fleet):
+        chip = fleet[3]
+        machine = XGene2Machine(chip, seed=9)
+        machine.power_on()
+        framework = CharacterizationFramework(
+            machine, FrameworkConfig(start_mv=950, campaigns=2)
+        )
+        bench = get_benchmark("bwaves")
+        result = framework.characterize(bench, core=0)
+        anchor = chip.calibration.vmin_mv(0, bench.stress)
+        assert abs(result.highest_vmin_mv - anchor) <= 10

@@ -1,0 +1,76 @@
+"""The watchdog monitor: serial-side liveness and button recovery."""
+
+import pytest
+
+from repro.core.watchdog import WatchdogAction, WatchdogMonitor
+from repro.hardware import MachineState, XGene2Machine
+from repro.workloads import get_benchmark
+
+
+@pytest.fixture()
+def hung_machine():
+    """A machine crashed by deep undervolting."""
+    machine = XGene2Machine("TTT", seed=5)
+    machine.power_on()
+    machine.slimpro.set_pmd_voltage_mv(850)
+    machine.run_program(get_benchmark("bwaves"), core=0)
+    assert machine.state is MachineState.HUNG
+    return machine
+
+
+class TestLiveness:
+    def test_running_machine_is_alive(self, machine):
+        watchdog = WatchdogMonitor(machine)
+        assert watchdog.machine_alive()
+        assert watchdog.ensure_alive() is WatchdogAction.NONE
+
+    def test_hung_machine_detected(self, hung_machine):
+        watchdog = WatchdogMonitor(hung_machine)
+        assert not watchdog.machine_alive()
+
+    def test_off_machine_not_alive(self):
+        machine = XGene2Machine("TTT")
+        watchdog = WatchdogMonitor(machine)
+        assert not watchdog.machine_alive()
+
+
+class TestRecovery:
+    def test_reset_recovers_hang(self, hung_machine):
+        watchdog = WatchdogMonitor(hung_machine)
+        action = watchdog.ensure_alive()
+        assert action is WatchdogAction.RESET
+        assert hung_machine.state is MachineState.RUNNING
+        assert watchdog.intervention_count == 1
+
+    def test_power_cycle_recovers_off_machine(self):
+        machine = XGene2Machine("TTT")
+        watchdog = WatchdogMonitor(machine)
+        action = watchdog.ensure_alive()
+        assert action is WatchdogAction.POWER_CYCLE
+        assert machine.state is MachineState.RUNNING
+
+    def test_recovery_restores_nominal_voltage(self, hung_machine):
+        watchdog = WatchdogMonitor(hung_machine)
+        watchdog.ensure_alive()
+        assert hung_machine.regulator.pmd_voltage_mv(0) == 980
+
+    def test_interventions_logged_with_reason(self, hung_machine):
+        watchdog = WatchdogMonitor(hung_machine)
+        watchdog.ensure_alive()
+        entry = watchdog.interventions[0]
+        assert entry.action is WatchdogAction.RESET
+        assert "reset" in entry.reason
+
+    def test_repeated_crash_recover_cycles(self):
+        """A mini-campaign worth of hang/recover cycles."""
+        machine = XGene2Machine("TTT", seed=6)
+        machine.power_on()
+        watchdog = WatchdogMonitor(machine)
+        crashes = 0
+        for _ in range(20):
+            machine.slimpro.set_pmd_voltage_mv(850)
+            machine.run_program(get_benchmark("bwaves"), core=0)
+            crashes += 1
+            assert watchdog.ensure_alive() is not WatchdogAction.NONE
+            assert machine.is_responsive()
+        assert watchdog.intervention_count == crashes
