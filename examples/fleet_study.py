@@ -9,10 +9,13 @@ raises at scale:
 1. how does the chip-level worst-case Vmin distribute across a fleet?
 2. how much saving does per-chip voltage management recover compared
    with one conservative fleet-wide setting?
-3. how do supply droop, adaptive clocking, temperature and aging move
+3. what does a measured per-core Vmin map of one part look like --
+   characterized campaign-parallel on the
+   :class:`~repro.parallel.ParallelCampaignEngine`?
+4. how do supply droop, adaptive clocking, temperature and aging move
    an individual part's usable margin?
 
-Run:  python examples/fleet_study.py [--chips N]
+Run:  python examples/fleet_study.py [--chips N] [--jobs N]
 """
 
 import argparse
@@ -28,6 +31,7 @@ from repro.hardware import (
     XGene2Machine,
     fleet_vmin_distribution,
 )
+from repro.parallel import ConsoleProgress, MachineSpec, ParallelCampaignEngine
 from repro.units import PMD_NOMINAL_MV
 from repro.workloads import get_benchmark
 
@@ -45,9 +49,30 @@ def measured_vmin(**machine_kwargs) -> int:
     return framework.characterize(get_benchmark("bwaves"), core=0).highest_vmin_mv
 
 
+def per_core_vmin_map(jobs: int) -> dict:
+    """Characterize bwaves on all eight cores, campaign-parallel.
+
+    The engine rebuilds a machine per (core, campaign) task from the
+    spec with a derived seed, so the map is identical for any ``jobs``.
+    """
+    engine = ParallelCampaignEngine(
+        MachineSpec(chip="TTT", seed=5),
+        FrameworkConfig(start_mv=950, campaigns=3),
+        jobs=jobs,
+        progress=ConsoleProgress(label="per-core campaigns"),
+    )
+    report = engine.run([get_benchmark("bwaves")], list(range(8)))
+    return {
+        core: result.highest_vmin_mv
+        for (_, core), result in sorted(report.results.items())
+    }
+
+
 def main() -> None:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--chips", type=int, default=40)
+    parser.add_argument("--jobs", type=int, default=4,
+                        help="worker count for the characterization grid")
     args = parser.parse_args()
 
     # -- 1/2: fleet distribution ------------------------------------------
@@ -69,7 +94,13 @@ def main() -> None:
     print("chip-level Vmin histogram:")
     print(bar_chart(dict(sorted(histogram.items())), width=40, baseline=0))
 
-    # -- 3: dynamic-margin knobs on one part -------------------------------------
+    # -- 3: engine-measured per-core Vmin map ------------------------------------
+    print(f"\nbwaves per-core measured Vmin (engine, jobs={args.jobs}):")
+    vmin_map = per_core_vmin_map(args.jobs)
+    print(bar_chart({f"core {c}": v for c, v in vmin_map.items()},
+                    width=40, baseline=min(vmin_map.values()) - 10))
+
+    # -- 4: dynamic-margin knobs on one part -------------------------------------
     print("\nbwaves / core 0 measured Vmin under the dynamic-margin models:")
     rows = {
         "as characterized (43C, fresh)": measured_vmin(),

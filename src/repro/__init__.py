@@ -13,6 +13,8 @@ The package mirrors the paper's structure:
   Section-3.4 self-tests.
 * :mod:`repro.core` -- **contribution 1 & 2**: the automated
   characterization framework (Figure 2) and the severity function.
+* :mod:`repro.parallel` -- deterministic campaign fan-out: whole
+  characterization grids over a worker pool, bit-identical to serial.
 * :mod:`repro.prediction` -- **contribution 3**: Vmin/severity
   prediction from performance counters (Figure 6).
 * :mod:`repro.energy` -- **contribution 4**: energy-performance
@@ -46,6 +48,7 @@ from .core import (
     severity_value,
 )
 from .hardware import XGene2Chip, XGene2Machine
+from .parallel import MachineSpec, ParallelCampaignEngine
 from .prediction import PredictionPipeline, PredictionReport
 from .energy import figure9_ladder, headline_savings
 from .scheduling import SeverityAwareScheduler, VoltageGovernor
@@ -65,6 +68,8 @@ __all__ = [
     "severity_value",
     "XGene2Chip",
     "XGene2Machine",
+    "MachineSpec",
+    "ParallelCampaignEngine",
     "PredictionPipeline",
     "PredictionReport",
     "figure9_ladder",

@@ -32,6 +32,7 @@ from .core.results import ResultStore
 from .data.calibration import CHIP_NAMES
 from .energy import figure9_ladder, headline_savings
 from .hardware import ChipGenerator, XGene2Machine, fleet_vmin_distribution
+from .parallel import ConsoleProgress
 from .prediction import PredictionPipeline
 from .units import PMD_NOMINAL_MV
 from .workloads import all_programs, get_benchmark
@@ -71,12 +72,24 @@ def _cmd_characterize(args: argparse.Namespace) -> int:
     bench = get_benchmark(args.benchmark)
     print(f"characterizing {bench.name} on {args.chip} core {args.core} "
           f"({args.campaigns} campaigns) ...")
-    result = framework.characterize(bench, core=args.core)
+    if args.jobs is None:
+        # Legacy in-place sweep: one shared machine, serial campaigns.
+        result = framework.characterize(bench, core=args.core)
+        recoveries = framework.watchdog.intervention_count
+    else:
+        # Engine path: campaigns fan out over `--jobs` workers with
+        # per-campaign derived seeds (bit-identical for any job count).
+        grid = framework.characterize_many(
+            [bench], [args.core], jobs=args.jobs,
+            progress=ConsoleProgress(),
+        )
+        result = grid[(bench.name, args.core)]
+        recoveries = framework.last_engine_report.interventions
     regions = result.pooled_regions()
     print(f"safe Vmin      : {result.highest_vmin_mv} mV")
     print(f"crash level    : {result.highest_crash_mv} mV")
     print(f"guardband      : {regions.guardband_mv(PMD_NOMINAL_MV)} mV")
-    print(f"recoveries     : {framework.watchdog.intervention_count}")
+    print(f"recoveries     : {recoveries}")
     print("severity:")
     severity = result.severity_by_voltage()
     for voltage in sorted(severity, reverse=True):
@@ -86,6 +99,45 @@ def _cmd_characterize(args: argparse.Namespace) -> int:
         store = ResultStore(args.out)
         store.write_runs_csv([result])
         store.write_severity_csv([result])
+        print(f"CSV results written to {args.out}")
+    return 0
+
+
+def _cmd_grid(args: argparse.Namespace) -> int:
+    """Characterize a benchmark x core grid on the parallel engine."""
+    benchmarks = [get_benchmark(name) for name in args.benchmarks.split(",")]
+    cores = [int(c) for c in args.cores.split(",")]
+    machine = XGene2Machine(args.chip, seed=args.seed)
+    machine.power_on()
+    framework = CharacterizationFramework(
+        machine,
+        FrameworkConfig(
+            start_mv=args.start_mv,
+            campaigns=args.campaigns,
+            runs_per_level=args.runs_per_level,
+        ),
+    )
+    total = len(benchmarks) * len(cores) * args.campaigns
+    print(f"characterizing {len(benchmarks)} benchmark(s) x {len(cores)} "
+          f"core(s) x {args.campaigns} campaign(s) = {total} campaigns "
+          f"on {args.chip} (jobs={args.jobs}) ...")
+    results = framework.characterize_many(
+        benchmarks, cores, jobs=args.jobs, progress=ConsoleProgress(),
+    )
+    report = framework.last_engine_report
+    print(f"backend        : {report.backend} (jobs={report.jobs})")
+    print(f"recoveries     : {report.interventions}")
+    if report.chunks_retried:
+        print(f"chunks retried : {report.chunks_retried}")
+    print(f"{'benchmark':<14} {'core':>4} {'Vmin':>6} {'crash':>6}")
+    for (name, core), result in results.items():
+        crash = result.highest_crash_mv
+        print(f"{name:<14} {core:>4} {result.highest_vmin_mv:>4} mV "
+              f"{crash if crash is not None else '--':>4} mV")
+    if args.out:
+        store = ResultStore(args.out)
+        store.write_runs_csv(results.values())
+        store.write_severity_csv(results.values())
         print(f"CSV results written to {args.out}")
     return 0
 
@@ -173,6 +225,13 @@ def _cmd_report(args: argparse.Namespace) -> int:
     return 1 if any(not c.passed for c in checks) else 0
 
 
+def _job_count(text: str) -> int:
+    value = int(text)
+    if value < 1:
+        raise argparse.ArgumentTypeError(f"jobs must be >= 1, got {value}")
+    return value
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -198,7 +257,26 @@ def build_parser() -> argparse.ArgumentParser:
     p_char.add_argument("--start-mv", type=int, default=930)
     p_char.add_argument("--seed", type=int, default=2017)
     p_char.add_argument("--out", default=None, help="CSV output directory")
+    p_char.add_argument("--jobs", type=_job_count, default=None,
+                        help="fan campaigns out over N workers (derived "
+                             "per-campaign seeds; identical for any N)")
     p_char.set_defaults(func=_cmd_characterize)
+
+    p_grid = sub.add_parser(
+        "grid", help="characterize a benchmark x core grid in parallel")
+    p_grid.add_argument("chip", choices=CHIP_NAMES)
+    p_grid.add_argument("--benchmarks", default="bwaves,mcf",
+                        help="comma-separated benchmark names")
+    p_grid.add_argument("--cores", default="0,4",
+                        help="comma-separated core indices")
+    p_grid.add_argument("--campaigns", type=int, default=3)
+    p_grid.add_argument("--runs-per-level", type=int, default=10)
+    p_grid.add_argument("--start-mv", type=int, default=930)
+    p_grid.add_argument("--seed", type=int, default=2017)
+    p_grid.add_argument("--jobs", type=_job_count, default=1,
+                        help="worker count for the campaign fan-out")
+    p_grid.add_argument("--out", default=None, help="CSV output directory")
+    p_grid.set_defaults(func=_cmd_grid)
 
     p_trade = sub.add_parser("tradeoffs", help="Figure 9 and headlines")
     p_trade.add_argument("--chip", choices=CHIP_NAMES, default="TTT")

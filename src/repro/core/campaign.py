@@ -6,18 +6,66 @@ same benchmark over different setups is a *campaign*.  The study runs
 every campaign ten times to capture non-determinism; Figures 3/4 plot
 the highest Vmin / highest crash voltage over those repetitions and
 Figure 5 the severity aggregated across them.
+
+Both aggregate classes are frozen, so every derived view (per-voltage
+index, pooled counts, regions) is computed once per instance with
+:class:`~repro.core.memo.frozen_cached_property` and shared by all
+subsequent queries.  A ten-campaign characterization over a 50-level
+sweep used to rescan every record once per voltage level
+(O(records x voltages)); the cached single-pass index makes every
+aggregate O(records) once and O(voltages) afterwards, which is what
+lets the parallel engine hammer these paths at fleet scale.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, NamedTuple, Optional, Tuple
 
 from ..effects import EffectType
 from ..errors import CampaignError
+from .memo import frozen_cached_property
 from .regions import OperatingRegions, merge_counts, regions_from_counts
 from .runs import RunRecord
 from .severity import DEFAULT_WEIGHTS, SeverityWeights, severity_value
+
+
+class _VoltageIndex(NamedTuple):
+    """Single-pass per-voltage index of a record set (internal).
+
+    The dict values are owned by the index and must never be handed to
+    callers directly -- the public accessors return copies.
+    """
+
+    #: voltage -> effect -> number of runs the effect appeared in.
+    counts: Dict[int, Dict[EffectType, int]]
+    #: voltage -> number of runs executed at that level.
+    run_counts: Dict[int, int]
+    #: voltage -> the records themselves, in execution order.
+    records: Dict[int, Tuple[RunRecord, ...]]
+
+
+def _index_records(records: Tuple[RunRecord, ...]) -> _VoltageIndex:
+    """Build the per-voltage index in one pass over the records."""
+    counts: Dict[int, Dict[EffectType, int]] = {}
+    run_counts: Dict[int, int] = {}
+    grouped: Dict[int, List[RunRecord]] = {}
+    for record in records:
+        voltage = record.setup.voltage_mv
+        slot = counts.get(voltage)
+        if slot is None:
+            slot = counts[voltage] = {effect: 0 for effect in EffectType}
+            run_counts[voltage] = 0
+            grouped[voltage] = []
+        run_counts[voltage] += 1
+        grouped[voltage].append(record)
+        for effect in record.effects:
+            slot[effect] += 1
+    return _VoltageIndex(
+        counts=counts,
+        run_counts=run_counts,
+        records={v: tuple(recs) for v, recs in grouped.items()},
+    )
 
 
 @dataclass(frozen=True)
@@ -37,46 +85,51 @@ class CampaignResult:
 
     # -- aggregation ------------------------------------------------------
 
+    @frozen_cached_property
+    def _index(self) -> _VoltageIndex:
+        return _index_records(self.records)
+
+    @frozen_cached_property
+    def _regions(self) -> OperatingRegions:
+        return regions_from_counts(self._index.counts)
+
     def voltages(self) -> Tuple[int, ...]:
         """Tested voltage levels, descending."""
-        return tuple(sorted({r.setup.voltage_mv for r in self.records}, reverse=True))
+        return tuple(sorted(self._index.run_counts, reverse=True))
 
     def runs_at(self, voltage_mv: int) -> List[RunRecord]:
-        return [r for r in self.records if r.setup.voltage_mv == voltage_mv]
+        return list(self._index.records.get(voltage_mv, ()))
 
     def counts_by_voltage(self) -> Dict[int, Dict[EffectType, int]]:
         """Per-voltage effect counts (runs in which each effect appeared)."""
-        out: Dict[int, Dict[EffectType, int]] = {}
-        for record in self.records:
-            slot = out.setdefault(
-                record.setup.voltage_mv, {effect: 0 for effect in EffectType}
-            )
-            for effect in record.effects:
-                slot[effect] += 1
-        return out
+        return {voltage: dict(slot) for voltage, slot in self._index.counts.items()}
+
+    def run_counts_by_voltage(self) -> Dict[int, int]:
+        """Number of runs executed at each tested voltage level."""
+        return dict(self._index.run_counts)
 
     def severity_by_voltage(
         self, weights: SeverityWeights = DEFAULT_WEIGHTS
     ) -> Dict[int, float]:
         """Severity at each tested voltage level."""
-        out: Dict[int, float] = {}
-        for voltage, counts in self.counts_by_voltage().items():
-            n_runs = len(self.runs_at(voltage))
-            out[voltage] = severity_value(counts, n_runs, weights)
-        return out
+        index = self._index
+        return {
+            voltage: severity_value(counts, index.run_counts[voltage], weights)
+            for voltage, counts in index.counts.items()
+        }
 
     def regions(self) -> OperatingRegions:
         """This campaign's region decomposition."""
-        return regions_from_counts(self.counts_by_voltage())
+        return self._regions
 
     @property
     def vmin_mv(self) -> int:
         """This campaign's safe Vmin."""
-        return self.regions().vmin_mv
+        return self._regions.vmin_mv
 
     @property
     def crash_mv(self) -> Optional[int]:
-        return self.regions().crash_mv
+        return self._regions.crash_mv
 
 
 @dataclass(frozen=True)
@@ -141,30 +194,40 @@ class CharacterizationResult:
         crashes = [c.crash_mv for c in self.campaigns if c.crash_mv is not None]
         return sum(crashes) / len(crashes) if crashes else None
 
+    @frozen_cached_property
+    def _pooled_counts(self) -> Dict[int, Dict[EffectType, int]]:
+        return merge_counts(c._index.counts for c in self.campaigns)
+
+    @frozen_cached_property
+    def _pooled_run_counts(self) -> Dict[int, int]:
+        pooled: Dict[int, int] = {}
+        for campaign in self.campaigns:
+            for voltage, n_runs in campaign._index.run_counts.items():
+                pooled[voltage] = pooled.get(voltage, 0) + n_runs
+        return pooled
+
+    @frozen_cached_property
+    def _pooled_regions(self) -> OperatingRegions:
+        return regions_from_counts(self._pooled_counts)
+
     def pooled_counts(self) -> Dict[int, Dict[EffectType, int]]:
         """Effect counts pooled over all campaigns, per voltage."""
-        return merge_counts(c.counts_by_voltage() for c in self.campaigns)
+        return {voltage: dict(slot) for voltage, slot in self._pooled_counts.items()}
 
     def pooled_regions(self) -> OperatingRegions:
         """Regions from all campaigns pooled -- equals (highest Vmin,
         highest crash) by construction."""
-        return regions_from_counts(self.pooled_counts())
+        return self._pooled_regions
 
     def severity_by_voltage(
         self, weights: SeverityWeights = DEFAULT_WEIGHTS
     ) -> Dict[int, float]:
         """Severity per voltage over *all* runs of all campaigns --
         the Figure-5 cell values (mean severity across repetitions)."""
-        pooled = self.pooled_counts()
-        runs_per_level: Dict[int, int] = {}
-        for campaign in self.campaigns:
-            for voltage in campaign.voltages():
-                runs_per_level[voltage] = runs_per_level.get(voltage, 0) + len(
-                    campaign.runs_at(voltage)
-                )
+        runs_per_level = self._pooled_run_counts
         return {
             voltage: severity_value(counts, runs_per_level[voltage], weights)
-            for voltage, counts in pooled.items()
+            for voltage, counts in self._pooled_counts.items()
         }
 
     def all_records(self) -> List[RunRecord]:

@@ -83,6 +83,16 @@ class CharacterizationFramework:
         #: Raw log text of every campaign, keyed by
         #: (benchmark, core, freq, campaign_index).
         self.raw_logs: Dict[Tuple[str, int, int, int], str] = {}
+        #: Parsed-run statistics per raw log, keyed by the raw-log key
+        #: and fingerprinted against the text, so diagnostics never
+        #: re-parse a log they have already seen:
+        #: key -> (fingerprint, n_runs, n_abnormal).
+        self._parsed_stats: Dict[
+            Tuple[str, int, int, int], Tuple[Tuple[int, int], int, int]
+        ] = {}
+        #: Execution metadata of the last engine-backed
+        #: :meth:`characterize_many` (None until one has run).
+        self.last_engine_report = None
 
     # -- phase 2: execution -----------------------------------------------
 
@@ -138,7 +148,9 @@ class CharacterizationFramework:
         log_text = "".join(log_parts)
         key = (program.name, core, cfg.freq_mhz, campaign_index)
         self.raw_logs[key] = log_text
-        return self._parse_campaign(log_text, campaign_index)
+        result = self._parse_campaign(log_text, campaign_index)
+        self._record_parsed_stats(key, log_text, result.records)
+        return result
 
     def _execute_one(
         self,
@@ -232,14 +244,60 @@ class CharacterizationFramework:
         self,
         workloads: Sequence[object],
         cores: Sequence[int],
+        jobs: int = 1,
+        backend: str = "auto",
+        progress=None,
+        chunk_size: Optional[int] = None,
     ) -> Dict[Tuple[str, int], CharacterizationResult]:
-        """Full grid: every workload on every core (Figure 4's sweep)."""
-        results: Dict[Tuple[str, int], CharacterizationResult] = {}
-        for workload in workloads:
-            program = self._as_program(workload)
-            for core in cores:
-                results[(program.name, core)] = self.characterize(program, core)
-        return results
+        """Full grid: every workload on every core (Figure 4's sweep).
+
+        The grid runs on the :class:`~repro.parallel.ParallelCampaignEngine`:
+        every (workload, core, campaign) task executes on a fresh
+        machine with a seed derived from this machine's seed and the
+        task's coordinates, so the result is **bit-identical for any
+        ``jobs``** -- ``jobs=1`` runs the same tasks serially in
+        process; ``jobs>1`` fans them out over a worker pool.
+
+        Machines carrying extension models (droop, aging, rollback,
+        injectors) cannot be rebuilt in workers; those fall back to the
+        in-place serial sweep on this machine and reject ``jobs > 1``.
+        """
+        from ..parallel.engine import ParallelCampaignEngine
+        from ..parallel.progress import NULL_PROGRESS
+        from ..parallel.tasks import MachineSpec
+
+        try:
+            spec = MachineSpec.from_machine(self.machine)
+        except ConfigurationError:
+            if jobs != 1:
+                raise
+            # In-place legacy sweep: shares this machine (and its RNG
+            # stream) across the whole grid.
+            results: Dict[Tuple[str, int], CharacterizationResult] = {}
+            for workload in workloads:
+                program = self._as_program(workload)
+                for core in cores:
+                    results[(program.name, core)] = self.characterize(program, core)
+            return results
+
+        engine = ParallelCampaignEngine(
+            spec,
+            self.config,
+            jobs=jobs,
+            backend=backend,
+            chunk_size=chunk_size,
+            progress=progress if progress is not None else NULL_PROGRESS,
+        )
+        report = engine.run(workloads, cores)
+        self.raw_logs.update(report.raw_logs)
+        for (name, core), result in report.results.items():
+            for campaign in result.campaigns:
+                key = (name, core, self.config.freq_mhz, campaign.campaign_index)
+                self._record_parsed_stats(
+                    key, report.raw_logs[key], campaign.records
+                )
+        self.last_engine_report = report
+        return report.results
 
     # -- misc -----------------------------------------------------------------------
 
@@ -253,12 +311,44 @@ class CharacterizationFramework:
             f"expected a Program or Benchmark, got {type(workload).__name__}"
         )
 
-    def abnormal_run_fraction(self) -> float:
-        """Fraction of logged runs with any abnormal effect (diagnostics)."""
-        parsed = [run for text in self.raw_logs.values() for run in parse_log(text)]
-        if not parsed:
-            return 0.0
+    @staticmethod
+    def _log_fingerprint(text: str) -> Tuple[int, int]:
+        """Cheap identity of a raw log (length + content hash)."""
+        return (len(text), hash(text))
+
+    def _record_parsed_stats(
+        self,
+        key: Tuple[str, int, int, int],
+        text: str,
+        records: Sequence[object],
+    ) -> None:
+        """Cache run counts for :meth:`abnormal_run_fraction`."""
         abnormal = sum(
-            1 for run in parsed if run.effects != frozenset({EffectType.NO})
+            1 for record in records
+            if record.effects != frozenset({EffectType.NO})
         )
-        return abnormal / len(parsed)
+        self._parsed_stats[key] = (
+            self._log_fingerprint(text), len(records), abnormal
+        )
+
+    def abnormal_run_fraction(self) -> float:
+        """Fraction of logged runs with any abnormal effect (diagnostics).
+
+        Parsed-run statistics are cached per raw log (and validated
+        against the log text), so repeated diagnostics calls never
+        re-parse the raw text; a new campaign only parses its own log.
+        """
+        total = abnormal = 0
+        for key, text in self.raw_logs.items():
+            cached = self._parsed_stats.get(key)
+            if cached is None or cached[0] != self._log_fingerprint(text):
+                parsed = parse_log(text)
+                count = sum(
+                    1 for run in parsed
+                    if run.effects != frozenset({EffectType.NO})
+                )
+                cached = (self._log_fingerprint(text), len(parsed), count)
+                self._parsed_stats[key] = cached
+            total += cached[1]
+            abnormal += cached[2]
+        return abnormal / total if total else 0.0

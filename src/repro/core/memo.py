@@ -1,0 +1,48 @@
+"""Memoization helpers for frozen dataclasses.
+
+``functools.cached_property`` stores its value with ``instance.attr =
+value``, which a frozen dataclass's ``__setattr__`` rejects.
+:class:`frozen_cached_property` is the frozen-safe equivalent: it
+writes the computed value through ``object.__setattr__``, which is the
+documented escape hatch frozen dataclasses themselves use in
+``__init__``.
+
+The cache lives in the instance ``__dict__`` under a private name, so
+it never participates in the dataclass's ``__eq__``/``__hash__``/
+``__repr__`` (those only consider declared fields) and it survives
+pickling harmlessly (the value is re-derivable from the fields).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Generic, Optional, Type, TypeVar
+
+T = TypeVar("T")
+
+_UNSET = object()
+
+
+class frozen_cached_property(Generic[T]):
+    """``cached_property`` that works on frozen dataclasses.
+
+    The wrapped function must be a pure function of the instance's
+    (immutable) fields -- the value is computed once per instance and
+    never invalidated.
+    """
+
+    def __init__(self, func: Callable[[Any], T]) -> None:
+        self.func = func
+        self.__doc__ = func.__doc__
+        self._name = f"_cached_{func.__name__}"
+
+    def __set_name__(self, owner: type, name: str) -> None:
+        self._name = f"_cached_{name}"
+
+    def __get__(self, obj: Any, objtype: Optional[Type] = None) -> T:
+        if obj is None:
+            return self  # type: ignore[return-value]
+        value = obj.__dict__.get(self._name, _UNSET)
+        if value is _UNSET:
+            value = self.func(obj)
+            object.__setattr__(obj, self._name, value)
+        return value

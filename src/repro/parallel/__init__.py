@@ -1,0 +1,50 @@
+"""Parallel characterization: shared-nothing campaign fan-out.
+
+The paper's methodology is serial by physical necessity (one board,
+one serial console, one watchdog); its six-month characterization
+wall-clock is the cost.  In simulation every campaign owns its machine
+and RNG stream, so the grid parallelizes without changing a single
+result bit -- see :mod:`repro.parallel.engine` for the determinism
+contract.
+
+Public surface:
+
+* :class:`ParallelCampaignEngine` -- fans (workload, core, campaign)
+  grids over a process/thread pool, serial fallback included.
+* :class:`MachineSpec` -- picklable machine blueprint workers rebuild.
+* :func:`derive_task_seed` -- the per-task seed derivation.
+* :class:`ProgressReporter` / :class:`ConsoleProgress` -- progress
+  hooks (no-op by default).
+"""
+
+from .engine import BACKENDS, EngineReport, ParallelCampaignEngine
+from .progress import (
+    NULL_PROGRESS,
+    ConsoleProgress,
+    ProgressEvent,
+    ProgressReporter,
+    ProgressTracker,
+)
+from .tasks import (
+    CampaignTask,
+    CampaignTaskResult,
+    MachineSpec,
+    derive_task_seed,
+    run_campaign_task,
+)
+
+__all__ = [
+    "BACKENDS",
+    "CampaignTask",
+    "CampaignTaskResult",
+    "ConsoleProgress",
+    "EngineReport",
+    "MachineSpec",
+    "NULL_PROGRESS",
+    "ParallelCampaignEngine",
+    "ProgressEvent",
+    "ProgressReporter",
+    "ProgressTracker",
+    "derive_task_seed",
+    "run_campaign_task",
+]

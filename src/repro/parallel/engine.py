@@ -1,0 +1,296 @@
+"""The parallel campaign engine.
+
+The paper's characterization took six months of wall-clock time because
+thousands of (benchmark, core, voltage) runs execute serially on one
+board.  In simulation that constraint disappears: campaigns are
+embarrassingly parallel -- each owns its machine and its RNG stream --
+so the engine fans the (workload, core, campaign) grid out over a
+process pool.
+
+Determinism is the design anchor.  Every task's machine seed is derived
+from the parent seed and the task's stable coordinates (see
+:mod:`repro.parallel.tasks`), so the engine produces **bit-identical**
+results for any worker count, backend or chunking -- ``jobs=4`` equals
+``jobs=1`` equals any future run of the same grid.
+
+Scheduling is chunked (one pickle round-trip per chunk, not per
+campaign), worker crashes are retried once by re-running the lost chunk
+in-process, and a :class:`~repro.parallel.progress.ProgressReporter`
+hook surfaces completed/total/ETA to the CLI and examples.
+"""
+
+from __future__ import annotations
+
+import warnings
+from concurrent.futures import FIRST_COMPLETED, Executor, Future, wait
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..core.campaign import CampaignResult, CharacterizationResult
+from ..core.framework import FrameworkConfig
+from ..errors import ConfigurationError
+from ..workloads.benchmark import Benchmark, Program
+from .progress import NULL_PROGRESS, ProgressReporter, ProgressTracker
+from .tasks import (
+    CampaignTask,
+    CampaignTaskResult,
+    MachineSpec,
+    derive_task_seed,
+    run_campaign_chunk,
+)
+
+#: Supported execution backends.
+BACKENDS = ("auto", "process", "thread", "serial")
+
+
+@dataclass(frozen=True)
+class EngineReport:
+    """Outcome of one engine run: the grid plus execution metadata."""
+
+    #: (benchmark, core) -> the assembled characterization.
+    results: Dict[Tuple[str, int], CharacterizationResult]
+    #: Raw campaign logs keyed like
+    #: :attr:`CharacterizationFramework.raw_logs`.
+    raw_logs: Dict[Tuple[str, int, int, int], str]
+    #: Total watchdog recoveries performed by the workers.
+    interventions: int
+    #: Number of campaign tasks executed.
+    tasks_run: int
+    #: Scheduling chunks retried in-process after a worker failure.
+    chunks_retried: int
+    #: Backend that actually executed the grid.
+    backend: str
+    #: Worker count the grid ran with (1 for the serial backend).
+    jobs: int
+
+
+class ParallelCampaignEngine:
+    """Fans a characterization grid out over a worker pool.
+
+    Parameters
+    ----------
+    spec:
+        The machine blueprint every worker rebuilds.
+    config:
+        The framework configuration (schedule, runs per level,
+        campaign count) applied to every grid cell.
+    jobs:
+        Worker count.  ``1`` executes serially in-process (the
+        reference ordering); higher values enable the pool.
+    backend:
+        ``"process"`` / ``"thread"`` / ``"serial"`` / ``"auto"``.
+        Auto picks processes for ``jobs > 1`` and falls back to
+        threads when process pools are unavailable (restricted
+        environments), then to serial execution.
+    chunk_size:
+        Tasks per scheduling chunk; ``None`` sizes chunks to roughly
+        four per worker, which keeps the pool busy without paying one
+        IPC round-trip per campaign.
+    progress:
+        Optional :class:`ProgressReporter`; the default is a no-op.
+    """
+
+    #: Grids smaller than this never spin up a pool under ``auto``.
+    MIN_POOL_TASKS = 2
+
+    def __init__(
+        self,
+        spec: MachineSpec,
+        config: FrameworkConfig = FrameworkConfig(),
+        jobs: int = 1,
+        backend: str = "auto",
+        chunk_size: Optional[int] = None,
+        progress: ProgressReporter = NULL_PROGRESS,
+    ) -> None:
+        if jobs < 1:
+            raise ConfigurationError(f"jobs must be >= 1, got {jobs}")
+        if backend not in BACKENDS:
+            raise ConfigurationError(
+                f"backend must be one of {BACKENDS}, got {backend!r}"
+            )
+        if chunk_size is not None and chunk_size < 1:
+            raise ConfigurationError("chunk_size must be >= 1")
+        self.spec = spec
+        self.config = config
+        self.jobs = int(jobs)
+        self.backend = backend
+        self.chunk_size = chunk_size
+        self.progress = progress
+
+    # -- task grid --------------------------------------------------------
+
+    def tasks_for(
+        self, workloads: Sequence[object], cores: Sequence[int]
+    ) -> List[CampaignTask]:
+        """The deterministic task list of a grid.
+
+        Ordering is (workload, core, campaign) -- the same order the
+        serial framework executes -- and each task carries its derived
+        seed, so the list is independent of how it will be scheduled.
+        """
+        tasks: List[CampaignTask] = []
+        for workload in workloads:
+            program = self._as_program(workload)
+            for core in cores:
+                for campaign_index in range(1, self.config.campaigns + 1):
+                    tasks.append(
+                        CampaignTask(
+                            program=program,
+                            core=core,
+                            campaign_index=campaign_index,
+                            seed=derive_task_seed(
+                                self.spec.seed, program.name, core,
+                                campaign_index,
+                            ),
+                        )
+                    )
+        return tasks
+
+    # -- execution --------------------------------------------------------
+
+    def run(
+        self, workloads: Sequence[object], cores: Sequence[int]
+    ) -> EngineReport:
+        """Characterize every workload on every core."""
+        tasks = self.tasks_for(workloads, cores)
+        if not tasks:
+            raise ConfigurationError("empty grid: no workloads or no cores")
+        backend = self._resolve_backend(len(tasks))
+        tracker = ProgressTracker(len(tasks), self.progress)
+        chunks = self._chunk(tasks)
+        retried = 0
+        if backend == "serial":
+            outcomes: List[CampaignTaskResult] = []
+            for chunk in chunks:
+                outcomes.extend(run_campaign_chunk(self.spec, self.config, chunk))
+                tracker.advance(len(chunk))
+        else:
+            outcomes, retried = self._run_pool(backend, chunks, tracker)
+        tracker.finish()
+        return self._assemble(tasks, outcomes, backend, retried)
+
+    def _resolve_backend(self, n_tasks: int) -> str:
+        if self.backend == "serial" or self.jobs == 1:
+            return "serial"
+        if self.backend == "auto" and n_tasks < self.MIN_POOL_TASKS:
+            return "serial"
+        if self.backend == "auto":
+            return "process"
+        return self.backend
+
+    def _chunk(self, tasks: List[CampaignTask]) -> List[Tuple[CampaignTask, ...]]:
+        size = self.chunk_size
+        if size is None:
+            size = max(1, len(tasks) // (self.jobs * 4))
+        return [
+            tuple(tasks[i:i + size]) for i in range(0, len(tasks), size)
+        ]
+
+    def _make_executor(self, backend: str) -> Tuple[Executor, str]:
+        """Build the pool, degrading process -> thread -> serial."""
+        if backend == "process":
+            try:
+                from concurrent.futures import ProcessPoolExecutor
+
+                executor = ProcessPoolExecutor(max_workers=self.jobs)
+                # Surface pool-construction failures (missing /dev/shm,
+                # seccomp'd fork, ...) now rather than at submit time.
+                executor.submit(int, 0).result()
+                return executor, "process"
+            except Exception as exc:  # pragma: no cover - environment-dependent
+                warnings.warn(
+                    f"process pool unavailable ({exc!r}); "
+                    "falling back to threads",
+                    RuntimeWarning,
+                    stacklevel=3,
+                )
+        from concurrent.futures import ThreadPoolExecutor
+
+        return ThreadPoolExecutor(max_workers=self.jobs), "thread"
+
+    def _run_pool(
+        self,
+        backend: str,
+        chunks: List[Tuple[CampaignTask, ...]],
+        tracker: ProgressTracker,
+    ) -> Tuple[List[CampaignTaskResult], int]:
+        executor, backend = self._make_executor(backend)
+        outcomes: List[CampaignTaskResult] = []
+        retried = 0
+        try:
+            pending: Dict[Future, Tuple[CampaignTask, ...]] = {
+                executor.submit(run_campaign_chunk, self.spec, self.config, chunk): chunk
+                for chunk in chunks
+            }
+            while pending:
+                done, _ = wait(pending, return_when=FIRST_COMPLETED)
+                for future in done:
+                    chunk = pending.pop(future)
+                    try:
+                        outcomes.extend(future.result())
+                    except Exception as exc:
+                        # Retry-once policy: a lost worker (OOM kill,
+                        # BrokenProcessPool, pickling trouble) must not
+                        # lose the grid.  The chunk re-runs in-process;
+                        # seeds are per-task, so the retry is
+                        # bit-identical to what the worker would have
+                        # produced.
+                        warnings.warn(
+                            f"worker chunk failed ({exc!r}); "
+                            "retrying in-process",
+                            RuntimeWarning,
+                            stacklevel=2,
+                        )
+                        retried += 1
+                        outcomes.extend(
+                            run_campaign_chunk(self.spec, self.config, chunk)
+                        )
+                    tracker.advance(len(chunk))
+        finally:
+            executor.shutdown(wait=False, cancel_futures=True)
+        return outcomes, retried
+
+    # -- assembly ---------------------------------------------------------
+
+    def _assemble(
+        self,
+        tasks: List[CampaignTask],
+        outcomes: List[CampaignTaskResult],
+        backend: str,
+        retried: int,
+    ) -> EngineReport:
+        """Deterministic grid assembly, independent of completion order."""
+        by_task: Dict[Tuple[str, int, int], CampaignTaskResult] = {
+            (o.benchmark, o.core, o.campaign_index): o for o in outcomes
+        }
+        grid: Dict[Tuple[str, int], List[CampaignResult]] = {}
+        raw_logs: Dict[Tuple[str, int, int, int], str] = {}
+        interventions = 0
+        for task in tasks:  # reference order: (workload, core, campaign)
+            outcome = by_task[(task.program.name, task.core, task.campaign_index)]
+            grid.setdefault(outcome.grid_key, []).append(outcome.result)
+            raw_logs[outcome.raw_log_key] = outcome.raw_log
+            interventions += outcome.interventions
+        results = {
+            key: CharacterizationResult(campaigns=tuple(campaigns))
+            for key, campaigns in grid.items()
+        }
+        return EngineReport(
+            results=results,
+            raw_logs=raw_logs,
+            interventions=interventions,
+            tasks_run=len(tasks),
+            chunks_retried=retried,
+            backend=backend,
+            jobs=1 if backend == "serial" else self.jobs,
+        )
+
+    @staticmethod
+    def _as_program(workload: object) -> Program:
+        if isinstance(workload, Program):
+            return workload
+        if isinstance(workload, Benchmark):
+            return workload.programs()[0]
+        raise ConfigurationError(
+            f"expected a Program or Benchmark, got {type(workload).__name__}"
+        )

@@ -1,0 +1,133 @@
+"""Progress reporting for long-running characterization grids.
+
+A fleet-scale characterization is thousands of campaigns; the paper's
+own campaigns ran unattended for six months, and the one operational
+lesson that survives simulation is that long grids need a heartbeat.
+:class:`ProgressReporter` is the engine's hook for that heartbeat:
+
+* :data:`NULL_PROGRESS` -- the no-op default.  Library callers that
+  never ask for progress pay a single method call per completed chunk
+  and nothing else.
+* :class:`ConsoleProgress` -- a single-line console reporter (counts,
+  percentage, elapsed, ETA) used by the CLI and the examples.
+* :class:`ProgressTracker` -- the bookkeeping helper the engine feeds;
+  it timestamps completions and emits :class:`ProgressEvent` values to
+  whichever reporter is attached.
+
+The ETA is a plain linear extrapolation (elapsed / completed * left):
+campaign tasks are near-uniform in cost, so anything fancier is noise.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from dataclasses import dataclass
+from typing import Optional, TextIO
+
+
+@dataclass(frozen=True)
+class ProgressEvent:
+    """One progress observation of a running grid."""
+
+    #: Completed and total task counts (one task = one campaign).
+    completed: int
+    total: int
+    #: Seconds since the grid started.
+    elapsed_s: float
+    #: Linear-extrapolation estimate of the seconds left; ``None``
+    #: until at least one task has completed.
+    eta_s: Optional[float]
+
+    @property
+    def fraction(self) -> float:
+        return self.completed / self.total if self.total else 1.0
+
+
+class ProgressReporter:
+    """No-op base reporter; subclass and override what you need."""
+
+    def on_start(self, total: int) -> None:
+        """Called once before the first task is scheduled."""
+
+    def on_progress(self, event: ProgressEvent) -> None:
+        """Called after every completed scheduling chunk."""
+
+    def on_finish(self, event: ProgressEvent) -> None:
+        """Called once after the last task has completed."""
+
+
+#: Shared no-op reporter -- the default everywhere.
+NULL_PROGRESS = ProgressReporter()
+
+
+class ConsoleProgress(ProgressReporter):
+    """Single-line console progress (CLI and examples).
+
+    Writes carriage-return-refreshed status lines, and a newline on
+    completion so subsequent output starts clean.
+    """
+
+    def __init__(self, stream: Optional[TextIO] = None, label: str = "campaigns") -> None:
+        self.stream = stream if stream is not None else sys.stderr
+        self.label = label
+
+    def _render(self, event: ProgressEvent) -> str:
+        eta = f"{event.eta_s:6.1f}s" if event.eta_s is not None else "   ?  "
+        return (
+            f"\r{self.label}: {event.completed}/{event.total} "
+            f"({100 * event.fraction:5.1f} %)  "
+            f"elapsed {event.elapsed_s:6.1f}s  eta {eta}"
+        )
+
+    def on_progress(self, event: ProgressEvent) -> None:
+        self.stream.write(self._render(event))
+        self.stream.flush()
+
+    def on_finish(self, event: ProgressEvent) -> None:
+        self.stream.write(self._render(event) + "\n")
+        self.stream.flush()
+
+
+class ProgressTracker:
+    """Feeds a :class:`ProgressReporter` from the engine's completions."""
+
+    def __init__(
+        self,
+        total: int,
+        reporter: ProgressReporter = NULL_PROGRESS,
+        clock=time.monotonic,
+    ) -> None:
+        self.total = int(total)
+        self.reporter = reporter
+        self._clock = clock
+        self._start = clock()
+        self.completed = 0
+        self.reporter.on_start(self.total)
+
+    def _event(self) -> ProgressEvent:
+        elapsed = self._clock() - self._start
+        eta: Optional[float] = None
+        if 0 < self.completed < self.total:
+            eta = elapsed / self.completed * (self.total - self.completed)
+        elif self.completed >= self.total:
+            eta = 0.0
+        return ProgressEvent(
+            completed=self.completed,
+            total=self.total,
+            elapsed_s=elapsed,
+            eta_s=eta,
+        )
+
+    def advance(self, count: int = 1) -> ProgressEvent:
+        """Record ``count`` newly completed tasks and notify."""
+        self.completed += int(count)
+        event = self._event()
+        self.reporter.on_progress(event)
+        return event
+
+    def finish(self) -> ProgressEvent:
+        """Emit the terminal event."""
+        event = self._event()
+        self.reporter.on_finish(event)
+        return event

@@ -1,0 +1,193 @@
+"""Shared-nothing task and result payloads of the parallel engine.
+
+A characterization grid decomposes into (workload, core, campaign)
+tasks.  Each task is executed on its **own** freshly built
+:class:`~repro.hardware.xgene2.XGene2Machine` -- workers share no
+mutable state, so every payload crossing the process boundary is a
+small frozen dataclass that pickles cleanly.
+
+**Deterministic seed derivation.**  Each task's machine seed is a
+child of the parent machine seed, derived with
+:class:`numpy.random.SeedSequence` spawn keys from the task's stable
+coordinates (benchmark name, core, campaign index).  Two properties
+follow:
+
+* the derivation is independent of scheduling -- chunking, worker
+  count, backend and completion order cannot change any task's seed,
+  so parallel results are bit-identical to serial ones;
+* distinct tasks get statistically independent streams (the
+  ``SeedSequence`` spawn guarantee), so campaign repetitions do not
+  accidentally correlate.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+import numpy as np
+
+from ..data.calibration import CHIP_NAMES
+from ..errors import ConfigurationError
+from ..faults.manifestation import ProtectionConfig
+from ..hardware.xgene2 import XGene2Chip, XGene2Machine
+from ..workloads.benchmark import Program
+
+_UINT64_MASK = (1 << 64) - 1
+
+
+def derive_task_seed(
+    parent_seed: int, benchmark: str, core: int, campaign_index: int
+) -> int:
+    """Child machine seed for one (benchmark, core, campaign) task.
+
+    Stable across processes, platforms and scheduling orders: the
+    benchmark name is folded to a 64-bit key with SHA-256 (never
+    Python's randomized ``hash``), and the child stream is drawn from
+    ``SeedSequence(parent, spawn_key=(bench_key, core, campaign))``.
+    """
+    digest = hashlib.sha256(benchmark.encode("utf-8")).digest()
+    bench_key = int.from_bytes(digest[:8], "little")
+    sequence = np.random.SeedSequence(
+        entropy=int(parent_seed) & _UINT64_MASK,
+        spawn_key=(bench_key, int(core), int(campaign_index)),
+    )
+    return int(sequence.generate_state(1, dtype=np.uint64)[0] >> np.uint64(1))
+
+
+@dataclass(frozen=True)
+class MachineSpec:
+    """Everything needed to rebuild a worker's machine from scratch.
+
+    ``chip`` is a part name ("TTT"/"TFF"/"TSS") or a full
+    :class:`XGene2Chip` (e.g. a generated fleet part).  The spec
+    deliberately covers only constructor arguments that are plain
+    data; machines carrying live extension models (droop, adaptive
+    clocking, aging, rollback, injectors) cannot be shipped to worker
+    processes and must be characterized in-process.
+    """
+
+    chip: object = "TTT"
+    seed: int = 2017
+    protection: ProtectionConfig = field(default_factory=ProtectionConfig)
+    per_pmd_domains: bool = False
+    failure_profile: Optional[str] = None
+    use_cache_models: bool = True
+
+    @classmethod
+    def from_machine(cls, machine: XGene2Machine) -> "MachineSpec":
+        """Capture a machine's rebuildable configuration.
+
+        Raises :class:`~repro.errors.ConfigurationError` when the
+        machine carries extension models the spec cannot represent.
+        """
+        extras = [
+            name
+            for name in (
+                "droop_model", "adaptive_clock", "temperature_sensitivity",
+                "aging_model", "rollback_unit", "injector",
+            )
+            if getattr(machine, name) is not None
+        ]
+        if extras:
+            raise ConfigurationError(
+                "machine has extension models a worker cannot rebuild: "
+                + ", ".join(extras)
+            )
+        chip: object = machine.chip
+        if (isinstance(chip, XGene2Chip) and chip.name in CHIP_NAMES
+                and chip == XGene2Chip.part(chip.name)):
+            chip = chip.name  # canonical part: ship the name, not the object
+        return cls(
+            chip=chip,
+            seed=machine.seed,
+            protection=machine.protection,
+            per_pmd_domains=machine.regulator.per_pmd_domains,
+            failure_profile=machine.failure_profile,
+            use_cache_models=machine.use_cache_models,
+        )
+
+    def build(self, seed: Optional[int] = None) -> XGene2Machine:
+        """Construct and power on a fresh machine from this spec."""
+        machine = XGene2Machine(
+            chip=self.chip,
+            seed=self.seed if seed is None else seed,
+            protection=self.protection,
+            per_pmd_domains=self.per_pmd_domains,
+            failure_profile=self.failure_profile,
+            use_cache_models=self.use_cache_models,
+        )
+        machine.power_on()
+        return machine
+
+
+@dataclass(frozen=True)
+class CampaignTask:
+    """One unit of grid work: one campaign of one workload on one core."""
+
+    program: Program
+    core: int
+    campaign_index: int
+    #: Derived child machine seed (see :func:`derive_task_seed`).
+    seed: int
+
+    @property
+    def grid_key(self) -> Tuple[str, int]:
+        """The (benchmark, core) cell this campaign belongs to."""
+        return (self.program.name, self.core)
+
+
+@dataclass(frozen=True)
+class CampaignTaskResult:
+    """Everything a worker reports back for one task."""
+
+    benchmark: str
+    core: int
+    campaign_index: int
+    result: "CampaignResult"  # noqa: F821 -- imported lazily below
+    #: Raw log text, so the parent framework's log store stays complete.
+    raw_log: str
+    freq_mhz: int
+    #: Watchdog recoveries the worker performed during this campaign.
+    interventions: int
+
+    @property
+    def grid_key(self) -> Tuple[str, int]:
+        return (self.benchmark, self.core)
+
+    @property
+    def raw_log_key(self) -> Tuple[str, int, int, int]:
+        return (self.benchmark, self.core, self.freq_mhz, self.campaign_index)
+
+
+def run_campaign_task(
+    spec: MachineSpec, config: "FrameworkConfig", task: CampaignTask  # noqa: F821
+) -> CampaignTaskResult:
+    """Execute one campaign on a freshly built machine (worker body)."""
+    from ..core.framework import CharacterizationFramework
+
+    machine = spec.build(seed=task.seed)
+    framework = CharacterizationFramework(machine, config)
+    result = framework.run_campaign(
+        task.program, task.core, campaign_index=task.campaign_index
+    )
+    log_key = (task.program.name, task.core, config.freq_mhz, task.campaign_index)
+    return CampaignTaskResult(
+        benchmark=task.program.name,
+        core=task.core,
+        campaign_index=task.campaign_index,
+        result=result,
+        raw_log=framework.raw_logs[log_key],
+        freq_mhz=config.freq_mhz,
+        interventions=framework.watchdog.intervention_count,
+    )
+
+
+def run_campaign_chunk(
+    spec: MachineSpec,
+    config: "FrameworkConfig",  # noqa: F821
+    tasks: Tuple[CampaignTask, ...],
+) -> Tuple[CampaignTaskResult, ...]:
+    """Worker entry point: execute a scheduling chunk of tasks."""
+    return tuple(run_campaign_task(spec, config, task) for task in tasks)

@@ -59,6 +59,42 @@ class TestCharacterize:
         with pytest.raises(SystemExit):
             main(["characterize", "XXX", "mcf"])
 
+    def test_jobs_flag_uses_engine(self, capsys):
+        code = main([
+            "characterize", "TTT", "mcf", "--campaigns", "2",
+            "--start-mv", "910", "--jobs", "2",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "safe Vmin" in out and "recoveries" in out
+
+
+class TestGrid:
+    def test_parallel_grid_with_csv(self, capsys, tmp_path):
+        code = main([
+            "grid", "TTT", "--benchmarks", "mcf,bwaves", "--cores", "0,4",
+            "--campaigns", "2", "--runs-per-level", "3",
+            "--start-mv", "910", "--jobs", "2", "--out", str(tmp_path),
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "backend" in out
+        assert "mcf" in out and "bwaves" in out
+        assert (tmp_path / "runs.csv").exists()
+        assert (tmp_path / "severity.csv").exists()
+
+    def test_grid_results_independent_of_jobs(self, capsys, tmp_path):
+        argv = ["grid", "TTT", "--benchmarks", "mcf", "--cores", "0",
+                "--campaigns", "2", "--runs-per-level", "3",
+                "--start-mv", "910"]
+        assert main(argv + ["--jobs", "1", "--out", str(tmp_path / "a")]) == 0
+        assert main(argv + ["--jobs", "3", "--out", str(tmp_path / "b")]) == 0
+        capsys.readouterr()
+        assert (tmp_path / "a" / "runs.csv").read_text() == \
+            (tmp_path / "b" / "runs.csv").read_text()
+        assert (tmp_path / "a" / "severity.csv").read_text() == \
+            (tmp_path / "b" / "severity.csv").read_text()
+
 
 class TestTradeoffs:
     def test_default(self, capsys):
