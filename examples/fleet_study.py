@@ -9,9 +9,11 @@ raises at scale:
 1. how does the chip-level worst-case Vmin distribute across a fleet?
 2. how much saving does per-chip voltage management recover compared
    with one conservative fleet-wide setting?
-3. what does a measured per-core Vmin map of one part look like --
-   characterized campaign-parallel on the
-   :class:`~repro.parallel.ParallelCampaignEngine`?
+3. what does a measured per-core Vmin map of a *deployed* part --
+   droop-afflicted, adaptively clocked, two years into its life --
+   look like, characterized campaign-parallel on the
+   :class:`~repro.parallel.ParallelCampaignEngine` from a JSON-round-
+   tripped :class:`~repro.machines.MachineSpec`?
 4. how do supply droop, adaptive clocking, temperature and aging move
    an individual part's usable margin?
 
@@ -28,17 +30,16 @@ from repro.hardware import (
     ChipGenerator,
     SupplyDroopModel,
     TemperatureSensitivity,
-    XGene2Machine,
     fleet_vmin_distribution,
 )
-from repro.parallel import ConsoleProgress, MachineSpec, ParallelCampaignEngine
+from repro.machines import MachineSpec, build_machine, spec_from_json, spec_to_json
+from repro.parallel import ConsoleProgress, ParallelCampaignEngine
 from repro.units import PMD_NOMINAL_MV
 from repro.workloads import get_benchmark
 
 
 def measured_vmin(**machine_kwargs) -> int:
-    machine = XGene2Machine("TTT", seed=5, **machine_kwargs)
-    machine.power_on()
+    machine = build_machine(MachineSpec(chip="TTT", seed=5, **machine_kwargs))
     if machine.aging_model is not None:
         machine.age(20_000.0)
     if machine.temperature_sensitivity is not None:
@@ -49,15 +50,37 @@ def measured_vmin(**machine_kwargs) -> int:
     return framework.characterize(get_benchmark("bwaves"), core=0).highest_vmin_mv
 
 
+def deployed_part_spec() -> MachineSpec:
+    """A non-trivial blueprint: a part two years into deployment.
+
+    Supply droop and adaptive clocking are active, BTI aging has
+    ~17.5k full-activity hours accumulated -- all of it captured in a
+    spec that round-trips through JSON (this is what a
+    ``--machine spec.json`` file for the CLI contains).
+    """
+    spec = MachineSpec(
+        chip="TTT",
+        seed=5,
+        droop_model=SupplyDroopModel(),
+        adaptive_clock=AdaptiveClockingUnit(recovery_mv=15.0),
+        aging_model=AgingModel(),
+        stress_hours=17_500.0,
+    )
+    round_tripped = spec_from_json(spec_to_json(spec))
+    assert round_tripped == spec  # the file form loses nothing
+    return round_tripped
+
+
 def per_core_vmin_map(jobs: int) -> dict:
     """Characterize bwaves on all eight cores, campaign-parallel.
 
     The engine rebuilds a machine per (core, campaign) task from the
-    spec with a derived seed, so the map is identical for any ``jobs``.
+    spec with a derived seed -- extension models and accumulated aging
+    included -- so the map is identical for any ``jobs``.
     """
     engine = ParallelCampaignEngine(
-        MachineSpec(chip="TTT", seed=5),
-        FrameworkConfig(start_mv=950, campaigns=3),
+        deployed_part_spec(),
+        FrameworkConfig(start_mv=980, campaigns=3),
         jobs=jobs,
         progress=ConsoleProgress(label="per-core campaigns"),
     )
@@ -94,8 +117,10 @@ def main() -> None:
     print("chip-level Vmin histogram:")
     print(bar_chart(dict(sorted(histogram.items())), width=40, baseline=0))
 
-    # -- 3: engine-measured per-core Vmin map ------------------------------------
-    print(f"\nbwaves per-core measured Vmin (engine, jobs={args.jobs}):")
+    # -- 3: engine-measured per-core Vmin map of a deployed part -----------------
+    print(f"\nbwaves per-core measured Vmin of a deployed part "
+          f"(droop + adaptive clocking + 17.5kh aging; engine, "
+          f"jobs={args.jobs}):")
     vmin_map = per_core_vmin_map(args.jobs)
     print(bar_chart({f"core {c}": v for c, v in vmin_map.items()},
                     width=40, baseline=min(vmin_map.values()) - 10))

@@ -13,6 +13,9 @@ The package mirrors the paper's structure:
   Section-3.4 self-tests.
 * :mod:`repro.core` -- **contribution 1 & 2**: the automated
   characterization framework (Figure 2) and the severity function.
+* :mod:`repro.machines` -- declarative machine construction: the
+  ``Machine`` protocol, the component-codec registry and the
+  JSON/pickle-round-trippable ``MachineSpec``.
 * :mod:`repro.parallel` -- deterministic campaign fan-out: whole
   characterization grids over a worker pool, bit-identical to serial.
 * :mod:`repro.prediction` -- **contribution 3**: Vmin/severity
@@ -25,11 +28,10 @@ The package mirrors the paper's structure:
 
 Quick start::
 
-    from repro import XGene2Machine, CharacterizationFramework
+    from repro import CharacterizationFramework, MachineSpec, build_machine
     from repro.workloads import get_benchmark
 
-    machine = XGene2Machine("TTT", seed=2017)
-    machine.power_on()
+    machine = build_machine(MachineSpec(chip="TTT", seed=2017))
     framework = CharacterizationFramework(machine)
     result = framework.characterize(get_benchmark("bwaves"), core=0)
     print(result.highest_vmin_mv, result.severity_by_voltage())
@@ -48,7 +50,16 @@ from .core import (
     severity_value,
 )
 from .hardware import XGene2Chip, XGene2Machine
-from .parallel import MachineSpec, ParallelCampaignEngine
+from .machines import (
+    Machine,
+    MachineSpec,
+    build_machine,
+    load_machine_spec,
+    machine_to_spec,
+    register_component,
+    save_machine_spec,
+)
+from .parallel import ParallelCampaignEngine
 from .prediction import PredictionPipeline, PredictionReport
 from .energy import figure9_ladder, headline_savings
 from .scheduling import SeverityAwareScheduler, VoltageGovernor
@@ -68,7 +79,13 @@ __all__ = [
     "severity_value",
     "XGene2Chip",
     "XGene2Machine",
+    "Machine",
     "MachineSpec",
+    "build_machine",
+    "load_machine_spec",
+    "machine_to_spec",
+    "register_component",
+    "save_machine_spec",
     "ParallelCampaignEngine",
     "PredictionPipeline",
     "PredictionReport",

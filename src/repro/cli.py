@@ -5,6 +5,7 @@ One subcommand per workflow::
     repro tables [N]                  render Tables 1-4
     repro claims                      check every model-derived claim
     repro characterize CHIP BENCH     run an undervolting campaign
+                                      (or --machine spec.json)
     repro tradeoffs                   the Figure-9 ladder + headlines
     repro predict                     the Section-4.3 studies
     repro fleet                       generated-fleet Vmin statistics
@@ -15,6 +16,7 @@ All numbers are deterministic in ``--seed``.
 from __future__ import annotations
 
 import argparse
+import dataclasses
 import sys
 from typing import List, Optional
 
@@ -31,7 +33,9 @@ from .core import CharacterizationFramework, FrameworkConfig
 from .core.results import ResultStore
 from .data.calibration import CHIP_NAMES
 from .energy import figure9_ladder, headline_savings
-from .hardware import ChipGenerator, XGene2Machine, fleet_vmin_distribution
+from .errors import ConfigurationError
+from .hardware import ChipGenerator, fleet_vmin_distribution
+from .machines import MachineSpec, build_machine, load_machine_spec
 from .parallel import ConsoleProgress
 from .prediction import PredictionPipeline
 from .units import PMD_NOMINAL_MV
@@ -62,16 +66,45 @@ def _cmd_claims(_args: argparse.Namespace) -> int:
     return 1 if failed else 0
 
 
+def _characterization_spec(args: argparse.Namespace) -> Optional[MachineSpec]:
+    """Resolve a characterization subcommand's machine blueprint.
+
+    A ``--machine spec.json`` file, a chip name, or both (the chip
+    overrides the spec's); ``--seed`` always overrides.  Returns None
+    (after printing to stderr) when the machine is under-specified or
+    the spec file is invalid.
+    """
+    if args.machine is not None:
+        try:
+            spec = load_machine_spec(args.machine)
+        except ConfigurationError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return None
+        if args.chip is not None:
+            spec = dataclasses.replace(spec, chip=args.chip)
+    elif args.chip is not None:
+        spec = MachineSpec(chip=args.chip)
+    else:
+        print("error: pass a CHIP name or --machine spec.json",
+              file=sys.stderr)
+        return None
+    if args.seed is not None:
+        spec = dataclasses.replace(spec, seed=args.seed)
+    return spec
+
+
 def _cmd_characterize(args: argparse.Namespace) -> int:
-    machine = XGene2Machine(args.chip, seed=args.seed)
-    machine.power_on()
+    spec = _characterization_spec(args)
+    if spec is None:
+        return 2
+    machine = build_machine(spec)
     framework = CharacterizationFramework(
         machine,
         FrameworkConfig(start_mv=args.start_mv, campaigns=args.campaigns),
     )
     bench = get_benchmark(args.benchmark)
-    print(f"characterizing {bench.name} on {args.chip} core {args.core} "
-          f"({args.campaigns} campaigns) ...")
+    print(f"characterizing {bench.name} on {machine.chip.name} "
+          f"core {args.core} ({args.campaigns} campaigns) ...")
     if args.jobs is None:
         # Legacy in-place sweep: one shared machine, serial campaigns.
         result = framework.characterize(bench, core=args.core)
@@ -107,8 +140,10 @@ def _cmd_grid(args: argparse.Namespace) -> int:
     """Characterize a benchmark x core grid on the parallel engine."""
     benchmarks = [get_benchmark(name) for name in args.benchmarks.split(",")]
     cores = [int(c) for c in args.cores.split(",")]
-    machine = XGene2Machine(args.chip, seed=args.seed)
-    machine.power_on()
+    spec = _characterization_spec(args)
+    if spec is None:
+        return 2
+    machine = build_machine(spec)
     framework = CharacterizationFramework(
         machine,
         FrameworkConfig(
@@ -120,7 +155,7 @@ def _cmd_grid(args: argparse.Namespace) -> int:
     total = len(benchmarks) * len(cores) * args.campaigns
     print(f"characterizing {len(benchmarks)} benchmark(s) x {len(cores)} "
           f"core(s) x {args.campaigns} campaign(s) = {total} campaigns "
-          f"on {args.chip} (jobs={args.jobs}) ...")
+          f"on {machine.chip.name} (jobs={args.jobs}) ...")
     results = framework.characterize_many(
         benchmarks, cores, jobs=args.jobs, progress=ConsoleProgress(),
     )
@@ -156,8 +191,7 @@ def _cmd_tradeoffs(args: argparse.Namespace) -> int:
 
 
 def _cmd_predict(args: argparse.Namespace) -> int:
-    machine = XGene2Machine(args.chip, seed=args.seed)
-    machine.power_on()
+    machine = build_machine(MachineSpec(chip=args.chip, seed=args.seed))
     pipeline = PredictionPipeline(machine)
     programs = all_programs()[: args.programs]
     print(f"running the Section-4.3 studies over {len(programs)} programs ...")
@@ -232,6 +266,14 @@ def _job_count(text: str) -> int:
     return value
 
 
+def _chip_name(text: str) -> str:
+    if text not in CHIP_NAMES:
+        raise argparse.ArgumentTypeError(
+            f"unknown chip {text!r} (choose from {', '.join(CHIP_NAMES)})"
+        )
+    return text
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -250,12 +292,18 @@ def build_parser() -> argparse.ArgumentParser:
     p_claims.set_defaults(func=_cmd_claims)
 
     p_char = sub.add_parser("characterize", help="run a characterization")
-    p_char.add_argument("chip", choices=CHIP_NAMES)
+    p_char.add_argument("chip", nargs="?", type=_chip_name, default=None,
+                        help="part name; optional with --machine")
     p_char.add_argument("benchmark")
+    p_char.add_argument("--machine", default=None, metavar="SPEC_JSON",
+                        help="machine spec file to build the board from "
+                             "(see repro.machines; extension models ride "
+                             "along)")
     p_char.add_argument("--core", type=int, default=0)
     p_char.add_argument("--campaigns", type=int, default=10)
     p_char.add_argument("--start-mv", type=int, default=930)
-    p_char.add_argument("--seed", type=int, default=2017)
+    p_char.add_argument("--seed", type=int, default=None,
+                        help="master seed (default 2017, or the spec's)")
     p_char.add_argument("--out", default=None, help="CSV output directory")
     p_char.add_argument("--jobs", type=_job_count, default=None,
                         help="fan campaigns out over N workers (derived "
@@ -264,7 +312,10 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_grid = sub.add_parser(
         "grid", help="characterize a benchmark x core grid in parallel")
-    p_grid.add_argument("chip", choices=CHIP_NAMES)
+    p_grid.add_argument("chip", nargs="?", type=_chip_name, default=None,
+                        help="part name; optional with --machine")
+    p_grid.add_argument("--machine", default=None, metavar="SPEC_JSON",
+                        help="machine spec file to build the board from")
     p_grid.add_argument("--benchmarks", default="bwaves,mcf",
                         help="comma-separated benchmark names")
     p_grid.add_argument("--cores", default="0,4",
@@ -272,7 +323,8 @@ def build_parser() -> argparse.ArgumentParser:
     p_grid.add_argument("--campaigns", type=int, default=3)
     p_grid.add_argument("--runs-per-level", type=int, default=10)
     p_grid.add_argument("--start-mv", type=int, default=930)
-    p_grid.add_argument("--seed", type=int, default=2017)
+    p_grid.add_argument("--seed", type=int, default=None,
+                        help="master seed (default 2017, or the spec's)")
     p_grid.add_argument("--jobs", type=_job_count, default=1,
                         help="worker count for the campaign fan-out")
     p_grid.add_argument("--out", default=None, help="CSV output directory")

@@ -10,11 +10,12 @@ exactly one place.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Tuple
+from typing import Optional, Tuple
 
 from .core.framework import FrameworkConfig
 from .data.calibration import CHIP_NAMES
 from .errors import ConfigurationError
+from .machines import MachineSpec
 from .units import FREQ_MAX_MHZ
 from .workloads.spec2006 import FIGURE_BENCHMARKS
 
@@ -48,6 +49,22 @@ class StudyConfig:
         bad_cores = [c for c in self.cores if not 0 <= c <= 7]
         if bad_cores:
             raise ConfigurationError(f"invalid cores: {bad_cores}")
+
+    # -- machine construction (see repro.machines) ------------------------
+
+    def machine_spec(self, chip: Optional[str] = None) -> MachineSpec:
+        """Blueprint of one study machine (defaults to the first chip)."""
+        return MachineSpec(
+            chip=self.chips[0] if chip is None else chip, seed=self.seed
+        )
+
+    def machine_specs(self) -> Tuple[MachineSpec, ...]:
+        """One blueprint per configured chip, in study order."""
+        return tuple(self.machine_spec(chip) for chip in self.chips)
+
+    def build_machine(self, chip: Optional[str] = None, power_on: bool = True):
+        """Construct (and by default power on) one study machine."""
+        return self.machine_spec(chip).build(power_on=power_on)
 
 
 #: The paper's full setup.

@@ -31,7 +31,8 @@ from ..units import (
     voltage_sweep,
 )
 from ..workloads.benchmark import Benchmark, Program
-from ..hardware.xgene2 import MachineState, XGene2Machine
+from ..hardware.xgene2 import MachineState
+from ..machines import Machine, machine_to_spec
 from .campaign import CampaignResult, CharacterizationResult
 from .parser import format_run_block, parse_log
 from .runs import CharacterizationSetup, RunRecord
@@ -73,7 +74,7 @@ class CharacterizationFramework:
 
     def __init__(
         self,
-        machine: XGene2Machine,
+        machine: Machine,
         config: FrameworkConfig = FrameworkConfig(),
         watchdog: Optional[WatchdogMonitor] = None,
     ) -> None:
@@ -253,33 +254,22 @@ class CharacterizationFramework:
 
         The grid runs on the :class:`~repro.parallel.ParallelCampaignEngine`:
         every (workload, core, campaign) task executes on a fresh
-        machine with a seed derived from this machine's seed and the
-        task's coordinates, so the result is **bit-identical for any
-        ``jobs``** -- ``jobs=1`` runs the same tasks serially in
-        process; ``jobs>1`` fans them out over a worker pool.
+        machine rebuilt from this machine's spec, with a seed derived
+        from this machine's seed and the task's coordinates, so the
+        result is **bit-identical for any ``jobs``** -- ``jobs=1`` runs
+        the same tasks serially in process; ``jobs>1`` fans them out
+        over a worker pool.
 
-        Machines carrying extension models (droop, aging, rollback,
-        injectors) cannot be rebuilt in workers; those fall back to the
-        in-place serial sweep on this machine and reject ``jobs > 1``.
+        Extension models (droop, aging, adaptive clocking, rollback,
+        injectors) ride along: they round-trip through the machine's
+        spec (see :mod:`repro.machines`).  Only machines carrying
+        *unregistered* third-party component models raise
+        :class:`~repro.errors.ConfigurationError`.
         """
         from ..parallel.engine import ParallelCampaignEngine
         from ..parallel.progress import NULL_PROGRESS
-        from ..parallel.tasks import MachineSpec
 
-        try:
-            spec = MachineSpec.from_machine(self.machine)
-        except ConfigurationError:
-            if jobs != 1:
-                raise
-            # In-place legacy sweep: shares this machine (and its RNG
-            # stream) across the whole grid.
-            results: Dict[Tuple[str, int], CharacterizationResult] = {}
-            for workload in workloads:
-                program = self._as_program(workload)
-                for core in cores:
-                    results[(program.name, core)] = self.characterize(program, core)
-            return results
-
+        spec = machine_to_spec(self.machine)
         engine = ParallelCampaignEngine(
             spec,
             self.config,

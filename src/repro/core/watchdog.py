@@ -15,11 +15,12 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass
-from typing import List
+from typing import List, Optional
 
 from ..errors import WatchdogError
 from ..hardware.serial_console import BOOT_BANNER
-from ..hardware.xgene2 import MachineState, XGene2Machine
+from ..hardware.xgene2 import MachineState
+from ..machines import Machine
 
 
 class WatchdogAction(enum.Enum):
@@ -47,7 +48,8 @@ class WatchdogMonitor:
     machine:
         The board under test (only its console/button surface is used).
     timeout_ticks:
-        Heartbeat staleness threshold, logical ticks.
+        Heartbeat staleness threshold, logical ticks; ``None`` uses the
+        machine's own ``HEARTBEAT_TIMEOUT_TICKS``.
     max_power_cycles:
         Consecutive failed power cycles before declaring the board dead
         (raises :class:`~repro.errors.WatchdogError` -- a real campaign
@@ -56,12 +58,15 @@ class WatchdogMonitor:
 
     def __init__(
         self,
-        machine: XGene2Machine,
-        timeout_ticks: int = XGene2Machine.HEARTBEAT_TIMEOUT_TICKS,
+        machine: Machine,
+        timeout_ticks: Optional[int] = None,
         max_power_cycles: int = 3,
     ) -> None:
         self.machine = machine
-        self.timeout_ticks = int(timeout_ticks)
+        self.timeout_ticks = int(
+            machine.HEARTBEAT_TIMEOUT_TICKS if timeout_ticks is None
+            else timeout_ticks
+        )
         self.max_power_cycles = int(max_power_cycles)
         self.interventions: List[Intervention] = []
 

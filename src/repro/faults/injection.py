@@ -53,6 +53,17 @@ class FaultInjector:
     def __len__(self) -> int:
         return len(self._queue)
 
+    def __eq__(self, other: object) -> bool:
+        # Equality is over the scripted queue only: the run counter is
+        # execution state, and a codec-cloned injector starts at run 0.
+        if not isinstance(other, FaultInjector):
+            return NotImplemented
+        return self.pending() == other.pending()
+
+    def pending(self) -> Tuple[Injection, ...]:
+        """The not-yet-consumed injections, in queue order."""
+        return tuple(self._queue)
+
     def schedule(self, injection: Injection) -> None:
         """Append one scripted fault."""
         self._queue.append(injection)

@@ -276,6 +276,13 @@ class XGene2Machine:
             raise ConfigurationError("hours must be >= 0, activity in [0, 1]")
         self._stress_hours += hours * activity
 
+    def to_spec(self):
+        """Declarative capture of this machine's rebuildable
+        configuration (see :mod:`repro.machines`)."""
+        from ..machines.spec import MachineSpec
+
+        return MachineSpec.from_machine(self)
+
     def anchor_shift_mv(self, workload: object, freq_mhz: int) -> float:
         """Total upward anchor shift from the active dynamics models."""
         shift = 0.0

@@ -1,0 +1,62 @@
+"""Declarative machine construction.
+
+Three pieces (see the tentpole rationale in ``docs/api.md``):
+
+* :class:`Machine` -- the structural protocol every consumer of a
+  machine depends on, instead of the concrete
+  :class:`~repro.hardware.xgene2.XGene2Machine` class;
+* the component-codec **registry** -- maps extension-model classes
+  (droop, adaptive clocking, temperature, aging, rollback, injection)
+  to picklable, JSON-serializable payloads, and is the extension point
+  for third-party models;
+* :class:`MachineSpec` and the **builder** helpers -- the declarative
+  blueprint that round-trips machines through worker processes and
+  config files.
+"""
+
+from .builder import (
+    as_machine_spec,
+    build_machine,
+    load_machine_spec,
+    machine_to_spec,
+    save_machine_spec,
+    spec_from_json,
+    spec_to_json,
+)
+from .protocol import Machine
+from .registry import (
+    COMPONENT_SLOTS,
+    ComponentCodec,
+    clone_component,
+    codec_for,
+    component_from_spec,
+    component_to_spec,
+    is_registered,
+    register_component,
+    registered_components,
+    unregister_component,
+)
+from .spec import SPEC_FORMAT, MachineSpec
+
+__all__ = [
+    "COMPONENT_SLOTS",
+    "ComponentCodec",
+    "Machine",
+    "MachineSpec",
+    "SPEC_FORMAT",
+    "as_machine_spec",
+    "build_machine",
+    "clone_component",
+    "codec_for",
+    "component_from_spec",
+    "component_to_spec",
+    "is_registered",
+    "load_machine_spec",
+    "machine_to_spec",
+    "register_component",
+    "registered_components",
+    "save_machine_spec",
+    "spec_from_json",
+    "spec_to_json",
+    "unregister_component",
+]

@@ -1,0 +1,89 @@
+"""The ``Machine`` protocol: what a characterizable machine *is*.
+
+The paper's framework treats the machine as an opaque surface -- it
+programs voltages through SLIMpro, launches programs, reads the serial
+console and presses the watchdog's two buttons.  This module writes
+that surface down as a :class:`typing.Protocol`, so every consumer
+(:class:`~repro.core.framework.CharacterizationFramework`,
+:class:`~repro.core.watchdog.WatchdogMonitor`, the scheduling
+simulation, the prediction pipeline, the parallel engine) depends on
+the *surface* instead of the concrete
+:class:`~repro.hardware.xgene2.XGene2Machine` class.
+
+A second silicon backend only has to satisfy this protocol (and
+register its component models with :mod:`repro.machines.registry`) to
+run under every framework in the library unchanged.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional, Protocol, runtime_checkable
+
+
+@runtime_checkable
+class Machine(Protocol):
+    """Structural type of a characterizable machine.
+
+    Attributes are grouped by the consumer that relies on them; a
+    conforming implementation provides all of them.  ``isinstance``
+    checks are supported (``runtime_checkable``) and verify member
+    *presence* only, as usual for protocols.
+    """
+
+    #: Liveness timeout the external watchdog assumes, logical ticks.
+    HEARTBEAT_TIMEOUT_TICKS: int
+
+    # -- identity & configuration (spec capture, prediction reports) -----
+    chip: Any
+    seed: int
+    protection: Any
+    failure_profile: Optional[str]
+    use_cache_models: bool
+
+    # -- extension component slots (see repro.machines.registry) ---------
+    droop_model: Optional[Any]
+    adaptive_clock: Optional[Any]
+    temperature_sensitivity: Optional[Any]
+    aging_model: Optional[Any]
+    rollback_unit: Optional[Any]
+    injector: Optional[Any]
+
+    # -- control-plane handles (framework, watchdog, simulation) ---------
+    regulator: Any
+    clocks: Any
+    slimpro: Any
+    console: Any
+    fan: Any
+    power_model: Any
+
+    # -- state surface ----------------------------------------------------
+    @property
+    def state(self) -> Any: ...
+
+    @property
+    def tick(self) -> int: ...
+
+    @property
+    def stress_hours(self) -> float: ...
+
+    # -- physical controls (the watchdog's buttons) -----------------------
+    def power_on(self) -> None: ...
+
+    def power_off(self) -> None: ...
+
+    def press_reset(self) -> None: ...
+
+    def is_responsive(self) -> bool: ...
+
+    # -- execution surface ------------------------------------------------
+    def run_program(
+        self, program: Any, core: int, timeout_s: Optional[float] = None
+    ) -> Any: ...
+
+    def profile_program(self, program: Any, core: int = 0) -> Dict[str, float]: ...
+
+    # -- lifetime bookkeeping --------------------------------------------
+    def age(self, hours: float, activity: float = 1.0) -> None: ...
+
+    # -- declarative capture (see repro.machines.spec) --------------------
+    def to_spec(self) -> Any: ...

@@ -11,7 +11,9 @@ Public surface:
 
 * :class:`ParallelCampaignEngine` -- fans (workload, core, campaign)
   grids over a process/thread pool, serial fallback included.
-* :class:`MachineSpec` -- picklable machine blueprint workers rebuild.
+* :class:`MachineSpec` -- re-exported from :mod:`repro.machines`: the
+  picklable blueprint workers rebuild, covering every registered
+  extension model (droop, aging, adaptive clocking, ...).
 * :func:`derive_task_seed` -- the per-task seed derivation.
 * :class:`ProgressReporter` / :class:`ConsoleProgress` -- progress
   hooks (no-op by default).

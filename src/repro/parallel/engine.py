@@ -29,12 +29,12 @@ from typing import Dict, List, Optional, Sequence, Tuple
 from ..core.campaign import CampaignResult, CharacterizationResult
 from ..core.framework import FrameworkConfig
 from ..errors import ConfigurationError
+from ..machines import MachineSpec, as_machine_spec
 from ..workloads.benchmark import Benchmark, Program
 from .progress import NULL_PROGRESS, ProgressReporter, ProgressTracker
 from .tasks import (
     CampaignTask,
     CampaignTaskResult,
-    MachineSpec,
     derive_task_seed,
     run_campaign_chunk,
 )
@@ -70,7 +70,11 @@ class ParallelCampaignEngine:
     Parameters
     ----------
     spec:
-        The machine blueprint every worker rebuilds.
+        The machine blueprint every worker rebuilds: a
+        :class:`~repro.machines.MachineSpec`, a chip name/chip, or a
+        machine (captured via ``to_spec()``).  Specs cover every
+        registered extension model, so droop/aging/adaptive-clocking
+        machines parallelize like nominal ones.
     config:
         The framework configuration (schedule, runs per level,
         campaign count) applied to every grid cell.
@@ -110,7 +114,7 @@ class ParallelCampaignEngine:
             )
         if chunk_size is not None and chunk_size < 1:
             raise ConfigurationError("chunk_size must be >= 1")
-        self.spec = spec
+        self.spec = as_machine_spec(spec)
         self.config = config
         self.jobs = int(jobs)
         self.backend = backend

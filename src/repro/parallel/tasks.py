@@ -1,10 +1,14 @@
 """Shared-nothing task and result payloads of the parallel engine.
 
 A characterization grid decomposes into (workload, core, campaign)
-tasks.  Each task is executed on its **own** freshly built
-:class:`~repro.hardware.xgene2.XGene2Machine` -- workers share no
-mutable state, so every payload crossing the process boundary is a
-small frozen dataclass that pickles cleanly.
+tasks.  Each task is executed on its **own** freshly built machine --
+workers share no mutable state, so every payload crossing the process
+boundary is a small frozen dataclass that pickles cleanly.  Machines
+are rebuilt from a :class:`~repro.machines.MachineSpec`, which covers
+*every* registered extension model (droop, adaptive clocking,
+temperature, aging, rollback, scripted injection) -- see
+:mod:`repro.machines`.  Only genuinely unregistered third-party
+component models are rejected, at spec-capture time.
 
 **Deterministic seed derivation.**  Each task's machine seed is a
 child of the parent machine seed, derived with
@@ -23,16 +27,22 @@ follow:
 from __future__ import annotations
 
 import hashlib
-from dataclasses import dataclass, field
-from typing import Optional, Tuple
+from dataclasses import dataclass
+from typing import Tuple
 
 import numpy as np
 
-from ..data.calibration import CHIP_NAMES
-from ..errors import ConfigurationError
-from ..faults.manifestation import ProtectionConfig
-from ..hardware.xgene2 import XGene2Chip, XGene2Machine
+from ..machines import MachineSpec
 from ..workloads.benchmark import Program
+
+__all__ = [
+    "CampaignTask",
+    "CampaignTaskResult",
+    "MachineSpec",
+    "derive_task_seed",
+    "run_campaign_task",
+    "run_campaign_chunk",
+]
 
 _UINT64_MASK = (1 << 64) - 1
 
@@ -54,72 +64,6 @@ def derive_task_seed(
         spawn_key=(bench_key, int(core), int(campaign_index)),
     )
     return int(sequence.generate_state(1, dtype=np.uint64)[0] >> np.uint64(1))
-
-
-@dataclass(frozen=True)
-class MachineSpec:
-    """Everything needed to rebuild a worker's machine from scratch.
-
-    ``chip`` is a part name ("TTT"/"TFF"/"TSS") or a full
-    :class:`XGene2Chip` (e.g. a generated fleet part).  The spec
-    deliberately covers only constructor arguments that are plain
-    data; machines carrying live extension models (droop, adaptive
-    clocking, aging, rollback, injectors) cannot be shipped to worker
-    processes and must be characterized in-process.
-    """
-
-    chip: object = "TTT"
-    seed: int = 2017
-    protection: ProtectionConfig = field(default_factory=ProtectionConfig)
-    per_pmd_domains: bool = False
-    failure_profile: Optional[str] = None
-    use_cache_models: bool = True
-
-    @classmethod
-    def from_machine(cls, machine: XGene2Machine) -> "MachineSpec":
-        """Capture a machine's rebuildable configuration.
-
-        Raises :class:`~repro.errors.ConfigurationError` when the
-        machine carries extension models the spec cannot represent.
-        """
-        extras = [
-            name
-            for name in (
-                "droop_model", "adaptive_clock", "temperature_sensitivity",
-                "aging_model", "rollback_unit", "injector",
-            )
-            if getattr(machine, name) is not None
-        ]
-        if extras:
-            raise ConfigurationError(
-                "machine has extension models a worker cannot rebuild: "
-                + ", ".join(extras)
-            )
-        chip: object = machine.chip
-        if (isinstance(chip, XGene2Chip) and chip.name in CHIP_NAMES
-                and chip == XGene2Chip.part(chip.name)):
-            chip = chip.name  # canonical part: ship the name, not the object
-        return cls(
-            chip=chip,
-            seed=machine.seed,
-            protection=machine.protection,
-            per_pmd_domains=machine.regulator.per_pmd_domains,
-            failure_profile=machine.failure_profile,
-            use_cache_models=machine.use_cache_models,
-        )
-
-    def build(self, seed: Optional[int] = None) -> XGene2Machine:
-        """Construct and power on a fresh machine from this spec."""
-        machine = XGene2Machine(
-            chip=self.chip,
-            seed=self.seed if seed is None else seed,
-            protection=self.protection,
-            per_pmd_domains=self.per_pmd_domains,
-            failure_profile=self.failure_profile,
-            use_cache_models=self.use_cache_models,
-        )
-        machine.power_on()
-        return machine
 
 
 @dataclass(frozen=True)

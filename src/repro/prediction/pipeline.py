@@ -28,7 +28,7 @@ from ..core.campaign import CharacterizationResult
 from ..core.framework import CharacterizationFramework, FrameworkConfig
 from ..core.severity import DEFAULT_WEIGHTS, SeverityWeights
 from ..errors import DatasetError, PredictionError
-from ..hardware.xgene2 import XGene2Machine
+from ..machines import Machine
 from ..workloads.benchmark import Benchmark, Program
 from .dataset import RegressionDataset, train_test_split
 from .features import VOLTAGE_FEATURE, FeatureAssembler
@@ -91,7 +91,7 @@ class PredictionPipeline:
 
     def __init__(
         self,
-        machine: XGene2Machine,
+        machine: Machine,
         characterization: Optional[FrameworkConfig] = None,
         n_features: int = 5,
         test_fraction: float = 0.2,

@@ -30,7 +30,8 @@ from typing import Callable, Dict, List, Mapping, Optional, Sequence
 from ..data.calibration import chip_calibration
 from ..effects import EffectType
 from ..errors import ConfigurationError
-from ..hardware.xgene2 import MachineState, XGene2Machine
+from ..hardware.xgene2 import MachineState
+from ..machines import Machine, MachineSpec
 from ..units import FREQ_MAX_MHZ, PMD_NOMINAL_MV, snap_down_mv
 from ..workloads.benchmark import Benchmark
 from .scheduler import Assignment, SeverityAwareScheduler
@@ -96,7 +97,7 @@ class EnergyEfficiencySimulation:
         chip: str = "TTT",
         seed: int = 2017,
         scheduler_policy: str = "robust_first",
-        machine_factory: Optional[Callable[[], XGene2Machine]] = None,
+        machine_factory: Optional[Callable[[], Machine]] = None,
     ) -> None:
         if not workload:
             raise ConfigurationError("workload must not be empty")
@@ -110,7 +111,8 @@ class EnergyEfficiencySimulation:
             self.workload, policy=scheduler_policy
         )
         self._machine_factory = machine_factory or (
-            lambda: XGene2Machine(self.chip, seed=self.seed)
+            lambda: MachineSpec(chip=self.chip, seed=self.seed).build(
+                power_on=False)
         )
 
     # -- policy voltages ---------------------------------------------------

@@ -3,6 +3,8 @@
 import pytest
 
 from repro.cli import build_parser, main
+from repro.hardware import SupplyDroopModel
+from repro.machines import MachineSpec, save_machine_spec
 
 
 class TestParser:
@@ -68,6 +70,39 @@ class TestCharacterize:
         out = capsys.readouterr().out
         assert "safe Vmin" in out and "recoveries" in out
 
+    def test_machine_spec_file(self, capsys, tmp_path):
+        spec = MachineSpec(chip="TFF", seed=7,
+                           droop_model=SupplyDroopModel())
+        path = save_machine_spec(spec, tmp_path / "machine.json")
+        code = main([
+            "characterize", "mcf", "--machine", str(path),
+            "--campaigns", "2", "--start-mv", "930", "--jobs", "2",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "on TFF" in out and "safe Vmin" in out
+
+    def test_no_chip_and_no_machine_rejected(self, capsys):
+        assert main(["characterize", "mcf"]) == 2
+        assert "--machine" in capsys.readouterr().err
+
+    def test_bad_machine_spec_rejected(self, capsys, tmp_path):
+        path = tmp_path / "broken.json"
+        path.write_text("{not json")
+        assert main(["characterize", "mcf", "--machine", str(path)]) == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_seed_overrides_spec(self, capsys, tmp_path):
+        path = save_machine_spec(MachineSpec(chip="TTT", seed=1),
+                                 tmp_path / "machine.json")
+        argv = ["characterize", "mcf", "--machine", str(path),
+                "--campaigns", "1", "--start-mv", "910"]
+        assert main(argv) == 0
+        base = capsys.readouterr().out
+        assert main(argv + ["--seed", "999"]) == 0
+        reseeded = capsys.readouterr().out
+        assert base != reseeded
+
 
 class TestGrid:
     def test_parallel_grid_with_csv(self, capsys, tmp_path):
@@ -94,6 +129,18 @@ class TestGrid:
             (tmp_path / "b" / "runs.csv").read_text()
         assert (tmp_path / "a" / "severity.csv").read_text() == \
             (tmp_path / "b" / "severity.csv").read_text()
+
+    def test_grid_accepts_machine_spec(self, capsys, tmp_path):
+        path = save_machine_spec(
+            MachineSpec(chip="TSS", seed=5), tmp_path / "machine.json")
+        code = main([
+            "grid", "--machine", str(path), "--benchmarks", "mcf",
+            "--cores", "0", "--campaigns", "2", "--runs-per-level", "3",
+            "--start-mv", "910", "--jobs", "2",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "on TSS" in out and "backend" in out
 
 
 class TestTradeoffs:

@@ -1,0 +1,301 @@
+"""The declarative machine layer: protocol, registry, spec round-trips."""
+
+import dataclasses
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.faults.injection import FaultInjector, Injection
+from repro.faults.models import FunctionalUnit
+from repro.hardware import (
+    AdaptiveClockingUnit,
+    AgingModel,
+    RollbackUnit,
+    SupplyDroopModel,
+    TemperatureSensitivity,
+    XGene2Chip,
+    XGene2Machine,
+)
+from repro.machines import (
+    Machine,
+    MachineSpec,
+    as_machine_spec,
+    build_machine,
+    clone_component,
+    component_from_spec,
+    component_to_spec,
+    load_machine_spec,
+    machine_to_spec,
+    register_component,
+    registered_components,
+    save_machine_spec,
+    spec_from_json,
+    spec_to_json,
+    unregister_component,
+)
+
+# -- hypothesis strategies, one per registered component kind --------------
+
+finite = dict(allow_nan=False, allow_infinity=False)
+
+droop_models = st.builds(
+    SupplyDroopModel,
+    max_droop_mv=st.floats(0.0, 40.0, **finite),
+    floor_fraction=st.floats(0.0, 1.0, **finite),
+    resonance_gain=st.floats(1.0, 2.0, **finite),
+    resonance_mhz=st.integers(300, 2400),
+)
+adaptive_clocks = st.builds(
+    AdaptiveClockingUnit,
+    recovery_mv=st.floats(0.0, 30.0, **finite),
+    stretch_penalty=st.floats(0.0, 1.0, **finite),
+    deployment_slope_per_mv=st.floats(0.01, 1.0, **finite),
+)
+temperature_models = st.builds(
+    TemperatureSensitivity,
+    mv_per_kelvin=st.floats(0.0, 2.0, **finite),
+    reference_c=st.floats(30.0, 60.0, **finite),
+)
+aging_models = st.builds(
+    AgingModel,
+    shift_mv_per_1000h=st.floats(0.0, 20.0, **finite),
+    exponent=st.floats(0.05, 1.0, **finite),
+)
+rollback_units = st.builds(
+    RollbackUnit,
+    detection_coverage=st.floats(0.0, 1.0, **finite),
+    rollback_penalty=st.floats(0.0, 0.5, **finite),
+)
+injections = st.builds(
+    Injection,
+    unit=st.sampled_from(list(FunctionalUnit)),
+    bit_positions=st.lists(
+        st.integers(0, 63), min_size=1, max_size=4).map(tuple),
+    run_index=st.none() | st.integers(1, 50),
+)
+fault_injectors = st.lists(injections, max_size=5).map(FaultInjector)
+
+COMPONENT_STRATEGIES = {
+    "supply_droop": droop_models,
+    "adaptive_clocking": adaptive_clocks,
+    "temperature_sensitivity": temperature_models,
+    "aging": aging_models,
+    "rollback": rollback_units,
+    "fault_injector": fault_injectors,
+}
+
+machine_specs = st.builds(
+    MachineSpec,
+    chip=st.sampled_from(["TTT", "TFF", "TSS"]),
+    seed=st.integers(0, 2**31 - 1),
+    droop_model=st.none() | droop_models,
+    adaptive_clock=st.none() | adaptive_clocks,
+    temperature_sensitivity=st.none() | temperature_models,
+    aging_model=st.none() | aging_models,
+    rollback_unit=st.none() | rollback_units,
+    injector=st.none() | fault_injectors,
+    stress_hours=st.floats(0.0, 50000.0, **finite),
+    fan_setpoint_c=st.none() | st.floats(44.0, 80.0, **finite),
+)
+
+
+def test_every_registered_component_has_a_strategy():
+    # Guards the "for every registered component model" promise of the
+    # property tests below: registering a new built-in without adding a
+    # strategy here fails loudly.
+    assert {c.kind for c in registered_components()} == \
+        set(COMPONENT_STRATEGIES)
+
+
+@pytest.mark.parametrize("kind", sorted(COMPONENT_STRATEGIES))
+def test_component_spec_round_trip_is_identity(kind):
+    @settings(max_examples=50, deadline=None)
+    @given(model=COMPONENT_STRATEGIES[kind])
+    def check(model):
+        payload = component_to_spec(model)
+        assert payload["kind"] == kind
+        assert component_from_spec(payload) == model
+        assert clone_component(model) == model
+
+    check()
+
+
+@settings(max_examples=25, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(spec=machine_specs)
+def test_spec_build_to_spec_is_identity(spec):
+    machine = spec.build(power_on=False)
+    assert machine.to_spec() == spec
+
+
+@settings(max_examples=50, deadline=None)
+@given(spec=machine_specs)
+def test_spec_json_round_trip_is_identity(spec):
+    assert spec_from_json(spec_to_json(spec)) == spec
+
+
+# -- protocol ---------------------------------------------------------------
+
+class TestProtocol:
+    def test_xgene2_machine_conforms(self):
+        assert isinstance(XGene2Machine("TTT"), Machine)
+
+    def test_non_machines_do_not_conform(self):
+        assert not isinstance(object(), Machine)
+
+
+# -- registry ---------------------------------------------------------------
+
+@dataclasses.dataclass(frozen=True)
+class _ThirdPartyDroop(SupplyDroopModel):
+    """A model the library has never seen."""
+
+
+class TestRegistry:
+    def test_builtin_kinds_present(self):
+        kinds = {c.kind for c in registered_components()}
+        assert {"supply_droop", "aging", "adaptive_clocking",
+                "rollback", "temperature_sensitivity",
+                "fault_injector"} <= kinds
+
+    def test_unregistered_subclass_is_a_different_model(self):
+        machine = XGene2Machine("TTT", droop_model=_ThirdPartyDroop())
+        with pytest.raises(ConfigurationError, match="register_component"):
+            machine_to_spec(machine)
+
+    def test_third_party_registration_round_trips(self):
+        register_component("third_party_droop", _ThirdPartyDroop,
+                           slot="droop_model")
+        try:
+            machine = XGene2Machine(
+                "TTT", droop_model=_ThirdPartyDroop(max_droop_mv=7.0))
+            spec = machine_to_spec(machine)
+            rebuilt = spec.build(power_on=False)
+            assert isinstance(rebuilt.droop_model, _ThirdPartyDroop)
+            assert rebuilt.droop_model.max_droop_mv == 7.0
+            assert spec_from_json(spec_to_json(spec)) == spec
+        finally:
+            unregister_component("third_party_droop")
+
+    def test_duplicate_kind_rejected(self):
+        with pytest.raises(ConfigurationError, match="already registered"):
+            register_component("supply_droop", _ThirdPartyDroop,
+                               slot="droop_model")
+
+    def test_duplicate_class_rejected(self):
+        with pytest.raises(ConfigurationError, match="already registered"):
+            register_component("droop_again", SupplyDroopModel,
+                               slot="droop_model")
+
+    def test_bad_slot_rejected(self):
+        with pytest.raises(ConfigurationError, match="slot"):
+            register_component("bad_slot", _ThirdPartyDroop, slot="sidecar")
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ConfigurationError, match="unknown component kind"):
+            component_from_spec({"kind": "warp_core", "params": {}})
+
+    def test_unregister_unknown_kind_rejected(self):
+        with pytest.raises(ConfigurationError):
+            unregister_component("never_registered")
+
+    def test_cloned_injector_state_is_independent(self):
+        injector = FaultInjector([Injection(FunctionalUnit.ALU)])
+        clone = clone_component(injector)
+        assert clone == injector
+        taken = injector.take(FunctionalUnit.ALU)
+        assert taken is not None
+        assert len(injector) == 0 and len(clone) == 1
+
+
+# -- spec -------------------------------------------------------------------
+
+class TestMachineSpecCapture:
+    def test_wrong_slot_rejected(self):
+        with pytest.raises(ConfigurationError, match="slot"):
+            MachineSpec(droop_model=AgingModel())
+
+    def test_negative_stress_rejected(self):
+        with pytest.raises(ConfigurationError):
+            MachineSpec(stress_hours=-1.0)
+
+    def test_lifetime_state_round_trips(self):
+        machine = XGene2Machine("TTT", seed=3, aging_model=AgingModel())
+        machine.age(1234.0)
+        machine.slimpro.set_fan_setpoint_c(60.0)
+        spec = machine.to_spec()
+        assert spec.stress_hours == 1234.0
+        assert spec.fan_setpoint_c == 60.0
+        rebuilt = spec.build(power_on=False)
+        assert rebuilt.stress_hours == machine.stress_hours
+        assert rebuilt.fan.setpoint_c == machine.fan.setpoint_c
+
+    def test_characterization_fan_setpoint_is_default(self):
+        spec = machine_to_spec(XGene2Machine("TTT"))
+        assert spec.fan_setpoint_c is None
+
+    def test_canonical_part_chip_captured_by_name(self):
+        spec = machine_to_spec(XGene2Machine(XGene2Chip.part("TSS")))
+        assert spec.chip == "TSS"
+
+    def test_fleet_chip_captured_whole(self):
+        chip = dataclasses.replace(XGene2Chip.part("TTT"),
+                                   serial="XG2-FLEET-0042")
+        spec = machine_to_spec(XGene2Machine(chip))
+        assert isinstance(spec.chip, XGene2Chip)
+        assert spec.chip.serial == "XG2-FLEET-0042"
+        assert spec_from_json(spec_to_json(spec)) == spec
+
+    def test_unsupported_format_rejected(self):
+        with pytest.raises(ConfigurationError, match="format"):
+            MachineSpec.from_json_dict({"format": "repro-machine-spec/v99"})
+
+    def test_build_power_state(self):
+        assert MachineSpec().build().is_responsive()
+        assert not MachineSpec().build(power_on=False).is_responsive()
+
+
+# -- builder ----------------------------------------------------------------
+
+class TestBuilder:
+    def test_as_machine_spec_variants(self):
+        assert as_machine_spec("TFF").chip == "TFF"
+        chip = XGene2Chip.part("TSS")
+        assert as_machine_spec(chip).chip is chip
+        spec = MachineSpec(seed=5)
+        assert as_machine_spec(spec) is spec
+        assert as_machine_spec(XGene2Machine("TTT", seed=8)).seed == 8
+
+    def test_as_machine_spec_rejects_junk(self):
+        with pytest.raises(ConfigurationError):
+            as_machine_spec(42)
+
+    def test_build_machine_powers_on_by_default(self):
+        assert build_machine("TTT").is_responsive()
+
+    def test_spec_file_round_trip(self, tmp_path):
+        spec = MachineSpec(
+            chip="TFF", seed=11,
+            droop_model=SupplyDroopModel(max_droop_mv=9.0),
+            injector=FaultInjector(
+                [Injection(FunctionalUnit.L2_SRAM, (3, 5), run_index=2)]),
+            stress_hours=100.0,
+        )
+        path = save_machine_spec(spec, tmp_path / "machine.json")
+        assert load_machine_spec(path) == spec
+
+    def test_missing_spec_file_rejected(self, tmp_path):
+        with pytest.raises(ConfigurationError, match="cannot read"):
+            load_machine_spec(tmp_path / "nope.json")
+
+    def test_invalid_json_rejected(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{not json")
+        with pytest.raises(ConfigurationError, match="not valid JSON"):
+            load_machine_spec(path)
+
+    def test_non_object_json_rejected(self):
+        with pytest.raises(ConfigurationError, match="JSON object"):
+            spec_from_json("[1, 2, 3]")

@@ -10,7 +10,12 @@ from repro.core.campaign import CampaignResult, CharacterizationResult
 from repro.core.runs import CharacterizationSetup, RunRecord
 from repro.effects import EffectType
 from repro.errors import ConfigurationError
-from repro.hardware import SupplyDroopModel, XGene2Machine
+from repro.hardware import (
+    AdaptiveClockingUnit,
+    AgingModel,
+    SupplyDroopModel,
+    XGene2Machine,
+)
 from repro.parallel import (
     MachineSpec,
     ParallelCampaignEngine,
@@ -69,9 +74,20 @@ class TestMachineSpec:
         machine = MachineSpec(chip="TTT", seed=1).build(seed=99)
         assert machine.seed == 99
 
-    def test_rejects_extension_models(self):
+    def test_captures_extension_models(self):
         machine = XGene2Machine("TTT", droop_model=SupplyDroopModel())
-        with pytest.raises(ConfigurationError, match="droop_model"):
+        spec = MachineSpec.from_machine(machine)
+        assert spec.droop_model == SupplyDroopModel()
+        rebuilt = spec.build()
+        assert rebuilt.droop_model == SupplyDroopModel()
+        assert rebuilt.to_spec() == spec
+
+    def test_rejects_unregistered_third_party_models(self):
+        class ExoticDroop(SupplyDroopModel):
+            pass
+
+        machine = XGene2Machine("TTT", droop_model=ExoticDroop())
+        with pytest.raises(ConfigurationError, match="register_component"):
             MachineSpec.from_machine(machine)
 
 
@@ -192,16 +208,44 @@ class TestFrameworkWiring:
         doubled = framework.abnormal_run_fraction()
         assert 0.0 < doubled <= 1.0
 
-    def test_extension_machine_falls_back_to_serial(self):
-        machine = XGene2Machine("TTT", seed=2017,
-                                droop_model=SupplyDroopModel())
+    def _extension_framework(self, config=CFG):
+        machine = XGene2Machine(
+            "TTT", seed=2017,
+            droop_model=SupplyDroopModel(),
+            aging_model=AgingModel(),
+            adaptive_clock=AdaptiveClockingUnit(),
+        )
+        machine.age(2000.0)
         machine.power_on()
-        framework = CharacterizationFramework(machine, CFG)
-        results = framework.characterize_many(
-            [get_benchmark("bwaves")], [0], jobs=1)
-        assert set(results) == {("bwaves", 0)}
-        with pytest.raises(ConfigurationError):
-            framework.characterize_many([get_benchmark("bwaves")], [0], jobs=2)
+        return CharacterizationFramework(machine, config)
+
+    def test_extension_machine_parallel_matches_serial(self):
+        # The acceptance scenario: droop + aging + adaptive clocking,
+        # jobs=4 bit-identical to jobs=1 (results AND raw logs).
+        serial = self._extension_framework()
+        serial_results = serial.characterize_many(
+            [get_benchmark("bwaves")], [0, 4], jobs=1)
+        parallel = self._extension_framework()
+        parallel_results = parallel.characterize_many(
+            [get_benchmark("bwaves")], [0, 4], jobs=4)
+        assert serial_results == parallel_results
+        assert serial.raw_logs == parallel.raw_logs
+        assert parallel.last_engine_report.backend != "serial"
+
+    def test_extension_models_shift_the_characterization(self):
+        # The rebuilt machines must actually carry the models: an aged,
+        # droop-afflicted machine characterizes differently from a
+        # nominal one.  The sweep starts at 930 mV because the shifted
+        # Vmin climbs above the default 905 mV test start.
+        cfg = FrameworkConfig(start_mv=930, campaigns=2, runs_per_level=3)
+        machine = XGene2Machine("TTT", seed=2017)
+        machine.power_on()
+        nominal = CharacterizationFramework(machine, cfg).characterize_many(
+            [get_benchmark("bwaves")], [0], jobs=2)
+        shifted = self._extension_framework(cfg).characterize_many(
+            [get_benchmark("bwaves")], [0], jobs=2)
+        assert shifted[("bwaves", 0)].highest_vmin_mv > \
+            nominal[("bwaves", 0)].highest_vmin_mv
 
 
 class TestProgress:
