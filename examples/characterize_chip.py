@@ -15,7 +15,13 @@ three-chip, eight-core grid (several minutes).
 import argparse
 import tempfile
 
-from repro import PAPER_STUDY, QUICK_STUDY, CharacterizationFramework, XGene2Machine
+from repro import (
+    PAPER_STUDY,
+    QUICK_STUDY,
+    CharacterizationFramework,
+    MachineSpec,
+    build_machine,
+)
 from repro.analysis.ascii_plots import bar_chart, heatmap
 from repro.analysis.figures import figure5_severity_map
 from repro.core.results import ResultStore
@@ -39,8 +45,7 @@ def main() -> None:
     fig3 = {}
     fig5_by_core = {}
     for chip in study.chips:
-        machine = XGene2Machine(chip, seed=study.seed)
-        machine.power_on()
+        machine = build_machine(MachineSpec(chip=chip, seed=study.seed))
         framework = CharacterizationFramework(machine, study.framework)
         robust_core = chip_calibration(chip).most_robust_core()
         for name in study.benchmarks:

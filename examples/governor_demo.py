@@ -13,8 +13,9 @@ The full system-software loop the paper sketches:
 Run:  python examples/governor_demo.py
 """
 
-from repro import PredictionPipeline, SeverityAwareScheduler, XGene2Machine
+from repro import MachineSpec, PredictionPipeline, SeverityAwareScheduler
 from repro.data.calibration import chip_calibration
+from repro.machines import build_machine
 from repro.energy.tradeoffs import FIGURE9_WORKLOAD
 from repro.scheduling import (
     ApplicationClass,
@@ -27,8 +28,7 @@ from repro.workloads import all_programs, get_benchmark
 
 def main() -> None:
     calibration = chip_calibration("TTT")
-    machine = XGene2Machine("TTT", seed=2017)
-    machine.power_on()
+    machine = build_machine(MachineSpec(chip="TTT", seed=2017))
     pipeline = PredictionPipeline(machine)
 
     # -- offline: train on a 14-program set ------------------------------

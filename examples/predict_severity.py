@@ -11,8 +11,9 @@ Run:  python examples/predict_severity.py [--programs N]
 
 import argparse
 
-from repro import PredictionPipeline, XGene2Machine
+from repro import MachineSpec, PredictionPipeline
 from repro.analysis.ascii_plots import scatter
+from repro.machines import build_machine
 from repro.analysis.figures import figure7_prediction_series
 from repro.workloads import all_programs
 
@@ -23,8 +24,7 @@ def main() -> None:
                         help="number of programs to study (default all 40)")
     args = parser.parse_args()
 
-    machine = XGene2Machine("TTT", seed=2017)
-    machine.power_on()
+    machine = build_machine(MachineSpec(chip="TTT", seed=2017))
     pipeline = PredictionPipeline(machine)
     programs = all_programs()[: args.programs]
     print(f"phase 1+2: characterizing and profiling {len(programs)} programs "

@@ -9,16 +9,17 @@ of the paper's Figures 4 and 5.
 Run:  python examples/quickstart.py
 """
 
-from repro import CharacterizationFramework, FrameworkConfig, XGene2Machine
+from repro import CharacterizationFramework, FrameworkConfig, MachineSpec
 from repro.analysis.ascii_plots import region_strip
+from repro.machines import build_machine
 from repro.units import PMD_NOMINAL_MV
 from repro.workloads import get_benchmark
 
 
 def main() -> None:
-    # A powered-on machine; every run is deterministic in the seed.
-    machine = XGene2Machine("TTT", seed=2017)
-    machine.power_on()
+    # A powered-on machine built from its declarative blueprint; every
+    # run is deterministic in the spec's seed.
+    machine = build_machine(MachineSpec(chip="TTT", seed=2017))
 
     # The paper's configuration: sweep down in 5 mV steps, 10 runs per
     # level, 10 campaign repetitions, watchdog-recovered crashes.

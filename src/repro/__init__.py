@@ -49,6 +49,10 @@ from .core import (
     WatchdogMonitor,
     severity_value,
 )
+# The package root is the one sanctioned place consumers may still
+# reach the reference machine class; new code should build machines
+# through repro.machines.MachineSpec instead.
+# reprolint: disable=RPR003 -- public-API backwards-compat re-export
 from .hardware import XGene2Chip, XGene2Machine
 from .machines import (
     Machine,

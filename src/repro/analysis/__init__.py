@@ -8,6 +8,9 @@
   characterization results.
 * :mod:`repro.analysis.ascii_plots` -- terminal rendering.
 * :mod:`repro.analysis.report` -- paper-vs-measured comparison report.
+* :mod:`repro.analysis.lint` -- ``reprolint``, the AST-based checker
+  of the repo's determinism / unit-safety / machine-protocol
+  invariants (``repro lint`` or ``python -m repro.analysis``).
 """
 
 from .variation import (
@@ -27,6 +30,7 @@ from .figures import (
 from .ascii_plots import bar_chart, heatmap, scatter
 from .error_locations import LocationProfile, location_profiles, onset_table
 from .export import FigureExporter
+from .lint import Diagnostic, LintReport, lint_paths, lint_source
 from .report import PAPER_CLAIMS, ClaimCheck, check_claims
 
 __all__ = [
@@ -53,4 +57,8 @@ __all__ = [
     "PAPER_CLAIMS",
     "ClaimCheck",
     "check_claims",
+    "Diagnostic",
+    "LintReport",
+    "lint_paths",
+    "lint_source",
 ]

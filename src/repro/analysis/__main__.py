@@ -1,0 +1,13 @@
+"""``python -m repro.analysis`` runs reprolint.
+
+The standalone spelling of ``repro lint``: same rules, same flags,
+same exit codes.  Kept module-level-trivial so CI and pre-commit can
+invoke the checker without installing the console script.
+"""
+
+import sys
+
+from .lint.cli import main
+
+if __name__ == "__main__":
+    sys.exit(main())

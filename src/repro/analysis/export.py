@@ -35,7 +35,7 @@ from .figures import (
 class FigureExporter:
     """Writes the figure data series as CSV files into one directory."""
 
-    def __init__(self, directory) -> None:
+    def __init__(self, directory: "str | Path") -> None:
         self.directory = Path(directory)
         self.directory.mkdir(parents=True, exist_ok=True)
 

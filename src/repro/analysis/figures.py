@@ -99,7 +99,8 @@ def figure4_region_grid(
                     crash = calibration.crash_voltage_mv(
                         core, bench.stress, bench.smoothness
                     )
-                    def classify(v, vmin=vmin, crash=crash):
+                    def classify(v: int, vmin: int = vmin,
+                                 crash: int = crash) -> Region:
                         if v >= vmin:
                             return Region.SAFE
                         if v > crash:

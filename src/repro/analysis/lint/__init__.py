@@ -1,0 +1,37 @@
+"""``reprolint`` -- the repo's AST-based invariant checker.
+
+The characterization methodology only holds if every run is
+bit-reproducible: the same (workload, core, voltage, seed) must always
+classify into the same Table-3 effect class and severity must always
+use the Table-4 weights.  After the parallel engine (SeedSequence
+determinism) and the machine protocol (no concrete-machine coupling
+outside :mod:`repro.hardware`), those invariants are load-bearing --
+this package machine-checks them on every commit.
+
+* :mod:`repro.analysis.lint.registry` -- rule base class, registry and
+  per-file analysis context (import resolution, module scoping).
+* :mod:`repro.analysis.lint.rules` -- the RPR001-RPR006 rule set.
+* :mod:`repro.analysis.lint.suppressions` -- per-line
+  ``# reprolint: disable=RPR00x -- why`` comments (a justification is
+  mandatory; unjustified suppressions are themselves findings).
+* :mod:`repro.analysis.lint.runner` -- file discovery and aggregation.
+* :mod:`repro.analysis.lint.cli` -- the ``repro lint`` /
+  ``python -m repro.analysis`` entry points.
+"""
+
+from .diagnostics import Diagnostic
+from .registry import FileContext, Rule, all_rules, get_rule, register_rule
+from .runner import LintReport, lint_paths, lint_source
+from . import rules as _rules  # noqa: F401  (registers the rule set)
+
+__all__ = [
+    "Diagnostic",
+    "FileContext",
+    "LintReport",
+    "Rule",
+    "all_rules",
+    "get_rule",
+    "lint_paths",
+    "lint_source",
+    "register_rule",
+]

@@ -1,0 +1,89 @@
+"""The ``reprolint`` command line.
+
+Reached two ways -- ``repro lint ...`` (subcommand of the main CLI)
+and ``python -m repro.analysis ...`` (standalone, usable before the
+package is installed).  Exit codes follow the classic linter contract:
+
+* ``0`` -- every checked file is clean;
+* ``1`` -- findings were reported;
+* ``2`` -- usage error (unknown path, unknown rule id, bad flags).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional, Sequence
+
+from ...errors import ConfigurationError
+from .runner import lint_paths, render_rule_catalog
+
+#: Default lint targets when none are given, filtered to what exists.
+DEFAULT_PATHS = ("src", "tests", "examples")
+
+
+def build_lint_parser(
+    parser: Optional[argparse.ArgumentParser] = None,
+) -> argparse.ArgumentParser:
+    """Build (or extend) the argument parser of the lint CLI."""
+    if parser is None:
+        parser = argparse.ArgumentParser(
+            prog="reprolint",
+            description="AST-based checker for the repo's determinism, "
+                        "unit-safety and machine-protocol invariants "
+                        "(rules RPR001-RPR006).",
+        )
+    parser.add_argument(
+        "paths", nargs="*", metavar="PATH",
+        help="files or directories to lint (default: src tests examples)",
+    )
+    parser.add_argument(
+        "--select", default=None, metavar="RPR00x[,RPR00y]",
+        help="run only these rule ids",
+    )
+    parser.add_argument(
+        "--format", dest="output_format", choices=("text", "json"),
+        default="text", help="report format (default: text)",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true",
+        help="print the rule catalog and exit",
+    )
+    return parser
+
+
+def run_lint(args: argparse.Namespace) -> int:
+    """Execute a parsed lint invocation; returns the exit code."""
+    if args.list_rules:
+        print(render_rule_catalog())
+        return 0
+    paths: List[str] = list(args.paths)
+    if not paths:
+        from pathlib import Path
+
+        paths = [p for p in DEFAULT_PATHS if Path(p).exists()]
+        if not paths:
+            print("error: no PATH given and no default target "
+                  "(src/tests/examples) exists here", file=sys.stderr)
+            return 2
+    select = None
+    if args.select:
+        select = [s.strip() for s in args.select.split(",") if s.strip()]
+    try:
+        report = lint_paths(paths, select=select)
+    except ConfigurationError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if args.output_format == "json":
+        print(json.dumps(report.to_json_dict(), indent=2))
+    else:
+        print(report.render_text())
+    return 0 if report.clean else 1
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Standalone entry point (``python -m repro.analysis``)."""
+    parser = build_lint_parser()
+    args = parser.parse_args(argv)
+    return run_lint(args)

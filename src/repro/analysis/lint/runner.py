@@ -1,0 +1,191 @@
+"""File discovery, per-file analysis and report aggregation."""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ...errors import ConfigurationError
+from .diagnostics import META_RULE_ID, Diagnostic
+from .registry import FileContext, Rule, all_rules, get_rule
+from .suppressions import scan_suppressions
+
+#: Directory names never descended into.
+_SKIP_DIRS = frozenset({
+    "__pycache__", ".git", ".hg", ".tox", ".venv", "venv",
+    "build", "dist", ".eggs", "node_modules",
+})
+
+
+@dataclass
+class LintReport:
+    """Everything one lint run produced."""
+
+    diagnostics: List[Diagnostic] = field(default_factory=list)
+    files_checked: int = 0
+
+    @property
+    def clean(self) -> bool:
+        return not self.diagnostics
+
+    def counts_by_rule(self) -> Dict[str, int]:
+        counts: Dict[str, int] = {}
+        for diagnostic in self.diagnostics:
+            counts[diagnostic.rule] = counts.get(diagnostic.rule, 0) + 1
+        return dict(sorted(counts.items()))
+
+    def render_text(self) -> str:
+        lines = [d.render() for d in self.diagnostics]
+        summary = (
+            f"{len(self.diagnostics)} finding(s) in "
+            f"{self.files_checked} file(s)"
+        )
+        if self.diagnostics:
+            per_rule = ", ".join(
+                f"{rule}: {count}"
+                for rule, count in self.counts_by_rule().items()
+            )
+            summary += f" ({per_rule})"
+        return "\n".join(lines + [summary])
+
+    def to_json_dict(self) -> Dict[str, Any]:
+        return {
+            "version": 1,
+            "files_checked": self.files_checked,
+            "findings": [d.to_json_dict() for d in self.diagnostics],
+            "summary": self.counts_by_rule(),
+        }
+
+
+def module_name_for(path: Path) -> Optional[str]:
+    """Dotted module name for files under a ``repro`` package tree.
+
+    Works for both the in-repo ``src/repro/...`` layout and an
+    installed ``.../site-packages/repro/...`` layout; returns None for
+    tests, examples and scripts outside the package.
+    """
+    parts = list(path.parts)
+    for index, part in enumerate(parts[:-1]):
+        if part == "repro" and (index == 0 or parts[index - 1] != "tests"):
+            dotted = parts[index:-1] + [path.stem]
+            if path.stem == "__init__":
+                dotted = parts[index:-1]
+            return ".".join(dotted)
+    return None
+
+
+def _make_context(path_label: str, source: str) -> FileContext:
+    tree = ast.parse(source, filename=path_label)
+    ctx = FileContext(
+        path=path_label,
+        source=source,
+        tree=tree,
+        module=module_name_for(Path(path_label)),
+    )
+    ctx.build_import_table()
+    return ctx
+
+
+def lint_source(
+    source: str,
+    path: str = "<string>",
+    rules: Optional[Sequence[Rule]] = None,
+) -> List[Diagnostic]:
+    """Lint one source string; the unit-test/fixture entry point.
+
+    ``path`` participates in scoping (e.g. ``src/repro/core/x.py``
+    puts the snippet inside the package boundary), so fixtures can
+    exercise both sides of every rule.
+    """
+    selected = list(rules) if rules is not None else all_rules()
+    try:
+        ctx = _make_context(path, source)
+    except SyntaxError as exc:
+        return [Diagnostic(
+            path=path, line=exc.lineno or 1, col=(exc.offset or 0) + 1 or 1,
+            rule=META_RULE_ID, name="syntax-error",
+            message=f"cannot parse file: {exc.msg}",
+        )]
+    table = scan_suppressions(path, source)
+    findings: List[Diagnostic] = list(table.problems)
+    for rule in selected:
+        for diagnostic in rule.check(ctx):
+            if not table.is_suppressed(diagnostic.line, diagnostic.rule):
+                findings.append(diagnostic)
+    return sorted(findings)
+
+
+def discover_files(paths: Iterable[str]) -> List[Path]:
+    """Expand files/directories into the ordered ``.py`` work list.
+
+    Raises :class:`~repro.errors.ConfigurationError` for paths that do
+    not exist -- a usage error, not a clean run.
+    """
+    files: List[Path] = []
+    for raw in paths:
+        path = Path(raw)
+        if not path.exists():
+            raise ConfigurationError(f"path does not exist: {raw}")
+        if path.is_file():
+            files.append(path)
+            continue
+        for found in sorted(path.rglob("*.py")):
+            if not any(part in _SKIP_DIRS for part in found.parts):
+                files.append(found)
+    deduped: List[Path] = []
+    seen: set = set()
+    for path in files:
+        key = str(path)
+        if key not in seen:
+            seen.add(key)
+            deduped.append(path)
+    return deduped
+
+
+def resolve_rules(select: Optional[Sequence[str]] = None) -> List[Rule]:
+    """The rule set a run uses; ``select`` narrows by id."""
+    if not select:
+        return all_rules()
+    return [get_rule(rule_id) for rule_id in select]
+
+
+def lint_paths(
+    paths: Sequence[str],
+    select: Optional[Sequence[str]] = None,
+) -> LintReport:
+    """Lint files and directories; the CLI entry point."""
+    rules = resolve_rules(select)
+    report = LintReport()
+    for path in discover_files(paths):
+        try:
+            source = path.read_text(encoding="utf-8")
+        except (OSError, UnicodeDecodeError) as exc:
+            report.diagnostics.append(Diagnostic(
+                path=str(path), line=1, col=1,
+                rule=META_RULE_ID, name="unreadable-file",
+                message=f"cannot read file: {exc}",
+            ))
+            continue
+        report.files_checked += 1
+        report.diagnostics.extend(lint_source(source, str(path), rules))
+    report.diagnostics.sort()
+    return report
+
+
+def _columns(rows: List[Tuple[str, ...]]) -> str:
+    widths = [max(len(row[i]) for row in rows) for i in range(len(rows[0]))]
+    return "\n".join(
+        "  ".join(cell.ljust(width) for cell, width in zip(row, widths)).rstrip()
+        for row in rows
+    )
+
+
+def render_rule_catalog() -> str:
+    """The ``--list-rules`` table (also embedded in docs/linting.md)."""
+    rows = [("ID", "NAME", "PROTECTS")]
+    rows += [
+        (rule.rule_id, rule.name, rule.protects) for rule in all_rules()
+    ]
+    return _columns(rows)

@@ -17,7 +17,7 @@ def render_table(headers: Sequence[str], rows: Sequence[Sequence[str]]) -> str:
     """Plain-text table rendering used by all regenerators."""
     columns = [list(col) for col in zip(headers, *rows)]
     widths = [max(len(str(cell)) for cell in col) for col in columns]
-    def fmt(row):
+    def fmt(row: Sequence[object]) -> str:
         return " | ".join(str(cell).ljust(width) for cell, width in zip(row, widths))
     rule = "-+-".join("-" * width for width in widths)
     lines = [fmt(headers), rule]

@@ -9,6 +9,7 @@ One subcommand per workflow::
     repro tradeoffs                   the Figure-9 ladder + headlines
     repro predict                     the Section-4.3 studies
     repro fleet                       generated-fleet Vmin statistics
+    repro lint [PATH...]              reprolint invariant checker
 
 All numbers are deterministic in ``--seed``.
 """
@@ -21,6 +22,7 @@ import sys
 from typing import List, Optional
 
 from . import __version__
+from .analysis.lint.cli import build_lint_parser, run_lint
 from .analysis.report import check_claims, render_claims
 from .analysis.tables import (
     render_table,
@@ -352,6 +354,11 @@ def build_parser() -> argparse.ArgumentParser:
     p_fleet.add_argument("--count", type=int, default=50)
     p_fleet.add_argument("--seed", type=int, default=0)
     p_fleet.set_defaults(func=_cmd_fleet)
+
+    p_lint = sub.add_parser(
+        "lint", help="check the repo's reprolint invariants (RPR001-006)")
+    build_lint_parser(p_lint)
+    p_lint.set_defaults(func=run_lint)
 
     return parser
 

@@ -31,7 +31,7 @@ from ..units import (
     voltage_sweep,
 )
 from ..workloads.benchmark import Benchmark, Program
-from ..hardware.xgene2 import MachineState
+from ..hardware import MachineState
 from ..machines import Machine, machine_to_spec
 from .campaign import CampaignResult, CharacterizationResult
 from .parser import format_run_block, parse_log

@@ -18,7 +18,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, FrozenSet, Iterable, Mapping
 
-from ..effects import EffectType
+from ..effects import SEVERITY_WEIGHTS, EffectType
 from ..errors import ConfigurationError
 from .effects import effect_counts
 
@@ -28,14 +28,16 @@ class SeverityWeights:
     """Weight assignment for the severity function (Table 4).
 
     Different weights can be supplied "according to the importance of
-    each observed abnormal behavior in a particular system study".
+    each observed abnormal behavior in a particular system study"; the
+    defaults come from the canonical Table-4 mapping in
+    :data:`repro.effects.SEVERITY_WEIGHTS`.
     """
 
-    sc: float = 16.0
-    ac: float = 8.0
-    sdc: float = 4.0
-    ue: float = 2.0
-    ce: float = 1.0
+    sc: float = SEVERITY_WEIGHTS[EffectType.SC]
+    ac: float = SEVERITY_WEIGHTS[EffectType.AC]
+    sdc: float = SEVERITY_WEIGHTS[EffectType.SDC]
+    ue: float = SEVERITY_WEIGHTS[EffectType.UE]
+    ce: float = SEVERITY_WEIGHTS[EffectType.CE]
 
     def __post_init__(self) -> None:
         for name in ("sc", "ac", "sdc", "ue", "ce"):

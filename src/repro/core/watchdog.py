@@ -19,7 +19,7 @@ from typing import List, Optional
 
 from ..errors import WatchdogError
 from ..hardware.serial_console import BOOT_BANNER
-from ..hardware.xgene2 import MachineState
+from ..hardware import MachineState
 from ..machines import Machine
 
 

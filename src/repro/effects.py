@@ -62,6 +62,27 @@ EFFECT_DESCRIPTIONS: Dict[EffectType, str] = {
 }
 
 
+#: Table-4 severity weights, keyed by effect.  This mapping is the
+#: single source of truth for the paper's weight assignment
+#: (W_SC=16, W_AC=8, W_SDC=4, W_UE=2, W_CE=1, W_NO=0); every consumer
+#: -- including :class:`repro.core.severity.SeverityWeights` defaults
+#: and the Table-4 renderer -- must import it rather than re-hardcode
+#: the numbers (enforced by reprolint rule RPR005).
+SEVERITY_WEIGHTS: Dict[EffectType, float] = {
+    EffectType.SC: 16.0,
+    EffectType.AC: 8.0,
+    EffectType.SDC: 4.0,
+    EffectType.UE: 2.0,
+    EffectType.CE: 1.0,
+    EffectType.NO: 0.0,
+}
+
+
+def severity_weight(effect: EffectType) -> float:
+    """The Table-4 weight of one effect class."""
+    return SEVERITY_WEIGHTS[effect]
+
+
 def normalize_effects(effects: Iterable[EffectType]) -> FrozenSet[EffectType]:
     """Normalise an effect collection for one run.
 

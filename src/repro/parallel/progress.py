@@ -96,6 +96,7 @@ class ProgressTracker:
         self,
         total: int,
         reporter: ProgressReporter = NULL_PROGRESS,
+        # reprolint: disable=RPR002 -- ETA display only, never results
         clock=time.monotonic,
     ) -> None:
         self.total = int(total)

@@ -30,7 +30,7 @@ from typing import Callable, Dict, List, Mapping, Optional, Sequence
 from ..data.calibration import chip_calibration
 from ..effects import EffectType
 from ..errors import ConfigurationError
-from ..hardware.xgene2 import MachineState
+from ..hardware import MachineState
 from ..machines import Machine, MachineSpec
 from ..units import FREQ_MAX_MHZ, PMD_NOMINAL_MV, snap_down_mv
 from ..workloads.benchmark import Benchmark

@@ -11,15 +11,14 @@ import numpy as np
 import pytest
 
 from repro.core import CharacterizationFramework, FrameworkConfig
-from repro.hardware import XGene2Machine
+from repro.machines import MachineSpec, build_machine
 from repro.workloads import get_benchmark
 
 
 @pytest.fixture()
 def machine():
     """A powered-on TTT machine with a fixed seed."""
-    m = XGene2Machine("TTT", seed=2017)
-    m.power_on()
+    m = build_machine(MachineSpec(chip="TTT", seed=2017))
     return m
 
 
@@ -31,8 +30,7 @@ def rng():
 @pytest.fixture(scope="session")
 def bwaves_characterization():
     """bwaves on TTT core 0: 10 campaigns, the paper's configuration."""
-    m = XGene2Machine("TTT", seed=42)
-    m.power_on()
+    m = build_machine(MachineSpec(chip="TTT", seed=42))
     framework = CharacterizationFramework(
         m, FrameworkConfig(start_mv=930, campaigns=10)
     )
@@ -42,8 +40,7 @@ def bwaves_characterization():
 @pytest.fixture(scope="session")
 def leslie3d_characterizations():
     """leslie3d on TTT cores 0 and 4 (the Section-5 example pair)."""
-    m = XGene2Machine("TTT", seed=8)
-    m.power_on()
+    m = build_machine(MachineSpec(chip="TTT", seed=8))
     framework = CharacterizationFramework(
         m, FrameworkConfig(start_mv=930, campaigns=10)
     )

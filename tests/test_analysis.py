@@ -1,5 +1,7 @@
 """Analysis: variation stats, tables, figures, ASCII plots, claims."""
 
+import textwrap
+
 import pytest
 
 from repro.analysis import (
@@ -21,7 +23,9 @@ from repro.analysis import (
     table4_weights,
     workload_ordering_consistency,
 )
+from repro.analysis import lint_source
 from repro.analysis.figures import figure4_chip_averages
+from repro.analysis.lint import all_rules, get_rule
 from repro.analysis.report import render_claims
 from repro.analysis.tables import render_table
 from repro.core.regions import Region
@@ -75,6 +79,7 @@ class TestTables:
 
     def test_table3_six_effects(self):
         _headers, rows = table3_effects()
+        # reprolint: disable=RPR005 -- pins the rendered Table-3 row order
         assert [row[0] for row in rows] == ["NO", "SDC", "CE", "UE", "AC", "SC"]
 
     def test_table4_weights(self):
@@ -188,3 +193,258 @@ class TestClaims:
     def test_render(self):
         text = render_claims(check_claims(only=["s5.chip_wide_saving"]))
         assert "OK" in text and "12.8" in text
+
+
+# ---------------------------------------------------------------------------
+# reprolint -- the RPR001-RPR006 invariant checker
+# ---------------------------------------------------------------------------
+
+SIM = "src/repro/core/fixture.py"
+
+
+def lint_rules(source, path=SIM):
+    """Rule ids reprolint reports for a dedented source fixture."""
+    return [d.rule for d in lint_source(textwrap.dedent(source), path=path)]
+
+
+class TestRPR001UnseededRandomness:
+    def test_global_numpy_rng_flagged(self):
+        assert lint_rules("""
+            import numpy as np
+
+            def draw():
+                return np.random.normal(0.0, 1.0)
+        """) == ["RPR001"]
+
+    def test_unseeded_default_rng_flagged(self):
+        assert lint_rules("""
+            from numpy.random import default_rng
+
+            rng = default_rng()
+        """) == ["RPR001"]
+
+    def test_seeded_generator_clean(self):
+        assert lint_rules("""
+            import numpy as np
+
+            def draw(seed):
+                return np.random.default_rng(seed).normal(0.0, 1.0)
+        """) == []
+
+    def test_outside_repro_out_of_scope(self):
+        assert lint_rules("""
+            import random
+
+            roll = random.random()
+        """, path="tools/fixture.py") == []
+
+
+class TestRPR002WallClockSource:
+    def test_wall_clock_in_simulation_path_flagged(self):
+        assert lint_rules("""
+            import time
+
+            def stamp():
+                return time.time()
+        """) == ["RPR002"]
+
+    def test_entropy_source_flagged(self):
+        assert lint_rules("""
+            import uuid
+
+            def run_id():
+                return uuid.uuid4()
+        """, path="src/repro/parallel/fixture.py") == ["RPR002"]
+
+    def test_non_simulation_package_clean(self):
+        assert lint_rules("""
+            import time
+
+            def stamp():
+                return time.monotonic()
+        """, path="src/repro/analysis/fixture.py") == []
+
+
+class TestRPR003MachineProtocolBoundary:
+    def test_concrete_import_outside_boundary_flagged(self):
+        rules = lint_rules("""
+            from repro.hardware.xgene2 import XGene2Machine
+        """, path="src/repro/energy/fixture.py")
+        assert "RPR003" in rules
+
+    def test_name_binding_via_package_root_flagged(self):
+        rules = lint_rules("""
+            from repro.hardware import XGene2Machine
+
+            machine = XGene2Machine("TTT")
+        """, path="tests/fixture.py")
+        assert rules == ["RPR003"]  # one finding per crossing: the import
+
+    def test_machines_package_is_inside_boundary(self):
+        assert lint_rules("""
+            from repro.hardware.xgene2 import XGene2Machine
+        """, path="src/repro/machines/fixture.py") == []
+
+    def test_spec_layer_consumer_clean(self):
+        assert lint_rules("""
+            from repro.machines import MachineSpec, build_machine
+
+            machine = build_machine(MachineSpec(chip="TTT", seed=1))
+        """, path="examples/fixture.py") == []
+
+
+class TestRPR004UnitSafety:
+    def test_volt_scale_literal_in_mv_slot_flagged(self):
+        assert lint_rules("vmin_mv = 0.98\n") == ["RPR004"]
+
+    def test_manual_magnitude_conversion_flagged(self):
+        assert lint_rules("""
+            def to_volts(vmin_mv):
+                return vmin_mv / 1000
+        """) == ["RPR004"]
+
+    def test_hardcoded_regulator_step_flagged(self):
+        assert lint_rules("""
+            def step_down(level_mv):
+                return level_mv - 5
+        """) == ["RPR004"]
+
+    def test_mixed_unit_arithmetic_flagged(self):
+        assert lint_rules("""
+            def worst(limit_v, vmin_mv):
+                return limit_v - vmin_mv
+        """) == ["RPR004"]
+
+    def test_integer_mv_and_named_step_clean(self):
+        assert lint_rules("""
+            from repro.units import VOLTAGE_STEP_MV
+
+            vmin_mv = 980
+
+            def step_down(level_mv):
+                return level_mv - VOLTAGE_STEP_MV
+        """) == []
+
+    def test_mv_width_floats_are_ordinary(self):
+        # widths/scales (no voltage-level stem) may be sub-volt floats
+        assert lint_rules("scale_mv = 1.0\n") == []
+
+
+class TestRPR005CanonicalEffectConstants:
+    def test_weight_table_rehardcode_flagged(self):
+        assert lint_rules("""
+            WEIGHTS = {"SC": 16.0, "AC": 8.0, "SDC": 4.0,
+                       "UE": 2.0, "CE": 1.0, "NO": 0.0}
+        """) == ["RPR005"]
+
+    def test_single_weight_constant_flagged(self):
+        assert lint_rules("W_SDC = 4.0\n") == ["RPR005"]
+
+    def test_vocabulary_rehardcode_flagged(self):
+        assert lint_rules(
+            'ORDER = ["NO", "SDC", "CE", "UE", "AC", "SC"]\n'
+        ) == ["RPR005"]
+
+    def test_run_count_tallies_clean(self):
+        # effect -> observed-count dicts are not the weight table
+        assert lint_rules('counts = {"SC": 2, "CE": 1, "SDC": 5}\n') == []
+
+    def test_canonical_import_clean(self):
+        assert lint_rules("""
+            from repro.effects import SEVERITY_WEIGHTS, EffectType
+
+            w = SEVERITY_WEIGHTS[EffectType.SC]
+        """) == []
+
+
+class TestRPR006ParallelSafety:
+    def test_lambda_into_engine_flagged(self):
+        assert lint_rules("""
+            def run(engine, specs):
+                return engine.submit(lambda: specs)
+        """) == ["RPR006"]
+
+    def test_closure_into_engine_flagged(self):
+        assert lint_rules("""
+            from repro.parallel import characterize_many
+
+            def run(specs):
+                def task(machine):
+                    return machine
+
+                return characterize_many(specs, task)
+        """) == ["RPR006"]
+
+    def test_global_mutation_in_repro_task_flagged(self):
+        assert lint_rules("""
+            COUNTER = 0
+
+            def bump():
+                global COUNTER
+                COUNTER += 1
+        """) == ["RPR006"]
+
+    def test_module_level_task_clean(self):
+        assert lint_rules("""
+            from repro.parallel import characterize_many
+
+            def task(machine):
+                return machine
+
+            def run(specs):
+                return characterize_many(specs, task)
+        """) == []
+
+    def test_lambda_to_ordinary_call_clean(self):
+        assert lint_rules("""
+            def order(xs):
+                return sorted(xs, key=lambda x: -x)
+        """) == []
+
+
+class TestSuppressions:
+    def test_trailing_justified_suppression_applies(self):
+        src = "vmin_mv = 0.98  # reprolint: disable=RPR004 -- fixture\n"
+        assert lint_rules(src) == []
+
+    def test_standalone_comment_shields_next_line(self):
+        assert lint_rules("""
+            # reprolint: disable=RPR004 -- fixture
+            vmin_mv = 0.98
+        """) == []
+
+    def test_unjustified_suppression_is_reported_not_applied(self):
+        src = "vmin_mv = 0.98  # reprolint: disable=RPR004\n"
+        rules = lint_rules(src)
+        assert "RPR000" in rules and "RPR004" in rules
+
+    def test_meta_rule_cannot_be_suppressed(self):
+        src = "x = 1  # reprolint: disable=RPR000 -- nice try\n"
+        assert lint_rules(src) == ["RPR000"]
+
+    def test_unknown_rule_id_is_malformed(self):
+        src = "x = 1  # reprolint: disable=BOGUS -- reason\n"
+        assert lint_rules(src) == ["RPR000"]
+
+    def test_suppressing_the_wrong_rule_hides_nothing(self):
+        src = "vmin_mv = 0.98  # reprolint: disable=RPR001 -- wrong rule\n"
+        assert lint_rules(src) == ["RPR004"]
+
+    def test_syntax_error_is_a_meta_finding(self):
+        assert lint_rules("def broken(:\n") == ["RPR000"]
+
+
+class TestLintRegistry:
+    def test_six_rules_registered(self):
+        ids = [rule.rule_id for rule in all_rules()]
+        assert ids == ["RPR001", "RPR002", "RPR003",
+                       "RPR004", "RPR005", "RPR006"]
+
+    def test_unknown_rule_rejected(self):
+        with pytest.raises(ConfigurationError):
+            get_rule("RPR999")
+
+    def test_diagnostics_carry_location_and_render(self):
+        (diag,) = lint_source("vmin_mv = 0.98\n", path="src/repro/x.py")
+        assert (diag.path, diag.line) == ("src/repro/x.py", 1)
+        assert "RPR004" in diag.render() and "unit-safety" in diag.render()

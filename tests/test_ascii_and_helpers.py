@@ -5,7 +5,7 @@ import pytest
 from repro.analysis.ascii_plots import region_strip
 from repro.core.regions import Region
 from repro.effects import EffectType
-from repro.hardware import XGene2Machine
+from repro.machines import MachineSpec, build_machine
 from repro.workloads import get_benchmark
 
 
@@ -29,8 +29,7 @@ class TestRunRngIsolation:
     def test_different_programs_draw_independently(self):
         """Two different programs at the same setup must not share
         fault realisations (the RNG keys on the program name)."""
-        machine = XGene2Machine("TTT", seed=44)
-        machine.power_on()
+        machine = build_machine(MachineSpec(chip="TTT", seed=44))
         machine.clocks.park_all_except([0])
         machine.slimpro.set_pmd_voltage_mv(895)
         bw_effects = []
@@ -51,8 +50,7 @@ class TestRunRngIsolation:
         assert bw_effects != sp_effects
 
     def test_cores_draw_independently(self):
-        machine = XGene2Machine("TTT", seed=44)
-        machine.power_on()
+        machine = build_machine(MachineSpec(chip="TTT", seed=44))
         machine.slimpro.set_pmd_voltage_mv(885)
         first = machine.run_program(get_benchmark("bwaves"), 2)
         machine.press_reset()
@@ -68,8 +66,7 @@ class TestEdacFallbackAttribution:
     def test_analytic_path_reports_l2_by_default(self):
         """Without the cache models, CE/UE events are attributed to L2
         (the dominant reporter on the real machine)."""
-        machine = XGene2Machine("TTT", seed=9, use_cache_models=False)
-        machine.power_on()
+        machine = build_machine(MachineSpec(chip="TTT", seed=9, use_cache_models=False))
         bench = get_benchmark("bwaves")
         machine.clocks.park_all_except([0])
         machine.slimpro.set_pmd_voltage_mv(880)

@@ -1,7 +1,14 @@
 """The command-line interface."""
 
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
 import pytest
 
+import repro as repro_package
 from repro.cli import build_parser, main
 from repro.hardware import SupplyDroopModel
 from repro.machines import MachineSpec, save_machine_spec
@@ -185,3 +192,72 @@ class TestReport:
         text = target.read_text()
         assert "# repro reproduction report" in text
         assert "87.2" in text
+
+
+class TestLint:
+    def test_clean_tree_exits_zero(self, tmp_path, capsys):
+        clean = tmp_path / "clean.py"
+        clean.write_text("from repro.units import VOLTAGE_STEP_MV\n")
+        assert main(["lint", str(clean)]) == 0
+        assert "0 finding(s)" in capsys.readouterr().out
+
+    def test_findings_exit_one(self, tmp_path, capsys):
+        dirty = tmp_path / "dirty.py"
+        dirty.write_text("vmin_mv = 0.98\n")
+        assert main(["lint", str(dirty)]) == 1
+        out = capsys.readouterr().out
+        assert "RPR004" in out and "dirty.py:1:" in out
+
+    def test_unknown_path_is_usage_error(self, tmp_path, capsys):
+        assert main(["lint", str(tmp_path / "no-such-dir")]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_unknown_rule_is_usage_error(self, tmp_path, capsys):
+        target = tmp_path / "clean.py"
+        target.write_text("x = 1\n")
+        assert main(["lint", "--select", "RPR999", str(target)]) == 2
+        assert "RPR999" in capsys.readouterr().err
+
+    def test_bad_flag_is_usage_error(self):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["lint", "--format", "yaml"])
+        assert excinfo.value.code == 2
+
+    def test_select_filters_rules(self, tmp_path):
+        dirty = tmp_path / "dirty.py"
+        dirty.write_text("vmin_mv = 0.98\n")
+        assert main(["lint", "--select", "RPR001", str(dirty)]) == 0
+
+    def test_json_format_schema(self, tmp_path, capsys):
+        dirty = tmp_path / "dirty.py"
+        dirty.write_text("vmin_mv = 0.98\nW_SDC = 4.0\n")
+        assert main(["lint", "--format", "json", str(dirty)]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["version"] == 1
+        assert payload["files_checked"] == 1
+        assert payload["summary"] == {"RPR004": 1, "RPR005": 1}
+        finding = payload["findings"][0]
+        assert set(finding) == {"path", "line", "col", "rule",
+                               "name", "message"}
+        assert finding["rule"] == "RPR004" and finding["line"] == 1
+
+    def test_list_rules_catalog(self, capsys):
+        assert main(["lint", "--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for rule_id in ("RPR001", "RPR002", "RPR003",
+                        "RPR004", "RPR005", "RPR006"):
+            assert rule_id in out
+
+    def test_module_entry_point_matches(self, tmp_path):
+        dirty = tmp_path / "dirty.py"
+        dirty.write_text("vmin_mv = 0.98\n")
+        src_dir = Path(repro_package.__file__).resolve().parent.parent
+        env = dict(os.environ)
+        env["PYTHONPATH"] = str(src_dir) + os.pathsep + env.get(
+            "PYTHONPATH", "")
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro.analysis", str(dirty)],
+            capture_output=True, text=True, env=env,
+        )
+        assert proc.returncode == 1
+        assert "RPR004" in proc.stdout

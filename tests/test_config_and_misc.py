@@ -98,10 +98,9 @@ class TestPackageSurface:
 
     def test_quickstart_docstring_is_runnable(self):
         """The __init__ docstring's example must not rot."""
-        from repro import XGene2Machine, CharacterizationFramework
+        from repro import CharacterizationFramework, MachineSpec, build_machine
         from repro.workloads import get_benchmark as gb
-        machine = XGene2Machine("TTT", seed=2017)
-        machine.power_on()
+        machine = build_machine(MachineSpec(chip="TTT", seed=2017))
         framework = CharacterizationFramework(
             machine, repro.FrameworkConfig(start_mv=915, campaigns=1)
         )

@@ -5,6 +5,7 @@ import pytest
 
 from repro.core import CharacterizationFramework, FrameworkConfig
 from repro.errors import ConfigurationError
+# reprolint: disable=RPR003 -- exercises the concrete machine's dynamics models
 from repro.hardware import (
     AdaptiveClockingUnit,
     AgingModel,

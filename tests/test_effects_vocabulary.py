@@ -13,6 +13,7 @@ from repro.effects import (
 
 class TestEffectType:
     def test_all_six_classes_exist(self):
+        # reprolint: disable=RPR005 -- pins the Table-3 vocabulary independently
         assert {e.value for e in EffectType} == {"NO", "SDC", "CE", "UE", "AC", "SC"}
 
     def test_abnormality(self):

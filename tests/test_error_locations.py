@@ -8,7 +8,7 @@ from repro.core.parser import format_run_block, parse_log
 from repro.core.runs import CharacterizationSetup, RunRecord
 from repro.effects import EffectType
 from repro.errors import CampaignError, ParseError
-from repro.hardware import XGene2Machine
+from repro.machines import MachineSpec, build_machine
 from repro.workloads import get_benchmark
 
 
@@ -86,8 +86,7 @@ class TestEndToEnd:
         correcting at higher voltages than the L1 parity arrays show
         anything (the fault model's SRAM depth ordering, observed via
         the parser's location extension)."""
-        machine = XGene2Machine("TTT", seed=12)
-        machine.power_on()
+        machine = build_machine(MachineSpec(chip="TTT", seed=12))
         framework = CharacterizationFramework(
             machine, FrameworkConfig(start_mv=920, campaigns=4,
                                      stop_after_crash_levels=3)

@@ -7,7 +7,6 @@ from repro.core.regions import Region
 from repro.data.calibration import chip_calibration
 from repro.effects import EffectType
 from repro.errors import ConfigurationError
-from repro.hardware import XGene2Machine
 from repro.workloads import get_benchmark
 
 

@@ -12,14 +12,13 @@ import pytest
 from repro.core import CharacterizationFramework, FrameworkConfig
 from repro.data.calibration import chip_calibration
 from repro.effects import EffectType
-from repro.hardware import XGene2Machine
+from repro.machines import MachineSpec, build_machine
 from repro.workloads import get_benchmark
 
 
 @pytest.fixture(scope="module")
 def results_1200():
-    machine = XGene2Machine("TTT", seed=23)
-    machine.power_on()
+    machine = build_machine(MachineSpec(chip="TTT", seed=23))
     framework = CharacterizationFramework(
         machine, FrameworkConfig(start_mv=790, campaigns=5, freq_mhz=1200)
     )
@@ -52,8 +51,7 @@ class TestClockSkippingRegime:
         """Frequencies above the division boundary inherit the 2.4 GHz
         Vmin behaviour (Section 3.2)."""
         bench = get_benchmark("mcf")
-        machine = XGene2Machine("TTT", seed=23)
-        machine.power_on()
+        machine = build_machine(MachineSpec(chip="TTT", seed=23))
         framework = CharacterizationFramework(
             machine, FrameworkConfig(start_mv=910, campaigns=3, freq_mhz=1800)
         )
@@ -62,8 +60,7 @@ class TestClockSkippingRegime:
         assert abs(result.highest_vmin_mv - anchor) <= 5
 
     def test_runtime_reflects_the_lower_frequency(self):
-        machine = XGene2Machine("TTT", seed=23)
-        machine.power_on()
+        machine = build_machine(MachineSpec(chip="TTT", seed=23))
         bench = get_benchmark("mcf")
         machine.clocks.set_pmd_frequency_mhz(0, 1800)
         slow = machine.run_program(bench, core=0)
@@ -76,8 +73,7 @@ class TestExplicitStopWithCrashes:
     def test_stop_mv_overrides_early_termination(self):
         """With an explicit floor the sweep records the full crash
         region instead of stopping after consecutive all-SC levels."""
-        machine = XGene2Machine("TTT", seed=23)
-        machine.power_on()
+        machine = build_machine(MachineSpec(chip="TTT", seed=23))
         framework = CharacterizationFramework(
             machine,
             FrameworkConfig(start_mv=890, stop_mv=855, campaigns=1),

@@ -9,6 +9,7 @@ from repro.errors import ConfigurationError
 from repro.faults.injection import FaultInjector, Injection
 from repro.faults.manifestation import EffectSampler
 from repro.faults.models import FunctionalUnit, build_unit_models
+# reprolint: disable=RPR003 -- wires injectors into the concrete machine
 from repro.hardware import XGene2Machine
 from repro.workloads import get_benchmark
 

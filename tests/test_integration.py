@@ -7,7 +7,8 @@ from repro import (
     FrameworkConfig,
     PredictionPipeline,
     SeverityAwareScheduler,
-    XGene2Machine,
+    MachineSpec,
+    build_machine,
 )
 from repro.core.results import ResultStore
 from repro.data.calibration import chip_calibration
@@ -23,8 +24,7 @@ class TestSelfTestStory:
 
     @pytest.fixture(scope="class")
     def results(self):
-        machine = XGene2Machine("TTT", seed=31)
-        machine.power_on()
+        machine = build_machine(MachineSpec(chip="TTT", seed=31))
         framework = CharacterizationFramework(
             machine, FrameworkConfig(campaigns=2, runs_per_level=5)
         )
@@ -55,8 +55,7 @@ class TestFullStudyPipeline:
 
     @pytest.fixture(scope="class")
     def stack(self):
-        machine = XGene2Machine("TTT", seed=2017)
-        machine.power_on()
+        machine = build_machine(MachineSpec(chip="TTT", seed=2017))
         pipeline = PredictionPipeline(
             machine, characterization=FrameworkConfig(campaigns=2)
         )
@@ -118,8 +117,7 @@ class TestCsvExportPipeline:
 class TestDeterminism:
     def test_identical_campaigns_bit_identical(self):
         def run():
-            machine = XGene2Machine("TTT", seed=77)
-            machine.power_on()
+            machine = build_machine(MachineSpec(chip="TTT", seed=77))
             framework = CharacterizationFramework(
                 machine, FrameworkConfig(start_mv=920, campaigns=2)
             )
@@ -129,8 +127,7 @@ class TestDeterminism:
 
     def test_chips_differ(self):
         def vmin(chip):
-            machine = XGene2Machine(chip, seed=77)
-            machine.power_on()
+            machine = build_machine(MachineSpec(chip=chip, seed=77))
             framework = CharacterizationFramework(
                 machine, FrameworkConfig(start_mv=930, campaigns=3)
             )
@@ -145,8 +142,7 @@ class TestSection6Ablations:
         into corrected-error behaviour, measured through the full
         framework."""
         def sdc_and_ce(protection):
-            machine = XGene2Machine("TTT", seed=13, protection=protection)
-            machine.power_on()
+            machine = build_machine(MachineSpec(chip="TTT", seed=13, protection=protection))
             framework = CharacterizationFramework(
                 machine, FrameworkConfig(start_mv=920, campaigns=3)
             )
@@ -163,8 +159,7 @@ class TestSection6Ablations:
 
     def test_itanium_profile_has_ce_first(self):
         """The cross-architecture comparison of Sections 3.4/4.4."""
-        machine = XGene2Machine("TTT", seed=13, failure_profile="sram")
-        machine.power_on()
+        machine = build_machine(MachineSpec(chip="TTT", seed=13, failure_profile="sram"))
         framework = CharacterizationFramework(
             machine, FrameworkConfig(start_mv=920, campaigns=3)
         )
@@ -178,8 +173,7 @@ class TestSection6Ablations:
         assert first_sdc is None or first_ce > first_sdc
 
     def test_per_pmd_domains_machine_variant(self):
-        machine = XGene2Machine("TTT", per_pmd_domains=True)
-        machine.power_on()
+        machine = build_machine(MachineSpec(chip="TTT", per_pmd_domains=True))
         machine.slimpro.set_pmd_voltage_mv(905, pmd=2)
         assert machine.regulator.pmd_voltage_mv(2) == 905
         assert machine.regulator.pmd_voltage_mv(0) == 980
@@ -190,8 +184,7 @@ class TestFinerDomainsEndToEnd:
         """Section-6 finer domains, exercised through real execution:
         undervolting only PMD 0 crashes its cores while PMD 2 keeps
         running the same benchmark safely at nominal."""
-        machine = XGene2Machine("TTT", seed=17, per_pmd_domains=True)
-        machine.power_on()
+        machine = build_machine(MachineSpec(chip="TTT", seed=17, per_pmd_domains=True))
         bench = get_benchmark("bwaves")
         machine.slimpro.set_pmd_voltage_mv(855, pmd=0)  # deep crash region
         crashed = machine.run_program(bench, core=0)
@@ -207,8 +200,7 @@ class TestFinerDomainsEndToEnd:
         from repro.data.calibration import chip_calibration
         cal = chip_calibration("TTT")
         bench = get_benchmark("leslie3d")
-        machine = XGene2Machine("TTT", seed=17, per_pmd_domains=True)
-        machine.power_on()
+        machine = build_machine(MachineSpec(chip="TTT", seed=17, per_pmd_domains=True))
         machine.slimpro.set_pmd_voltage_mv(cal.vmin_mv(0, bench.stress), pmd=0)
         machine.slimpro.set_pmd_voltage_mv(cal.vmin_mv(4, bench.stress), pmd=2)
         sensitive = machine.run_program(bench, core=0)

@@ -4,6 +4,7 @@ import pytest
 
 from repro.effects import EffectType
 from repro.errors import ConfigurationError, MachineStateError
+# reprolint: disable=RPR003 -- exercises the concrete machine model itself
 from repro.hardware import MachineState, XGene2Chip, XGene2Machine
 from repro.hardware.serial_console import BOOT_BANNER
 from repro.units import PMD_NOMINAL_MV

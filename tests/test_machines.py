@@ -9,6 +9,7 @@ from hypothesis import strategies as st
 from repro.errors import ConfigurationError
 from repro.faults.injection import FaultInjector, Injection
 from repro.faults.models import FunctionalUnit
+# reprolint: disable=RPR003 -- spec codec tests capture the concrete machine
 from repro.hardware import (
     AdaptiveClockingUnit,
     AgingModel,

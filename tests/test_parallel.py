@@ -10,6 +10,7 @@ from repro.core.campaign import CampaignResult, CharacterizationResult
 from repro.core.runs import CharacterizationSetup, RunRecord
 from repro.effects import EffectType
 from repro.errors import ConfigurationError
+# reprolint: disable=RPR003 -- MachineSpec.from_machine round-trip tests
 from repro.hardware import (
     AdaptiveClockingUnit,
     AgingModel,

@@ -13,7 +13,7 @@ paper's *qualitative* results:
 import pytest
 
 from repro.core.framework import FrameworkConfig
-from repro.hardware import XGene2Machine
+from repro.machines import MachineSpec, build_machine
 from repro.prediction import PredictionPipeline
 from repro.prediction.features import VOLTAGE_FEATURE, FeatureAssembler
 from repro.workloads import all_programs
@@ -21,8 +21,7 @@ from repro.workloads import all_programs
 
 @pytest.fixture(scope="module")
 def pipeline():
-    machine = XGene2Machine("TTT", seed=2017)
-    machine.power_on()
+    machine = build_machine(MachineSpec(chip="TTT", seed=2017))
     return PredictionPipeline(
         machine,
         characterization=FrameworkConfig(campaigns=2, stop_after_crash_levels=4),

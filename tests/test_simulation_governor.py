@@ -7,7 +7,6 @@ from repro.data.calibration import chip_calibration
 from repro.data.counters import CounterCatalog
 from repro.energy.tradeoffs import FIGURE9_WORKLOAD
 from repro.errors import ConfigurationError
-from repro.hardware import XGene2Machine
 from repro.scheduling import (
     ApplicationClass,
     EnergyEfficiencySimulation,

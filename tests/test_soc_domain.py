@@ -6,6 +6,7 @@ import pytest
 
 from repro.data.calibration import CHIP_NAMES, chip_calibration
 from repro.effects import EffectType
+# reprolint: disable=RPR003 -- exercises the concrete machine's SoC domain
 from repro.hardware import MachineState, XGene2Machine
 from repro.units import SOC_NOMINAL_MV
 from repro.workloads import get_benchmark

@@ -7,6 +7,7 @@ import pytest
 from repro.core import CharacterizationFramework, FrameworkConfig
 from repro.effects import EffectType
 from repro.errors import ConfigurationError
+# reprolint: disable=RPR003 -- wires rollback units into the concrete machine
 from repro.hardware import MachineState, RollbackUnit, SupplyDroopModel, XGene2Machine
 from repro.workloads import get_benchmark
 from repro.workloads.stressmark import generate_didt_stressmark

@@ -4,7 +4,8 @@ import pytest
 
 from repro.core import CharacterizationFramework, FrameworkConfig
 from repro.errors import ConfigurationError
-from repro.hardware import ChipGenerator, XGene2Machine, fleet_vmin_distribution
+from repro.hardware import ChipGenerator, fleet_vmin_distribution
+from repro.machines import MachineSpec, build_machine
 from repro.workloads import get_benchmark
 
 
@@ -81,8 +82,7 @@ class TestFleetStatistics:
 class TestGeneratedChipsRunEverything:
     def test_framework_runs_on_generated_part(self, fleet):
         chip = fleet[3]
-        machine = XGene2Machine(chip, seed=9)
-        machine.power_on()
+        machine = build_machine(MachineSpec(chip=chip, seed=9))
         framework = CharacterizationFramework(
             machine, FrameworkConfig(start_mv=950, campaigns=2)
         )

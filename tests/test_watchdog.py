@@ -3,6 +3,7 @@
 import pytest
 
 from repro.core.watchdog import WatchdogAction, WatchdogMonitor
+# reprolint: disable=RPR003 -- drives the concrete machine through crash states
 from repro.hardware import MachineState, XGene2Machine
 from repro.workloads import get_benchmark
 
