@@ -17,12 +17,14 @@ from __future__ import annotations
 
 import csv
 from pathlib import Path
-from typing import Mapping, Optional, Sequence, Tuple
+from typing import Dict, Mapping, Optional, Sequence, Tuple
 
 from ..core.campaign import CharacterizationResult
+from ..data.calibration import chip_calibration
 from ..energy.tradeoffs import TradeoffPoint
-from ..errors import ConfigurationError
+from ..errors import CampaignError, ConfigurationError
 from ..prediction.pipeline import PredictionReport
+from ..store import CampaignStore
 from .figures import (
     figure3_vmin_series,
     figure4_region_grid,
@@ -30,6 +32,13 @@ from .figures import (
     figure7_prediction_series,
     figure9_series,
 )
+
+
+def _as_store(store: "str | Path | CampaignStore") -> CampaignStore:
+    """Accept a CampaignStore or a store directory path."""
+    if isinstance(store, CampaignStore):
+        return store
+    return CampaignStore.open(store)
 
 
 class FigureExporter:
@@ -119,6 +128,69 @@ class FigureExporter:
             ("label", "voltage_mv", "performance_pct", "power_pct"),
             rows,
         )
+
+    # -- from a campaign store ---------------------------------------------
+
+    def figure3_from_store(
+        self, store: "str | Path | CampaignStore"
+    ) -> Path:
+        """Figure 3 with the journaled measurements filled in.
+
+        The figure plots each chip's *most robust* core; store cells
+        for that core override the calibration anchors, every other
+        (chip, benchmark) pair falls back to the model.
+        """
+        journal = _as_store(store)
+        measured: Dict[Tuple[str, str], CharacterizationResult] = {}
+        for (bench, core), result in journal.results().items():
+            if core == chip_calibration(result.chip).most_robust_core():
+                measured[(result.chip, bench)] = result
+        return self.figure3(measured=measured)
+
+    def figure4_from_store(
+        self, store: "str | Path | CampaignStore"
+    ) -> Path:
+        """Figure 4 with every journaled (chip, benchmark, core) cell."""
+        journal = _as_store(store)
+        measured = {
+            (result.chip, bench, core): result
+            for (bench, core), result in journal.results().items()
+        }
+        return self.figure4(measured=measured)
+
+    def figure5_from_store(
+        self,
+        store: "str | Path | CampaignStore",
+        benchmark: Optional[str] = None,
+    ) -> Path:
+        """Figure 5 for one journaled benchmark across its cores.
+
+        ``benchmark`` defaults to the first workload of the manifest
+        grid (the figure shows a single benchmark's heat-map).
+        """
+        journal = _as_store(store)
+        name = benchmark if benchmark is not None else journal.manifest.workloads[0]
+        results_by_core = {
+            core: result
+            for (bench, core), result in journal.results().items()
+            if bench == name
+        }
+        if not results_by_core:
+            raise CampaignError(
+                f"store has no completed cells for benchmark {name!r}"
+            )
+        return self.figure5(results_by_core)
+
+    def export_store_figures(
+        self, store: "str | Path | CampaignStore"
+    ) -> Mapping[str, Path]:
+        """Export every measurement figure a campaign store can feed."""
+        journal = _as_store(store)
+        return {
+            "figure3": self.figure3_from_store(journal),
+            "figure4": self.figure4_from_store(journal),
+            "figure5": self.figure5_from_store(journal),
+        }
 
     def export_model_figures(self) -> Mapping[str, Path]:
         """Export every figure derivable without measurements."""

@@ -1,4 +1,4 @@
-"""The RPR001-RPR006 rule set.
+"""The RPR001-RPR007 rule set.
 
 Each rule encodes one invariant the reproduction's results rest on;
 the canonical values a rule compares against (Table-4 weights, the
@@ -18,6 +18,9 @@ RPR005            Table-3 classes / Table-4 weights must come from
                   :mod:`repro.effects`, never re-hardcoded
 RPR006            parallel-safety: engine callables must be
                   module-level; no module-global mutation in tasks
+RPR007            single persistence path: no ad-hoc csv.writer /
+                  json.dump of run data outside ``repro.store`` and
+                  ``repro.core.results``
 ================  =====================================================
 """
 
@@ -654,3 +657,93 @@ class ParallelSafety(Rule):
                                 "it at module level so it pickles into "
                                 "worker processes",
                             )
+
+
+# ---------------------------------------------------------------------------
+# RPR007 -- single persistence path for run data
+# ---------------------------------------------------------------------------
+
+#: Serializer entry points whose use on run data bypasses the store.
+_SERIALIZER_PATHS = frozenset({
+    "csv.writer", "csv.DictWriter", "json.dump", "json.dumps",
+})
+
+#: Identifiers that mark a scope as handling run-level campaign data.
+#: Spec/figure/report serialization is fine -- those are different
+#: artifacts; what must not be serialized ad hoc is the run record
+#: stream the store journals.
+_RUN_DATA_MARKERS = frozenset({
+    "RunRecord", "StoredCampaign", "all_records", "csv_row",
+    "from_csv_row", "RUN_FIELDS", "SEVERITY_FIELDS", "severity_by_voltage",
+})
+
+#: The sanctioned homes of run-data serialization.
+_PERSISTENCE_MODULES = ("repro.core.results", "repro.store")
+
+
+def _in_persistence_layer(ctx: FileContext) -> bool:
+    return ctx.module is not None and any(
+        ctx.module == home or ctx.module.startswith(home + ".")
+        for home in _PERSISTENCE_MODULES
+    )
+
+
+@register_rule
+class SinglePersistencePath(Rule):
+    rule_id = "RPR007"
+    name = "single-persistence-path"
+    description = (
+        "run data has one persistence path (repro.store journals, "
+        "repro.core.results derived CSVs); ad-hoc csv.writer/json.dump "
+        "of run records elsewhere forks the schema and breaks resume "
+        "and cross-box analysis"
+    )
+    protects = "the repro-campaign/v1 journal as the single source of truth"
+
+    def check(self, ctx: FileContext) -> Iterator[Diagnostic]:
+        if not _is_repro_module(ctx) or _in_persistence_layer(ctx):
+            return
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            path = ctx.resolve(node.func)
+            if path not in _SERIALIZER_PATHS:
+                continue
+            scope = self._enclosing_scope(ctx.tree, node)
+            marker = self._run_data_marker(scope)
+            if marker is not None:
+                yield self.diagnostic(
+                    ctx, node,
+                    f"{path} in a scope handling run data ({marker}); "
+                    "persist through repro.store.CampaignStore (or the "
+                    "derived repro.core.results.ResultStore exports)",
+                )
+
+    @staticmethod
+    def _enclosing_scope(tree: ast.AST, node: ast.AST) -> ast.AST:
+        """Innermost function containing ``node`` (module tree if none).
+
+        Nested functions start on later lines than their enclosers, so
+        the latest-starting container is the innermost scope.
+        """
+        best = tree
+        best_line = -1
+        for candidate in ast.walk(tree):
+            if not isinstance(candidate, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            if candidate.lineno <= best_line:
+                continue
+            if any(sub is node for sub in ast.walk(candidate)):
+                best = candidate
+                best_line = candidate.lineno
+        return best
+
+    @staticmethod
+    def _run_data_marker(scope: ast.AST) -> Optional[str]:
+        """First run-data identifier the scope mentions, if any."""
+        for sub in ast.walk(scope):
+            if isinstance(sub, ast.Name) and sub.id in _RUN_DATA_MARKERS:
+                return sub.id
+            if isinstance(sub, ast.Attribute) and sub.attr in _RUN_DATA_MARKERS:
+                return sub.attr
+        return None

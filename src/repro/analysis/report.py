@@ -155,3 +155,39 @@ def render_claims(checks: List[ClaimCheck]) -> str:
             f"vs measured {check.measured_value:g} -- {check.description}"
         )
     return "\n".join(lines)
+
+
+def store_report(store: object) -> str:
+    """Markdown section describing a journaled campaign store.
+
+    The measured counterpart of the model-derived report: provenance
+    from the manifest (spec digest, grid, seed) plus the per-cell grid
+    summary reconstructed from the journal.
+    """
+    from ..store import CampaignStore
+    from .tables import render_table, table_store_summary
+
+    if not isinstance(store, CampaignStore):
+        store = CampaignStore.open(store)  # type: ignore[arg-type]
+    manifest = store.manifest
+    done = len(store.completed_keys())
+    total = len(store.expected_keys())
+    chip = manifest.spec.chip
+    chip_name = chip if isinstance(chip, str) else chip.name
+    lines = [
+        "## Measured campaign store",
+        "",
+        f"- chip: {chip_name} (spec digest `{manifest.spec.digest()[:12]}`)",
+        f"- seed: {manifest.spec.seed}",
+        f"- grid: {len(manifest.workloads)} workload(s) x "
+        f"{len(manifest.cores)} core(s) x {manifest.config.campaigns} "
+        f"campaign(s)",
+        f"- progress: {done}/{total} tasks journaled"
+        + ("" if store.is_complete() else " (resumable with `repro resume`)"),
+        f"- watchdog recoveries: {store.interventions()}",
+        "",
+        "```",
+        render_table(*table_store_summary(store)),
+        "```",
+    ]
+    return "\n".join(lines)

@@ -83,6 +83,44 @@ def table3_effects() -> Tuple[List[str], List[List[str]]]:
     return headers, rows
 
 
+def table_store_summary(store: object) -> Tuple[List[str], List[List[str]]]:
+    """Per-cell summary of a journaled campaign store.
+
+    Not a paper table -- the operational counterpart: what a six-month
+    unattended campaign's progress report looks like, one row per
+    (benchmark, core) grid cell reconstructed from the journal.
+    """
+    from ..store import CampaignStore
+
+    if not isinstance(store, CampaignStore):
+        store = CampaignStore.open(store)  # type: ignore[arg-type]
+    campaigns_expected = store.manifest.config.campaigns
+    done = {key[:2]: 0 for key in store.completed_keys()}
+    for key in store.completed_keys():
+        done[key[:2]] += 1
+    results = store.results()
+    headers = ["Benchmark", "Core", "Campaigns", "Vmin (mV)", "Crash (mV)",
+               "Peak severity"]
+    rows: List[List[str]] = []
+    for name in store.manifest.workloads:
+        for core in store.manifest.cores:
+            completed = done.get((name, core), 0)
+            row = [name, str(core), f"{completed}/{campaigns_expected}"]
+            result = results.get((name, core))
+            if result is None:
+                row += ["--", "--", "--"]
+            else:
+                crash = result.highest_crash_mv
+                severity = result.severity_by_voltage(store.manifest.weights)
+                row += [
+                    str(result.highest_vmin_mv),
+                    "--" if crash is None else str(crash),
+                    f"{max(severity.values()):.2f}" if severity else "--",
+                ]
+            rows.append(row)
+    return headers, rows
+
+
 def table4_weights() -> Tuple[List[str], List[List[str]]]:
     """Table 4: severity weights, from the live defaults."""
     headers = ["Weight", "Value"]

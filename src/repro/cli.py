@@ -6,12 +6,16 @@ One subcommand per workflow::
     repro claims                      check every model-derived claim
     repro characterize CHIP BENCH     run an undervolting campaign
                                       (or --machine spec.json)
+    repro resume STORE                continue a journaled campaign grid
     repro tradeoffs                   the Figure-9 ladder + headlines
     repro predict                     the Section-4.3 studies
     repro fleet                       generated-fleet Vmin statistics
     repro lint [PATH...]              reprolint invariant checker
 
-All numbers are deterministic in ``--seed``.
+All numbers are deterministic in ``--seed``.  Long runs should pass
+``--store DIR`` (``characterize``/``grid``): every completed campaign
+is journaled there, and a killed run continues with ``repro resume
+DIR`` -- ending bit-identical to an uninterrupted one.
 """
 
 from __future__ import annotations
@@ -35,11 +39,12 @@ from .core import CharacterizationFramework, FrameworkConfig
 from .core.results import ResultStore
 from .data.calibration import CHIP_NAMES
 from .energy import figure9_ladder, headline_savings
-from .errors import ConfigurationError
+from .errors import CampaignError, ConfigurationError
 from .hardware import ChipGenerator, fleet_vmin_distribution
 from .machines import MachineSpec, build_machine, load_machine_spec
 from .parallel import ConsoleProgress
 from .prediction import PredictionPipeline
+from .store import CampaignStore
 from .units import PMD_NOMINAL_MV
 from .workloads import all_programs, get_benchmark
 
@@ -107,17 +112,22 @@ def _cmd_characterize(args: argparse.Namespace) -> int:
     bench = get_benchmark(args.benchmark)
     print(f"characterizing {bench.name} on {machine.chip.name} "
           f"core {args.core} ({args.campaigns} campaigns) ...")
-    if args.jobs is None:
+    if args.jobs is None and args.store is None:
         # Legacy in-place sweep: one shared machine, serial campaigns.
         result = framework.characterize(bench, core=args.core)
         recoveries = framework.watchdog.intervention_count
     else:
         # Engine path: campaigns fan out over `--jobs` workers with
         # per-campaign derived seeds (bit-identical for any job count).
-        grid = framework.characterize_many(
-            [bench], [args.core], jobs=args.jobs,
-            progress=ConsoleProgress(),
-        )
+        # `--store` journals each completed campaign for `repro resume`.
+        try:
+            grid = framework.characterize_many(
+                [bench], [args.core], jobs=args.jobs or 1,
+                progress=ConsoleProgress(), store=args.store,
+            )
+        except CampaignError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
         result = grid[(bench.name, args.core)]
         recoveries = framework.last_engine_report.interventions
     regions = result.pooled_regions()
@@ -130,12 +140,24 @@ def _cmd_characterize(args: argparse.Namespace) -> int:
     for voltage in sorted(severity, reverse=True):
         if severity[voltage] > 0:
             print(f"  {voltage} mV  {severity[voltage]:6.2f}")
+    if args.store:
+        paths = CampaignStore.open(args.store).export_csv()
+        print(f"campaign store journaled at {args.store} "
+              f"(CSV: {', '.join(sorted(p.name for p in paths.values()))})")
     if args.out:
         store = ResultStore(args.out)
         store.write_runs_csv([result])
         store.write_severity_csv([result])
         print(f"CSV results written to {args.out}")
     return 0
+
+
+def _print_grid_summary(results) -> None:
+    print(f"{'benchmark':<14} {'core':>4} {'Vmin':>6} {'crash':>6}")
+    for (name, core), result in results.items():
+        crash = result.highest_crash_mv
+        print(f"{name:<14} {core:>4} {result.highest_vmin_mv:>4} mV "
+              f"{crash if crash is not None else '--':>4} mV")
 
 
 def _cmd_grid(args: argparse.Namespace) -> int:
@@ -158,24 +180,61 @@ def _cmd_grid(args: argparse.Namespace) -> int:
     print(f"characterizing {len(benchmarks)} benchmark(s) x {len(cores)} "
           f"core(s) x {args.campaigns} campaign(s) = {total} campaigns "
           f"on {machine.chip.name} (jobs={args.jobs}) ...")
-    results = framework.characterize_many(
-        benchmarks, cores, jobs=args.jobs, progress=ConsoleProgress(),
-    )
+    try:
+        results = framework.characterize_many(
+            benchmarks, cores, jobs=args.jobs, progress=ConsoleProgress(),
+            store=args.store,
+        )
+    except CampaignError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     report = framework.last_engine_report
     print(f"backend        : {report.backend} (jobs={report.jobs})")
     print(f"recoveries     : {report.interventions}")
     if report.chunks_retried:
         print(f"chunks retried : {report.chunks_retried}")
-    print(f"{'benchmark':<14} {'core':>4} {'Vmin':>6} {'crash':>6}")
-    for (name, core), result in results.items():
-        crash = result.highest_crash_mv
-        print(f"{name:<14} {core:>4} {result.highest_vmin_mv:>4} mV "
-              f"{crash if crash is not None else '--':>4} mV")
+    _print_grid_summary(results)
+    if args.store:
+        CampaignStore.open(args.store).export_csv()
+        print(f"campaign store journaled at {args.store}")
     if args.out:
         store = ResultStore(args.out)
         store.write_runs_csv(results.values())
         store.write_severity_csv(results.values())
         print(f"CSV results written to {args.out}")
+    return 0
+
+
+def _cmd_resume(args: argparse.Namespace) -> int:
+    """Continue a journaled grid: replay the prefix, run the remainder."""
+    try:
+        store = CampaignStore.open(args.store)
+    except CampaignError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    manifest = store.manifest
+    done = len(store.completed_keys())
+    total = len(store.expected_keys())
+    print(f"resuming campaign store {args.store}: {done}/{total} tasks "
+          f"journaled, {total - done} to run (jobs={args.jobs}) ...")
+    machine = build_machine(manifest.spec)
+    framework = CharacterizationFramework(machine, manifest.config)
+    try:
+        results = framework.characterize_many(
+            manifest.programs(), list(manifest.cores), jobs=args.jobs,
+            progress=ConsoleProgress(), store=store, resume=True,
+        )
+    except CampaignError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    report = framework.last_engine_report
+    print(f"backend        : {report.backend} (jobs={report.jobs})")
+    print(f"replayed       : {report.tasks_skipped} journaled task(s)")
+    print(f"executed       : {report.tasks_run} task(s)")
+    print(f"recoveries     : {report.interventions}")
+    _print_grid_summary(results)
+    store.export_csv()
+    print(f"CSV artifacts exported to {store.directory}")
     return 0
 
 
@@ -251,6 +310,14 @@ def _cmd_report(args: argparse.Namespace) -> int:
     }.items():
         lines += ["", f"## {title}", "", "```",
                   render_table(*builder()), "```"]
+    if args.store:
+        from .analysis.report import store_report
+
+        try:
+            lines += ["", store_report(args.store)]
+        except CampaignError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
     text = "\n".join(lines) + "\n"
     if args.out:
         with open(args.out, "w") as handle:
@@ -307,6 +374,9 @@ def build_parser() -> argparse.ArgumentParser:
     p_char.add_argument("--seed", type=int, default=None,
                         help="master seed (default 2017, or the spec's)")
     p_char.add_argument("--out", default=None, help="CSV output directory")
+    p_char.add_argument("--store", default=None, metavar="DIR",
+                        help="journal every completed campaign into a "
+                             "resumable campaign store directory")
     p_char.add_argument("--jobs", type=_job_count, default=None,
                         help="fan campaigns out over N workers (derived "
                              "per-campaign seeds; identical for any N)")
@@ -330,7 +400,18 @@ def build_parser() -> argparse.ArgumentParser:
     p_grid.add_argument("--jobs", type=_job_count, default=1,
                         help="worker count for the campaign fan-out")
     p_grid.add_argument("--out", default=None, help="CSV output directory")
+    p_grid.add_argument("--store", default=None, metavar="DIR",
+                        help="journal every completed campaign into a "
+                             "resumable campaign store directory")
     p_grid.set_defaults(func=_cmd_grid)
+
+    p_resume = sub.add_parser(
+        "resume", help="continue an interrupted --store campaign grid")
+    p_resume.add_argument("store", metavar="STORE",
+                          help="campaign store directory to resume")
+    p_resume.add_argument("--jobs", type=_job_count, default=1,
+                          help="worker count for the remaining tasks")
+    p_resume.set_defaults(func=_cmd_resume)
 
     p_trade = sub.add_parser("tradeoffs", help="Figure 9 and headlines")
     p_trade.add_argument("--chip", choices=CHIP_NAMES, default="TTT")
@@ -347,6 +428,9 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_report = sub.add_parser("report", help="write a markdown report")
     p_report.add_argument("--out", default=None, help="output file path")
+    p_report.add_argument("--store", default=None, metavar="DIR",
+                          help="append the measured grid of a campaign "
+                               "store to the report")
     p_report.set_defaults(func=_cmd_report)
 
     p_fleet = sub.add_parser("fleet", help="generated-fleet statistics")
@@ -356,7 +440,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_fleet.set_defaults(func=_cmd_fleet)
 
     p_lint = sub.add_parser(
-        "lint", help="check the repo's reprolint invariants (RPR001-006)")
+        "lint", help="check the repo's reprolint invariants (RPR001-007)")
     build_lint_parser(p_lint)
     p_lint.set_defaults(func=run_lint)
 

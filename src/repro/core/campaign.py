@@ -141,6 +141,22 @@ class CharacterizationResult:
 
     campaigns: Tuple[CampaignResult, ...]
 
+    @classmethod
+    def from_store(
+        cls, store: object, benchmark: str, core: int
+    ) -> "CharacterizationResult":
+        """Reconstruct one grid cell from a journaled campaign store.
+
+        ``store`` is a :class:`repro.store.CampaignStore` or a path to
+        one.  Imported lazily: ``repro.store`` sits above the core layer
+        and importing it here at module level would create a cycle.
+        """
+        from ..store import CampaignStore
+
+        if not isinstance(store, CampaignStore):
+            store = CampaignStore.open(store)  # type: ignore[arg-type]
+        return store.result_for(benchmark, core)
+
     def __post_init__(self) -> None:
         if not self.campaigns:
             raise CampaignError("need at least one campaign")

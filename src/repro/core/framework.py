@@ -249,6 +249,8 @@ class CharacterizationFramework:
         backend: str = "auto",
         progress=None,
         chunk_size: Optional[int] = None,
+        store=None,
+        resume: bool = False,
     ) -> Dict[Tuple[str, int], CharacterizationResult]:
         """Full grid: every workload on every core (Figure 4's sweep).
 
@@ -259,6 +261,11 @@ class CharacterizationFramework:
         result is **bit-identical for any ``jobs``** -- ``jobs=1`` runs
         the same tasks serially in process; ``jobs>1`` fans them out
         over a worker pool.
+
+        ``store`` journals the grid into a campaign store directory
+        (:mod:`repro.store`) as tasks complete; ``resume=True`` replays
+        the journaled prefix and executes only the remainder, ending in
+        the same results as an uninterrupted run.
 
         Extension models (droop, aging, adaptive clocking, rollback,
         injectors) ride along: they round-trip through the machine's
@@ -278,7 +285,7 @@ class CharacterizationFramework:
             chunk_size=chunk_size,
             progress=progress if progress is not None else NULL_PROGRESS,
         )
-        report = engine.run(workloads, cores)
+        report = engine.run(workloads, cores, store=store, resume=resume)
         self.raw_logs.update(report.raw_logs)
         for (name, core), result in report.results.items():
             for campaign in result.campaigns:

@@ -15,6 +15,7 @@ from typing import Dict, Iterable, List, Mapping, Optional, Tuple
 
 from ..errors import CampaignError
 from .campaign import CharacterizationResult
+from .runs import RunRecord
 from .severity import DEFAULT_WEIGHTS, SeverityWeights
 
 RUN_FIELDS = (
@@ -52,13 +53,18 @@ class ResultStore:
                     writer.writerow(record.csv_row())
         return path
 
-    def read_runs_csv(self, filename: str = "runs.csv") -> List[Dict[str, str]]:
-        """Read a run-level CSV back as raw string rows."""
+    def read_runs_csv(self, filename: str = "runs.csv") -> List[RunRecord]:
+        """Read a run-level CSV back as typed :class:`RunRecord` rows.
+
+        The ``detail`` mapping is not part of the CSV schema, so it is
+        empty on the records returned here; everything else round-trips
+        exactly through :meth:`RunRecord.from_csv_row`.
+        """
         path = self.directory / filename
         if not path.exists():
             raise CampaignError(f"no such results file: {path}")
         with path.open(newline="") as handle:
-            return list(csv.DictReader(handle))
+            return [RunRecord.from_csv_row(row) for row in csv.DictReader(handle)]
 
     # -- severity CSV ---------------------------------------------------------
 

@@ -11,10 +11,10 @@ aggregates over.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import FrozenSet, Mapping, Optional
+from typing import Any, Dict, FrozenSet, Mapping, Optional
 
 from ..effects import EffectType
-from ..errors import ConfigurationError
+from ..errors import CampaignError, ConfigurationError
 from ..units import validate_frequency_mhz, validate_voltage_mv
 
 
@@ -81,3 +81,96 @@ class RunRecord:
             "edac_ue": self.edac_ue,
             "watchdog": int(self.watchdog_intervened),
         }
+
+    @classmethod
+    def from_csv_row(cls, row: Mapping[str, str]) -> "RunRecord":
+        """Typed inverse of :meth:`csv_row`.
+
+        CSV cells are strings; this coerces them back to the record's
+        int/bool/enum types so downstream consumers never see raw
+        ``Dict[str, str]`` rows.  The per-location ``detail`` mapping is
+        not part of the CSV schema and comes back empty.
+        """
+        try:
+            exit_code = row["exit_code"]
+            output_matches = row["output_matches"]
+            return cls(
+                chip=row["chip"],
+                benchmark=row["benchmark"],
+                setup=CharacterizationSetup(
+                    voltage_mv=int(row["voltage_mv"]),
+                    freq_mhz=int(row["freq_mhz"]),
+                    core=int(row["core"]),
+                ),
+                campaign_index=int(row["campaign"]),
+                run_index=int(row["run"]),
+                effects=frozenset(
+                    EffectType(value) for value in row["effects"].split("+")
+                ),
+                exit_code=None if exit_code == "" else int(exit_code),
+                output_matches=(
+                    None if output_matches == ""
+                    else bool(int(output_matches))
+                ),
+                edac_ce=int(row["edac_ce"]),
+                edac_ue=int(row["edac_ue"]),
+                watchdog_intervened=bool(int(row["watchdog"])),
+            )
+        except (KeyError, ValueError) as exc:
+            raise CampaignError(f"malformed run CSV row {dict(row)!r}: {exc}")
+
+    # -- journal (JSONL) codec --------------------------------------------
+
+    def to_json_dict(self) -> Dict[str, Any]:
+        """Plain-dict form for the campaign journal (``repro.store``)."""
+        return {
+            "chip": self.chip,
+            "benchmark": self.benchmark,
+            "core": self.setup.core,
+            "voltage_mv": self.setup.voltage_mv,
+            "freq_mhz": self.setup.freq_mhz,
+            "campaign": self.campaign_index,
+            "run": self.run_index,
+            "effects": sorted(e.value for e in self.effects),
+            "exit_code": self.exit_code,
+            "output_matches": self.output_matches,
+            "edac_ce": self.edac_ce,
+            "edac_ue": self.edac_ue,
+            "watchdog": self.watchdog_intervened,
+            "detail": dict(self.detail),
+        }
+
+    @classmethod
+    def from_json_dict(cls, data: Mapping[str, Any]) -> "RunRecord":
+        """Inverse of :meth:`to_json_dict` (exact, including ``detail``)."""
+        try:
+            return cls(
+                chip=data["chip"],
+                benchmark=data["benchmark"],
+                setup=CharacterizationSetup(
+                    voltage_mv=int(data["voltage_mv"]),
+                    freq_mhz=int(data["freq_mhz"]),
+                    core=int(data["core"]),
+                ),
+                campaign_index=int(data["campaign"]),
+                run_index=int(data["run"]),
+                effects=frozenset(
+                    EffectType(value) for value in data["effects"]
+                ),
+                exit_code=(
+                    None if data["exit_code"] is None else int(data["exit_code"])
+                ),
+                output_matches=(
+                    None if data["output_matches"] is None
+                    else bool(data["output_matches"])
+                ),
+                edac_ce=int(data["edac_ce"]),
+                edac_ue=int(data["edac_ue"]),
+                watchdog_intervened=bool(data["watchdog"]),
+                detail={
+                    str(key): int(count)
+                    for key, count in dict(data.get("detail", {})).items()
+                },
+            )
+        except (KeyError, ValueError, TypeError) as exc:
+            raise CampaignError(f"malformed journal run record: {exc}")

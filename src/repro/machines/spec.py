@@ -24,6 +24,8 @@ at capture time with a pointer to
 from __future__ import annotations
 
 import dataclasses
+import hashlib
+import json
 from dataclasses import dataclass, field
 from typing import Any, Dict, Mapping, Optional
 
@@ -222,6 +224,16 @@ class MachineSpec:
                 for slot, model in self.components().items()
             },
         }
+
+    def digest(self) -> str:
+        """Stable content hash of the serialized spec.
+
+        Campaign stores embed this next to the spec JSON so a resume
+        can cheaply verify it is replaying onto the machine blueprint
+        the journal was recorded against.
+        """
+        payload = json.dumps(self.to_json_dict(), sort_keys=True)
+        return hashlib.sha256(payload.encode("utf-8")).hexdigest()
 
     @classmethod
     def from_json_dict(cls, data: Mapping[str, Any]) -> "MachineSpec":

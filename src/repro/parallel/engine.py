@@ -24,12 +24,14 @@ from __future__ import annotations
 import warnings
 from concurrent.futures import FIRST_COMPLETED, Executor, Future, wait
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 from ..core.campaign import CampaignResult, CharacterizationResult
 from ..core.framework import FrameworkConfig
-from ..errors import ConfigurationError
+from ..errors import CampaignError, ConfigurationError
 from ..machines import MachineSpec, as_machine_spec
+from ..store import MANIFEST_NAME, CampaignStore
 from ..workloads.benchmark import Benchmark, Program
 from .progress import NULL_PROGRESS, ProgressReporter, ProgressTracker
 from .tasks import (
@@ -62,6 +64,9 @@ class EngineReport:
     backend: str
     #: Worker count the grid ran with (1 for the serial backend).
     jobs: int
+    #: Tasks replayed from a campaign-store journal instead of executed
+    #: (0 for runs without a store or with an empty journal).
+    tasks_skipped: int = 0
 
 
 class ParallelCampaignEngine:
@@ -153,25 +158,147 @@ class ParallelCampaignEngine:
     # -- execution --------------------------------------------------------
 
     def run(
-        self, workloads: Sequence[object], cores: Sequence[int]
+        self,
+        workloads: Sequence[object],
+        cores: Sequence[int],
+        store: Optional[Union[str, Path, CampaignStore]] = None,
+        resume: bool = False,
     ) -> EngineReport:
-        """Characterize every workload on every core."""
+        """Characterize every workload on every core.
+
+        With ``store`` the run is journaled: each completed (workload,
+        core, campaign) task is appended to the campaign store as it
+        finishes, so a killed run loses at most the in-flight chunk.
+        With ``resume=True`` journaled tasks are replayed from the
+        store (after verifying their seeds against a fresh derivation)
+        and only the remainder executes -- the assembled report is
+        bit-identical to an uninterrupted run of the same grid.
+        """
         tasks = self.tasks_for(workloads, cores)
         if not tasks:
             raise ConfigurationError("empty grid: no workloads or no cores")
-        backend = self._resolve_backend(len(tasks))
+        journal = self._prepare_store(store, tasks, cores, resume)
+        replayed = self._replay_journal(journal, tasks) if resume else []
+        done = {(o.benchmark, o.core, o.campaign_index) for o in replayed}
+        pending = [
+            task for task in tasks
+            if (task.program.name, task.core, task.campaign_index) not in done
+        ]
+        backend = self._resolve_backend(len(pending)) if pending else "serial"
         tracker = ProgressTracker(len(tasks), self.progress)
-        chunks = self._chunk(tasks)
+        if replayed:
+            tracker.advance(len(replayed))
+        checkpoint = self._checkpointer(journal)
+        chunks = self._chunk(pending)
         retried = 0
         if backend == "serial":
             outcomes: List[CampaignTaskResult] = []
             for chunk in chunks:
-                outcomes.extend(run_campaign_chunk(self.spec, self.config, chunk))
+                chunk_outcomes = run_campaign_chunk(self.spec, self.config, chunk)
+                checkpoint(chunk, chunk_outcomes)
+                outcomes.extend(chunk_outcomes)
                 tracker.advance(len(chunk))
         else:
-            outcomes, retried = self._run_pool(backend, chunks, tracker)
+            outcomes, retried = self._run_pool(
+                backend, chunks, tracker, checkpoint
+            )
         tracker.finish()
-        return self._assemble(tasks, outcomes, backend, retried)
+        return self._assemble(
+            tasks, replayed + outcomes, backend, retried,
+            tasks_skipped=len(replayed),
+        )
+
+    # -- checkpointing -----------------------------------------------------
+
+    def _prepare_store(
+        self,
+        store: Optional[Union[str, Path, CampaignStore]],
+        tasks: List[CampaignTask],
+        cores: Sequence[int],
+        resume: bool,
+    ) -> Optional[CampaignStore]:
+        """Open/create the journal for this grid and validate it."""
+        if store is None:
+            if resume:
+                raise ConfigurationError("resume=True requires a store")
+            return None
+        workload_names = list(dict.fromkeys(t.program.name for t in tasks))
+        if isinstance(store, CampaignStore):
+            journal = store
+        else:
+            directory = Path(store)
+            if (directory / MANIFEST_NAME).exists():
+                journal = CampaignStore.open(directory)
+            elif resume:
+                raise CampaignError(f"no campaign store to resume at {directory}")
+            else:
+                journal = CampaignStore.create(
+                    directory, self.spec, self.config, workload_names, cores
+                )
+        journal.validate_run(self.spec, self.config, workload_names, cores)
+        if journal.completed_keys() and not resume:
+            raise CampaignError(
+                f"store at {journal.directory} already journals "
+                f"{len(journal.completed_keys())} tasks; pass resume=True "
+                f"(or run `repro resume`) to continue it"
+            )
+        return journal
+
+    def _replay_journal(
+        self, journal: Optional[CampaignStore], tasks: List[CampaignTask]
+    ) -> List[CampaignTaskResult]:
+        """Journaled campaigns as task results, seeds re-verified.
+
+        Replayed lines must carry exactly the seed this engine would
+        derive for the task today; anything else means the journal was
+        recorded under different seed material and cannot be spliced
+        into a bit-identical grid.
+        """
+        if journal is None:
+            return []
+        by_key = {
+            (t.program.name, t.core, t.campaign_index): t for t in tasks
+        }
+        replayed: List[CampaignTaskResult] = []
+        for stored in journal.campaigns():
+            task = by_key[stored.key]
+            if stored.seed != task.seed:
+                raise CampaignError(
+                    f"journaled task {stored.key!r} ran with seed "
+                    f"{stored.seed}, but this grid derives {task.seed}; "
+                    f"the store belongs to different seed material"
+                )
+            replayed.append(
+                CampaignTaskResult(
+                    benchmark=stored.benchmark,
+                    core=stored.core,
+                    campaign_index=stored.campaign_index,
+                    result=stored.campaign_result(),
+                    raw_log=stored.raw_log,
+                    freq_mhz=stored.freq_mhz,
+                    interventions=stored.interventions,
+                )
+            )
+        return replayed
+
+    def _checkpointer(
+        self, journal: Optional[CampaignStore]
+    ) -> Callable[[Tuple[CampaignTask, ...], Tuple[CampaignTaskResult, ...]], None]:
+        """Journal a completed chunk's outcomes (no-op without a store)."""
+        def checkpoint(
+            chunk: Tuple[CampaignTask, ...],
+            outcomes: Tuple[CampaignTaskResult, ...],
+        ) -> None:
+            if journal is None:
+                return
+            for task, outcome in zip(chunk, outcomes):
+                journal.append_campaign(
+                    outcome.result,
+                    outcome.raw_log,
+                    task.seed,
+                    outcome.interventions,
+                )
+        return checkpoint
 
     def _resolve_backend(self, n_tasks: int) -> str:
         if self.backend == "serial" or self.jobs == 1:
@@ -217,6 +344,9 @@ class ParallelCampaignEngine:
         backend: str,
         chunks: List[Tuple[CampaignTask, ...]],
         tracker: ProgressTracker,
+        checkpoint: Callable[
+            [Tuple[CampaignTask, ...], Tuple[CampaignTaskResult, ...]], None
+        ],
     ) -> Tuple[List[CampaignTaskResult], int]:
         executor, backend = self._make_executor(backend)
         outcomes: List[CampaignTaskResult] = []
@@ -231,7 +361,7 @@ class ParallelCampaignEngine:
                 for future in done:
                     chunk = pending.pop(future)
                     try:
-                        outcomes.extend(future.result())
+                        chunk_outcomes = tuple(future.result())
                     except Exception as exc:
                         # Retry-once policy: a lost worker (OOM kill,
                         # BrokenProcessPool, pickling trouble) must not
@@ -246,9 +376,11 @@ class ParallelCampaignEngine:
                             stacklevel=2,
                         )
                         retried += 1
-                        outcomes.extend(
-                            run_campaign_chunk(self.spec, self.config, chunk)
+                        chunk_outcomes = run_campaign_chunk(
+                            self.spec, self.config, chunk
                         )
+                    checkpoint(chunk, chunk_outcomes)
+                    outcomes.extend(chunk_outcomes)
                     tracker.advance(len(chunk))
         finally:
             executor.shutdown(wait=False, cancel_futures=True)
@@ -262,6 +394,7 @@ class ParallelCampaignEngine:
         outcomes: List[CampaignTaskResult],
         backend: str,
         retried: int,
+        tasks_skipped: int = 0,
     ) -> EngineReport:
         """Deterministic grid assembly, independent of completion order."""
         by_task: Dict[Tuple[str, int, int], CampaignTaskResult] = {
@@ -283,10 +416,11 @@ class ParallelCampaignEngine:
             results=results,
             raw_logs=raw_logs,
             interventions=interventions,
-            tasks_run=len(tasks),
+            tasks_run=len(tasks) - tasks_skipped,
             chunks_retried=retried,
             backend=backend,
             jobs=1 if backend == "serial" else self.jobs,
+            tasks_skipped=tasks_skipped,
         )
 
     @staticmethod

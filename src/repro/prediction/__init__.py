@@ -16,7 +16,12 @@ from .metrics import r2_score, rmse
 from .linreg import OrdinaryLeastSquares
 from .rfe import RecursiveFeatureElimination
 from .naive import NaiveMeanPredictor
-from .dataset import RegressionDataset, train_test_split
+from .dataset import (
+    RegressionDataset,
+    severity_dataset_from_store,
+    train_test_split,
+    vmin_dataset_from_store,
+)
 from .features import FeatureAssembler, VOLTAGE_FEATURE
 from .pipeline import (
     PredictionReport,
@@ -38,7 +43,9 @@ __all__ = [
     "RecursiveFeatureElimination",
     "NaiveMeanPredictor",
     "RegressionDataset",
+    "severity_dataset_from_store",
     "train_test_split",
+    "vmin_dataset_from_store",
     "FeatureAssembler",
     "VOLTAGE_FEATURE",
     "PredictionReport",

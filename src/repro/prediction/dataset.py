@@ -4,12 +4,19 @@ A *sample* is "an information vector ... consisting of the values of
 the dependent and independent variables": here a feature vector (PMU
 counters, optionally plus the characterization voltage), a target
 (Vmin or severity) and a metadata tag identifying its origin.
+
+Datasets can also be assembled straight from a journaled campaign
+store (:func:`vmin_dataset_from_store` /
+:func:`severity_dataset_from_store`): the characterization targets
+come from the journal and the PMU features from a machine rebuilt
+from the store's embedded spec -- so the training box never needs the
+in-memory objects of the box that ran the campaigns.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Sequence, Tuple
+from typing import List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -91,3 +98,87 @@ def train_test_split(
     test_idx = indices[-n_test:]
     train_idx = indices[:-n_test]
     return dataset.subset(train_idx.tolist()), dataset.subset(test_idx.tolist())
+
+
+# ---------------------------------------------------------------------------
+# Assembly from a journaled campaign store.
+# ---------------------------------------------------------------------------
+
+
+def _open_store(store):
+    """Accept a CampaignStore or a store directory path."""
+    from ..store import CampaignStore
+
+    if isinstance(store, CampaignStore):
+        return store
+    return CampaignStore.open(store)
+
+
+def vmin_dataset_from_store(store, core: int) -> RegressionDataset:
+    """Case-1 dataset from a store: counters -> journaled safe Vmin.
+
+    The PMU snapshots are profiled on a machine rebuilt from the
+    store's embedded :class:`~repro.machines.MachineSpec`; the Vmin
+    targets are read from the journal, so this equals
+    :meth:`~repro.prediction.pipeline.PredictionPipeline.build_vmin_dataset`
+    over the same grid without re-running any campaign.
+    """
+    from .features import FeatureAssembler
+
+    journal = _open_store(store)
+    machine = journal.manifest.spec.build()
+    programs = journal.manifest.programs()
+    snapshots = [machine.profile_program(p, core=0) for p in programs]
+    targets = [
+        float(journal.result_for(p.name, core).highest_vmin_mv)
+        for p in programs
+    ]
+    return FeatureAssembler().counters_dataset(
+        snapshots, targets, tags=[p.name for p in programs]
+    )
+
+
+def severity_dataset_from_store(
+    store, core: int, max_samples: int = 100, seed: int = 2
+) -> RegressionDataset:
+    """Case-2/3 dataset from a store: (counters, voltage) -> severity.
+
+    Mirrors
+    :meth:`~repro.prediction.pipeline.PredictionPipeline.build_severity_dataset`:
+    one sample per 5 mV step below each program's safe Vmin down to 25
+    mV past the crash level, deterministically shuffled and truncated
+    to ``max_samples``.  Severity uses the weights pinned in the store
+    manifest.
+    """
+    from .features import FeatureAssembler
+
+    journal = _open_store(store)
+    machine = journal.manifest.spec.build()
+    weights = journal.manifest.weights
+    rows: List[Tuple[Mapping[str, float], int, float, str]] = []
+    for prog in journal.manifest.programs():
+        result = journal.result_for(prog.name, core)
+        snapshot = machine.profile_program(prog, core=0)
+        regions = result.pooled_regions()
+        severity = result.severity_by_voltage(weights)
+        floor = (
+            regions.crash_mv - 25
+            if regions.crash_mv is not None
+            else regions.lowest_tested_mv
+        )
+        for voltage in sorted(severity, reverse=True):
+            if voltage < regions.vmin_mv and voltage >= floor:
+                rows.append(
+                    (snapshot, voltage, severity[voltage],
+                     f"{prog.name}@{voltage}mV")
+                )
+    order = np.random.default_rng(seed).permutation(len(rows))
+    chosen = [rows[i] for i in order[:max_samples]]
+    if len(chosen) < 2:
+        raise DatasetError(
+            "not enough unsafe-region samples in the store; deepen the "
+            "sweep or characterize more programs"
+        )
+    samples = [(snap, volt, sev) for snap, volt, sev, _tag in chosen]
+    tags = [tag for _snap, _volt, _sev, tag in chosen]
+    return FeatureAssembler().counters_voltage_dataset(samples, tags=tags)

@@ -1,0 +1,42 @@
+"""Durable campaign persistence: the journaled store.
+
+The paper's characterization ran unattended for six months, surviving
+crashes and accumulating everything into uniform CSV artifacts
+(Section 2.2).  This package is that durability layer for the
+reproduction: a schema-versioned (``repro-campaign/v1``), append-only
+journal where every completed campaign lands as typed records under a
+manifest that pins the machine spec, grid, seed material and severity
+weights.
+
+* :class:`CampaignStore` -- create/open a store directory, append
+  completed campaigns, reconstruct results, export the derived CSVs.
+* :class:`CampaignManifest` -- the grid definition embedded in
+  ``manifest.json``.
+* :class:`StoredCampaign` -- one journal line.
+
+The engine checkpoints into a store as tasks finish
+(``ParallelCampaignEngine.run(..., store=...)``) and resumes from one
+bit-identically (``resume=True`` / ``repro resume <store>``); the
+analysis and prediction layers read stores directly, so a grid can be
+characterized on one box and analyzed on another.
+"""
+
+from .journal import (
+    JOURNAL_NAME,
+    MANIFEST_NAME,
+    STORE_FORMAT,
+    CampaignManifest,
+    CampaignStore,
+    TaskKey,
+)
+from .records import StoredCampaign
+
+__all__ = [
+    "CampaignManifest",
+    "CampaignStore",
+    "JOURNAL_NAME",
+    "MANIFEST_NAME",
+    "STORE_FORMAT",
+    "StoredCampaign",
+    "TaskKey",
+]

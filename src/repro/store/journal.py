@@ -1,0 +1,408 @@
+"""The append-only campaign journal (``repro-campaign/v1``).
+
+A campaign store is a directory with exactly two files:
+
+* ``manifest.json`` -- written once, atomically, when the store is
+  created: the schema format tag, the full
+  :class:`~repro.machines.MachineSpec` JSON (plus its content digest),
+  the :class:`~repro.core.framework.FrameworkConfig`, the grid
+  definition (workload names x cores), the parent seed material and
+  the severity weights.  The manifest alone determines every task of
+  the grid and every task's derived seed -- which is what makes a
+  journal resumable bit-identically.
+* ``journal.jsonl`` -- one line per completed (workload, core,
+  campaign) task, appended with flush+fsync as tasks finish (see
+  :class:`~repro.store.records.StoredCampaign`).  A crash mid-write
+  can leave at most one truncated trailing line, which loading
+  tolerates; corruption anywhere else is an error, never silently
+  skipped.
+
+The store is the single durable persistence path of the stack; the
+paper's Section-2.2 CSV artifacts are *derived* from it via
+:meth:`CampaignStore.export_csv`.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import os
+from pathlib import Path
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Set, Tuple, Union
+
+from ..core.campaign import CampaignResult, CharacterizationResult
+from ..core.framework import FrameworkConfig
+from ..core.results import ResultStore
+from ..core.severity import DEFAULT_WEIGHTS, SeverityWeights
+from ..errors import CampaignError, ConfigurationError
+from ..machines import MachineSpec
+from ..workloads import get_program
+from ..workloads.benchmark import Program
+from .records import StoredCampaign
+
+#: Format tag of the store schema, written into every manifest.
+STORE_FORMAT = "repro-campaign/v1"
+MANIFEST_NAME = "manifest.json"
+JOURNAL_NAME = "journal.jsonl"
+
+#: Identity of one grid task: (benchmark name, core, campaign index).
+TaskKey = Tuple[str, int, int]
+
+
+@dataclasses.dataclass(frozen=True)
+class CampaignManifest:
+    """Everything that defines a campaign grid, JSON-round-trippable."""
+
+    spec: MachineSpec
+    config: FrameworkConfig
+    #: Workload names in grid order (``"bench"`` or ``"bench/input"``).
+    workloads: Tuple[str, ...]
+    cores: Tuple[int, ...]
+    weights: SeverityWeights = DEFAULT_WEIGHTS
+
+    def __post_init__(self) -> None:
+        if not self.workloads or not self.cores:
+            raise ConfigurationError(
+                "a campaign manifest needs at least one workload and one core"
+            )
+
+    def expected_keys(self) -> List[TaskKey]:
+        """Every task of the grid, in reference (serial) order."""
+        return [
+            (name, core, campaign)
+            for name in self.workloads
+            for core in self.cores
+            for campaign in range(1, self.config.campaigns + 1)
+        ]
+
+    def programs(self) -> List[Program]:
+        """The workload names resolved back to program objects."""
+        return [get_program(name) for name in self.workloads]
+
+    # -- JSON round-trip ---------------------------------------------------
+
+    def to_json_dict(self) -> Dict[str, Any]:
+        return {
+            "format": STORE_FORMAT,
+            "machine_spec": self.spec.to_json_dict(),
+            "spec_digest": self.spec.digest(),
+            "seed": self.spec.seed,
+            "config": dataclasses.asdict(self.config),
+            "workloads": list(self.workloads),
+            "cores": list(self.cores),
+            "severity_weights": dataclasses.asdict(self.weights),
+        }
+
+    @classmethod
+    def from_json_dict(cls, data: Mapping[str, Any]) -> "CampaignManifest":
+        fmt = data.get("format")
+        if fmt != STORE_FORMAT:
+            raise CampaignError(
+                f"unsupported campaign-store format {fmt!r} "
+                f"(expected {STORE_FORMAT!r})"
+            )
+        try:
+            spec = MachineSpec.from_json_dict(data["machine_spec"])
+            manifest = cls(
+                spec=spec,
+                config=FrameworkConfig(**dict(data["config"])),
+                workloads=tuple(str(name) for name in data["workloads"]),
+                cores=tuple(int(core) for core in data["cores"]),
+                weights=SeverityWeights(**dict(data["severity_weights"])),
+            )
+        except (KeyError, ValueError, TypeError) as exc:
+            raise CampaignError(f"malformed store manifest: {exc}")
+        digest = data.get("spec_digest")
+        if digest is not None and digest != spec.digest():
+            raise CampaignError(
+                "store manifest spec_digest does not match the embedded "
+                "machine spec -- the manifest was edited or corrupted"
+            )
+        return manifest
+
+
+class CampaignStore:
+    """A directory-backed, append-only journal of one campaign grid.
+
+    Construct through :meth:`create` (new store) or :meth:`open`
+    (existing store); the constructor itself is internal.
+    """
+
+    def __init__(self, directory: Path, manifest: CampaignManifest,
+                 campaigns: List[StoredCampaign]) -> None:
+        self.directory = directory
+        self.manifest = manifest
+        self._campaigns = campaigns
+
+    # -- paths -------------------------------------------------------------
+
+    @property
+    def manifest_path(self) -> Path:
+        return self.directory / MANIFEST_NAME
+
+    @property
+    def journal_path(self) -> Path:
+        return self.directory / JOURNAL_NAME
+
+    # -- lifecycle ---------------------------------------------------------
+
+    @classmethod
+    def create(
+        cls,
+        directory: Union[str, Path],
+        spec: MachineSpec,
+        config: FrameworkConfig,
+        workloads: Sequence[str],
+        cores: Sequence[int],
+        weights: SeverityWeights = DEFAULT_WEIGHTS,
+    ) -> "CampaignStore":
+        """Create a fresh store: directory + atomically written manifest."""
+        path = Path(directory)
+        if (path / MANIFEST_NAME).exists():
+            raise CampaignError(
+                f"campaign store already exists at {path}; open it with "
+                f"CampaignStore.open (or resume it) instead of recreating"
+            )
+        manifest = CampaignManifest(
+            spec=spec,
+            config=config,
+            workloads=tuple(workloads),
+            cores=tuple(cores),
+            weights=weights,
+        )
+        path.mkdir(parents=True, exist_ok=True)
+        # Atomic manifest write: a crash during creation must leave
+        # either no manifest (not a store) or a complete one -- never a
+        # half-written file a later open would choke on.
+        payload = json.dumps(manifest.to_json_dict(), indent=2, sort_keys=True)
+        temp = path / (MANIFEST_NAME + ".tmp")
+        temp.write_text(payload + "\n")
+        os.replace(temp, path / MANIFEST_NAME)
+        return cls(path, manifest, [])
+
+    @classmethod
+    def open(cls, directory: Union[str, Path]) -> "CampaignStore":
+        """Open an existing store and load its journal."""
+        path = Path(directory)
+        manifest_path = path / MANIFEST_NAME
+        if not manifest_path.exists():
+            raise CampaignError(f"no campaign store at {path}")
+        try:
+            manifest_data = json.loads(manifest_path.read_text())
+        except json.JSONDecodeError as exc:
+            raise CampaignError(f"corrupt store manifest {manifest_path}: {exc}")
+        manifest = CampaignManifest.from_json_dict(manifest_data)
+        store = cls(path, manifest, [])
+        store._campaigns = store._load_journal()
+        return store
+
+    def _load_journal(self) -> List[StoredCampaign]:
+        """Parse the journal, tolerating one truncated trailing line.
+
+        A crash can interrupt exactly one append, so only the *last*
+        line may legitimately fail to parse; a malformed line anywhere
+        else means real corruption and raises.
+        """
+        if not self.journal_path.exists():
+            return []
+        lines = self.journal_path.read_text().splitlines()
+        campaigns: List[StoredCampaign] = []
+        expected = set(self.manifest.expected_keys())
+        seen: Set[TaskKey] = set()
+        for index, line in enumerate(lines):
+            if not line.strip():
+                continue
+            try:
+                data = json.loads(line)
+            except json.JSONDecodeError as exc:
+                if index == len(lines) - 1:
+                    break  # torn tail of an interrupted append
+                raise CampaignError(
+                    f"corrupt journal line {index + 1} in "
+                    f"{self.journal_path}: {exc}"
+                )
+            campaign = StoredCampaign.from_json_dict(data)
+            if campaign.key not in expected:
+                raise CampaignError(
+                    f"journal line {index + 1} records task "
+                    f"{campaign.key!r}, which is not in the manifest grid"
+                )
+            if campaign.key in seen:
+                raise CampaignError(
+                    f"journal line {index + 1} duplicates task "
+                    f"{campaign.key!r}"
+                )
+            seen.add(campaign.key)
+            campaigns.append(campaign)
+        return campaigns
+
+    # -- append side -------------------------------------------------------
+
+    def append_campaign(
+        self,
+        result: CampaignResult,
+        raw_log: str,
+        seed: int,
+        interventions: int,
+    ) -> StoredCampaign:
+        """Journal one completed campaign (flush + fsync before return)."""
+        stored = StoredCampaign(
+            benchmark=result.benchmark,
+            core=result.core,
+            campaign_index=result.campaign_index,
+            seed=seed,
+            freq_mhz=result.freq_mhz,
+            interventions=interventions,
+            raw_log=raw_log,
+            records=result.records,
+        )
+        if stored.key not in set(self.manifest.expected_keys()):
+            raise CampaignError(
+                f"task {stored.key!r} is not part of this store's grid"
+            )
+        if stored.key in self.completed_keys():
+            raise CampaignError(f"task {stored.key!r} is already journaled")
+        line = json.dumps(stored.to_json_dict(), sort_keys=True)
+        with self.journal_path.open("a") as handle:
+            handle.write(line + "\n")
+            handle.flush()
+            os.fsync(handle.fileno())
+        self._campaigns.append(stored)
+        return stored
+
+    # -- progress ----------------------------------------------------------
+
+    def campaigns(self) -> List[StoredCampaign]:
+        """Journaled campaigns, in append order."""
+        return list(self._campaigns)
+
+    def completed_keys(self) -> Set[TaskKey]:
+        return {campaign.key for campaign in self._campaigns}
+
+    def expected_keys(self) -> List[TaskKey]:
+        return self.manifest.expected_keys()
+
+    def pending_keys(self) -> List[TaskKey]:
+        """Grid tasks not yet journaled, in reference order."""
+        done = self.completed_keys()
+        return [key for key in self.expected_keys() if key not in done]
+
+    def is_complete(self) -> bool:
+        return not self.pending_keys()
+
+    def validate_run(
+        self,
+        spec: MachineSpec,
+        config: FrameworkConfig,
+        workloads: Sequence[str],
+        cores: Sequence[int],
+    ) -> None:
+        """Reject appends/resumes under a different grid definition.
+
+        A journal is only meaningful against the exact machine
+        blueprint, configuration and grid it was recorded for; anything
+        else would splice incompatible results into one store.
+        """
+        manifest = self.manifest
+        if spec.digest() != manifest.spec.digest():
+            raise CampaignError(
+                "machine spec does not match the store manifest "
+                "(different blueprint or seed material)"
+            )
+        if config != manifest.config:
+            raise CampaignError(
+                "framework configuration does not match the store manifest"
+            )
+        if tuple(workloads) != manifest.workloads:
+            raise CampaignError(
+                f"workload grid {tuple(workloads)!r} does not match the "
+                f"store manifest {manifest.workloads!r}"
+            )
+        if tuple(cores) != manifest.cores:
+            raise CampaignError(
+                f"core grid {tuple(cores)!r} does not match the store "
+                f"manifest {manifest.cores!r}"
+            )
+
+    # -- read side ---------------------------------------------------------
+
+    def _grid(self) -> Dict[Tuple[str, int], List[StoredCampaign]]:
+        """Journaled campaigns grouped by grid cell, in manifest order."""
+        grid: Dict[Tuple[str, int], List[StoredCampaign]] = {}
+        for campaign in self._campaigns:
+            grid.setdefault((campaign.benchmark, campaign.core), []).append(
+                campaign
+            )
+        ordered: Dict[Tuple[str, int], List[StoredCampaign]] = {}
+        for name in self.manifest.workloads:
+            for core in self.manifest.cores:
+                cell = grid.get((name, core))
+                if cell:
+                    ordered[(name, core)] = sorted(
+                        cell, key=lambda c: c.campaign_index
+                    )
+        return ordered
+
+    def results(self) -> Dict[Tuple[str, int], CharacterizationResult]:
+        """Reconstruct every *complete* grid cell, in manifest order."""
+        campaigns_per_cell = self.manifest.config.campaigns
+        return {
+            key: CharacterizationResult(
+                campaigns=tuple(c.campaign_result() for c in cell)
+            )
+            for key, cell in self._grid().items()
+            if len(cell) == campaigns_per_cell
+        }
+
+    def result_for(self, benchmark: str, core: int) -> CharacterizationResult:
+        """Reconstruct one grid cell, requiring it to be complete."""
+        cell = self._grid().get((benchmark, core))
+        if cell is None:
+            raise CampaignError(
+                f"store has no journaled campaigns for "
+                f"({benchmark!r}, core {core})"
+            )
+        missing = self.manifest.config.campaigns - len(cell)
+        if missing:
+            raise CampaignError(
+                f"({benchmark!r}, core {core}) is incomplete: {missing} of "
+                f"{self.manifest.config.campaigns} campaigns still pending"
+            )
+        return CharacterizationResult(
+            campaigns=tuple(c.campaign_result() for c in cell)
+        )
+
+    def raw_logs(self) -> Dict[Tuple[str, int, int, int], str]:
+        """Raw campaign logs keyed like the framework's log mapping."""
+        logs: Dict[Tuple[str, int, int, int], str] = {}
+        for name in self.manifest.workloads:
+            for core in self.manifest.cores:
+                for campaign in self._grid().get((name, core), []):
+                    logs[campaign.raw_log_key] = campaign.raw_log
+        return logs
+
+    def interventions(self) -> int:
+        """Total watchdog recoveries across all journaled campaigns."""
+        return sum(campaign.interventions for campaign in self._campaigns)
+
+    # -- derived exports ---------------------------------------------------
+
+    def export_csv(
+        self, directory: Optional[Union[str, Path]] = None
+    ) -> Dict[str, Path]:
+        """Write the paper's Section-2.2 CSV artifacts from the journal.
+
+        Results are emitted in manifest grid order regardless of the
+        order tasks were journaled in, so an interrupted-and-resumed
+        grid exports byte-identical files to an uninterrupted one.
+        """
+        store = ResultStore(self.directory if directory is None else directory)
+        results = list(self.results().values())
+        paths = {
+            "runs": store.write_runs_csv(results),
+            "severity": store.write_severity_csv(
+                results, weights=self.manifest.weights
+            ),
+        }
+        store.write_all_raw_logs(self.raw_logs())
+        return paths

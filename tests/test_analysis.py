@@ -196,7 +196,7 @@ class TestClaims:
 
 
 # ---------------------------------------------------------------------------
-# reprolint -- the RPR001-RPR006 invariant checker
+# reprolint -- the RPR001-RPR007 invariant checker
 # ---------------------------------------------------------------------------
 
 SIM = "src/repro/core/fixture.py"
@@ -402,6 +402,70 @@ class TestRPR006ParallelSafety:
         """) == []
 
 
+class TestRPR007SinglePersistencePath:
+    def test_json_dump_of_run_records_flagged(self):
+        assert lint_rules("""
+            import json
+
+            def save(records, handle):
+                payload = [RunRecord.to_json_dict(r) for r in records]
+                json.dump(payload, handle)
+        """) == ["RPR007"]
+
+    def test_csv_writer_of_run_rows_flagged(self):
+        assert lint_rules("""
+            import csv
+
+            def dump(result, handle):
+                writer = csv.writer(handle)
+                for record in result.all_records():
+                    writer.writerow(record.csv_row())
+        """, path="src/repro/analysis/fixture.py") == ["RPR007"]
+
+    def test_serializer_without_run_data_clean(self):
+        assert lint_rules("""
+            import csv
+
+            def write(filename, header, rows):
+                with open(filename, "w", newline="") as handle:
+                    writer = csv.writer(handle)
+                    writer.writerow(header)
+                    writer.writerows(rows)
+        """) == []
+
+    def test_store_package_is_the_sanctioned_home(self):
+        assert lint_rules("""
+            import json
+
+            def append(handle, campaign):
+                handle.write(json.dumps(StoredCampaign.to_json_dict(campaign)))
+        """, path="src/repro/store/fixture.py") == []
+
+    def test_results_module_is_the_sanctioned_home(self):
+        assert lint_rules("""
+            import csv
+
+            def write_runs(handle, records):
+                writer = csv.writer(handle)
+                for record in records:
+                    writer.writerow(RunRecord.csv_row(record))
+        """, path="src/repro/core/results.py") == []
+
+    def test_run_data_without_serializer_clean(self):
+        assert lint_rules("""
+            def tally(result):
+                return len(result.all_records())
+        """) == []
+
+    def test_outside_repro_out_of_scope(self):
+        assert lint_rules("""
+            import json
+
+            def save(records, handle):
+                json.dump([RunRecord.to_json_dict(r) for r in records], handle)
+        """, path="tools/fixture.py") == []
+
+
 class TestSuppressions:
     def test_trailing_justified_suppression_applies(self):
         src = "vmin_mv = 0.98  # reprolint: disable=RPR004 -- fixture\n"
@@ -435,10 +499,10 @@ class TestSuppressions:
 
 
 class TestLintRegistry:
-    def test_six_rules_registered(self):
+    def test_seven_rules_registered(self):
         ids = [rule.rule_id for rule in all_rules()]
-        assert ids == ["RPR001", "RPR002", "RPR003",
-                       "RPR004", "RPR005", "RPR006"]
+        assert ids == ["RPR001", "RPR002", "RPR003", "RPR004",
+                       "RPR005", "RPR006", "RPR007"]
 
     def test_unknown_rule_rejected(self):
         with pytest.raises(ConfigurationError):

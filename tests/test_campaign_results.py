@@ -123,8 +123,29 @@ class TestResultStore:
         rows = store.read_runs_csv()
         assert path.exists()
         assert len(rows) == 30
-        assert rows[0]["chip"] == "TTT"
-        assert {row["voltage_mv"] for row in rows} == {"910", "905", "900"}
+        # rows come back as typed RunRecord objects, not string dicts
+        assert rows[0].chip == "TTT"
+        assert {row.setup.voltage_mv for row in rows} == {910, 905, 900}
+        assert all(isinstance(row.setup.core, int) for row in rows)
+        assert all(isinstance(row.watchdog_intervened, bool) for row in rows)
+
+    def test_runs_csv_roundtrip_preserves_fields(self, campaign, tmp_path):
+        # write -> read must reproduce every CSV-carried field exactly
+        store = ResultStore(tmp_path)
+        result = CharacterizationResult(campaigns=(campaign,))
+        store.write_runs_csv([result])
+        rows = store.read_runs_csv()
+        originals = result.all_records()
+        assert len(rows) == len(originals)
+        for row, original in zip(rows, originals):
+            assert row.effects == original.effects
+            assert row.exit_code == original.exit_code
+            assert row.output_matches == original.output_matches
+            assert (row.edac_ce, row.edac_ue) == (
+                original.edac_ce, original.edac_ue)
+            assert row.watchdog_intervened == original.watchdog_intervened
+            # detail is not part of the CSV schema and comes back empty
+            assert row.detail == {}
 
     def test_severity_csv_roundtrip(self, campaign, tmp_path):
         store = ResultStore(tmp_path)

@@ -150,6 +150,58 @@ class TestGrid:
         assert "on TSS" in out and "backend" in out
 
 
+class TestStoreWorkflow:
+    GRID = ["--benchmarks", "bwaves", "--cores", "0,4", "--campaigns", "2",
+            "--runs-per-level", "3", "--start-mv", "905"]
+
+    def test_grid_store_kill_resume_byte_identical(self, capsys, tmp_path):
+        store = tmp_path / "store"
+        assert main(["grid", "TTT", *self.GRID, "--jobs", "2",
+                     "--store", str(store)]) == 0
+        capsys.readouterr()
+        baseline_runs = (store / "runs.csv").read_bytes()
+        baseline_severity = (store / "severity.csv").read_bytes()
+        # simulate the kill: truncate the journal to one completed task
+        # and drop every derived artifact
+        journal = store / "journal.jsonl"
+        lines = journal.read_text().splitlines(keepends=True)
+        journal.write_text("".join(lines[:1]))
+        (store / "runs.csv").unlink()
+        (store / "severity.csv").unlink()
+        assert main(["resume", str(store), "--jobs", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "resuming campaign store" in out
+        assert "1/4 tasks journaled" in out
+        assert (store / "runs.csv").read_bytes() == baseline_runs
+        assert (store / "severity.csv").read_bytes() == baseline_severity
+
+    def test_journaled_store_requires_resume(self, capsys, tmp_path):
+        store = tmp_path / "store"
+        argv = ["grid", "TTT", "--benchmarks", "mcf", "--cores", "0",
+                "--campaigns", "2", "--runs-per-level", "3",
+                "--start-mv", "910", "--store", str(store)]
+        assert main(argv) == 0
+        capsys.readouterr()
+        assert main(["report", "--store", str(store)]) == 0
+        assert "Measured campaign store" in capsys.readouterr().out
+        assert main(argv) == 2
+        assert "resume" in capsys.readouterr().err
+
+    def test_characterize_store_journals_run(self, capsys, tmp_path):
+        store = tmp_path / "store"
+        code = main(["characterize", "TTT", "mcf", "--campaigns", "2",
+                     "--start-mv", "910", "--store", str(store)])
+        assert code == 0
+        assert "campaign store journaled" in capsys.readouterr().out
+        assert (store / "manifest.json").exists()
+        assert (store / "journal.jsonl").exists()
+        assert (store / "severity.csv").exists()
+
+    def test_resume_missing_store_is_usage_error(self, capsys, tmp_path):
+        assert main(["resume", str(tmp_path / "nowhere")]) == 2
+        assert "no campaign store" in capsys.readouterr().err
+
+
 class TestTradeoffs:
     def test_default(self, capsys):
         assert main(["tradeoffs"]) == 0

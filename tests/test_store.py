@@ -1,0 +1,364 @@
+"""The journaled campaign store: schema, crash-resume determinism, exports.
+
+The acceptance scenario throughout: kill a journaled grid after *any*
+prefix of its tasks, resume it, and get results -- and exported CSV
+bytes -- identical to the uninterrupted run.
+"""
+
+import json
+
+import pytest
+
+from repro.core import CharacterizationFramework, FrameworkConfig
+from repro.core.campaign import CharacterizationResult
+from repro.core.results import ResultStore
+from repro.core.runs import CharacterizationSetup, RunRecord
+from repro.effects import EffectType
+from repro.errors import CampaignError, ConfigurationError
+from repro.machines import build_machine
+from repro.parallel import (
+    MachineSpec,
+    ParallelCampaignEngine,
+    ProgressReporter,
+    derive_task_seed,
+)
+from repro.store import (
+    CampaignManifest,
+    CampaignStore,
+    JOURNAL_NAME,
+    MANIFEST_NAME,
+    STORE_FORMAT,
+    StoredCampaign,
+)
+from repro.workloads import get_benchmark
+
+#: Same watchdog-exercising grid as test_parallel: the sweep starts
+#: right below bwaves Vmin and descends into the crash region, so
+#: resume equivalence covers the watchdog-recovery path too.
+CFG = FrameworkConfig(start_mv=905, campaigns=2, runs_per_level=3)
+SPEC = MachineSpec(chip="TTT", seed=2017)
+CORES = [0, 4]
+TOTAL_TASKS = 1 * len(CORES) * CFG.campaigns  # bwaves x {0,4} x 2
+
+
+def engine(**kwargs):
+    return ParallelCampaignEngine(SPEC, CFG, **kwargs)
+
+
+def run_grid(store=None, resume=False, **kwargs):
+    return engine(**kwargs).run(
+        [get_benchmark("bwaves")], CORES, store=store, resume=resume)
+
+
+@pytest.fixture(scope="module")
+def reference():
+    """The uninterrupted, storeless serial run every test compares to."""
+    return run_grid(jobs=1)
+
+
+@pytest.fixture(scope="module")
+def full_store(tmp_path_factory):
+    """A completed journaled run plus its exported CSV baseline."""
+    directory = tmp_path_factory.mktemp("complete-store")
+    run_grid(store=directory, jobs=1)
+    baseline = tmp_path_factory.mktemp("baseline-export")
+    CampaignStore.open(directory).export_csv(baseline)
+    return directory, baseline
+
+
+def truncated_copy(full_store_dir, tmp_path, keep):
+    """A store directory whose journal holds only the first ``keep`` lines,
+    simulating a run killed after that many completed tasks."""
+    target = tmp_path / "killed"
+    target.mkdir()
+    manifest = (full_store_dir / MANIFEST_NAME).read_text()
+    (target / MANIFEST_NAME).write_text(manifest)
+    lines = (full_store_dir / JOURNAL_NAME).read_text().splitlines(keepends=True)
+    (target / JOURNAL_NAME).write_text("".join(lines[:keep]))
+    return target
+
+
+class TestManifest:
+    def manifest(self):
+        return CampaignManifest(
+            spec=SPEC, config=CFG, workloads=("bwaves",), cores=tuple(CORES))
+
+    def test_json_round_trip(self):
+        manifest = self.manifest()
+        data = manifest.to_json_dict()
+        assert data["format"] == STORE_FORMAT
+        assert data["spec_digest"] == SPEC.digest()
+        assert CampaignManifest.from_json_dict(data) == manifest
+
+    def test_unknown_format_rejected(self):
+        data = self.manifest().to_json_dict()
+        data["format"] = "repro-campaign/v999"
+        with pytest.raises(CampaignError, match="format"):
+            CampaignManifest.from_json_dict(data)
+
+    def test_tampered_spec_digest_rejected(self):
+        data = self.manifest().to_json_dict()
+        data["spec_digest"] = "0" * 64
+        with pytest.raises(CampaignError, match="digest"):
+            CampaignManifest.from_json_dict(data)
+
+    def test_expected_keys_in_reference_serial_order(self):
+        manifest = CampaignManifest(
+            spec=SPEC, config=CFG, workloads=("bwaves", "mcf"), cores=(0, 4))
+        keys = manifest.expected_keys()
+        assert keys[:4] == [
+            ("bwaves", 0, 1), ("bwaves", 0, 2),
+            ("bwaves", 4, 1), ("bwaves", 4, 2),
+        ]
+        assert len(keys) == 2 * 2 * CFG.campaigns
+
+    def test_empty_grid_rejected(self):
+        with pytest.raises(ConfigurationError):
+            CampaignManifest(
+                spec=SPEC, config=CFG, workloads=(), cores=tuple(CORES))
+
+
+class TestRunRecordCodecs:
+    def record(self, **overrides):
+        fields = dict(
+            chip="TTT", benchmark="bwaves",
+            setup=CharacterizationSetup(voltage_mv=905, freq_mhz=2400, core=4),
+            campaign_index=2, run_index=3,
+            effects=frozenset({EffectType.SDC, EffectType.CE}),
+            exit_code=None, output_matches=None,
+            edac_ce=7, edac_ue=1, watchdog_intervened=True,
+            detail={"mismatched_lines": 12},
+        )
+        fields.update(overrides)
+        return RunRecord(**fields)
+
+    def test_json_round_trip_is_exact(self):
+        record = self.record()
+        rebuilt = RunRecord.from_json_dict(record.to_json_dict())
+        assert rebuilt == record
+        assert rebuilt.detail == {"mismatched_lines": 12}
+
+    def test_json_survives_serialization(self):
+        record = self.record(exit_code=139, output_matches=False)
+        payload = json.dumps(record.to_json_dict(), sort_keys=True)
+        assert RunRecord.from_json_dict(json.loads(payload)) == record
+
+    def test_malformed_json_dict_rejected(self):
+        with pytest.raises(CampaignError, match="malformed"):
+            RunRecord.from_json_dict({"chip": "TTT"})
+
+    def test_csv_row_round_trip(self):
+        record = self.record(detail={})
+        row = {key: str(value) for key, value in record.csv_row().items()}
+        assert RunRecord.from_csv_row(row) == record
+
+    def test_malformed_csv_row_rejected(self):
+        with pytest.raises(CampaignError, match="malformed"):
+            RunRecord.from_csv_row({"chip": "TTT", "core": "not-an-int"})
+
+
+class TestStoredCampaign:
+    def stored(self, reference):
+        result = reference.results[("bwaves", 0)]
+        campaign = result.campaigns[0]
+        return StoredCampaign(
+            benchmark="bwaves", core=0,
+            campaign_index=campaign.campaign_index,
+            seed=derive_task_seed(SPEC.seed, "bwaves", 0, 1),
+            freq_mhz=campaign.freq_mhz, interventions=3,
+            raw_log="=== RUN ...\n", records=campaign.records,
+        )
+
+    def test_json_round_trip(self, reference):
+        stored = self.stored(reference)
+        assert StoredCampaign.from_json_dict(stored.to_json_dict()) == stored
+
+    def test_campaign_result_reconstruction(self, reference):
+        stored = self.stored(reference)
+        assert stored.campaign_result() == reference.results[
+            ("bwaves", 0)].campaigns[0]
+
+    def test_empty_records_rejected(self, reference):
+        with pytest.raises(CampaignError):
+            self.stored(reference).__class__(
+                benchmark="bwaves", core=0, campaign_index=1, seed=1,
+                freq_mhz=2400, interventions=0, raw_log="", records=())
+
+
+class TestJournalIntegrity:
+    def test_create_twice_rejected(self, tmp_path):
+        CampaignStore.create(tmp_path, SPEC, CFG, ["bwaves"], CORES)
+        with pytest.raises(CampaignError, match="already exists"):
+            CampaignStore.create(tmp_path, SPEC, CFG, ["bwaves"], CORES)
+
+    def test_open_missing_rejected(self, tmp_path):
+        with pytest.raises(CampaignError, match="no campaign store"):
+            CampaignStore.open(tmp_path / "nowhere")
+
+    def test_corrupt_manifest_rejected(self, tmp_path):
+        (tmp_path / MANIFEST_NAME).write_text("{not json")
+        with pytest.raises(CampaignError, match="corrupt"):
+            CampaignStore.open(tmp_path)
+
+    def test_torn_trailing_line_tolerated(self, full_store, tmp_path):
+        full_dir, _ = full_store
+        target = truncated_copy(full_dir, tmp_path, keep=2)
+        full_line = (full_dir / JOURNAL_NAME).read_text().splitlines()[2]
+        with (target / JOURNAL_NAME).open("a") as handle:
+            handle.write(full_line[: len(full_line) // 2])  # torn append
+        store = CampaignStore.open(target)
+        assert len(store.completed_keys()) == 2
+
+    def test_mid_file_corruption_rejected(self, full_store, tmp_path):
+        full_dir, _ = full_store
+        target = truncated_copy(full_dir, tmp_path, keep=TOTAL_TASKS)
+        lines = (target / JOURNAL_NAME).read_text().splitlines(keepends=True)
+        lines[1] = "{torn mid-file line}\n"
+        (target / JOURNAL_NAME).write_text("".join(lines))
+        with pytest.raises(CampaignError, match="corrupt journal line 2"):
+            CampaignStore.open(target)
+
+    def test_duplicate_append_rejected(self, reference, tmp_path):
+        store = CampaignStore.create(tmp_path, SPEC, CFG, ["bwaves"], CORES)
+        campaign = reference.results[("bwaves", 0)].campaigns[0]
+        store.append_campaign(campaign, "log\n", seed=1, interventions=0)
+        with pytest.raises(CampaignError, match="already journaled"):
+            store.append_campaign(campaign, "log\n", seed=1, interventions=0)
+
+    def test_out_of_grid_append_rejected(self, reference, tmp_path):
+        store = CampaignStore.create(tmp_path, SPEC, CFG, ["bwaves"], [0])
+        stray = reference.results[("bwaves", 4)].campaigns[0]
+        with pytest.raises(CampaignError, match="not part of this store"):
+            store.append_campaign(stray, "log\n", seed=1, interventions=0)
+
+    def test_validate_run_rejects_different_seed_material(self, full_store):
+        store = CampaignStore.open(full_store[0])
+        with pytest.raises(CampaignError, match="spec"):
+            store.validate_run(
+                MachineSpec(chip="TTT", seed=1), CFG, ["bwaves"], CORES)
+
+    def test_validate_run_rejects_different_grid(self, full_store):
+        store = CampaignStore.open(full_store[0])
+        with pytest.raises(CampaignError, match="core grid"):
+            store.validate_run(SPEC, CFG, ["bwaves"], [0])
+
+
+class TestResumeDeterminism:
+    """Acceptance: kill after any prefix, resume, get identical bytes."""
+
+    @pytest.mark.parametrize("kill_point", range(TOTAL_TASKS))
+    def test_resume_bit_identical_after_any_kill_point(
+            self, reference, full_store, tmp_path, kill_point):
+        full_dir, baseline = full_store
+        target = truncated_copy(full_dir, tmp_path, keep=kill_point)
+        report = run_grid(store=target, resume=True, jobs=1)
+        assert report.tasks_skipped == kill_point
+        assert report.tasks_run == TOTAL_TASKS - kill_point
+        assert report.results == reference.results
+        assert report.raw_logs == reference.raw_logs
+        assert report.interventions == reference.interventions > 0
+        export = tmp_path / "export"
+        CampaignStore.open(target).export_csv(export)
+        for name in ("runs.csv", "severity.csv"):
+            assert (export / name).read_bytes() == \
+                (baseline / name).read_bytes()
+
+    def test_resume_of_complete_store_replays_everything(
+            self, reference, full_store, tmp_path):
+        report = run_grid(store=full_store[0], resume=True, jobs=1)
+        assert report.tasks_skipped == TOTAL_TASKS
+        assert report.tasks_run == 0
+        assert report.results == reference.results
+
+    def test_resume_with_parallel_backend_matches(
+            self, reference, full_store, tmp_path):
+        target = truncated_copy(full_store[0], tmp_path, keep=1)
+        report = run_grid(store=target, resume=True, jobs=2, backend="thread")
+        assert report.results == reference.results
+        assert report.raw_logs == reference.raw_logs
+
+    def test_journaled_store_without_resume_rejected(self, full_store):
+        with pytest.raises(CampaignError, match="resume"):
+            run_grid(store=full_store[0], resume=False, jobs=1)
+
+    def test_resume_without_store_rejected(self):
+        with pytest.raises(ConfigurationError, match="store"):
+            run_grid(store=None, resume=True, jobs=1)
+
+    def test_foreign_seed_material_rejected_on_replay(
+            self, full_store, tmp_path):
+        target = truncated_copy(full_store[0], tmp_path, keep=2)
+        lines = (target / JOURNAL_NAME).read_text().splitlines(keepends=True)
+        data = json.loads(lines[0])
+        data["seed"] += 1
+        lines[0] = json.dumps(data, sort_keys=True) + "\n"
+        (target / JOURNAL_NAME).write_text("".join(lines))
+        with pytest.raises(CampaignError, match="seed"):
+            run_grid(store=target, resume=True, jobs=1)
+
+    def test_real_interruption_then_resume(self, reference, full_store,
+                                           tmp_path):
+        """Not a simulated prefix: actually kill a running grid mid-way
+        (via its progress stream), then resume the survivor directory."""
+
+        class KillSwitch(ProgressReporter):
+            def __init__(self, after):
+                self.after = after
+                self.seen = 0
+
+            def on_progress(self, event):
+                self.seen += 1
+                if self.seen >= self.after:
+                    raise RuntimeError("power loss")
+
+        target = tmp_path / "interrupted"
+        with pytest.raises(RuntimeError, match="power loss"):
+            engine(jobs=1, chunk_size=1, progress=KillSwitch(2)).run(
+                [get_benchmark("bwaves")], CORES, store=target)
+        survivor = CampaignStore.open(target)
+        assert 0 < len(survivor.completed_keys()) < TOTAL_TASKS
+        report = run_grid(store=target, resume=True, jobs=1)
+        assert report.results == reference.results
+        export = tmp_path / "export"
+        CampaignStore.open(target).export_csv(export)
+        for name in ("runs.csv", "severity.csv"):
+            assert (export / name).read_bytes() == \
+                (full_store[1] / name).read_bytes()
+
+
+class TestStoreConsumers:
+    def test_from_store_round_trips_severity_exactly(
+            self, reference, full_store):
+        result = CharacterizationResult.from_store(full_store[0], "bwaves", 0)
+        original = reference.results[("bwaves", 0)]
+        assert result.severity_by_voltage() == original.severity_by_voltage()
+        assert result.highest_vmin_mv == original.highest_vmin_mv
+        assert result.highest_crash_mv == original.highest_crash_mv
+
+    def test_result_for_incomplete_cell_rejected(self, full_store, tmp_path):
+        target = truncated_copy(full_store[0], tmp_path, keep=1)
+        store = CampaignStore.open(target)
+        with pytest.raises(CampaignError):
+            store.result_for("bwaves", 4)
+
+    def test_exported_runs_csv_reads_back_typed(self, full_store, tmp_path):
+        CampaignStore.open(full_store[0]).export_csv(tmp_path)
+        rows = ResultStore(tmp_path).read_runs_csv()
+        assert rows and all(isinstance(row, RunRecord) for row in rows)
+        assert {row.setup.core for row in rows} == set(CORES)
+
+    def test_framework_characterize_many_journals_and_resumes(
+            self, reference, tmp_path):
+        machine = build_machine(SPEC)
+        framework = CharacterizationFramework(machine, CFG)
+        first = framework.characterize_many(
+            [get_benchmark("bwaves")], CORES, jobs=1, store=tmp_path)
+        assert (tmp_path / MANIFEST_NAME).exists()
+        assert CampaignStore.open(tmp_path).is_complete()
+        resumed = CharacterizationFramework(
+            build_machine(SPEC), CFG).characterize_many(
+            [get_benchmark("bwaves")], CORES, jobs=1,
+            store=tmp_path, resume=True)
+        assert first == resumed
+        assert resumed[("bwaves", 0)].severity_by_voltage() == \
+            reference.results[("bwaves", 0)].severity_by_voltage()
