@@ -376,7 +376,10 @@ def build_parser() -> argparse.ArgumentParser:
     p_char.add_argument("--out", default=None, help="CSV output directory")
     p_char.add_argument("--store", default=None, metavar="DIR",
                         help="journal every completed campaign into a "
-                             "resumable campaign store directory")
+                             "resumable campaign store directory; like "
+                             "--jobs, this switches from the legacy "
+                             "in-place sweep to the engine path with "
+                             "per-campaign derived seeds")
     p_char.add_argument("--jobs", type=_job_count, default=None,
                         help="fan campaigns out over N workers (derived "
                              "per-campaign seeds; identical for any N)")

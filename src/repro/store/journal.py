@@ -133,6 +133,14 @@ class CampaignStore:
         self.directory = directory
         self.manifest = manifest
         self._campaigns = campaigns
+        # The grid is fixed at manifest time and appends are per-task,
+        # so membership checks run off cached sets instead of rebuilding
+        # the expected/completed sets O(grid) on every append.
+        self._expected: Set[TaskKey] = set(manifest.expected_keys())
+        self._completed: Set[TaskKey] = {c.key for c in campaigns}
+        #: Byte offset to truncate the journal to before the next
+        #: append, set when loading found a torn trailing line.
+        self._torn_tail_bytes: Optional[int] = None
 
     # -- paths -------------------------------------------------------------
 
@@ -194,6 +202,7 @@ class CampaignStore:
         manifest = CampaignManifest.from_json_dict(manifest_data)
         store = cls(path, manifest, [])
         store._campaigns = store._load_journal()
+        store._completed = {c.key for c in store._campaigns}
         return store
 
     def _load_journal(self) -> List[StoredCampaign]:
@@ -201,28 +210,41 @@ class CampaignStore:
 
         A crash can interrupt exactly one append, so only the *last*
         line may legitimately fail to parse; a malformed line anywhere
-        else means real corruption and raises.
+        else means real corruption and raises.  A torn tail is noted by
+        byte offset so :meth:`append_campaign` can truncate it away
+        before writing -- otherwise the next append would land on the
+        same line as the fragment, producing a merged line that is no
+        longer last and bricks every later :meth:`open`.
         """
         if not self.journal_path.exists():
             return []
-        lines = self.journal_path.read_text().splitlines()
+        entries = self.journal_path.read_bytes().splitlines(keepends=True)
         campaigns: List[StoredCampaign] = []
-        expected = set(self.manifest.expected_keys())
         seen: Set[TaskKey] = set()
-        for index, line in enumerate(lines):
-            if not line.strip():
+        offset = 0
+        for index, entry in enumerate(entries):
+            is_last = index == len(entries) - 1
+            if not entry.strip():
+                offset += len(entry)
                 continue
             try:
-                data = json.loads(line)
-            except json.JSONDecodeError as exc:
-                if index == len(lines) - 1:
+                data = json.loads(entry.decode("utf-8"))
+            except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+                if is_last:
+                    self._torn_tail_bytes = offset
                     break  # torn tail of an interrupted append
                 raise CampaignError(
                     f"corrupt journal line {index + 1} in "
                     f"{self.journal_path}: {exc}"
                 )
+            if is_last and not entry.endswith(b"\n"):
+                # Parseable but unterminated: still the stub of an
+                # interrupted append.  Drop it (the task simply reruns)
+                # rather than let the next append share its line.
+                self._torn_tail_bytes = offset
+                break
             campaign = StoredCampaign.from_json_dict(data)
-            if campaign.key not in expected:
+            if campaign.key not in self._expected:
                 raise CampaignError(
                     f"journal line {index + 1} records task "
                     f"{campaign.key!r}, which is not in the manifest grid"
@@ -234,6 +256,7 @@ class CampaignStore:
                 )
             seen.add(campaign.key)
             campaigns.append(campaign)
+            offset += len(entry)
         return campaigns
 
     # -- append side -------------------------------------------------------
@@ -256,18 +279,26 @@ class CampaignStore:
             raw_log=raw_log,
             records=result.records,
         )
-        if stored.key not in set(self.manifest.expected_keys()):
+        if stored.key not in self._expected:
             raise CampaignError(
                 f"task {stored.key!r} is not part of this store's grid"
             )
-        if stored.key in self.completed_keys():
+        if stored.key in self._completed:
             raise CampaignError(f"task {stored.key!r} is already journaled")
+        if self._torn_tail_bytes is not None:
+            # Heal the crash scar first: cut the journal back to the end
+            # of its last valid line so this record starts a fresh one.
+            with self.journal_path.open("r+b") as handle:
+                handle.truncate(self._torn_tail_bytes)
+                os.fsync(handle.fileno())
+            self._torn_tail_bytes = None
         line = json.dumps(stored.to_json_dict(), sort_keys=True)
         with self.journal_path.open("a") as handle:
             handle.write(line + "\n")
             handle.flush()
             os.fsync(handle.fileno())
         self._campaigns.append(stored)
+        self._completed.add(stored.key)
         return stored
 
     # -- progress ----------------------------------------------------------
@@ -277,7 +308,7 @@ class CampaignStore:
         return list(self._campaigns)
 
     def completed_keys(self) -> Set[TaskKey]:
-        return {campaign.key for campaign in self._campaigns}
+        return set(self._completed)
 
     def expected_keys(self) -> List[TaskKey]:
         return self.manifest.expected_keys()

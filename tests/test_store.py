@@ -209,6 +209,34 @@ class TestJournalIntegrity:
         store = CampaignStore.open(target)
         assert len(store.completed_keys()) == 2
 
+    def test_torn_tail_truncated_before_next_append(
+            self, reference, full_store, tmp_path):
+        """A torn tail must not merge with the next appended record."""
+        full_dir, _ = full_store
+        target = truncated_copy(full_dir, tmp_path, keep=1)
+        full_line = (full_dir / JOURNAL_NAME).read_text().splitlines()[1]
+        with (target / JOURNAL_NAME).open("a") as handle:
+            handle.write(full_line[: len(full_line) // 2])  # crash mid-append
+        store = CampaignStore.open(target)
+        campaign = reference.results[("bwaves", 0)].campaigns[1]
+        store.append_campaign(campaign, "log\n", seed=1, interventions=0)
+        lines = (target / JOURNAL_NAME).read_text().splitlines()
+        assert len(lines) == 2
+        for line in lines:  # the fragment is gone, every line parses
+            json.loads(line)
+        assert len(CampaignStore.open(target).completed_keys()) == 2
+
+    def test_parseable_unterminated_tail_treated_as_torn(
+            self, full_store, tmp_path):
+        """A complete JSON line without its newline is still an
+        interrupted append: it is dropped, not merged into."""
+        full_dir, _ = full_store
+        target = truncated_copy(full_dir, tmp_path, keep=2)
+        journal = target / JOURNAL_NAME
+        journal.write_text(journal.read_text()[:-1])  # strip final newline
+        store = CampaignStore.open(target)
+        assert len(store.completed_keys()) == 1
+
     def test_mid_file_corruption_rejected(self, full_store, tmp_path):
         full_dir, _ = full_store
         target = truncated_copy(full_dir, tmp_path, keep=TOTAL_TASKS)
@@ -259,6 +287,27 @@ class TestResumeDeterminism:
         assert report.interventions == reference.interventions > 0
         export = tmp_path / "export"
         CampaignStore.open(target).export_csv(export)
+        for name in ("runs.csv", "severity.csv"):
+            assert (export / name).read_bytes() == \
+                (baseline / name).read_bytes()
+
+    def test_torn_tail_then_resume_then_reopen(
+            self, reference, full_store, tmp_path):
+        """The reviewer scenario: crash mid-append leaves a torn tail,
+        resume appends the remaining tasks, and the store must still
+        open cleanly afterwards (no merged corrupt line)."""
+        full_dir, baseline = full_store
+        target = truncated_copy(full_dir, tmp_path, keep=1)
+        lines = (full_dir / JOURNAL_NAME).read_text().splitlines()
+        with (target / JOURNAL_NAME).open("a") as handle:
+            handle.write(lines[1][: len(lines[1]) // 2])  # crash mid-append
+        report = run_grid(store=target, resume=True, jobs=1)
+        assert report.tasks_skipped == 1
+        assert report.results == reference.results
+        store = CampaignStore.open(target)  # would raise pre-truncation
+        assert store.is_complete()
+        export = tmp_path / "export"
+        store.export_csv(export)
         for name in ("runs.csv", "severity.csv"):
             assert (export / name).read_bytes() == \
                 (baseline / name).read_bytes()
