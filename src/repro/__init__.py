@@ -18,6 +18,8 @@ The package mirrors the paper's structure:
   JSON/pickle-round-trippable ``MachineSpec``.
 * :mod:`repro.parallel` -- deterministic campaign fan-out: whole
   characterization grids over a worker pool, bit-identical to serial.
+* :mod:`repro.telemetry` -- structured traces, metrics and logging
+  over running campaigns; observes without perturbing determinism.
 * :mod:`repro.prediction` -- **contribution 3**: Vmin/severity
   prediction from performance counters (Figure 6).
 * :mod:`repro.energy` -- **contribution 4**: energy-performance

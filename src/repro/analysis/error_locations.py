@@ -10,6 +10,9 @@ those attributions across a characterization, answering where the
 memory hierarchy starts to wear out as the voltage drops -- the
 location-resolved refinement of the CE/UE columns in Figure 4's
 unsafe band.
+
+Diagnostics go through the structured telemetry logger (silent unless
+a telemetry session is active) instead of the :mod:`logging` module.
 """
 
 from __future__ import annotations
@@ -17,8 +20,11 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Mapping, Optional, Tuple
 
+from .. import telemetry
 from ..core.runs import RunRecord
 from ..errors import CampaignError
+
+_LOG = telemetry.get_logger("repro.analysis.error_locations")
 
 
 @dataclass(frozen=True)
@@ -67,6 +73,11 @@ def location_profiles(records: List[RunRecord]) -> Dict[str, LocationProfile]:
                 continue
             slot = staging.setdefault(location, {}).setdefault(voltage, [0, 0])
             slot[0 if kind == "ce" else 1] += int(count)
+    _LOG.debug(
+        "aggregated error locations",
+        locations=len(staging),
+        records=len(records),
+    )
     return {
         location: LocationProfile(
             location=location,

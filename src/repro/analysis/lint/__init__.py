@@ -10,7 +10,7 @@ this package machine-checks them on every commit.
 
 * :mod:`repro.analysis.lint.registry` -- rule base class, registry and
   per-file analysis context (import resolution, module scoping).
-* :mod:`repro.analysis.lint.rules` -- the RPR001-RPR006 rule set.
+* :mod:`repro.analysis.lint.rules` -- the RPR001-RPR008 rule set.
 * :mod:`repro.analysis.lint.suppressions` -- per-line
   ``# reprolint: disable=RPR00x -- why`` comments (a justification is
   mandatory; unjustified suppressions are themselves findings).

@@ -32,7 +32,7 @@ def build_lint_parser(
             prog="reprolint",
             description="AST-based checker for the repo's determinism, "
                         "unit-safety and machine-protocol invariants "
-                        "(rules RPR001-RPR006).",
+                        "(rules RPR001-RPR008).",
         )
     parser.add_argument(
         "paths", nargs="*", metavar="PATH",

@@ -1,4 +1,4 @@
-"""The RPR001-RPR007 rule set.
+"""The RPR001-RPR008 rule set.
 
 Each rule encodes one invariant the reproduction's results rest on;
 the canonical values a rule compares against (Table-4 weights, the
@@ -21,6 +21,10 @@ RPR006            parallel-safety: engine callables must be
 RPR007            single persistence path: no ad-hoc csv.writer /
                   json.dump of run data outside ``repro.store`` and
                   ``repro.core.results``
+RPR008            no bare ``print()`` in library code outside
+                  ``cli.py``, ``analysis/ascii_plots.py`` and
+                  ``parallel/progress.py``; output routes through
+                  :mod:`repro.telemetry`
 ================  =====================================================
 """
 
@@ -747,3 +751,51 @@ class SinglePersistencePath(Rule):
             if isinstance(sub, ast.Attribute) and sub.attr in _RUN_DATA_MARKERS:
                 return sub.attr
         return None
+
+
+#: Modules whose job *is* console output (RPR008 exemptions, besides
+#: any file named ``cli.py``).
+_PRINT_ALLOWED_MODULES = frozenset({
+    "repro.analysis.ascii_plots",
+    "repro.parallel.progress",
+})
+
+
+@register_rule
+class NoBarePrint(Rule):
+    """RPR008: library code must not ``print()``; use repro.telemetry.
+
+    A six-month unattended campaign is monitored through traces,
+    metrics and the structured logger -- output scattered over stdout
+    is invisible to all three and garbles the CLI's own rendering.
+    Only the user-facing surfaces may print: any ``cli.py``, the ASCII
+    plot renderer, and the console progress reporter.
+    """
+
+    rule_id = "RPR008"
+    name = "no-bare-print"
+    description = (
+        "bare print() in library code; route diagnostics through "
+        "repro.telemetry (structured logger / tracer / metrics)"
+    )
+    protects = "observability: every signal reaches the telemetry layer"
+
+    def check(self, ctx: FileContext) -> Iterator[Diagnostic]:
+        if not _is_repro_module(ctx):
+            return
+        if ctx.path_parts and ctx.path_parts[-1] == "cli.py":
+            return
+        if ctx.module in _PRINT_ALLOWED_MODULES:
+            return
+        for node in ast.walk(ctx.tree):
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Name)
+                and node.func.id == "print"
+            ):
+                yield self.diagnostic(
+                    ctx, node,
+                    "bare print() in library code; route output through "
+                    "repro.telemetry (get_logger/event/metrics) or move "
+                    "it to a cli.py surface",
+                )

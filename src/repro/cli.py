@@ -6,7 +6,9 @@ One subcommand per workflow::
     repro claims                      check every model-derived claim
     repro characterize CHIP BENCH     run an undervolting campaign
                                       (or --machine spec.json)
+    repro grid CHIP                   benchmark x core grid in parallel
     repro resume STORE                continue a journaled campaign grid
+    repro status STORE                campaign progress, tallies, ETA
     repro tradeoffs                   the Figure-9 ladder + headlines
     repro predict                     the Section-4.3 studies
     repro fleet                       generated-fleet Vmin statistics
@@ -16,6 +18,11 @@ All numbers are deterministic in ``--seed``.  Long runs should pass
 ``--store DIR`` (``characterize``/``grid``): every completed campaign
 is journaled there, and a killed run continues with ``repro resume
 DIR`` -- ending bit-identical to an uninterrupted one.
+
+``characterize``/``grid``/``resume`` take ``--trace DIR`` (JSONL span
+traces) and ``--metrics FILE`` (metrics export; Prometheus text for
+``.prom``/``.txt``, JSON snapshot otherwise).  Telemetry is
+determinism-neutral: enabling it changes no journaled byte.
 """
 
 from __future__ import annotations
@@ -23,9 +30,10 @@ from __future__ import annotations
 import argparse
 import dataclasses
 import sys
-from typing import List, Optional
+from contextlib import contextmanager
+from typing import Iterator, List, Optional
 
-from . import __version__
+from . import __version__, telemetry
 from .analysis.lint.cli import build_lint_parser, run_lint
 from .analysis.report import check_claims, render_claims
 from .analysis.tables import (
@@ -100,7 +108,44 @@ def _characterization_spec(args: argparse.Namespace) -> Optional[MachineSpec]:
     return spec
 
 
+@contextmanager
+def _telemetry_scope(args: argparse.Namespace) -> Iterator[None]:
+    """Install the ambient telemetry session a subcommand asked for.
+
+    ``--trace DIR`` attaches a tracer writing per-trace JSONL files
+    (span ids start at ``PARENT_SPAN_ID_BASE`` so parent-side events
+    never collide with worker-recorded spans sharing a trace file);
+    ``--metrics FILE`` attaches a registry exported when the command
+    finishes.  Without either flag, no session is installed and every
+    telemetry call in the library stays a no-op.
+    """
+    trace_dir = getattr(args, "trace", None)
+    metrics_path = getattr(args, "metrics", None)
+    if trace_dir is None and metrics_path is None:
+        yield
+        return
+    tracer = None
+    if trace_dir is not None:
+        tracer = telemetry.Tracer(
+            telemetry.TraceWriter(trace_dir),
+            first_id=telemetry.PARENT_SPAN_ID_BASE,
+        )
+    metrics = telemetry.MetricsRegistry() if metrics_path is not None else None
+    with telemetry.telemetry_session(tracer=tracer, metrics=metrics):
+        try:
+            yield
+        finally:
+            if metrics is not None:
+                metrics.write(metrics_path)
+                print(f"metrics exported to {metrics_path}", file=sys.stderr)
+
+
 def _cmd_characterize(args: argparse.Namespace) -> int:
+    with _telemetry_scope(args):
+        return _run_characterize(args)
+
+
+def _run_characterize(args: argparse.Namespace) -> int:
     spec = _characterization_spec(args)
     if spec is None:
         return 2
@@ -162,6 +207,11 @@ def _print_grid_summary(results) -> None:
 
 def _cmd_grid(args: argparse.Namespace) -> int:
     """Characterize a benchmark x core grid on the parallel engine."""
+    with _telemetry_scope(args):
+        return _run_grid(args)
+
+
+def _run_grid(args: argparse.Namespace) -> int:
     benchmarks = [get_benchmark(name) for name in args.benchmarks.split(",")]
     cores = [int(c) for c in args.cores.split(",")]
     spec = _characterization_spec(args)
@@ -207,6 +257,11 @@ def _cmd_grid(args: argparse.Namespace) -> int:
 
 def _cmd_resume(args: argparse.Namespace) -> int:
     """Continue a journaled grid: replay the prefix, run the remainder."""
+    with _telemetry_scope(args):
+        return _run_resume(args)
+
+
+def _run_resume(args: argparse.Namespace) -> int:
     try:
         store = CampaignStore.open(args.store)
     except CampaignError as exc:
@@ -235,6 +290,17 @@ def _cmd_resume(args: argparse.Namespace) -> int:
     _print_grid_summary(results)
     store.export_csv()
     print(f"CSV artifacts exported to {store.directory}")
+    return 0
+
+
+def _cmd_status(args: argparse.Namespace) -> int:
+    """Report a campaign store's progress without touching it."""
+    try:
+        status = telemetry.campaign_status(args.store, metrics_path=args.metrics)
+    except (CampaignError, ValueError, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(telemetry.render_status(status), end="")
     return 0
 
 
@@ -343,6 +409,16 @@ def _chip_name(text: str) -> str:
     return text
 
 
+def _add_telemetry_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--trace", default=None, metavar="DIR",
+                        help="write span-per-task JSONL traces into DIR "
+                             "(one trace-<id>.jsonl per campaign task)")
+    parser.add_argument("--metrics", default=None, metavar="FILE",
+                        help="export run metrics on exit; .prom/.txt "
+                             "selects Prometheus text exposition, any "
+                             "other extension the JSON snapshot")
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -383,6 +459,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_char.add_argument("--jobs", type=_job_count, default=None,
                         help="fan campaigns out over N workers (derived "
                              "per-campaign seeds; identical for any N)")
+    _add_telemetry_flags(p_char)
     p_char.set_defaults(func=_cmd_characterize)
 
     p_grid = sub.add_parser(
@@ -406,6 +483,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_grid.add_argument("--store", default=None, metavar="DIR",
                         help="journal every completed campaign into a "
                              "resumable campaign store directory")
+    _add_telemetry_flags(p_grid)
     p_grid.set_defaults(func=_cmd_grid)
 
     p_resume = sub.add_parser(
@@ -414,7 +492,17 @@ def build_parser() -> argparse.ArgumentParser:
                           help="campaign store directory to resume")
     p_resume.add_argument("--jobs", type=_job_count, default=1,
                           help="worker count for the remaining tasks")
+    _add_telemetry_flags(p_resume)
     p_resume.set_defaults(func=_cmd_resume)
+
+    p_status = sub.add_parser(
+        "status", help="report a campaign store's progress and tallies")
+    p_status.add_argument("store", metavar="STORE",
+                          help="campaign store directory to inspect")
+    p_status.add_argument("--metrics", default=None, metavar="FILE",
+                          help="JSON metrics snapshot (from --metrics) to "
+                               "derive the task-rate ETA from")
+    p_status.set_defaults(func=_cmd_status)
 
     p_trade = sub.add_parser("tradeoffs", help="Figure 9 and headlines")
     p_trade.add_argument("--chip", choices=CHIP_NAMES, default="TTT")
@@ -443,7 +531,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_fleet.set_defaults(func=_cmd_fleet)
 
     p_lint = sub.add_parser(
-        "lint", help="check the repo's reprolint invariants (RPR001-007)")
+        "lint", help="check the repo's reprolint invariants (RPR001-008)")
     build_lint_parser(p_lint)
     p_lint.set_defaults(func=run_lint)
 

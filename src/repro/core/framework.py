@@ -22,6 +22,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from .. import telemetry
 from ..effects import EffectType
 from ..errors import CampaignError, ConfigurationError
 from ..units import (
@@ -129,28 +130,39 @@ class CharacterizationFramework:
 
         log_parts: List[str] = []
         consecutive_crash_levels = 0
-        for voltage_mv in schedule:
-            level_all_crashed = True
-            for run_index in range(1, cfg.runs_per_level + 1):
-                block = self._execute_one(
-                    program, core, voltage_mv, campaign_index, run_index
-                )
-                log_parts.append(block)
-                if "status=system_crash" not in block:
-                    level_all_crashed = False
-            if level_all_crashed:
-                consecutive_crash_levels += 1
-                if (cfg.stop_mv is None
-                        and consecutive_crash_levels >= cfg.stop_after_crash_levels):
-                    break
-            else:
-                consecutive_crash_levels = 0
+        with telemetry.span(
+            "campaign",
+            benchmark=program.name,
+            core=core,
+            campaign=campaign_index,
+            freq_mhz=cfg.freq_mhz,
+        ):
+            for voltage_mv in schedule:
+                level_all_crashed = True
+                with telemetry.span(
+                    "voltage_step", voltage_mv=voltage_mv, runs=cfg.runs_per_level
+                ):
+                    for run_index in range(1, cfg.runs_per_level + 1):
+                        block = self._execute_one(
+                            program, core, voltage_mv, campaign_index, run_index
+                        )
+                        log_parts.append(block)
+                        if "status=system_crash" not in block:
+                            level_all_crashed = False
+                if level_all_crashed:
+                    consecutive_crash_levels += 1
+                    if (cfg.stop_mv is None
+                            and consecutive_crash_levels >= cfg.stop_after_crash_levels):
+                        break
+                else:
+                    consecutive_crash_levels = 0
 
-        log_text = "".join(log_parts)
-        key = (program.name, core, cfg.freq_mhz, campaign_index)
-        self.raw_logs[key] = log_text
-        result = self._parse_campaign(log_text, campaign_index)
-        self._record_parsed_stats(key, log_text, result.records)
+            log_text = "".join(log_parts)
+            key = (program.name, core, cfg.freq_mhz, campaign_index)
+            self.raw_logs[key] = log_text
+            with telemetry.span("parse", campaign=campaign_index):
+                result = self._parse_campaign(log_text, campaign_index)
+            self._record_parsed_stats(key, log_text, result.records)
         return result
 
     def _execute_one(
@@ -221,6 +233,9 @@ class CharacterizationFramework:
             )
             for run in parsed
         )
+        for record in records:
+            for effect in record.effects:
+                telemetry.inc_counter(telemetry.M_EFFECTS, effect=effect.value)
         first = parsed[0]
         return CampaignResult(
             chip=first.chip,

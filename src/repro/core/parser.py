@@ -7,6 +7,9 @@ real text round-trip -- rather than passing Python objects through --
 preserves the paper's architecture and its failure mode: a system crash
 truncates the run's block (no exit-code line is ever written), and the
 parser classifies exactly from what survived.
+
+Diagnostics go through the structured telemetry logger (silent unless
+a telemetry session is active) instead of the :mod:`logging` module.
 """
 
 from __future__ import annotations
@@ -15,9 +18,12 @@ import re
 from dataclasses import dataclass, field
 from typing import Dict, FrozenSet, List, Mapping, Optional
 
+from .. import telemetry
 from ..effects import EffectType
 from ..errors import ParseError
 from .effects import classify_run
+
+_LOG = telemetry.get_logger("repro.core.parser")
 
 #: Start-of-block marker written by the execution phase.
 RUN_HEADER = "=== RUN"
@@ -101,6 +107,7 @@ def format_run_block(
 def _parse_block(lines: List[str]) -> ParsedRun:
     header = _HEADER_RE.match(lines[0])
     if header is None:
+        _LOG.error("malformed run header", header=lines[0])
         raise ParseError(f"malformed run header: {lines[0]!r}")
     fields: Dict[str, str] = {}
     for line in lines[1:]:
@@ -109,6 +116,7 @@ def _parse_block(lines: List[str]) -> ParsedRun:
 
     status = fields.get("status")
     if status is None:
+        _LOG.error("run block missing status line", header=lines[0])
         raise ParseError(f"run block missing status line: {lines[0]!r}")
     responsive = status != "system_crash"
     exit_code = int(fields["exit_code"]) if "exit_code" in fields else None
@@ -169,4 +177,7 @@ def parse_log(text: str) -> List[ParsedRun]:
             raise ParseError(f"content before first run header: {line!r}")
     if current:
         blocks.append(current)
-    return [_parse_block(block) for block in blocks]
+    runs = [_parse_block(block) for block in blocks]
+    telemetry.inc_counter(telemetry.M_PARSER_RUNS, amount=len(runs))
+    _LOG.debug("parsed campaign log", runs=len(runs))
+    return runs

@@ -17,6 +17,7 @@ import enum
 from dataclasses import dataclass
 from typing import List, Optional
 
+from .. import telemetry
 from ..errors import WatchdogError
 from ..hardware.serial_console import BOOT_BANNER
 from ..hardware import MachineState
@@ -111,6 +112,13 @@ class WatchdogMonitor:
         self.interventions.append(
             Intervention(action=action, tick=self.machine.tick, reason=reason)
         )
+        telemetry.event(
+            "watchdog.recovery",
+            action=action.value,
+            tick=self.machine.tick,
+            reason=reason,
+        )
+        telemetry.inc_counter(telemetry.M_WATCHDOG, action=action.value)
 
     @property
     def intervention_count(self) -> int:

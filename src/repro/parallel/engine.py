@@ -27,6 +27,7 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
+from .. import telemetry
 from ..core.campaign import CampaignResult, CharacterizationResult
 from ..core.framework import FrameworkConfig
 from ..errors import CampaignError, ConfigurationError
@@ -185,24 +186,44 @@ class ParallelCampaignEngine:
             if (task.program.name, task.core, task.campaign_index) not in done
         ]
         backend = self._resolve_backend(len(pending)) if pending else "serial"
-        tracker = ProgressTracker(len(tasks), self.progress)
-        if replayed:
-            tracker.advance(len(replayed))
-        checkpoint = self._checkpointer(journal)
-        chunks = self._chunk(pending)
-        retried = 0
-        if backend == "serial":
-            outcomes: List[CampaignTaskResult] = []
-            for chunk in chunks:
-                chunk_outcomes = run_campaign_chunk(self.spec, self.config, chunk)
-                checkpoint(chunk, chunk_outcomes)
-                outcomes.extend(chunk_outcomes)
-                tracker.advance(len(chunk))
-        else:
-            outcomes, retried = self._run_pool(
-                backend, chunks, tracker, checkpoint
-            )
-        tracker.finish()
+        collect = self._tracing_enabled()
+        with telemetry.span(
+            "engine.run",
+            tasks=len(tasks),
+            pending=len(pending),
+            backend=backend,
+            jobs=self.jobs,
+        ):
+            tracker = ProgressTracker(len(tasks), self.progress)
+            if replayed:
+                tracker.advance(len(replayed))
+                telemetry.inc_counter(
+                    telemetry.M_TASKS_SKIPPED, amount=len(replayed)
+                )
+                telemetry.event("engine.replay", tasks=len(replayed))
+            checkpoint = self._checkpointer(journal)
+            chunks = self._chunk(pending)
+            retried = 0
+            if backend == "serial":
+                outcomes: List[CampaignTaskResult] = []
+                for chunk in chunks:
+                    chunk_started = telemetry.clock()
+                    chunk_outcomes = run_campaign_chunk(
+                        self.spec, self.config, chunk, collect
+                    )
+                    telemetry.observe(
+                        telemetry.M_CHUNK_SECONDS,
+                        telemetry.clock() - chunk_started,
+                    )
+                    checkpoint(chunk, chunk_outcomes)
+                    self._record_outcomes(chunk_outcomes)
+                    outcomes.extend(chunk_outcomes)
+                    tracker.advance(len(chunk))
+            else:
+                outcomes, retried = self._run_pool(
+                    backend, chunks, tracker, checkpoint, collect
+                )
+            tracker.finish()
         return self._assemble(
             tasks, replayed + outcomes, backend, retried,
             tasks_skipped=len(replayed),
@@ -300,6 +321,34 @@ class ParallelCampaignEngine:
                 )
         return checkpoint
 
+    @staticmethod
+    def _tracing_enabled() -> bool:
+        """Whether workers should record spans for the ambient tracer."""
+        session = telemetry.current_session()
+        return session is not None and session.tracer is not None
+
+    @staticmethod
+    def _record_outcomes(outcomes: Tuple[CampaignTaskResult, ...]) -> None:
+        """Parent-side telemetry for freshly executed outcomes.
+
+        Workers run under a local (or shielded) session, so all metric
+        aggregation happens here, once per outcome, from the outcome
+        payload itself -- identical for every backend and worker count.
+        Replayed journal lines are *not* routed through this: metrics
+        describe the current run; ``repro status`` covers the store.
+        """
+        for outcome in outcomes:
+            telemetry.emit_spans(outcome.spans)
+            if outcome.interventions:
+                telemetry.inc_counter(
+                    telemetry.M_INTERVENTIONS, amount=outcome.interventions
+                )
+            for record in outcome.result.records:
+                for effect in record.effects:
+                    telemetry.inc_counter(
+                        telemetry.M_EFFECTS, effect=effect.value
+                    )
+
     def _resolve_backend(self, n_tasks: int) -> str:
         if self.backend == "serial" or self.jobs == 1:
             return "serial"
@@ -347,15 +396,19 @@ class ParallelCampaignEngine:
         checkpoint: Callable[
             [Tuple[CampaignTask, ...], Tuple[CampaignTaskResult, ...]], None
         ],
+        collect: bool = False,
     ) -> Tuple[List[CampaignTaskResult], int]:
         executor, backend = self._make_executor(backend)
         outcomes: List[CampaignTaskResult] = []
         retried = 0
         try:
             pending: Dict[Future, Tuple[CampaignTask, ...]] = {
-                executor.submit(run_campaign_chunk, self.spec, self.config, chunk): chunk
+                executor.submit(
+                    run_campaign_chunk, self.spec, self.config, chunk, collect
+                ): chunk
                 for chunk in chunks
             }
+            submitted = {future: telemetry.clock() for future in pending}
             while pending:
                 done, _ = wait(pending, return_when=FIRST_COMPLETED)
                 for future in done:
@@ -376,10 +429,23 @@ class ParallelCampaignEngine:
                             stacklevel=2,
                         )
                         retried += 1
-                        chunk_outcomes = run_campaign_chunk(
-                            self.spec, self.config, chunk
+                        telemetry.inc_counter(telemetry.M_CHUNKS_RETRIED)
+                        telemetry.event(
+                            "engine.chunk_retry",
+                            tasks=len(chunk),
+                            error=repr(exc),
                         )
+                        chunk_outcomes = run_campaign_chunk(
+                            self.spec, self.config, chunk, collect
+                        )
+                    # Submit-to-drain latency: includes queue wait, which
+                    # is the number that matters for pool sizing.
+                    telemetry.observe(
+                        telemetry.M_CHUNK_SECONDS,
+                        telemetry.clock() - submitted[future],
+                    )
                     checkpoint(chunk, chunk_outcomes)
+                    self._record_outcomes(chunk_outcomes)
                     outcomes.extend(chunk_outcomes)
                     tracker.advance(len(chunk))
         finally:

@@ -10,20 +10,36 @@ lesson that survives simulation is that long grids need a heartbeat.
   and nothing else.
 * :class:`ConsoleProgress` -- a single-line console reporter (counts,
   percentage, elapsed, ETA) used by the CLI and the examples.
-* :class:`ProgressTracker` -- the bookkeeping helper the engine feeds;
-  it timestamps completions and emits :class:`ProgressEvent` values to
-  whichever reporter is attached.
+* :class:`ProgressTracker` -- the bookkeeping helper the engine feeds.
 
-The ETA is a plain linear extrapolation (elapsed / completed * left):
-campaign tasks are near-uniform in cost, so anything fancier is noise.
+The tracker keeps **no private counters**: completions go through the
+``repro_engine_tasks_completed_total`` counter and per-task latency
+through the ``repro_engine_task_seconds`` histogram of a
+:class:`~repro.telemetry.MetricsRegistry` (the ambient session's, when
+one is active), and the ETA shown on the console is derived from that
+same histogram -- progress output and exported metrics can never
+disagree.  The ETA remains a plain linear extrapolation (mean task
+seconds x tasks left): campaign tasks are near-uniform in cost, so
+anything fancier is noise.  The clock is the injected telemetry
+monotonic clock, never read inside simulation code (RPR002).
 """
 
 from __future__ import annotations
 
 import sys
-import time
 from dataclasses import dataclass
 from typing import Optional, TextIO
+
+from ..telemetry import (
+    MONOTONIC_CLOCK,
+    Clock,
+    M_GRID_TASKS,
+    M_TASK_SECONDS,
+    M_TASKS_COMPLETED,
+    M_THROUGHPUT,
+    MetricsRegistry,
+    current_session,
+)
 
 
 @dataclass(frozen=True)
@@ -35,8 +51,8 @@ class ProgressEvent:
     total: int
     #: Seconds since the grid started.
     elapsed_s: float
-    #: Linear-extrapolation estimate of the seconds left; ``None``
-    #: until at least one task has completed.
+    #: Estimated seconds left, from the task-latency histogram;
+    #: ``None`` until at least one task has completed.
     eta_s: Optional[float]
 
     @property
@@ -65,7 +81,9 @@ class ConsoleProgress(ProgressReporter):
     """Single-line console progress (CLI and examples).
 
     Writes carriage-return-refreshed status lines, and a newline on
-    completion so subsequent output starts clean.
+    completion so subsequent output starts clean.  Counts and ETA come
+    straight from the tracker's metrics registry via the events it
+    emits.
     """
 
     def __init__(self, stream: Optional[TextIO] = None, label: str = "campaigns") -> None:
@@ -90,31 +108,66 @@ class ConsoleProgress(ProgressReporter):
 
 
 class ProgressTracker:
-    """Feeds a :class:`ProgressReporter` from the engine's completions."""
+    """Feeds a :class:`ProgressReporter` from the engine's completions.
+
+    All bookkeeping lives in a metrics registry: the ambient telemetry
+    session's when one is active (so ``--metrics`` exports exactly what
+    the console showed), else a private registry.  Counter and
+    histogram values may carry history from earlier runs in the same
+    session, so the tracker baselines them at construction.
+    """
 
     def __init__(
         self,
         total: int,
         reporter: ProgressReporter = NULL_PROGRESS,
-        # reprolint: disable=RPR002 -- ETA display only, never results
-        clock=time.monotonic,
+        registry: Optional[MetricsRegistry] = None,
+        clock: Optional[Clock] = None,
     ) -> None:
+        if registry is None:
+            session = current_session()
+            if session is not None and session.metrics is not None:
+                registry = session.metrics
+            else:
+                registry = MetricsRegistry()
+        if clock is None:
+            session = current_session()
+            clock = session.clock if session is not None else MONOTONIC_CLOCK
         self.total = int(total)
         self.reporter = reporter
+        self.registry = registry
         self._clock = clock
         self._start = clock()
-        self.completed = 0
+        self._last = self._start
+        self._base_completed = registry.counter(M_TASKS_COMPLETED).value
+        self._base_latency_sum = registry.histogram(M_TASK_SECONDS).sum
+        registry.gauge(M_GRID_TASKS).set(self.total)
         self.reporter.on_start(self.total)
+
+    @property
+    def completed(self) -> int:
+        """Tasks completed under this tracker, read from the counter."""
+        counter = self.registry.counter(M_TASKS_COMPLETED)
+        return int(counter.value - self._base_completed)
+
+    def _mean_task_seconds(self) -> Optional[float]:
+        """Mean per-task latency observed by this tracker."""
+        if self.completed <= 0:
+            return None
+        histogram = self.registry.histogram(M_TASK_SECONDS)
+        return (histogram.sum - self._base_latency_sum) / self.completed
 
     def _event(self) -> ProgressEvent:
         elapsed = self._clock() - self._start
+        completed = self.completed
         eta: Optional[float] = None
-        if 0 < self.completed < self.total:
-            eta = elapsed / self.completed * (self.total - self.completed)
-        elif self.completed >= self.total:
+        mean = self._mean_task_seconds()
+        if completed >= self.total:
             eta = 0.0
+        elif mean is not None:
+            eta = mean * (self.total - completed)
         return ProgressEvent(
-            completed=self.completed,
+            completed=completed,
             total=self.total,
             elapsed_s=elapsed,
             eta_s=eta,
@@ -122,13 +175,25 @@ class ProgressTracker:
 
     def advance(self, count: int = 1) -> ProgressEvent:
         """Record ``count`` newly completed tasks and notify."""
-        self.completed += int(count)
+        count = int(count)
+        now = self._clock()
+        if count > 0:
+            per_task = (now - self._last) / count
+            histogram = self.registry.histogram(M_TASK_SECONDS)
+            for _ in range(count):
+                histogram.observe(per_task)
+            self.registry.counter(M_TASKS_COMPLETED).inc(count)
+        self._last = now
         event = self._event()
         self.reporter.on_progress(event)
         return event
 
     def finish(self) -> ProgressEvent:
-        """Emit the terminal event."""
+        """Emit the terminal event and publish the run's throughput."""
         event = self._event()
+        if event.elapsed_s > 0:
+            self.registry.gauge(M_THROUGHPUT).set(
+                event.completed / event.elapsed_s
+            )
         self.reporter.on_finish(event)
         return event

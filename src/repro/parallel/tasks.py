@@ -22,17 +22,28 @@ follow:
 * distinct tasks get statistically independent streams (the
   ``SeedSequence`` spawn guarantee), so campaign repetitions do not
   accidentally correlate.
+
+**Telemetry.**  Ambient telemetry contexts do not cross process
+boundaries, so each task runs under its own local session: when span
+collection is on, a fresh tracer records the task's spans into the
+``spans`` field of the result, and the parent engine forwards them to
+its sink; when it is off, the task runs *shielded* so framework-level
+instrumentation can never fire into an inherited session (thread
+backend) and double-count with the parent's outcome-based metric
+aggregation.
 """
 
 from __future__ import annotations
 
+import dataclasses
 import hashlib
 from dataclasses import dataclass
-from typing import Tuple
+from typing import List, Tuple
 
 import numpy as np
 
 from ..machines import MachineSpec
+from ..telemetry import SpanRecord, Tracer, shielded, task_trace, telemetry_session
 from ..workloads.benchmark import Program
 
 __all__ = [
@@ -95,6 +106,10 @@ class CampaignTaskResult:
     freq_mhz: int
     #: Watchdog recoveries the worker performed during this campaign.
     interventions: int
+    #: Spans the worker recorded under its local tracer (empty unless
+    #: the engine requested span collection); the existing result
+    #: channel carries them back to the parent.
+    spans: Tuple[SpanRecord, ...] = ()
 
     @property
     def grid_key(self) -> Tuple[str, int]:
@@ -105,10 +120,9 @@ class CampaignTaskResult:
         return (self.benchmark, self.core, self.freq_mhz, self.campaign_index)
 
 
-def run_campaign_task(
+def _execute_task(
     spec: MachineSpec, config: "FrameworkConfig", task: CampaignTask  # noqa: F821
 ) -> CampaignTaskResult:
-    """Execute one campaign on a freshly built machine (worker body)."""
     from ..core.framework import CharacterizationFramework
 
     machine = spec.build(seed=task.seed)
@@ -128,10 +142,33 @@ def run_campaign_task(
     )
 
 
+def run_campaign_task(
+    spec: MachineSpec,
+    config: "FrameworkConfig",  # noqa: F821
+    task: CampaignTask,
+    collect_spans: bool = False,
+) -> CampaignTaskResult:
+    """Execute one campaign on a freshly built machine (worker body)."""
+    if not collect_spans:
+        with shielded():
+            return _execute_task(spec, config, task)
+    spans: List[SpanRecord] = []
+    tracer = Tracer(spans.append)
+    with telemetry_session(tracer=tracer):
+        with task_trace(
+            task.program.name, task.core, task.campaign_index, seed=task.seed
+        ):
+            result = _execute_task(spec, config, task)
+    return dataclasses.replace(result, spans=tuple(spans))
+
+
 def run_campaign_chunk(
     spec: MachineSpec,
     config: "FrameworkConfig",  # noqa: F821
     tasks: Tuple[CampaignTask, ...],
+    collect_spans: bool = False,
 ) -> Tuple[CampaignTaskResult, ...]:
     """Worker entry point: execute a scheduling chunk of tasks."""
-    return tuple(run_campaign_task(spec, config, task) for task in tasks)
+    return tuple(
+        run_campaign_task(spec, config, task, collect_spans) for task in tasks
+    )

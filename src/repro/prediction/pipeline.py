@@ -24,6 +24,7 @@ from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
+from .. import telemetry
 from ..core.campaign import CharacterizationResult
 from ..core.framework import CharacterizationFramework, FrameworkConfig
 from ..core.severity import DEFAULT_WEIGHTS, SeverityWeights
@@ -121,11 +122,13 @@ class PredictionPipeline:
         """Nominal-conditions PMU profile of one program (cached)."""
         program = self._as_program(program)
         if program.name not in self._profile_cache:
-            if self.machine.state.value != "running":
-                self.machine.power_on()
-            self._profile_cache[program.name] = self.machine.profile_program(
-                program, core=0
-            )
+            with telemetry.span("prediction.profile", benchmark=program.name):
+                if self.machine.state.value != "running":
+                    self.machine.power_on()
+                self._profile_cache[program.name] = self.machine.profile_program(
+                    program, core=0
+                )
+            telemetry.inc_counter(telemetry.M_PREDICTION_PROFILES)
         return self._profile_cache[program.name]
 
     # -- phase 1: characterization -----------------------------------------------
@@ -135,14 +138,18 @@ class PredictionPipeline:
         program = self._as_program(program)
         key = (program.name, core)
         if key not in self._characterization_cache:
-            if self.machine.state.value != "running":
-                self.machine.power_on()
-            framework = CharacterizationFramework(
-                self.machine, self.characterization
-            )
-            self._characterization_cache[key] = framework.characterize(
-                program, core
-            )
+            with telemetry.span(
+                "prediction.characterize", benchmark=program.name, core=core
+            ):
+                if self.machine.state.value != "running":
+                    self.machine.power_on()
+                framework = CharacterizationFramework(
+                    self.machine, self.characterization
+                )
+                self._characterization_cache[key] = framework.characterize(
+                    program, core
+                )
+            telemetry.inc_counter(telemetry.M_PREDICTION_CHARACTERIZATIONS)
         return self._characterization_cache[key]
 
     # -- dataset assembly -------------------------------------------------------------
@@ -247,13 +254,22 @@ class PredictionPipeline:
         tags = test.tags if test.tags else tuple(
             f"sample-{i}" for i in range(len(test))
         )
+        r2 = r2_score(test_sel.y, predictions)
+        rmse_model = rmse(test_sel.y, predictions)
+        telemetry.event(
+            "prediction.report",
+            target=target,
+            core=core,
+            r2=float(r2),
+            rmse_model=float(rmse_model),
+        )
         return PredictionReport(
             target=target,
             chip=self.machine.chip.name,
             core=core,
             selected_features=selected,
-            r2=r2_score(test_sel.y, predictions),
-            rmse_model=rmse(test_sel.y, predictions),
+            r2=r2,
+            rmse_model=rmse_model,
             rmse_naive=rmse(test_sel.y, naive_predictions),
             n_train=len(train_sel.y),
             n_test=len(test_sel.y),

@@ -30,6 +30,7 @@ import os
 from pathlib import Path
 from typing import Any, Dict, List, Mapping, Optional, Sequence, Set, Tuple, Union
 
+from .. import telemetry
 from ..core.campaign import CampaignResult, CharacterizationResult
 from ..core.framework import FrameworkConfig
 from ..core.results import ResultStore
@@ -293,10 +294,25 @@ class CampaignStore:
                 os.fsync(handle.fileno())
             self._torn_tail_bytes = None
         line = json.dumps(stored.to_json_dict(), sort_keys=True)
+        fsync_started = telemetry.clock()
         with self.journal_path.open("a") as handle:
             handle.write(line + "\n")
             handle.flush()
             os.fsync(handle.fileno())
+        telemetry.observe(
+            telemetry.M_JOURNAL_FSYNC_SECONDS, telemetry.clock() - fsync_started
+        )
+        telemetry.inc_counter(telemetry.M_JOURNAL_APPENDS)
+        telemetry.event(
+            "journal.append",
+            trace_id=telemetry.task_trace_id(
+                stored.benchmark, stored.core, stored.campaign_index
+            ),
+            benchmark=stored.benchmark,
+            core=stored.core,
+            campaign=stored.campaign_index,
+            bytes=len(line) + 1,
+        )
         self._campaigns.append(stored)
         self._completed.add(stored.key)
         return stored

@@ -1,0 +1,146 @@
+"""``repro.telemetry`` -- structured tracing, metrics and logging.
+
+Three coordinated primitives, all determinism-neutral:
+
+* **Tracer** (:mod:`.tracing`): span-per-task JSONL traces; trace id is
+  ``(benchmark, core, campaign)`` via :func:`task_trace_id`, with child
+  spans for voltage steps, parses, watchdog recoveries and journal
+  appends.  Workers record spans locally and forward them to the
+  parent on the engine's result channel.
+* **Metrics** (:mod:`.metrics`): a counter/gauge/histogram registry
+  with JSON-snapshot and Prometheus text-exposition exporters.
+* **Structured logging** (:mod:`.log`): named loggers that emit trace
+  events and a per-level counter instead of configuring :mod:`logging`.
+
+The ambient context (:mod:`.context`) makes instrumented call sites
+one-liners that no-op when telemetry is off; timestamps come only from
+the injected monotonic clock (:mod:`.clock`), never from inside
+simulation packages, so a telemetry-enabled run produces bit-identical
+stores to a telemetry-off run.  :mod:`.status` turns a store journal
+plus a live metrics snapshot into the ``repro status`` report.
+"""
+
+from __future__ import annotations
+
+from .clock import MONOTONIC_CLOCK, Clock
+from .context import (
+    TelemetrySession,
+    clock,
+    current_session,
+    emit_spans,
+    event,
+    inc_counter,
+    observe,
+    set_gauge,
+    shielded,
+    span,
+    task_trace,
+    telemetry_session,
+)
+from .log import LOG_LEVELS, StructuredLogger, get_logger
+from .metrics import (
+    DEFAULT_BUCKETS,
+    METRIC_CATALOG,
+    METRICS_FORMAT,
+    M_CHUNK_SECONDS,
+    M_CHUNKS_RETRIED,
+    M_EFFECTS,
+    M_GRID_TASKS,
+    M_INTERVENTIONS,
+    M_JOURNAL_APPENDS,
+    M_JOURNAL_FSYNC_SECONDS,
+    M_LOG_MESSAGES,
+    M_PARSER_RUNS,
+    M_PREDICTION_CHARACTERIZATIONS,
+    M_PREDICTION_PROFILES,
+    M_TASK_SECONDS,
+    M_TASKS_COMPLETED,
+    M_TASKS_SKIPPED,
+    M_THROUGHPUT,
+    M_WATCHDOG,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricFamily,
+    MetricsRegistry,
+)
+from .status import CampaignStatus, campaign_status, render_status
+from .tracing import (
+    PARENT_SPAN_ID_BASE,
+    SESSION_TRACE_ID,
+    SPAN_FORMAT,
+    SPAN_SCHEMA,
+    AttrValue,
+    SpanRecord,
+    SpanSink,
+    Tracer,
+    TraceWriter,
+    load_spans,
+    task_trace_id,
+    validate_span,
+)
+
+__all__ = [
+    # clock
+    "Clock",
+    "MONOTONIC_CLOCK",
+    # context
+    "TelemetrySession",
+    "clock",
+    "current_session",
+    "emit_spans",
+    "event",
+    "inc_counter",
+    "observe",
+    "set_gauge",
+    "shielded",
+    "span",
+    "task_trace",
+    "telemetry_session",
+    # log
+    "LOG_LEVELS",
+    "StructuredLogger",
+    "get_logger",
+    # metrics
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricFamily",
+    "MetricsRegistry",
+    "METRICS_FORMAT",
+    "METRIC_CATALOG",
+    "DEFAULT_BUCKETS",
+    "M_GRID_TASKS",
+    "M_TASKS_COMPLETED",
+    "M_TASKS_SKIPPED",
+    "M_CHUNKS_RETRIED",
+    "M_TASK_SECONDS",
+    "M_CHUNK_SECONDS",
+    "M_THROUGHPUT",
+    "M_INTERVENTIONS",
+    "M_EFFECTS",
+    "M_WATCHDOG",
+    "M_JOURNAL_APPENDS",
+    "M_JOURNAL_FSYNC_SECONDS",
+    "M_PARSER_RUNS",
+    "M_LOG_MESSAGES",
+    "M_PREDICTION_PROFILES",
+    "M_PREDICTION_CHARACTERIZATIONS",
+    # status
+    "CampaignStatus",
+    "campaign_status",
+    "render_status",
+    # tracing
+    "SPAN_FORMAT",
+    "SPAN_SCHEMA",
+    "SESSION_TRACE_ID",
+    "PARENT_SPAN_ID_BASE",
+    "AttrValue",
+    "SpanRecord",
+    "SpanSink",
+    "Tracer",
+    "TraceWriter",
+    "load_spans",
+    "task_trace_id",
+    "validate_span",
+]

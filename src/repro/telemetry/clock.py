@@ -1,0 +1,21 @@
+"""Monotonic clock injection point for the telemetry layer.
+
+Telemetry is the *only* part of the library allowed to read wall-clock
+time (RPR002 bans it inside the simulation packages).  Everything that
+needs a timestamp takes a ``Clock`` callable, defaulting to
+:data:`MONOTONIC_CLOCK`, so tests can substitute a deterministic fake
+and simulation results can never depend on real time.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable
+
+Clock = Callable[[], float]
+
+#: The one sanctioned wall-clock source.  Injected at the telemetry
+#: boundary; never read from inside simulation code.
+MONOTONIC_CLOCK: Clock = time.monotonic
+
+__all__ = ["Clock", "MONOTONIC_CLOCK"]

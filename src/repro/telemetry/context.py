@@ -1,0 +1,169 @@
+"""Ambient telemetry context built on :mod:`contextvars`.
+
+A :class:`TelemetrySession` bundles an optional tracer, an optional
+metrics registry and the clock they share.  :func:`telemetry_session`
+installs one as the ambient session for the dynamic extent of a
+``with`` block; the module-level one-liners (:func:`span`,
+:func:`event`, :func:`inc_counter`, ...) look the session up and no-op
+when none is active, so instrumented call sites cost a dictionary
+lookup when telemetry is off and never change simulation behaviour.
+
+Contextvars do not cross process boundaries: worker processes run each
+task under a fresh local session (see ``repro.parallel.tasks``) and
+forward recorded spans back on the result channel.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from contextvars import ContextVar
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Optional, Tuple
+
+from .clock import MONOTONIC_CLOCK, Clock
+from .metrics import MetricsRegistry
+from .tracing import AttrValue, SpanRecord, Tracer, task_trace_id
+
+
+@dataclass
+class TelemetrySession:
+    """The ambient telemetry capability set for the current context."""
+
+    tracer: Optional[Tracer] = None
+    metrics: Optional[MetricsRegistry] = None
+    clock: Clock = MONOTONIC_CLOCK
+
+
+_SESSION: ContextVar[Optional[TelemetrySession]] = ContextVar(
+    "repro_telemetry_session", default=None
+)
+
+
+def current_session() -> Optional[TelemetrySession]:
+    """The active session, or ``None`` when telemetry is off."""
+    return _SESSION.get()
+
+
+@contextmanager
+def telemetry_session(
+    tracer: Optional[Tracer] = None,
+    metrics: Optional[MetricsRegistry] = None,
+    clock: Clock = MONOTONIC_CLOCK,
+) -> Iterator[TelemetrySession]:
+    """Install a session as the ambient telemetry context."""
+    session = TelemetrySession(tracer=tracer, metrics=metrics, clock=clock)
+    token = _SESSION.set(session)
+    try:
+        yield session
+    finally:
+        _SESSION.reset(token)
+
+
+@contextmanager
+def shielded() -> Iterator[None]:
+    """Suppress any ambient session for the extent of the block.
+
+    The engine shields worker tasks that are not collecting spans so
+    per-task instrumentation can never double-count with the parent's
+    outcome-based aggregation.
+    """
+    token = _SESSION.set(None)
+    try:
+        yield
+    finally:
+        _SESSION.reset(token)
+
+
+def clock() -> float:
+    """Read the session clock; 0.0 when telemetry is off.
+
+    Only meaningful as a difference between two reads taken under the
+    same session -- callers use it for latency observations.
+    """
+    session = _SESSION.get()
+    return session.clock() if session is not None else 0.0
+
+
+# -- tracer one-liners (no-ops without an active tracer) ---------------
+
+
+@contextmanager
+def span(name: str, trace_id: Optional[str] = None, **attributes: AttrValue) -> Iterator[None]:
+    session = _SESSION.get()
+    if session is None or session.tracer is None:
+        yield
+        return
+    with session.tracer.span(name, trace_id=trace_id, **attributes):
+        yield
+
+
+@contextmanager
+def task_trace(
+    benchmark: str, core: int, campaign: int, **attributes: AttrValue
+) -> Iterator[None]:
+    """Open the root span of one campaign task's trace."""
+    with span(
+        "task",
+        trace_id=task_trace_id(benchmark, core, campaign),
+        benchmark=benchmark,
+        core=core,
+        campaign=campaign,
+        **attributes,
+    ):
+        yield
+
+
+def event(name: str, trace_id: Optional[str] = None, **attributes: AttrValue) -> None:
+    session = _SESSION.get()
+    if session is not None and session.tracer is not None:
+        session.tracer.event(name, trace_id=trace_id, **attributes)
+
+
+def emit_spans(records: Iterable[SpanRecord]) -> None:
+    """Forward worker-recorded spans to the session tracer's sink."""
+    session = _SESSION.get()
+    if session is not None and session.tracer is not None:
+        for record in records:
+            session.tracer.emit(record)
+
+
+# -- metrics one-liners (no-ops without an active registry) ------------
+
+
+def inc_counter(name: str, amount: float = 1.0, **labels: str) -> None:
+    session = _SESSION.get()
+    if session is not None and session.metrics is not None:
+        session.metrics.counter(name, **labels).inc(amount)
+
+
+def set_gauge(name: str, value: float, **labels: str) -> None:
+    session = _SESSION.get()
+    if session is not None and session.metrics is not None:
+        session.metrics.gauge(name, **labels).set(value)
+
+
+def observe(
+    name: str,
+    value: float,
+    buckets: Optional[Tuple[float, ...]] = None,
+    **labels: str,
+) -> None:
+    session = _SESSION.get()
+    if session is not None and session.metrics is not None:
+        session.metrics.histogram(name, buckets=buckets, **labels).observe(value)
+
+
+__all__ = [
+    "TelemetrySession",
+    "clock",
+    "current_session",
+    "emit_spans",
+    "event",
+    "inc_counter",
+    "observe",
+    "set_gauge",
+    "shielded",
+    "span",
+    "task_trace",
+    "telemetry_session",
+]

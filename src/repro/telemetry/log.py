@@ -1,0 +1,65 @@
+"""Structured logger routed through the telemetry session.
+
+``get_logger(name)`` returns a :class:`StructuredLogger` whose
+``debug``/``info``/``warning``/``error`` methods emit a zero-duration
+``log.<level>`` trace event carrying the message and key-value fields,
+and bump the ``repro_log_messages_total`` counter by level.  Without
+an active telemetry session both are no-ops -- library code can log
+unconditionally without configuring handlers, and stdout/stderr stay
+silent unless the user opted in with ``--trace``/``--metrics``.
+
+This replaces the ad-hoc :mod:`logging` usage the library used to
+document: one structured path, no global logging configuration.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from .context import event, inc_counter
+from .metrics import M_LOG_MESSAGES
+from .tracing import AttrValue
+
+LOG_LEVELS = ("debug", "info", "warning", "error")
+
+
+class StructuredLogger:
+    """Named logger emitting trace events + a per-level counter."""
+
+    __slots__ = ("name",)
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+
+    def log(self, level: str, message: str, **fields: AttrValue) -> None:
+        if level not in LOG_LEVELS:
+            raise ValueError(f"unknown log level {level!r}; use one of {LOG_LEVELS}")
+        inc_counter(M_LOG_MESSAGES, level=level)
+        event(f"log.{level}", logger=self.name, message=message, **fields)
+
+    def debug(self, message: str, **fields: AttrValue) -> None:
+        self.log("debug", message, **fields)
+
+    def info(self, message: str, **fields: AttrValue) -> None:
+        self.log("info", message, **fields)
+
+    def warning(self, message: str, **fields: AttrValue) -> None:
+        self.log("warning", message, **fields)
+
+    def error(self, message: str, **fields: AttrValue) -> None:
+        self.log("error", message, **fields)
+
+
+_LOGGERS: Dict[str, StructuredLogger] = {}
+
+
+def get_logger(name: str) -> StructuredLogger:
+    """Return the (cached) structured logger for ``name``."""
+    logger = _LOGGERS.get(name)
+    if logger is None:
+        logger = StructuredLogger(name)
+        _LOGGERS[name] = logger
+    return logger
+
+
+__all__ = ["LOG_LEVELS", "StructuredLogger", "get_logger"]

@@ -1,0 +1,163 @@
+"""Campaign status: journal progress + live metrics snapshot.
+
+:func:`campaign_status` opens a campaign store read-only, tallies
+completed tasks and per-effect run counts from the journal, and (when
+given a metrics JSON snapshot written by ``--metrics``) derives an ETA
+from the observed per-task latency histogram.  :func:`render_status`
+formats the result for the ``repro status`` subcommand.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple, Union
+
+from ..effects import EFFECT_ORDER
+from .metrics import METRICS_FORMAT, M_TASK_SECONDS
+
+
+@dataclass(frozen=True)
+class CampaignStatus:
+    """Progress summary of one campaign store."""
+
+    store_path: str
+    chip: str
+    workloads: Tuple[str, ...]
+    cores: Tuple[int, ...]
+    campaigns_per_cell: int
+    tasks_total: int
+    tasks_completed: int
+    interventions: int
+    #: (effect value, run count) pairs in severity order (Table 3).
+    effect_tallies: Tuple[Tuple[str, int], ...]
+    #: (benchmark, core, completed campaigns) per grid cell, grid order.
+    cells: Tuple[Tuple[str, int, int], ...]
+    #: Mean per-task seconds from a live metrics snapshot, if provided.
+    mean_task_seconds: Optional[float] = None
+
+    @property
+    def tasks_remaining(self) -> int:
+        return self.tasks_total - self.tasks_completed
+
+    @property
+    def fraction(self) -> float:
+        return self.tasks_completed / self.tasks_total if self.tasks_total else 1.0
+
+    @property
+    def complete(self) -> bool:
+        return self.tasks_remaining == 0
+
+    @property
+    def eta_s(self) -> Optional[float]:
+        """Estimated seconds to completion, when a task rate is known."""
+        if self.mean_task_seconds is None:
+            return None
+        return self.mean_task_seconds * self.tasks_remaining
+
+
+def _read_mean_task_seconds(path: Union[str, Path]) -> Optional[float]:
+    """Mean task latency out of a ``repro-metrics/v1`` JSON snapshot."""
+    data = json.loads(Path(path).read_text(encoding="utf-8"))
+    if not isinstance(data, dict) or data.get("format") != METRICS_FORMAT:
+        raise ValueError(
+            f"{path}: not a {METRICS_FORMAT} snapshot "
+            "(pass the JSON file written by --metrics)"
+        )
+    for metric in data.get("metrics", []):
+        if metric.get("name") != M_TASK_SECONDS:
+            continue
+        for sample in metric.get("samples", []):
+            count = sample.get("count", 0)
+            if count:
+                return float(sample["sum"]) / float(count)
+    return None
+
+
+def campaign_status(
+    store: Union[str, Path],
+    metrics_path: Optional[Union[str, Path]] = None,
+) -> CampaignStatus:
+    """Summarize a store directory (and optional metrics snapshot)."""
+    # Imported lazily: repro.store imports repro.telemetry at module
+    # level to instrument journal appends, so the top-level import
+    # would be circular.
+    from ..store import CampaignStore
+
+    opened = CampaignStore.open(store)
+    manifest = opened.manifest
+    completed = opened.completed_keys()
+
+    tallies: Dict[str, int] = {effect.value: 0 for effect in EFFECT_ORDER}
+    interventions = 0
+    per_cell: Dict[Tuple[str, int], int] = {
+        (name, core): 0 for name in manifest.workloads for core in manifest.cores
+    }
+    for stored in opened.campaigns():
+        interventions += stored.interventions
+        per_cell[(stored.benchmark, stored.core)] += 1
+        for record in stored.records:
+            for effect in record.effects:
+                tallies[effect.value] += 1
+
+    chip = manifest.spec.chip
+    chip_name = chip if isinstance(chip, str) else getattr(chip, "name", str(chip))
+
+    mean_task_seconds = (
+        _read_mean_task_seconds(metrics_path) if metrics_path is not None else None
+    )
+    return CampaignStatus(
+        store_path=str(store),
+        chip=str(chip_name),
+        workloads=manifest.workloads,
+        cores=manifest.cores,
+        campaigns_per_cell=manifest.config.campaigns,
+        tasks_total=len(manifest.expected_keys()),
+        tasks_completed=len(completed),
+        interventions=interventions,
+        effect_tallies=tuple((effect.value, tallies[effect.value]) for effect in EFFECT_ORDER),
+        cells=tuple(
+            (name, core, per_cell[(name, core)])
+            for name in manifest.workloads
+            for core in manifest.cores
+        ),
+        mean_task_seconds=mean_task_seconds,
+    )
+
+
+def _format_eta(seconds: float) -> str:
+    if seconds >= 3600:
+        return f"{seconds / 3600:.1f} h"
+    if seconds >= 60:
+        return f"{seconds / 60:.1f} min"
+    return f"{seconds:.1f} s"
+
+
+def render_status(status: CampaignStatus) -> str:
+    """Human-readable report for ``repro status``."""
+    lines: List[str] = []
+    lines.append(f"store: {status.store_path} (chip {status.chip})")
+    lines.append(
+        f"progress: {status.tasks_completed}/{status.tasks_total} tasks "
+        f"({status.fraction * 100:.1f} %)"
+        + (", complete" if status.complete else f", {status.tasks_remaining} remaining")
+    )
+    if status.eta_s is not None and not status.complete:
+        assert status.mean_task_seconds is not None
+        lines.append(
+            f"eta: {_format_eta(status.eta_s)} "
+            f"at {status.mean_task_seconds:.3f} s/task"
+        )
+    lines.append(f"watchdog interventions: {status.interventions}")
+    lines.append("effect classes (runs):")
+    for effect, count in status.effect_tallies:
+        lines.append(f"  {effect:>4}: {count}")
+    lines.append("grid cells (campaigns done of "
+                 f"{status.campaigns_per_cell}):")
+    for benchmark, core, done in status.cells:
+        lines.append(f"  {benchmark} c{core}: {done}/{status.campaigns_per_cell}")
+    return "\n".join(lines) + "\n"
+
+
+__all__ = ["CampaignStatus", "campaign_status", "render_status"]

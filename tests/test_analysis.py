@@ -196,7 +196,7 @@ class TestClaims:
 
 
 # ---------------------------------------------------------------------------
-# reprolint -- the RPR001-RPR007 invariant checker
+# reprolint -- the RPR001-RPR008 invariant checker
 # ---------------------------------------------------------------------------
 
 SIM = "src/repro/core/fixture.py"
@@ -498,11 +498,54 @@ class TestSuppressions:
         assert lint_rules("def broken(:\n") == ["RPR000"]
 
 
+class TestRPR008BarePrint:
+    def test_print_in_library_module_flagged(self):
+        assert lint_rules("""
+            def report(result):
+                print("vmin:", result)
+        """) == ["RPR008"]
+
+    def test_cli_module_allowed(self):
+        assert lint_rules("""
+            def main():
+                print("hello")
+        """, path="src/repro/cli.py") == []
+
+    def test_lint_cli_module_allowed(self):
+        assert lint_rules("""
+            def render():
+                print("findings")
+        """, path="src/repro/analysis/lint/cli.py") == []
+
+    def test_ascii_plots_allowed(self):
+        assert lint_rules("""
+            def draw():
+                print("#" * 10)
+        """, path="src/repro/analysis/ascii_plots.py") == []
+
+    def test_console_progress_allowed(self):
+        assert lint_rules("""
+            def render():
+                print("tasks: 1/2")
+        """, path="src/repro/parallel/progress.py") == []
+
+    def test_outside_repro_out_of_scope(self):
+        assert lint_rules("""
+            print("scripts may print")
+        """, path="tools/fixture.py") == []
+
+    def test_shadowed_print_method_not_flagged(self):
+        assert lint_rules("""
+            def render(doc):
+                doc.print()
+        """) == []
+
+
 class TestLintRegistry:
-    def test_seven_rules_registered(self):
+    def test_eight_rules_registered(self):
         ids = [rule.rule_id for rule in all_rules()]
         assert ids == ["RPR001", "RPR002", "RPR003", "RPR004",
-                       "RPR005", "RPR006", "RPR007"]
+                       "RPR005", "RPR006", "RPR007", "RPR008"]
 
     def test_unknown_rule_rejected(self):
         with pytest.raises(ConfigurationError):

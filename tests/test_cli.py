@@ -296,10 +296,80 @@ class TestLint:
     def test_list_rules_catalog(self, capsys):
         assert main(["lint", "--list-rules"]) == 0
         out = capsys.readouterr().out
-        for rule_id in ("RPR001", "RPR002", "RPR003",
-                        "RPR004", "RPR005", "RPR006"):
+        for rule_id in ("RPR001", "RPR002", "RPR003", "RPR004",
+                        "RPR005", "RPR006", "RPR007", "RPR008"):
             assert rule_id in out
 
+class TestTelemetryFlags:
+    GRID = ["grid", "TTT", "--benchmarks", "mcf", "--cores", "0",
+            "--campaigns", "2", "--runs-per-level", "3", "--start-mv", "910"]
+
+    def test_grid_writes_traces_and_metrics(self, capsys, tmp_path):
+        trace_dir = tmp_path / "trace"
+        metrics = tmp_path / "metrics.prom"
+        assert main([*self.GRID, "--store", str(tmp_path / "store"),
+                     "--trace", str(trace_dir),
+                     "--metrics", str(metrics)]) == 0
+        err = capsys.readouterr().err
+        assert "metrics exported" in err
+        names = sorted(p.name for p in trace_dir.glob("trace-*.jsonl"))
+        assert names == ["trace-mcf_c0_k1.jsonl", "trace-mcf_c0_k2.jsonl",
+                         "trace-session.jsonl"]
+        text = metrics.read_text()
+        assert "# TYPE repro_engine_tasks_completed_total counter" in text
+        assert "repro_engine_tasks_completed_total 2" in text
+
+    def test_metrics_json_snapshot(self, capsys, tmp_path):
+        metrics = tmp_path / "metrics.json"
+        assert main(["characterize", "TTT", "mcf", "--campaigns", "2",
+                     "--start-mv", "910", "--metrics", str(metrics)]) == 0
+        capsys.readouterr()
+        payload = json.loads(metrics.read_text())
+        assert payload["format"] == "repro-metrics/v1"
+        assert any(m["name"] == "repro_effects_total"
+                   for m in payload["metrics"])
+
+    def test_telemetry_does_not_change_output(self, capsys, tmp_path):
+        assert main(self.GRID) == 0
+        plain = capsys.readouterr().out
+        assert main([*self.GRID, "--trace", str(tmp_path / "t"),
+                     "--metrics", str(tmp_path / "m.prom")]) == 0
+        assert capsys.readouterr().out == plain
+
+
+class TestStatus:
+    def test_status_reports_complete_store(self, capsys, tmp_path):
+        store = tmp_path / "store"
+        assert main(["grid", "TTT", "--benchmarks", "mcf", "--cores", "0",
+                     "--campaigns", "2", "--runs-per-level", "3",
+                     "--start-mv", "910", "--store", str(store)]) == 0
+        capsys.readouterr()
+        assert main(["status", str(store)]) == 0
+        out = capsys.readouterr().out
+        assert "2/2 tasks" in out and "complete" in out
+        assert "mcf c0" in out and "effect classes" in out
+
+    def test_status_partial_store_with_metrics_eta(self, capsys, tmp_path):
+        store = tmp_path / "store"
+        metrics = tmp_path / "metrics.json"
+        assert main(["grid", "TTT", "--benchmarks", "mcf", "--cores", "0",
+                     "--campaigns", "2", "--runs-per-level", "3",
+                     "--start-mv", "910", "--store", str(store),
+                     "--metrics", str(metrics)]) == 0
+        journal = store / "journal.jsonl"
+        lines = journal.read_text().splitlines(keepends=True)
+        journal.write_text(lines[0])
+        capsys.readouterr()
+        assert main(["status", str(store), "--metrics", str(metrics)]) == 0
+        out = capsys.readouterr().out
+        assert "1/2 tasks" in out and "eta" in out
+
+    def test_status_missing_store_is_usage_error(self, capsys, tmp_path):
+        assert main(["status", str(tmp_path / "nowhere")]) == 2
+        assert "error" in capsys.readouterr().err
+
+
+class TestModuleEntryPoint:
     def test_module_entry_point_matches(self, tmp_path):
         dirty = tmp_path / "dirty.py"
         dirty.write_text("vmin_mv = 0.98\n")
