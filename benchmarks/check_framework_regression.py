@@ -1,0 +1,106 @@
+"""Gate CI on the framework-throughput benchmark against a baseline.
+
+``pytest-benchmark`` JSON from ``test_framework_throughput.py`` is
+compared against the committed baseline
+(``benchmarks/framework_baseline.json``).  Raw wall times differ
+between runners, so the gated metric is *normalized* campaign cost::
+
+    normalized = min(test_campaign_throughput) / min(test_single_run_throughput)
+
+i.e. how many single characterization runs one batch-kernel campaign
+costs.  Both numerator and denominator move together with host speed,
+so the ratio tracks the kernel's algorithmic cost, not the machine.
+The check fails when the ratio regresses more than ``--threshold``
+(default 25%) over the baseline.
+
+Usage::
+
+    python benchmarks/check_framework_regression.py BENCH_framework.json
+    python benchmarks/check_framework_regression.py BENCH_framework.json --update
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+BASELINE = Path(__file__).resolve().parent / "framework_baseline.json"
+CAMPAIGN = "test_campaign_throughput"
+SINGLE_RUN = "test_single_run_throughput"
+DEFAULT_THRESHOLD = 1.25
+
+
+def _min_times(bench_json: dict) -> dict:
+    """``{benchmark name: min wall time in seconds}``."""
+    times = {}
+    for bench in bench_json.get("benchmarks", []):
+        times[bench["name"]] = float(bench["stats"]["min"])
+    return times
+
+
+def normalized_campaign_cost(bench_json: dict) -> dict:
+    times = _min_times(bench_json)
+    missing = [name for name in (CAMPAIGN, SINGLE_RUN) if name not in times]
+    if missing:
+        raise SystemExit(
+            f"benchmark JSON lacks {missing}; "
+            f"found {sorted(times)} -- was the full framework "
+            "benchmark file run?"
+        )
+    return {
+        "normalized_campaign_cost": times[CAMPAIGN] / times[SINGLE_RUN],
+        "campaign_min_s": times[CAMPAIGN],
+        "single_run_min_s": times[SINGLE_RUN],
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("bench_json", type=Path,
+                        help="pytest-benchmark JSON to check")
+    parser.add_argument("--baseline", type=Path, default=BASELINE)
+    parser.add_argument("--threshold", type=float, default=DEFAULT_THRESHOLD,
+                        help="fail above baseline * THRESHOLD "
+                             f"(default {DEFAULT_THRESHOLD})")
+    parser.add_argument("--update", action="store_true",
+                        help="rewrite the baseline from this run "
+                             "instead of checking against it")
+    args = parser.parse_args(argv)
+
+    current = normalized_campaign_cost(
+        json.loads(args.bench_json.read_text())
+    )
+
+    if args.update:
+        args.baseline.write_text(json.dumps(current, indent=2) + "\n")
+        print(f"baseline updated: {args.baseline} "
+              f"(normalized cost {current['normalized_campaign_cost']:.2f})")
+        return 0
+
+    baseline = json.loads(args.baseline.read_text())
+    allowed = baseline["normalized_campaign_cost"] * args.threshold
+    got = current["normalized_campaign_cost"]
+    verdict = "OK" if got <= allowed else "REGRESSION"
+    print(
+        f"{verdict}: one campaign costs {got:.2f} single runs "
+        f"(baseline {baseline['normalized_campaign_cost']:.2f}, "
+        f"allowed <= {allowed:.2f}; campaign "
+        f"{current['campaign_min_s'] * 1e3:.2f} ms, single run "
+        f"{current['single_run_min_s'] * 1e6:.1f} us)"
+    )
+    if got > allowed:
+        print(
+            "campaign throughput regressed more than "
+            f"{(args.threshold - 1) * 100:.0f}% over the committed "
+            "baseline; if the slowdown is intentional, refresh it with "
+            f"`python {Path(__file__).name} <json> --update`",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,4 +1,4 @@
-"""The RPR001-RPR008 rule set.
+"""The RPR001-RPR009 rule set.
 
 Each rule encodes one invariant the reproduction's results rest on;
 the canonical values a rule compares against (Table-4 weights, the
@@ -25,6 +25,9 @@ RPR008            no bare ``print()`` in library code outside
                   ``cli.py``, ``analysis/ascii_plots.py`` and
                   ``parallel/progress.py``; output routes through
                   :mod:`repro.telemetry`
+RPR009            no voltage-curve evaluation inside per-run loops in
+                  ``core/`` / ``hardware/``; compile the curve into a
+                  table (:mod:`repro.core.kernel`) once per campaign
 ================  =====================================================
 """
 
@@ -799,3 +802,93 @@ class NoBarePrint(Rule):
                     "repro.telemetry (get_logger/event/metrics) or move "
                     "it to a cli.py surface",
                 )
+
+
+# ---------------------------------------------------------------------------
+# RPR009 -- voltage-curve evaluation inside per-run loops
+# ---------------------------------------------------------------------------
+
+#: Methods that evaluate a voltage/fault curve.  Each is pure in the
+#: voltage argument, so inside a per-run loop every call after the
+#: first recomputes a value the batch kernel compiles exactly once.
+_CURVE_EVAL_METHODS = frozenset({
+    "probability", "effect_probabilities", "probability_table",
+    "single_event_rate", "double_event_rate", "poisson_rate_table",
+    "event_rate_table",
+})
+
+#: Packages where per-run loops are hot paths (campaign execution).
+_RUN_LOOP_PACKAGES = frozenset({"core", "hardware"})
+
+
+def _function_uses_rng(node: ast.AST) -> bool:
+    """True when a function takes or references an ``rng`` -- the
+    signature of a per-*run* body rather than per-campaign setup."""
+    args = getattr(node, "args", None)
+    if args is not None:
+        every = (
+            list(args.posonlyargs) + list(args.args)
+            + list(args.kwonlyargs)
+            + [a for a in (args.vararg, args.kwarg) if a is not None]
+        )
+        if any(arg.arg == "rng" for arg in every):
+            return True
+    for sub in ast.walk(node):
+        if isinstance(sub, ast.Name) and sub.id == "rng":
+            return True
+        if isinstance(sub, ast.Attribute) and sub.attr == "rng":
+            return True
+    return False
+
+
+@register_rule
+class CurveEvalInRunLoop(Rule):
+    """RPR009: curve objects are compiled, not re-evaluated per run.
+
+    The batch kernel (:mod:`repro.core.kernel`) exists because the
+    fault surface is a pure function of voltage: it can be tabulated
+    once per campaign and indexed thereafter.  A call to a curve-eval
+    method (``probability``, ``poisson_rate_table``, ...) inside a
+    ``for``/``while`` body of an rng-driven function in ``core/`` or
+    ``hardware/`` re-derives that table on every run -- the exact
+    pattern whose removal bought the kernel its speedup, and the first
+    thing a future refactor is likely to reintroduce.
+    """
+
+    rule_id = "RPR009"
+    name = "no-curve-eval-in-run-loop"
+    description = (
+        "voltage-curve evaluation inside a per-run loop; hoist it out "
+        "of the loop or compile a VoltageTable (repro.core.kernel) "
+        "once per campaign"
+    )
+    protects = "throughput: the batch kernel's compile-once contract"
+
+    def check(self, ctx: FileContext) -> Iterator[Diagnostic]:
+        if _module_package(ctx) not in _RUN_LOOP_PACKAGES:
+            return
+        seen: Set[int] = set()
+        for func in ast.walk(ctx.tree):
+            if not isinstance(func, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            if not _function_uses_rng(func):
+                continue
+            for loop in ast.walk(func):
+                if not isinstance(loop, (ast.For, ast.While)):
+                    continue
+                for node in ast.walk(loop):
+                    if (
+                        isinstance(node, ast.Call)
+                        and isinstance(node.func, ast.Attribute)
+                        and node.func.attr in _CURVE_EVAL_METHODS
+                        and id(node) not in seen
+                    ):
+                        seen.add(id(node))
+                        yield self.diagnostic(
+                            ctx, node,
+                            f"{node.func.attr}() evaluated inside a "
+                            "per-run loop; the curve is pure in voltage "
+                            "-- evaluate it once before the loop or "
+                            "compile a VoltageTable "
+                            "(repro.core.kernel) per campaign",
+                        )

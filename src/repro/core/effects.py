@@ -13,6 +13,11 @@ from typing import Dict, FrozenSet, Iterable, Optional
 
 from ..effects import EffectType, normalize_effects
 
+#: Shared singletons for the two single-effect outcomes every campaign
+#: produces in bulk; classification is allocation-free for them.
+_SC_RUN = frozenset({EffectType.SC})
+_NO_RUN = frozenset({EffectType.NO})
+
 
 def classify_run(
     responsive: bool,
@@ -33,7 +38,14 @@ def classify_run(
     * none of the above -> **NO**.
     """
     if not responsive or exit_code is None:
-        return frozenset({EffectType.SC})
+        return _SC_RUN
+    if (
+        exit_code == 0
+        and edac_ce <= 0
+        and edac_ue <= 0
+        and output == expected_output
+    ):
+        return _NO_RUN
     effects = set()
     if edac_ce > 0:
         effects.add(EffectType.CE)

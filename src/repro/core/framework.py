@@ -19,6 +19,7 @@ the watchdog's buttons.
 
 from __future__ import annotations
 
+import zlib
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -35,6 +36,7 @@ from ..workloads.benchmark import Benchmark, Program
 from ..hardware import MachineState
 from ..machines import Machine, machine_to_spec
 from .campaign import CampaignResult, CharacterizationResult
+from .kernel import CampaignKernel
 from .parser import format_run_block, parse_log
 from .runs import CharacterizationSetup, RunRecord
 from .watchdog import WatchdogAction, WatchdogMonitor
@@ -78,10 +80,19 @@ class CharacterizationFramework:
         machine: Machine,
         config: FrameworkConfig = FrameworkConfig(),
         watchdog: Optional[WatchdogMonitor] = None,
+        use_kernel: bool = True,
     ) -> None:
         self.machine = machine
         self.config = config
         self.watchdog = watchdog or WatchdogMonitor(machine)
+        #: Prefer the vectorized batch kernel (:mod:`repro.core.kernel`)
+        #: when the machine's components are table-compilable; the
+        #: scalar path remains the fallback (and the reference
+        #: semantics) either way.
+        self.use_kernel = bool(use_kernel)
+        #: Which path the most recent :meth:`run_campaign` took:
+        #: ``"batch"``, ``"scalar"``, or None before any campaign.
+        self.last_campaign_path: Optional[str] = None
         #: Raw log text of every campaign, keyed by
         #: (benchmark, core, freq, campaign_index).
         self.raw_logs: Dict[Tuple[str, int, int, int], str] = {}
@@ -95,6 +106,12 @@ class CharacterizationFramework:
         #: Execution metadata of the last engine-backed
         #: :meth:`characterize_many` (None until one has run).
         self.last_engine_report = None
+        #: Batch kernels compiled this characterization, keyed by
+        #: (benchmark, core, freq) -> (surface token, kernel); see
+        #: :meth:`_compile_kernel`.
+        self._kernel_cache: Dict[
+            Tuple[str, int, int], Tuple[str, CampaignKernel]
+        ] = {}
 
     # -- phase 2: execution -----------------------------------------------
 
@@ -121,6 +138,13 @@ class CharacterizationFramework:
 
         Returns the parsed :class:`CampaignResult`; the raw log text is
         kept in :attr:`raw_logs`.
+
+        When the machine's components are table-compilable (and
+        :attr:`use_kernel` is set) the campaign executes on the batch
+        kernel (:mod:`repro.core.kernel`) -- bit-identical records and
+        raw logs, an order of magnitude faster; otherwise it falls back
+        to the scalar loop below.  :attr:`last_campaign_path` and the
+        ``repro_kernel_campaigns_total`` counter record which path ran.
         """
         program = self._as_program(workload)
         cfg = self.config
@@ -137,6 +161,36 @@ class CharacterizationFramework:
             campaign=campaign_index,
             freq_mhz=cfg.freq_mhz,
         ):
+            kernel = self._compile_kernel(program, core) if self.use_kernel else None
+            self.last_campaign_path = "batch" if kernel is not None else "scalar"
+            telemetry.inc_counter(
+                telemetry.M_KERNEL_CAMPAIGNS, path=self.last_campaign_path
+            )
+            if kernel is not None:
+                log_text, result = kernel.execute(schedule, campaign_index)
+                key = (program.name, core, cfg.freq_mhz, campaign_index)
+                self.raw_logs[key] = log_text
+                with telemetry.span("parse", campaign=campaign_index):
+                    # The kernel already built the records; keep the
+                    # parse-phase counter totals identical to the
+                    # scalar path (one aggregated increment per effect
+                    # class instead of one call per occurrence).
+                    effect_totals: Dict[str, int] = {}
+                    for record in result.records:
+                        for effect in record.effects:
+                            value = effect.value
+                            effect_totals[value] = (
+                                effect_totals.get(value, 0) + 1
+                            )
+                    for value, amount in effect_totals.items():
+                        telemetry.inc_counter(
+                            telemetry.M_EFFECTS, effect=value, amount=amount
+                        )
+                    telemetry.inc_counter(
+                        telemetry.M_PARSER_RUNS, amount=len(result.records)
+                    )
+                self._record_parsed_stats(key, log_text, result.records)
+                return result
             for voltage_mv in schedule:
                 level_all_crashed = True
                 with telemetry.span(
@@ -164,6 +218,45 @@ class CharacterizationFramework:
                 result = self._parse_campaign(log_text, campaign_index)
             self._record_parsed_stats(key, log_text, result.records)
         return result
+
+    def _compile_kernel(
+        self, program: Program, core: int
+    ) -> Optional[CampaignKernel]:
+        """Try to compile the machine's fault surface for the batch
+        kernel; ``None`` when the machine has no ``compile_batch_table``
+        hook or a component of it requires the scalar path.
+
+        Compiled kernels are cached across the campaigns of one
+        characterization, keyed by setup coordinates and invalidated by
+        the machine's ``batch_surface_token`` (a value snapshot of every
+        component the table depends on), so attaching an injector or
+        swapping an extension model between campaigns recompiles -- or
+        falls back -- exactly as a fresh compile would.
+        """
+        compile_table = getattr(self.machine, "compile_batch_table", None)
+        if compile_table is None:
+            return None
+        token_of = getattr(self.machine, "batch_surface_token", None)
+        key = (program.name, core, self.config.freq_mhz)
+        if token_of is not None:
+            cached = self._kernel_cache.get(key)
+            if cached is not None and cached[0] == token_of():
+                return cached[1]
+        table = compile_table(program, core, self.config.freq_mhz)
+        if table is None:
+            self._kernel_cache.pop(key, None)
+            return None
+        kernel = CampaignKernel(
+            machine=self.machine,
+            table=table,
+            config=self.config,
+            watchdog=self.watchdog,
+            prepare=self._prepare_machine,
+            restore=self._restore_safe_state,
+        )
+        if token_of is not None:
+            self._kernel_cache[key] = (token_of(), kernel)
+        return kernel
 
     def _execute_one(
         self,
@@ -299,6 +392,7 @@ class CharacterizationFramework:
             backend=backend,
             chunk_size=chunk_size,
             progress=progress if progress is not None else NULL_PROGRESS,
+            use_kernel=self.use_kernel,
         )
         report = engine.run(workloads, cores, store=store, resume=resume)
         self.raw_logs.update(report.raw_logs)
@@ -325,8 +419,14 @@ class CharacterizationFramework:
 
     @staticmethod
     def _log_fingerprint(text: str) -> Tuple[int, int]:
-        """Cheap identity of a raw log (length + content hash)."""
-        return (len(text), hash(text))
+        """Cheap identity of a raw log (length + CRC-32 of the text).
+
+        Deliberately *not* the builtin ``hash``: that one is salted by
+        ``PYTHONHASHSEED``, so its fingerprints are process-local and
+        would spuriously mismatch across worker restarts or resumed
+        sessions.
+        """
+        return (len(text), zlib.crc32(text.encode("utf-8")))
 
     def _record_parsed_stats(
         self,
@@ -335,9 +435,9 @@ class CharacterizationFramework:
         records: Sequence[object],
     ) -> None:
         """Cache run counts for :meth:`abnormal_run_fraction`."""
+        normal = frozenset({EffectType.NO})
         abnormal = sum(
-            1 for record in records
-            if record.effects != frozenset({EffectType.NO})
+            1 for record in records if record.effects != normal
         )
         self._parsed_stats[key] = (
             self._log_fingerprint(text), len(records), abnormal

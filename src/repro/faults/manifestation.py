@@ -24,7 +24,7 @@ convert SDC/UE probability mass into CE, which is exactly the paper's
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, Mapping, Optional
+from typing import Dict, FrozenSet, Mapping, Optional, Sequence
 
 import numpy as np
 
@@ -122,9 +122,47 @@ class EffectSampler:
 
     # -- probability views ---------------------------------------------------
 
+    @property
+    def cache_stack(self) -> Optional[object]:
+        """The wired cache hierarchy (``None`` on the analytic path)."""
+        return self._cache_stack
+
+    @property
+    def ue_ac_fraction(self) -> float:
+        """Probability that a consumed uncorrectable error aborts the run."""
+        return self._UE_AC_FRACTION
+
     def probability(self, unit: FunctionalUnit, voltage_mv: float) -> float:
         """Per-run failure probability of one unit at a voltage."""
         return self._models[unit].probability(voltage_mv)
+
+    def probability_table(self, voltages: Sequence[int]) -> Dict[str, np.ndarray]:
+        """Every per-run draw threshold of :meth:`sample`, tabulated.
+
+        Evaluated by calling the same scalar methods :meth:`sample` uses
+        (never re-derived arithmetic), so each entry is bit-equal to the
+        per-run value -- the exactness contract of the batch kernel
+        (:mod:`repro.core.kernel`) rests on this.  Keys: ``sc`` (clock/
+        uncore hang), ``ac_timing`` (control/LSU process kill), ``sdc``,
+        ``sdc_to_ce`` (coverage conversion), ``ce``/``ue`` (analytic
+        SRAM path; unused when a cache stack is wired).
+        """
+        n = len(voltages)
+        table = {
+            key: np.empty(n, dtype=np.float64)
+            for key in ("sc", "ac_timing", "sdc", "sdc_to_ce", "ce", "ue")
+        }
+        for i, voltage_mv in enumerate(voltages):
+            table["sc"][i] = self.probability(FunctionalUnit.CLOCK_UNCORE, voltage_mv)
+            p_control = self.probability(FunctionalUnit.CONTROL, voltage_mv)
+            p_lsu = self.probability(FunctionalUnit.LSU, voltage_mv)
+            table["ac_timing"][i] = 1.0 - (1.0 - p_control) * (1.0 - p_lsu)
+            table["sdc"][i] = self._sdc_probability(voltage_mv)
+            table["sdc_to_ce"][i] = self._sdc_conversion_to_ce(voltage_mv)
+            p_ce, p_ue = self._sram_probabilities(voltage_mv)
+            table["ce"][i] = p_ce
+            table["ue"][i] = p_ue
+        return table
 
     def effect_probabilities(self, voltage_mv: float) -> Dict[EffectType, float]:
         """Approximate marginal per-run probability of each effect.

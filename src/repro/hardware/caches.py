@@ -171,6 +171,23 @@ class CacheStack:
             ]
         )
 
+    def poisson_rate_table(self, voltages) -> np.ndarray:
+        """Per-voltage Poisson event rates of every level's array.
+
+        Row ``i`` holds, for voltage ``voltages[i]``, the channels in
+        the exact order :meth:`sample_errors` consumes them: per level
+        (stack order) the single-event rate then the double-event rate.
+        Built from :meth:`SramArray.event_rate_table` so each rate is
+        bit-equal to the scalar path's -- the batch kernel derives its
+        zero-event uniform thresholds from these.
+        """
+        out = np.empty((len(voltages), 2 * len(self.levels)), dtype=np.float64)
+        for j, level in enumerate(self.levels):
+            singles, doubles = level.array.event_rate_table(voltages)
+            out[:, 2 * j] = singles
+            out[:, 2 * j + 1] = doubles
+        return out
+
     def sample_errors(self, voltage_mv: float, rng: np.random.Generator) -> Dict[str, int]:
         """Aggregate CE/UE counts across all levels for one run.
 

@@ -78,17 +78,30 @@ class ClockController:
         return self.pmd_frequency_mhz(pmd_of_core(core))
 
     def set_pmd_frequency_mhz(self, pmd: int, freq_mhz: int) -> None:
-        """Program one PMD's frequency."""
+        """Program one PMD's frequency.
+
+        A request equal to the programmed value is a no-op (it was
+        validated when first stored), so per-run reprogramming at a
+        steady frequency skips grid validation.
+        """
         self._check_pmd(pmd)
-        self._pmd_freqs_mhz[pmd] = validate_frequency_mhz(freq_mhz)
+        if freq_mhz != self._pmd_freqs_mhz[pmd]:
+            self._pmd_freqs_mhz[pmd] = validate_frequency_mhz(freq_mhz)
 
     def park_all_except(self, cores: List[int]) -> None:
         """Reliable-cores setup (Section 2.2.1): park every PMD that
         hosts none of ``cores`` at 300 MHz, keep the rest as-is."""
+        freqs = self._pmd_freqs_mhz
+        if len(cores) == 1:
+            active = pmd_of_core(cores[0])
+            for pmd in range(NUM_PMDS):
+                if pmd != active:
+                    freqs[pmd] = PARK_FREQ_MHZ
+            return
         active_pmds = {pmd_of_core(core) for core in cores}
         for pmd in range(NUM_PMDS):
             if pmd not in active_pmds:
-                self._pmd_freqs_mhz[pmd] = PARK_FREQ_MHZ
+                freqs[pmd] = PARK_FREQ_MHZ
 
     def restore_all(self, freq_mhz: int = FREQ_MAX_MHZ) -> None:
         """Set every PMD to one frequency."""

@@ -55,6 +55,9 @@ class PowerDomain:
 
     def __post_init__(self) -> None:
         self._voltage_mv = self.nominal_mv
+        # Last request that passed grid validation (not a dataclass
+        # field: a pure cache, excluded from eq/repr).
+        self._validated_mv = self.nominal_mv
 
     @property
     def voltage_mv(self) -> int:
@@ -65,7 +68,11 @@ class PowerDomain:
         """Program a new supply voltage (5 mV grid, at or below nominal)."""
         if not self.scalable:
             raise VoltageRangeError(f"domain {self.name!r} is not scalable")
+        if voltage_mv == self._validated_mv:
+            self._voltage_mv = self._validated_mv
+            return
         self._voltage_mv = validate_voltage_mv(voltage_mv, nominal_mv=self.nominal_mv)
+        self._validated_mv = self._voltage_mv
 
     def restore_nominal(self) -> None:
         """Return to the nominal supply (always allowed)."""
@@ -96,9 +103,20 @@ class VoltageRegulator:
         else:
             shared = PowerDomain("PMD", PMD_NOMINAL_MV)
             self._pmd_domains = [shared] * NUM_PMDS
+        #: The physically distinct PMD planes (one shared plane in
+        #: stock configuration) -- what per-plane operations iterate.
+        self._distinct_pmd_domains = tuple(
+            {id(domain): domain for domain in self._pmd_domains}.values()
+        )
         #: Transaction log mirroring what the I2C instrumentation
         #: interface would show (domain name, programmed mV).
         self.transactions: List[Tuple[str, int]] = []
+        # Precomputed restore-to-nominal log entries (immutable tuples,
+        # safe to append repeatedly).
+        self._nominal_transactions = tuple(
+            (domain.name, domain.nominal_mv)
+            for domain in self._distinct_pmd_domains
+        ) + ((self.soc.name, self.soc.nominal_mv),)
 
     # -- PMD plane(s) -----------------------------------------------------
 
@@ -119,8 +137,7 @@ class VoltageRegulator:
         is precisely the limitation the Section-6 ablation removes.
         """
         if pmd is None:
-            targets = self._pmd_domains[:1] if not self.per_pmd_domains else self._pmd_domains
-            for domain in targets:
+            for domain in self._distinct_pmd_domains:
                 domain.set_voltage_mv(voltage_mv)
                 self.transactions.append((domain.name, voltage_mv))
             return
@@ -140,14 +157,10 @@ class VoltageRegulator:
 
     def restore_nominal(self) -> None:
         """Return every scalable domain to nominal (safe-state entry)."""
-        seen = set()
-        for domain in self._pmd_domains:
-            if id(domain) not in seen:
-                domain.restore_nominal()
-                self.transactions.append((domain.name, domain.nominal_mv))
-                seen.add(id(domain))
+        for domain in self._distinct_pmd_domains:
+            domain.restore_nominal()
         self.soc.restore_nominal()
-        self.transactions.append((self.soc.name, self.soc.nominal_mv))
+        self.transactions.extend(self._nominal_transactions)
 
     def domains(self) -> Dict[str, PowerDomain]:
         """All distinct domains by name (diagnostics view)."""

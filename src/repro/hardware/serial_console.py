@@ -53,7 +53,7 @@ class SerialConsole:
         """Lines printed since the previous read."""
         new = self._lines[self._cursor:]
         self._cursor = len(self._lines)
-        return list(new)
+        return new
 
     def all_lines(self) -> List[str]:
         return list(self._lines)

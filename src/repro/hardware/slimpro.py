@@ -15,11 +15,14 @@ how the real framework drives the real board.
 
 from __future__ import annotations
 
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from .domains import VoltageRegulator
 from .edac import EdacDriver
 from .sensors import FanController
+
+#: Immutable log entry appended on every safe-state restore.
+_RESTORE_LOG_ENTRY = ("set_voltage", "all=nominal")
 
 
 class SlimPro:
@@ -37,14 +40,24 @@ class SlimPro:
         #: I2C transaction log: (operation, argument) tuples.
         self.i2c_log: List[Tuple[str, str]] = []
         self._last_power_w = 0.0
+        # (voltage_mv, log tuple) of the last shared-plane programming.
+        self._pmd_log_cache: Optional[Tuple[int, Tuple[str, str]]] = None
 
     # -- voltage regulation ----------------------------------------------
 
     def set_pmd_voltage_mv(self, voltage_mv: int, pmd: int = None) -> None:
         """Program the PMD plane (or one plane in the per-PMD ablation)."""
         self._regulator.set_pmd_voltage_mv(voltage_mv, pmd=pmd)
-        target = "PMD" if pmd is None else f"PMD{pmd}"
-        self.i2c_log.append(("set_voltage", f"{target}={voltage_mv}mV"))
+        if pmd is None:
+            # Steady-voltage reprogramming (one entry per run at a
+            # level) reuses the immutable log tuple.
+            cache = self._pmd_log_cache
+            if cache is None or cache[0] != voltage_mv:
+                cache = (voltage_mv, ("set_voltage", f"PMD={voltage_mv}mV"))
+                self._pmd_log_cache = cache
+            self.i2c_log.append(cache[1])
+        else:
+            self.i2c_log.append(("set_voltage", f"PMD{pmd}={voltage_mv}mV"))
 
     def get_pmd_voltage_mv(self, pmd: int = 0) -> int:
         return self._regulator.pmd_voltage_mv(pmd)
@@ -59,7 +72,7 @@ class SlimPro:
     def restore_nominal_voltages(self) -> None:
         """Safe-state entry before log collection (Section 2.2.1)."""
         self._regulator.restore_nominal()
-        self.i2c_log.append(("set_voltage", "all=nominal"))
+        self.i2c_log.append(_RESTORE_LOG_ENTRY)
 
     # -- sensors / thermal -------------------------------------------------
 

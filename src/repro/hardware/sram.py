@@ -101,6 +101,24 @@ class SramArray:
         p = min(self.cell_curve.probability(voltage_mv), 0.999999)
         return self.double_fraction * p * self.single_event_rate(voltage_mv)
 
+    def event_rate_table(
+        self, voltages: "Tuple[int, ...]"
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """``(single_rates, double_rates)`` over a voltage grid.
+
+        Tabulated by calling the scalar rate methods per voltage (not
+        vectorized arithmetic), so each entry is bit-equal to what
+        :meth:`sample_disturbances` would compute at run time -- the
+        batch kernel's Poisson zero-test thresholds depend on that.
+        """
+        n = len(voltages)
+        singles = np.empty(n, dtype=np.float64)
+        doubles = np.empty(n, dtype=np.float64)
+        for i, voltage_mv in enumerate(voltages):
+            singles[i] = self.single_event_rate(voltage_mv)
+            doubles[i] = self.double_event_rate(voltage_mv)
+        return singles, doubles
+
     def sample_disturbances(
         self, voltage_mv: float, rng: np.random.Generator, max_events: int = 16
     ) -> List[Tuple[int, Tuple[int, ...]]]:

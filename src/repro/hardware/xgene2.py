@@ -251,6 +251,11 @@ class XGene2Machine:
 
     # -- RNG derivation ------------------------------------------------------
 
+    @property
+    def run_counter(self) -> int:
+        """Runs executed so far (the per-run RNG derivation counter)."""
+        return self._run_counter
+
     def _run_rng(self, program_name: str, core: int, voltage_mv: int,
                  freq_mhz: int) -> np.random.Generator:
         """Deterministic per-run RNG from stable coordinates."""
@@ -321,6 +326,132 @@ class XGene2Machine:
         )
         return EffectSampler(models, protection=self.protection,
                              cache_stack=cache_stack, injector=self.injector)
+
+    # -- batch-kernel hooks ---------------------------------------------------
+
+    def compile_batch_table(self, workload: object, core: int, freq_mhz: int):
+        """Compile this machine's fault surface for the batch kernel.
+
+        Returns a :class:`repro.core.kernel.VoltageTable`, or ``None``
+        when some component requires the scalar path: a scripted
+        :class:`FaultInjector` (stateful FIFO consumed per run), an
+        undervolted SoC domain (adds per-run uncore draws), or an
+        extension model that is not exactly one of the pure built-in
+        dynamics dataclasses (a stateful subclass could legally mutate
+        across runs, which the table cannot represent).
+        """
+        if self.injector is not None:
+            return None
+        if self.regulator.soc.voltage_mv < self.chip.calibration.soc_vmin_mv:
+            return None
+        from .dynamics import (
+            AdaptiveClockingUnit,
+            AgingModel,
+            RollbackUnit,
+            SupplyDroopModel,
+            TemperatureSensitivity,
+        )
+
+        table_safe = (
+            (self.droop_model, SupplyDroopModel),
+            (self.adaptive_clock, AdaptiveClockingUnit),
+            (self.temperature_sensitivity, TemperatureSensitivity),
+            (self.aging_model, AgingModel),
+            (self.rollback_unit, RollbackUnit),
+        )
+        for component, built_in in table_safe:
+            if component is not None and type(component) is not built_in:
+                return None
+        if not 0 <= core < NUM_CORES:
+            raise ConfigurationError(f"core index must be 0..{NUM_CORES - 1}")
+        from ..core.kernel import compile_voltage_table
+
+        program = self._as_program(workload)
+        sampler = self._sampler_for(program, core, PMD_NOMINAL_MV, freq_mhz)
+        return compile_voltage_table(
+            sampler,
+            program,
+            core=core,
+            freq_mhz=freq_mhz,
+            chip_name=self.chip.name,
+            expected_output=reference_output(program),
+            rollback_coverage=(
+                self.rollback_unit.detection_coverage
+                if self.rollback_unit is not None
+                else None
+            ),
+        )
+
+    def batch_surface_token(self) -> str:
+        """Value snapshot of everything a compiled table depends on.
+
+        The framework caches compiled kernels across campaigns keyed by
+        this token: any change that could alter the fault surface (an
+        injector attaching, a SoC undervolt, an extension model being
+        replaced, reconfigured or mutated in place) produces a
+        different token and forces a fresh ``compile_batch_table``
+        pass.  Value ``repr`` (the dynamics models are plain
+        dataclasses) is what makes in-place mutation visible.
+        """
+        return repr((
+            self.injector is not None,
+            self.regulator.soc.voltage_mv,
+            self.droop_model,
+            self.adaptive_clock,
+            self.temperature_sensitivity,
+            self.aging_model,
+            self.rollback_unit,
+            self.failure_profile,
+            self.protection,
+            self.use_cache_models,
+        ))
+
+    def kernel_execute(self, table: object, vidx: int,
+                       effects: object, detail: dict):
+        """Apply one sampled batch-kernel outcome to the machine.
+
+        The kernel samples ``(effects, detail)`` from the compiled
+        table (sampling is machine-independent); this method mirrors
+        every observable state transition of :meth:`run_program` (run
+        counter, power estimate, hang/tick bookkeeping, EDAC reports).
+        Returns the log-visible tuple ``(effects, exit_code, output,
+        edac_ce, edac_ue, locations)``.
+        """
+        if self._state is MachineState.HUNG:
+            raise MachineStateError("machine is hung; reset it first")
+        if self._state is MachineState.OFF:
+            raise MachineStateError("machine is powered off")
+        self._run_counter += 1
+        self.slimpro.update_power_estimate(table.power_w(vidx, self))
+        if EffectType.SC in effects:
+            self._state = MachineState.HUNG
+            self.console.go_silent()
+            self._tick += self.HEARTBEAT_TIMEOUT_TICKS + 1
+            return effects, None, None, 0, 0, {}
+        if detail:
+            self._report_edac(detail, table.core)
+            ce = int(detail.get("corrected_errors", 0))
+            ue = int(detail.get("uncorrected_errors", 0))
+            locations = {
+                key: value
+                for key, value in detail.items()
+                if key.startswith(("ce_", "ue_"))
+            }
+        else:
+            ce = 0
+            ue = 0
+            locations = {}
+        if EffectType.AC in effects:
+            exit_code: Optional[int] = 139
+            output: Optional[str] = None
+        else:
+            exit_code = 0
+            if EffectType.SDC in effects:
+                output = corrupted_output(table.program, self._run_counter)
+            else:
+                output = table.expected_output
+        self._advance()
+        return effects, exit_code, output, ce, ue, locations
 
     # -- the PCP/SoC domain's own margin (extension study) ---------------------------
 

@@ -49,6 +49,7 @@ from .metrics import (
     M_INTERVENTIONS,
     M_JOURNAL_APPENDS,
     M_JOURNAL_FSYNC_SECONDS,
+    M_KERNEL_CAMPAIGNS,
     M_LOG_MESSAGES,
     M_PARSER_RUNS,
     M_PREDICTION_CHARACTERIZATIONS,
@@ -123,6 +124,7 @@ __all__ = [
     "M_JOURNAL_APPENDS",
     "M_JOURNAL_FSYNC_SECONDS",
     "M_PARSER_RUNS",
+    "M_KERNEL_CAMPAIGNS",
     "M_LOG_MESSAGES",
     "M_PREDICTION_PROFILES",
     "M_PREDICTION_CHARACTERIZATIONS",

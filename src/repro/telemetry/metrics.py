@@ -37,6 +37,7 @@ M_WATCHDOG = "repro_watchdog_recoveries_total"
 M_JOURNAL_APPENDS = "repro_store_journal_appends_total"
 M_JOURNAL_FSYNC_SECONDS = "repro_store_journal_fsync_seconds"
 M_PARSER_RUNS = "repro_parser_runs_total"
+M_KERNEL_CAMPAIGNS = "repro_kernel_campaigns_total"
 M_LOG_MESSAGES = "repro_log_messages_total"
 M_PREDICTION_PROFILES = "repro_prediction_profiles_total"
 M_PREDICTION_CHARACTERIZATIONS = "repro_prediction_characterizations_total"
@@ -58,6 +59,7 @@ METRIC_CATALOG: Dict[str, Tuple[str, str]] = {
     M_JOURNAL_APPENDS: ("counter", "Campaign records appended to the store journal."),
     M_JOURNAL_FSYNC_SECONDS: ("histogram", "Journal append write+fsync latency."),
     M_PARSER_RUNS: ("counter", "Run blocks parsed from characterization logs."),
+    M_KERNEL_CAMPAIGNS: ("counter", "Campaigns by evaluation path (batch kernel vs scalar fallback)."),
     M_LOG_MESSAGES: ("counter", "Structured log messages by level."),
     M_PREDICTION_PROFILES: ("counter", "Performance-counter profiles computed by the prediction pipeline."),
     M_PREDICTION_CHARACTERIZATIONS: ("counter", "Characterizations run by the prediction pipeline."),
@@ -359,6 +361,7 @@ __all__ = [
     "M_JOURNAL_APPENDS",
     "M_JOURNAL_FSYNC_SECONDS",
     "M_PARSER_RUNS",
+    "M_KERNEL_CAMPAIGNS",
     "M_LOG_MESSAGES",
     "M_PREDICTION_PROFILES",
     "M_PREDICTION_CHARACTERIZATIONS",

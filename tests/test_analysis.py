@@ -541,11 +541,69 @@ class TestRPR008BarePrint:
         """) == []
 
 
+class TestRPR009CurveEvalInRunLoop:
+    def test_curve_eval_in_run_loop_flagged(self):
+        assert lint_rules("""
+            def execute_runs(sampler, schedule, rng):
+                for voltage_mv in schedule:
+                    p = sampler.probability(voltage_mv)
+                    if rng.random() < p:
+                        yield voltage_mv
+        """) == ["RPR009"]
+
+    def test_table_method_in_while_loop_flagged(self):
+        assert lint_rules("""
+            def drain(stack, rng, levels):
+                while levels:
+                    rates = stack.poisson_rate_table(levels[:1])
+                    levels = levels[1:]
+                    rng.random()
+                    yield rates
+        """, path="src/repro/hardware/fixture.py") == ["RPR009"]
+
+    def test_eval_hoisted_before_loop_clean(self):
+        assert lint_rules("""
+            def execute_runs(sampler, schedule, rng):
+                table = sampler.probability_table(schedule)
+                for i, voltage_mv in enumerate(schedule):
+                    if rng.random() < table["sc"][i]:
+                        yield voltage_mv
+        """) == []
+
+    def test_function_without_rng_is_setup_not_run_loop(self):
+        # Per-campaign compilation legitimately loops over voltages.
+        assert lint_rules("""
+            def compile_table(sampler, voltages):
+                return [sampler.effect_probabilities(v) for v in voltages]
+
+            def compile_rows(stack, voltages):
+                rows = []
+                for v in voltages:
+                    rows.append(stack.single_event_rate(v))
+                return rows
+        """) == []
+
+    def test_analysis_package_out_of_scope(self):
+        assert lint_rules("""
+            def replot(curves, voltages, rng):
+                for v in voltages:
+                    yield curves.probability(v) + rng.random()
+        """, path="src/repro/analysis/fixture.py") == []
+
+    def test_unrelated_method_name_clean(self):
+        assert lint_rules("""
+            def execute(machine, schedule, rng):
+                for voltage_mv in schedule:
+                    machine.sample(voltage_mv, rng)
+        """) == []
+
+
 class TestLintRegistry:
-    def test_eight_rules_registered(self):
+    def test_nine_rules_registered(self):
         ids = [rule.rule_id for rule in all_rules()]
         assert ids == ["RPR001", "RPR002", "RPR003", "RPR004",
-                       "RPR005", "RPR006", "RPR007", "RPR008"]
+                       "RPR005", "RPR006", "RPR007", "RPR008",
+                       "RPR009"]
 
     def test_unknown_rule_rejected(self):
         with pytest.raises(ConfigurationError):

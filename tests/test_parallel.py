@@ -131,11 +131,11 @@ class TestRetryPolicy:
         real = engine_mod.run_campaign_chunk
         failures = {"left": 1}
 
-        def flaky(spec, config, tasks, collect_spans=False):
+        def flaky(spec, config, tasks, collect_spans=False, use_kernel=True):
             if failures["left"]:
                 failures["left"] -= 1
                 raise RuntimeError("simulated worker crash")
-            return real(spec, config, tasks, collect_spans)
+            return real(spec, config, tasks, collect_spans, use_kernel)
 
         monkeypatch.setattr(engine_mod, "run_campaign_chunk", flaky)
         with warnings.catch_warnings():

@@ -411,3 +411,35 @@ class TestStoreConsumers:
         assert first == resumed
         assert resumed[("bwaves", 0)].severity_by_voltage() == \
             reference.results[("bwaves", 0)].severity_by_voltage()
+
+
+class TestKernelPathStoreEquivalence:
+    """The batch kernel must journal byte-identical store contents.
+
+    The acceptance scenario of this module rerun through
+    ``use_kernel=True``: persistence happens downstream of campaign
+    execution, so the kernel's bit-identical RunRecord contract must
+    survive all the way into the journal bytes on disk.
+    """
+
+    def test_journal_bytes_identical_across_paths(self, tmp_path):
+        journals = {}
+        for use_kernel in (False, True):
+            directory = tmp_path / ("kernel" if use_kernel else "scalar")
+            directory.mkdir()
+            run_grid(store=directory, jobs=1, use_kernel=use_kernel)
+            journals[use_kernel] = (directory / JOURNAL_NAME).read_bytes()
+        assert journals[False] == journals[True]
+
+    def test_kernel_journal_resumes_on_scalar_path(self, tmp_path):
+        # A journal written by the kernel path must be resumable by the
+        # scalar path (and vice versa): the store records observables,
+        # not which execution path produced them.
+        run_grid(store=tmp_path, jobs=1, use_kernel=True)
+        killed = truncated_copy(tmp_path, tmp_path, keep=2)
+        resumed = run_grid(store=killed, resume=True, jobs=1,
+                           use_kernel=False)
+        full = run_grid(jobs=1, use_kernel=True)
+        assert resumed.results == full.results
+        assert (killed / JOURNAL_NAME).read_bytes() == \
+            (tmp_path / JOURNAL_NAME).read_bytes()
