@@ -20,6 +20,7 @@ from repro.prediction.rfe import RecursiveFeatureElimination
 def _reduced(dataset, n_features=5, forced=()):
     """RFE down to the study's feature count before CV (the CV then
     measures the *selected* model, as the paper's flow would)."""
+    dataset, _dropped = dataset.drop_constant_features()
     eliminable = [n for n in dataset.feature_names if n not in forced]
     sub = dataset.select_features(eliminable)
     result = RecursiveFeatureElimination(n_features=n_features, step=8).fit(

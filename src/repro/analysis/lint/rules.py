@@ -1,4 +1,4 @@
-"""The RPR001-RPR009 rule set.
+"""The RPR001-RPR010 rule set.
 
 Each rule encodes one invariant the reproduction's results rest on;
 the canonical values a rule compares against (Table-4 weights, the
@@ -28,6 +28,10 @@ RPR008            no bare ``print()`` in library code outside
 RPR009            no voltage-curve evaluation inside per-run loops in
                   ``core/`` / ``hardware/``; compile the curve into a
                   table (:mod:`repro.core.kernel`) once per campaign
+RPR010            single model path: fitted-model coefficients and
+                  artifacts serialize only through
+                  ``repro.store.models``; no ad-hoc json/pickle dumps
+                  of models elsewhere
 ================  =====================================================
 """
 
@@ -802,6 +806,75 @@ class NoBarePrint(Rule):
                     "repro.telemetry (get_logger/event/metrics) or move "
                     "it to a cli.py surface",
                 )
+
+
+# ---------------------------------------------------------------------------
+# RPR010 -- single serialization path for model artifacts
+# ---------------------------------------------------------------------------
+
+#: Serializer entry points whose use on fitted models bypasses the
+#: model store (pickle included: a pickled estimator is neither
+#: versioned nor digest-checked, and stops loading across refactors).
+_MODEL_SERIALIZER_PATHS = frozenset({
+    "json.dump", "json.dumps", "pickle.dump", "pickle.dumps",
+})
+
+#: Identifiers that mark a scope as handling fitted-model state.
+#: Dataset/metrics serialization is fine -- what must not leave through
+#: an ad-hoc dump is coefficient/selection state, which only the
+#: ``repro-model/v1`` artifact series may persist.
+_MODEL_DATA_MARKERS = frozenset({
+    "ModelArtifact", "FittedModel", "OrdinaryLeastSquares",
+    "OnlineLeastSquares", "StreamingTrainer", "coefficients_by_name",
+    "standardized_coef", "selected_features", "trainer_state",
+    "MODEL_FORMAT", "train_set_digest",
+})
+
+#: The sanctioned home of model serialization.
+_MODEL_STORE_MODULE = "repro.store.models"
+
+
+@register_rule
+class SingleModelPath(Rule):
+    rule_id = "RPR010"
+    name = "single-model-path"
+    description = (
+        "fitted models have one serialization path (repro.store.models "
+        "repro-model/v1 artifacts); ad-hoc json.dump/pickle of "
+        "coefficients elsewhere forks the artifact schema and loses "
+        "versioning, digests and journal offsets"
+    )
+    protects = "the repro-model/v1 artifact series as the single model source"
+
+    def check(self, ctx: FileContext) -> Iterator[Diagnostic]:
+        if not _is_repro_module(ctx) or ctx.module == _MODEL_STORE_MODULE:
+            return
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            path = ctx.resolve(node.func)
+            if path not in _MODEL_SERIALIZER_PATHS:
+                continue
+            scope = SinglePersistencePath._enclosing_scope(ctx.tree, node)
+            marker = self._model_marker(scope)
+            if marker is not None:
+                yield self.diagnostic(
+                    ctx, node,
+                    f"{path} in a scope handling fitted-model state "
+                    f"({marker}); persist models through "
+                    "repro.store.models.ModelStore (repro-model/v1 "
+                    "artifacts)",
+                )
+
+    @staticmethod
+    def _model_marker(scope: ast.AST) -> Optional[str]:
+        """First fitted-model identifier the scope mentions, if any."""
+        for sub in ast.walk(scope):
+            if isinstance(sub, ast.Name) and sub.id in _MODEL_DATA_MARKERS:
+                return sub.id
+            if isinstance(sub, ast.Attribute) and sub.attr in _MODEL_DATA_MARKERS:
+                return sub.attr
+        return None
 
 
 # ---------------------------------------------------------------------------

@@ -8,9 +8,12 @@ One subcommand per workflow::
                                       (or --machine spec.json)
     repro grid CHIP                   benchmark x core grid in parallel
     repro resume STORE                continue a journaled campaign grid
-    repro status STORE                campaign progress, tallies, ETA
+    repro status STORE [--models]     campaign progress, tallies, ETA,
+                                      and saved model artifacts
     repro tradeoffs                   the Figure-9 ladder + headlines
     repro predict                     the Section-4.3 studies
+    repro predict --model STORE       serve the latest trained artifact
+    repro train STORE [--follow]      stream-train models from a journal
     repro fleet                       generated-fleet Vmin statistics
     repro lint [PATH...]              reprolint invariant checker
 
@@ -30,8 +33,9 @@ from __future__ import annotations
 import argparse
 import dataclasses
 import sys
+import time
 from contextlib import contextmanager
-from typing import Iterator, List, Optional
+from typing import Dict, Iterator, List, Optional
 
 from . import __version__, telemetry
 from .analysis.lint.cli import build_lint_parser, run_lint
@@ -51,7 +55,12 @@ from .errors import CampaignError, ConfigurationError
 from .hardware import ChipGenerator, fleet_vmin_distribution
 from .machines import MachineSpec, build_machine, load_machine_spec
 from .parallel import ConsoleProgress
-from .prediction import PredictionPipeline
+from .prediction import (
+    TRAINABLE_TARGETS,
+    FeatureAssembler,
+    PredictionPipeline,
+    StreamingTrainer,
+)
 from .store import CampaignStore
 from .units import PMD_NOMINAL_MV
 from .workloads import all_programs, get_benchmark
@@ -301,6 +310,13 @@ def _cmd_status(args: argparse.Namespace) -> int:
         print(f"error: {exc}", file=sys.stderr)
         return 2
     print(telemetry.render_status(status), end="")
+    if args.models:
+        try:
+            models = telemetry.model_statuses(args.store)
+        except CampaignError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        print(telemetry.render_model_status(models), end="")
     return 0
 
 
@@ -318,6 +334,8 @@ def _cmd_tradeoffs(args: argparse.Namespace) -> int:
 
 
 def _cmd_predict(args: argparse.Namespace) -> int:
+    if args.model is not None:
+        return _run_predict_model(args)
     machine = build_machine(MachineSpec(chip=args.chip, seed=args.seed))
     pipeline = PredictionPipeline(machine)
     programs = all_programs()[: args.programs]
@@ -326,6 +344,113 @@ def _cmd_predict(args: argparse.Namespace) -> int:
     print(pipeline.severity_study(programs, core=0, max_samples=100).summary())
     print(pipeline.severity_study(programs, core=4, max_samples=90).summary())
     return 0
+
+
+def _store_core(store: CampaignStore, requested: Optional[int]) -> int:
+    """Resolve a --core flag against the store's grid (default: first)."""
+    if requested is None:
+        return store.manifest.cores[0]
+    if requested not in store.manifest.cores:
+        raise CampaignError(
+            f"core {requested} is not in the store grid "
+            f"{store.manifest.cores!r}"
+        )
+    return requested
+
+
+def _run_predict_model(args: argparse.Namespace) -> int:
+    """Serve the latest trained model artifacts of a campaign store."""
+    try:
+        store = CampaignStore.open(args.model)
+        core = _store_core(store, args.core)
+    except CampaignError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    models = store.model_store()
+    series = [(t, c) for t, c in models.series() if c == core]
+    if not series:
+        print(f"error: no model artifacts for core {core} under "
+              f"{models.models_path}; run `repro train {args.model}` first",
+              file=sys.stderr)
+        return 2
+    assembler = FeatureAssembler()
+    for target, _ in series:
+        artifact = models.load(target, core)
+        print(f"{target} model v{artifact.version}: trained on "
+              f"{artifact.n_samples} samples through journal offset "
+              f"{artifact.journal_offset}")
+        for key in sorted(artifact.metrics):
+            print(f"  {key:<24} {artifact.metrics[key]:8.3f}")
+        if not artifact.is_servable:
+            print("  (not servable yet: journal too shallow to select "
+                  "features)")
+            continue
+        print("  features: " + ", ".join(artifact.selected_features))
+        if target != "vmin":
+            continue
+        print(f"  {'benchmark':<14} {'predicted':>9} {'journaled':>9}")
+        for program in store.manifest.programs():
+            # Canonical serving profile: a machine built fresh from the
+            # store's spec per program (matches the training features).
+            machine = store.manifest.spec.build()
+            snapshot = machine.profile_program(program, core=0)
+            predicted = artifact.predict_row(assembler.vector_by_name(snapshot))
+            try:
+                actual = f"{store.result_for(program.name, core).highest_vmin_mv:>6} mV"
+            except CampaignError:
+                actual = "     --"
+            print(f"  {program.name:<14} {predicted:>6.1f} mV {actual:>9}")
+    return 0
+
+
+def _cmd_train(args: argparse.Namespace) -> int:
+    """Stream-train prediction models from a store journal."""
+    with _telemetry_scope(args):
+        return _run_train(args)
+
+
+def _run_train(args: argparse.Namespace) -> int:
+    try:
+        store = CampaignStore.open(args.store)
+        core = _store_core(store, args.core)
+    except CampaignError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    targets = TRAINABLE_TARGETS if args.target == "all" else (args.target,)
+    trainers: Dict[str, StreamingTrainer] = {}
+    models = store.model_store()
+    for target in targets:
+        # Resume from the latest saved artifact when one exists, so a
+        # killed `repro train` never replays consumed journal records.
+        if models.versions(target, core):
+            artifact = models.load(target, core)
+            trainers[target] = StreamingTrainer.resume(store, artifact)
+            print(f"{target} c{core}: resuming from v{artifact.version} "
+                  f"(journal offset {artifact.journal_offset})")
+        else:
+            trainers[target] = StreamingTrainer(store, core, target=target)
+    while True:
+        for target, trainer in trainers.items():
+            consumed = trainer.consume()
+            if consumed == 0 and not args.follow:
+                print(f"{target} c{core}: no new journal records; "
+                      f"checkpointing at offset {trainer.journal_offset}")
+            if consumed or not args.follow:
+                saved = models.save(trainer.fit())
+                drift = trainer.drift_ratio
+                drift_text = f"{drift:.3f}" if drift is not None else "--"
+                print(f"{target} c{core}: v{saved.version} saved "
+                      f"(+{consumed} cells, {saved.n_samples} samples, "
+                      f"offset {saved.journal_offset}, drift {drift_text})")
+        if not args.follow:
+            return 0
+        if store.is_complete():
+            print("store complete; follow mode done")
+            return 0
+        time.sleep(args.poll)
+        for trainer in trainers.values():
+            trainer.refresh()
+        store = CampaignStore.open(args.store)
 
 
 def _cmd_fleet(args: argparse.Namespace) -> int:
@@ -502,6 +627,10 @@ def build_parser() -> argparse.ArgumentParser:
     p_status.add_argument("--metrics", default=None, metavar="FILE",
                           help="JSON metrics snapshot (from --metrics) to "
                                "derive the task-rate ETA from")
+    p_status.add_argument("--models", action="store_true",
+                          help="also list the store's saved model "
+                               "artifacts (version, journal offset, "
+                               "drift metrics)")
     p_status.set_defaults(func=_cmd_status)
 
     p_trade = sub.add_parser("tradeoffs", help="Figure 9 and headlines")
@@ -511,11 +640,39 @@ def build_parser() -> argparse.ArgumentParser:
                               "760 mV point)")
     p_trade.set_defaults(func=_cmd_tradeoffs)
 
-    p_pred = sub.add_parser("predict", help="the Section-4.3 studies")
+    p_pred = sub.add_parser("predict", help="the Section-4.3 studies, or "
+                                            "--model to serve a trained "
+                                            "artifact")
     p_pred.add_argument("--chip", choices=CHIP_NAMES, default="TTT")
     p_pred.add_argument("--programs", type=int, default=40)
     p_pred.add_argument("--seed", type=int, default=2017)
+    p_pred.add_argument("--model", default=None, metavar="STORE",
+                        help="serve the latest repro-model/v1 artifacts "
+                             "saved under this campaign store instead of "
+                             "running the from-scratch studies")
+    p_pred.add_argument("--core", type=int, default=None,
+                        help="grid core to serve predictions for "
+                             "(default: the store's first core; only "
+                             "with --model)")
     p_pred.set_defaults(func=_cmd_predict)
+
+    p_train = sub.add_parser(
+        "train", help="stream-train prediction models from a store journal")
+    p_train.add_argument("store", metavar="STORE",
+                         help="campaign store directory to train from")
+    p_train.add_argument("--target", choices=TRAINABLE_TARGETS + ("all",),
+                         default="all",
+                         help="which model(s) to train (default: all)")
+    p_train.add_argument("--core", type=int, default=None,
+                         help="grid core to train for (default: the "
+                              "store's first core)")
+    p_train.add_argument("--follow", action="store_true",
+                         help="keep polling the journal and saving new "
+                              "artifact versions until the grid completes")
+    p_train.add_argument("--poll", type=float, default=2.0, metavar="SECONDS",
+                         help="follow-mode poll interval (default 2 s)")
+    _add_telemetry_flags(p_train)
+    p_train.set_defaults(func=_cmd_train)
 
     p_report = sub.add_parser("report", help="write a markdown report")
     p_report.add_argument("--out", default=None, help="output file path")
@@ -531,7 +688,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_fleet.set_defaults(func=_cmd_fleet)
 
     p_lint = sub.add_parser(
-        "lint", help="check the repo's reprolint invariants (RPR001-008)")
+        "lint", help="check the repo's reprolint invariants (RPR001-010)")
     build_lint_parser(p_lint)
     p_lint.set_defaults(func=run_lint)
 

@@ -10,25 +10,41 @@ The four-phase flow of Figure 6:
    most informative events, then ordinary-least-squares regression.
 4. **Prediction** -- held-out evaluation with R-squared and RMSE
    against the naive mean-of-training-targets baseline.
+
+Beyond the paper's offline loop, the package trains *while campaigns
+are still running*: :func:`iter_journal_datasets` cuts resumable
+dataset cursors from a campaign-store journal,
+:class:`OnlineLeastSquares` accumulates them into a recursive
+least-squares model matching the batch refit to floating-point
+tolerance, and :class:`StreamingTrainer` wraps both with prequential
+drift tracking and versioned ``repro-model/v1`` artifacts
+(:mod:`repro.store.models`).
 """
 
 from .metrics import r2_score, rmse
-from .linreg import OrdinaryLeastSquares
+from .linreg import RFE_RIDGE_ALPHA, OnlineLeastSquares, OrdinaryLeastSquares
 from .rfe import RecursiveFeatureElimination
 from .naive import NaiveMeanPredictor
 from .dataset import (
+    JournalBatch,
     RegressionDataset,
+    iter_journal_datasets,
     severity_dataset_from_store,
     train_test_split,
     vmin_dataset_from_store,
 )
 from .features import FeatureAssembler, VOLTAGE_FEATURE
 from .pipeline import (
+    FittedModel,
     PredictionReport,
     PredictionPipeline,
     SeverityStudy,
     VminStudy,
+    batch_fit,
+    fit_severity_model_from_store,
+    fit_vmin_model_from_store,
 )
+from .streaming import StreamingTrainer, TRAINABLE_TARGETS
 from .crossval import (
     CrossValidationReport,
     TransferReport,
@@ -39,19 +55,29 @@ from .crossval import (
 __all__ = [
     "r2_score",
     "rmse",
+    "OnlineLeastSquares",
     "OrdinaryLeastSquares",
+    "RFE_RIDGE_ALPHA",
     "RecursiveFeatureElimination",
     "NaiveMeanPredictor",
+    "JournalBatch",
     "RegressionDataset",
+    "iter_journal_datasets",
     "severity_dataset_from_store",
     "train_test_split",
     "vmin_dataset_from_store",
     "FeatureAssembler",
     "VOLTAGE_FEATURE",
+    "FittedModel",
     "PredictionReport",
     "PredictionPipeline",
     "SeverityStudy",
     "VminStudy",
+    "batch_fit",
+    "fit_severity_model_from_store",
+    "fit_vmin_model_from_store",
+    "StreamingTrainer",
+    "TRAINABLE_TARGETS",
     "CrossValidationReport",
     "TransferReport",
     "cross_core_transfer",

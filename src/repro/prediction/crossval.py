@@ -62,6 +62,15 @@ def kfold_cross_validate(
     n = len(dataset)
     if n < k:
         raise DatasetError(f"{n} samples cannot form {k} folds")
+    constant_mask = dataset.x.min(axis=0) == dataset.x.max(axis=0)
+    if constant_mask.any():
+        constant = [
+            name for name, c in zip(dataset.feature_names, constant_mask) if c
+        ]
+        raise DatasetError(
+            f"zero-variance feature columns cannot be cross-validated: "
+            f"{sorted(constant)}; drop constant features first"
+        )
     model_factory = model_factory or OrdinaryLeastSquares
 
     indices = np.arange(n)

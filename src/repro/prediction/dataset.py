@@ -10,17 +10,41 @@ store (:func:`vmin_dataset_from_store` /
 :func:`severity_dataset_from_store`): the characterization targets
 come from the journal and the PMU features from a machine rebuilt
 from the store's embedded spec -- so the training box never needs the
-in-memory objects of the box that ran the campaigns.
+in-memory objects of the box that ran the campaigns.  Each program is
+profiled on its *own* freshly built machine, which makes the feature
+vectors a pure function of (spec, program): the same rows come out
+whether a journal is consumed whole, in chunks, or out of grid order.
+That invariance is what the streaming cursors
+(:func:`iter_journal_datasets`) rely on.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Mapping, Optional, Sequence, Tuple
+from pathlib import Path
+from typing import (
+    TYPE_CHECKING,
+    Any,
+    Dict,
+    Iterator,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
 
 import numpy as np
 
 from ..errors import DatasetError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..store import CampaignStore
+
+#: A store argument: an open :class:`~repro.store.CampaignStore` or the
+#: directory path of one.
+StoreLike = Union["CampaignStore", str, Path]
 
 
 @dataclass(frozen=True)
@@ -73,6 +97,32 @@ class RegressionDataset:
             tags=self.tags,
         )
 
+    def constant_feature_names(self) -> Tuple[str, ...]:
+        """Names of zero-variance (single-valued) feature columns."""
+        if len(self) == 0:
+            return ()
+        mask = self.x.min(axis=0) == self.x.max(axis=0)
+        return tuple(
+            name for name, c in zip(self.feature_names, mask) if c
+        )
+
+    def drop_constant_features(
+        self,
+    ) -> Tuple["RegressionDataset", Tuple[str, ...]]:
+        """Drop zero-variance columns; returns (dataset, dropped names).
+
+        Constant columns carry no ranking signal, and the estimator
+        edges (RFE, cross-validation) refuse them outright -- this is
+        the sanctioned way to clear them first.
+        """
+        dropped = self.constant_feature_names()
+        if not dropped:
+            return self, ()
+        keep = [n for n in self.feature_names if n not in dropped]
+        if not keep:
+            raise DatasetError("every feature column is constant")
+        return self.select_features(keep), dropped
+
 
 def train_test_split(
     dataset: RegressionDataset,
@@ -105,7 +155,7 @@ def train_test_split(
 # ---------------------------------------------------------------------------
 
 
-def _open_store(store):
+def _open_store(store: StoreLike) -> "CampaignStore":
     """Accept a CampaignStore or a store directory path."""
     from ..store import CampaignStore
 
@@ -114,21 +164,43 @@ def _open_store(store):
     return CampaignStore.open(store)
 
 
-def vmin_dataset_from_store(store, core: int) -> RegressionDataset:
+class _ProgramProfiler:
+    """Canonical per-program PMU profiles for store-backed datasets.
+
+    Each program is profiled on a machine built fresh from the store's
+    embedded spec, so the snapshot depends only on (spec, program) --
+    not on how many profiles ran before it on a shared machine.  The
+    profiles are cached per program name within one profiler.
+    """
+
+    def __init__(self, store: "CampaignStore") -> None:
+        self._spec = store.manifest.spec
+        self._cache: Dict[str, Mapping[str, float]] = {}
+
+    def profile(self, program: Any) -> Mapping[str, float]:
+        snapshot = self._cache.get(program.name)
+        if snapshot is None:
+            machine = self._spec.build()
+            snapshot = machine.profile_program(program, core=0)
+            self._cache[program.name] = snapshot
+        return snapshot
+
+
+def vmin_dataset_from_store(store: StoreLike, core: int) -> RegressionDataset:
     """Case-1 dataset from a store: counters -> journaled safe Vmin.
 
-    The PMU snapshots are profiled on a machine rebuilt from the
-    store's embedded :class:`~repro.machines.MachineSpec`; the Vmin
-    targets are read from the journal, so this equals
-    :meth:`~repro.prediction.pipeline.PredictionPipeline.build_vmin_dataset`
-    over the same grid without re-running any campaign.
+    The PMU snapshots are profiled per program on machines rebuilt
+    from the store's embedded :class:`~repro.machines.MachineSpec`;
+    the Vmin targets are read from the journal, so no campaign is
+    re-run.  Rows follow manifest grid order regardless of the order
+    the journal was appended in.
     """
     from .features import FeatureAssembler
 
     journal = _open_store(store)
-    machine = journal.manifest.spec.build()
+    profiler = _ProgramProfiler(journal)
     programs = journal.manifest.programs()
-    snapshots = [machine.profile_program(p, core=0) for p in programs]
+    snapshots = [profiler.profile(p) for p in programs]
     targets = [
         float(journal.result_for(p.name, core).highest_vmin_mv)
         for p in programs
@@ -138,8 +210,32 @@ def vmin_dataset_from_store(store, core: int) -> RegressionDataset:
     )
 
 
+def _severity_rows(
+    result: Any,
+    snapshot: Mapping[str, float],
+    weights: Any,
+    name: str,
+) -> List[Tuple[Mapping[str, float], int, float, str]]:
+    """All unsafe-band (snapshot, voltage, severity, tag) rows of a cell."""
+    regions = result.pooled_regions()
+    severity = result.severity_by_voltage(weights)
+    floor = (
+        regions.crash_mv - 25
+        if regions.crash_mv is not None
+        else regions.lowest_tested_mv
+    )
+    return [
+        (snapshot, voltage, severity[voltage], f"{name}@{voltage}mV")
+        for voltage in sorted(severity, reverse=True)
+        if voltage < regions.vmin_mv and voltage >= floor
+    ]
+
+
 def severity_dataset_from_store(
-    store, core: int, max_samples: int = 100, seed: int = 2
+    store: StoreLike,
+    core: int,
+    max_samples: Optional[int] = 100,
+    seed: int = 2,
 ) -> RegressionDataset:
     """Case-2/3 dataset from a store: (counters, voltage) -> severity.
 
@@ -148,32 +244,26 @@ def severity_dataset_from_store(
     one sample per 5 mV step below each program's safe Vmin down to 25
     mV past the crash level, deterministically shuffled and truncated
     to ``max_samples``.  Severity uses the weights pinned in the store
-    manifest.
+    manifest.  ``max_samples=None`` keeps *every* unsafe-band sample in
+    manifest grid order (no shuffle) -- the exhaustive form the
+    streaming trainer's batch-equivalence checks compare against.
     """
     from .features import FeatureAssembler
 
     journal = _open_store(store)
-    machine = journal.manifest.spec.build()
+    profiler = _ProgramProfiler(journal)
     weights = journal.manifest.weights
     rows: List[Tuple[Mapping[str, float], int, float, str]] = []
     for prog in journal.manifest.programs():
         result = journal.result_for(prog.name, core)
-        snapshot = machine.profile_program(prog, core=0)
-        regions = result.pooled_regions()
-        severity = result.severity_by_voltage(weights)
-        floor = (
-            regions.crash_mv - 25
-            if regions.crash_mv is not None
-            else regions.lowest_tested_mv
+        rows.extend(
+            _severity_rows(result, profiler.profile(prog), weights, prog.name)
         )
-        for voltage in sorted(severity, reverse=True):
-            if voltage < regions.vmin_mv and voltage >= floor:
-                rows.append(
-                    (snapshot, voltage, severity[voltage],
-                     f"{prog.name}@{voltage}mV")
-                )
-    order = np.random.default_rng(seed).permutation(len(rows))
-    chosen = [rows[i] for i in order[:max_samples]]
+    if max_samples is None:
+        chosen = rows
+    else:
+        order = np.random.default_rng(seed).permutation(len(rows))
+        chosen = [rows[i] for i in order[:max_samples]]
     if len(chosen) < 2:
         raise DatasetError(
             "not enough unsafe-region samples in the store; deepen the "
@@ -182,3 +272,113 @@ def severity_dataset_from_store(
     samples = [(snap, volt, sev) for snap, volt, sev, _tag in chosen]
     tags = [tag for _snap, _volt, _sev, tag in chosen]
     return FeatureAssembler().counters_voltage_dataset(samples, tags=tags)
+
+
+# ---------------------------------------------------------------------------
+# Streaming cursors over the journal.
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class JournalBatch:
+    """One grid cell's worth of training data, cut from the journal.
+
+    ``offset`` is the number of journal records consumed once this
+    batch is trained on; persisting it (see
+    :class:`repro.store.models.ModelArtifact`) lets a later run resume
+    the cursor with ``start=offset`` and never re-train on a record.
+    """
+
+    #: Journal cursor after this batch: records consumed so far.
+    offset: int
+    #: The (benchmark, core) grid cell the batch completes.
+    benchmark: str
+    core: int
+    dataset: RegressionDataset
+
+
+def iter_journal_datasets(
+    store: StoreLike,
+    core: int,
+    start: int = 0,
+    stop: Optional[int] = None,
+    target: str = "vmin",
+) -> Iterator[JournalBatch]:
+    """Incremental datasets from the journal, resumable by offset.
+
+    Walks journal records in append order and yields a
+    :class:`JournalBatch` each time a (benchmark, ``core``) grid cell
+    reaches its full campaign count -- i.e. as soon as the cell's
+    target becomes well-defined.  Records for other cores advance the
+    cursor without emitting samples.
+
+    ``start`` resumes from a journal offset: cells already completed
+    within ``records[:start]`` are treated as consumed and not
+    re-emitted, while cells only partially covered by the prefix are
+    completed (and emitted) as the cursor crosses their final record.
+    ``stop`` bounds the walk for chunked replay.
+
+    ``target`` selects the sample shape: ``"vmin"`` yields one
+    counters->Vmin sample per completed cell; ``"severity"`` yields
+    every unsafe-band (counters, voltage)->severity sample of the cell
+    (matching ``severity_dataset_from_store(..., max_samples=None)``).
+    """
+    from .features import FeatureAssembler
+
+    if target not in ("vmin", "severity"):
+        raise DatasetError(f"unknown dataset target {target!r}")
+    journal = _open_store(store)
+    records = journal.campaigns()
+    if start < 0 or start > len(records):
+        raise DatasetError(
+            f"journal offset {start} out of range (journal has "
+            f"{len(records)} records)"
+        )
+    end = len(records) if stop is None else min(stop, len(records))
+    needed = journal.manifest.config.campaigns
+    profiler = _ProgramProfiler(journal)
+    assembler = FeatureAssembler()
+    programs = {p.name: p for p in journal.manifest.programs()}
+
+    cells: Dict[str, List[Any]] = {}
+    for index, record in enumerate(records[:end]):
+        if record.core != core:
+            continue
+        cell = cells.setdefault(record.benchmark, [])
+        cell.append(record)
+        if len(cell) != needed:
+            continue
+        if index < start:
+            continue  # completed within the consumed prefix
+        from ..core.campaign import CharacterizationResult
+
+        result = CharacterizationResult(
+            campaigns=tuple(
+                c.campaign_result()
+                for c in sorted(cell, key=lambda c: c.campaign_index)
+            )
+        )
+        program = programs[record.benchmark]
+        snapshot = profiler.profile(program)
+        if target == "vmin":
+            dataset = assembler.counters_dataset(
+                [snapshot],
+                [float(result.highest_vmin_mv)],
+                tags=[program.name],
+            )
+        else:
+            rows = _severity_rows(
+                result, snapshot, journal.manifest.weights, program.name
+            )
+            if not rows:
+                continue  # cell has no unsafe-band samples to learn from
+            dataset = assembler.counters_voltage_dataset(
+                [(snap, volt, sev) for snap, volt, sev, _tag in rows],
+                tags=[tag for _snap, _volt, _sev, tag in rows],
+            )
+        yield JournalBatch(
+            offset=index + 1,
+            benchmark=record.benchmark,
+            core=core,
+            dataset=dataset,
+        )

@@ -41,6 +41,25 @@ class FeatureAssembler:
             values = values / instructions * 1000.0
         return values
 
+    def vector_by_name(
+        self,
+        snapshot: Mapping[str, float],
+        voltage_mv: Optional[int] = None,
+    ) -> Dict[str, float]:
+        """One sample as a feature-name -> value mapping.
+
+        The serving-side counterpart of the dataset builders: model
+        artifacts (:meth:`repro.store.models.ModelArtifact.predict_row`)
+        consume exactly this shape.  ``voltage_mv`` appends the voltage
+        feature for severity models.
+        """
+        values = self._vector(snapshot)
+        names = list(COUNTER_NAMES)
+        if voltage_mv is not None:
+            values = np.concatenate([values, [float(voltage_mv)]])
+            names.append(VOLTAGE_FEATURE)
+        return dict(zip(names, (float(v) for v in values)))
+
     def counters_dataset(
         self,
         snapshots: Sequence[Mapping[str, float]],

@@ -1,11 +1,21 @@
-"""Ordinary-least-squares linear regression (Section 4).
+"""Least-squares regression (Section 4): batch OLS and streaming RLS.
 
     y_i = b0 + b1*x1_i + ... + bk*xk_i + e_i
 
-implemented from the definition with a numerically robust least-squares
-solve (``numpy.linalg.lstsq`` on the design matrix, which handles the
+:class:`OrdinaryLeastSquares` implements the paper's offline fit from
+the definition with a numerically robust least-squares solve
+(``numpy.linalg.lstsq`` on the design matrix, which handles the
 rank-deficient designs that raw PMU counters produce -- many of the 101
 events are near-linear combinations of each other).
+
+:class:`OnlineLeastSquares` is its streaming counterpart: a
+recursive-least-squares estimator over accumulated sufficient
+statistics (sample count, feature sums, Gram matrix, cross moments).
+``partial_fit`` folds journal records in as they land; ``solve``
+standardises from the accumulated moments and solves the *same* normal
+equations a batch refit on the identical sample prefix would solve, so
+the two models agree to floating-point accumulation order (the
+equivalence the streaming pipeline's property tests pin with an rtol).
 
 Features are internally standardised (zero mean, unit variance over the
 training set) so the fitted weights are comparable across features;
@@ -15,17 +25,37 @@ Coefficients are reported in both spaces.
 
 from __future__ import annotations
 
-from typing import Optional, Sequence
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
 from ..errors import DatasetError, PredictionError
 
 
-class OrdinaryLeastSquares:
-    """OLS regression with internal feature standardisation."""
+#: Tikhonov damping used for RFE ranking fits, relative to the
+#: per-sample standardised Gram diagonal (which is 1 by construction).
+#: Plain min-norm OLS is discontinuous at rank changes, so on
+#: rank-deficient designs (fewer samples than surviving PMU events) the
+#: data-space and normal-equation solvers can return different -- yet
+#: equally valid -- coefficient vectors.  A tiny shared damping makes
+#: the ranking weights a continuous function of the sufficient
+#: statistics, so the batch and streaming elimination paths agree.
+RFE_RIDGE_ALPHA = 1e-6
 
-    def __init__(self) -> None:
+
+class OrdinaryLeastSquares:
+    """OLS regression with internal feature standardisation.
+
+    ``ridge_alpha > 0`` switches the solve to Tikhonov-damped normal
+    equations in standardised space -- the estimator Recursive Feature
+    Elimination ranks with (see :data:`RFE_RIDGE_ALPHA`).  The default
+    ``ridge_alpha = 0`` keeps the paper's plain least-squares fit.
+    """
+
+    def __init__(self, ridge_alpha: float = 0.0) -> None:
+        if ridge_alpha < 0.0:
+            raise PredictionError("ridge_alpha must be non-negative")
+        self.ridge_alpha = float(ridge_alpha)
         self._mean: Optional[np.ndarray] = None
         self._scale: Optional[np.ndarray] = None
         self._beta_std: Optional[np.ndarray] = None
@@ -35,7 +65,7 @@ class OrdinaryLeastSquares:
     # -- fitting ---------------------------------------------------------
 
     @staticmethod
-    def _check_xy(x, y):
+    def _check_xy(x: Any, y: Any) -> Tuple[np.ndarray, np.ndarray]:
         x = np.asarray(x, dtype=float)
         y = np.asarray(y, dtype=float)
         if x.ndim != 2:
@@ -50,7 +80,7 @@ class OrdinaryLeastSquares:
             raise DatasetError("cannot fit on zero samples")
         return x, y
 
-    def fit(self, x, y, feature_names: Optional[Sequence[str]] = None
+    def fit(self, x: Any, y: Any, feature_names: Optional[Sequence[str]] = None
             ) -> "OrdinaryLeastSquares":
         """Fit the model; returns self for chaining."""
         x, y = self._check_xy(x, y)
@@ -64,10 +94,21 @@ class OrdinaryLeastSquares:
         self._scale = scale
         x_std = (x - self._mean) / self._scale
 
-        design = np.hstack([np.ones((x_std.shape[0], 1)), x_std])
-        solution, _residuals, _rank, _sv = np.linalg.lstsq(design, y, rcond=None)
-        self._intercept_std = float(solution[0])
-        self._beta_std = solution[1:]
+        if self.ridge_alpha > 0.0:
+            # Damped normal equations; the standardised columns are
+            # centred, so the (unpenalised) intercept decouples to the
+            # target mean -- exactly the streaming solve's convention.
+            gram = x_std.T @ x_std
+            gram[np.diag_indices_from(gram)] += self.ridge_alpha * x.shape[0]
+            self._beta_std = np.linalg.solve(gram, x_std.T @ y)
+            self._intercept_std = float(y.mean())
+        else:
+            design = np.hstack([np.ones((x_std.shape[0], 1)), x_std])
+            solution, _residuals, _rank, _sv = np.linalg.lstsq(
+                design, y, rcond=None
+            )
+            self._intercept_std = float(solution[0])
+            self._beta_std = solution[1:]
         return self
 
     @property
@@ -80,9 +121,11 @@ class OrdinaryLeastSquares:
 
     # -- inference ----------------------------------------------------------
 
-    def predict(self, x) -> np.ndarray:
+    def predict(self, x: Any) -> np.ndarray:
         """Predict targets for a feature matrix."""
         self._require_fit()
+        assert self._mean is not None and self._scale is not None
+        assert self._beta_std is not None
         x = np.asarray(x, dtype=float)
         if x.ndim == 1:
             x = x.reshape(1, -1)
@@ -99,23 +142,320 @@ class OrdinaryLeastSquares:
     def standardized_coef(self) -> np.ndarray:
         """Weights in standardised feature space (RFE ranks on these)."""
         self._require_fit()
+        assert self._beta_std is not None
         return self._beta_std.copy()
 
     @property
     def coef(self) -> np.ndarray:
         """Weights in the original feature units."""
         self._require_fit()
+        assert self._beta_std is not None and self._scale is not None
         return self._beta_std / self._scale
 
     @property
     def intercept(self) -> float:
         """Intercept in the original feature units."""
         self._require_fit()
+        assert self._beta_std is not None
+        assert self._mean is not None and self._scale is not None
         return float(self._intercept_std - np.sum(self._beta_std * self._mean / self._scale))
 
-    def coefficients_by_name(self) -> dict:
+    def coefficients_by_name(self) -> Dict[str, float]:
         """{feature: original-space weight}; requires feature names."""
         self._require_fit()
         if self.feature_names is None:
             raise PredictionError("model was fitted without feature names")
         return dict(zip(self.feature_names, self.coef))
+
+
+class OnlineLeastSquares:
+    """Streaming least squares over recursively accumulated moments.
+
+    The estimator never stores sample rows.  ``partial_fit`` updates
+
+    * ``n``       -- sample count,
+    * ``sx``      -- per-feature sums,
+    * ``sy``/``syy`` -- target sum and sum of squares,
+    * ``sxx``     -- the k x k Gram matrix of feature cross products,
+    * ``sxy``     -- feature/target cross products,
+    * ``lo``/``hi`` -- per-feature running minima/maxima (used to
+      detect zero-variance columns exactly, the way a batch fit sees
+      them),
+
+    which together are the sufficient statistics of the least-squares
+    problem.  :meth:`solve` standardises from the moments and solves
+    the centred normal equations with a minimum-norm least-squares
+    solve, matching :class:`OrdinaryLeastSquares` on the same sample
+    prefix up to floating-point accumulation order.
+
+    The whole state round-trips through :meth:`to_json_dict` /
+    :meth:`from_json_dict`, which is what lets a killed training run
+    resume from a journal offset without replaying consumed records.
+    """
+
+    def __init__(self, feature_names: Sequence[str]) -> None:
+        if not feature_names:
+            raise DatasetError("OnlineLeastSquares needs named features")
+        self.feature_names: Tuple[str, ...] = tuple(
+            str(name) for name in feature_names
+        )
+        k = len(self.feature_names)
+        self._n: int = 0
+        self._sx = np.zeros(k)
+        self._sy: float = 0.0
+        self._syy: float = 0.0
+        self._sxx = np.zeros((k, k))
+        self._sxy = np.zeros(k)
+        self._lo = np.full(k, np.inf)
+        self._hi = np.full(k, -np.inf)
+        self._solved: Optional[Tuple[np.ndarray, np.ndarray, np.ndarray, float]] = None
+
+    # -- streaming updates -------------------------------------------------
+
+    @property
+    def n_samples(self) -> int:
+        return self._n
+
+    @property
+    def n_features(self) -> int:
+        return len(self.feature_names)
+
+    @property
+    def is_fitted(self) -> bool:
+        return self._n > 0
+
+    def partial_fit(self, x: Any, y: Any) -> "OnlineLeastSquares":
+        """Fold a sample block (or a single row) into the moments."""
+        x = np.asarray(x, dtype=float)
+        y = np.asarray(y, dtype=float)
+        if x.ndim == 1:
+            x = x.reshape(1, -1)
+        if y.ndim == 0:
+            y = y.reshape(1)
+        if x.ndim != 2 or y.ndim != 1 or x.shape[0] != y.shape[0]:
+            raise DatasetError(
+                "partial_fit needs X (samples x features) with one target "
+                "per sample"
+            )
+        if x.shape[1] != self.n_features:
+            raise DatasetError(
+                f"X has {x.shape[1]} features; estimator tracks "
+                f"{self.n_features}"
+            )
+        if x.shape[0] == 0:
+            return self
+        self._n += int(x.shape[0])
+        self._sx += x.sum(axis=0)
+        self._sy += float(y.sum())
+        self._syy += float(y @ y)
+        self._sxx += x.T @ x
+        self._sxy += x.T @ y
+        self._lo = np.minimum(self._lo, x.min(axis=0))
+        self._hi = np.maximum(self._hi, x.max(axis=0))
+        self._solved = None
+        return self
+
+    def constant_features(self) -> Tuple[str, ...]:
+        """Features that have shown exactly one value so far."""
+        if self._n == 0:
+            return ()
+        return tuple(
+            name for name, lo, hi in zip(self.feature_names, self._lo, self._hi)
+            if lo == hi
+        )
+
+    # -- solving -----------------------------------------------------------
+
+    def _require_fit(self) -> None:
+        if self._n == 0:
+            raise PredictionError("model must be fitted before use")
+
+    def _standardized_moments(
+        self,
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, float]:
+        """(mean, scale, gram_std, b_std, y_mean) from the moments."""
+        self._require_fit()
+        n = float(self._n)
+        mean = self._sx / n
+        # Centred second moments; exact-constant columns (min == max)
+        # are forced to zero variance so the scale-1 convention matches
+        # a batch fit's two-pass std on the same rows.
+        variance = np.maximum(self._sxx.diagonal() / n - mean**2, 0.0)
+        variance[self._lo == self._hi] = 0.0
+        scale = np.sqrt(variance)
+        scale[scale == 0.0] = 1.0
+        y_mean = self._sy / n
+        gram_centred = self._sxx - n * np.outer(mean, mean)
+        gram_std = gram_centred / np.outer(scale, scale)
+        b_centred = self._sxy - mean * self._sy
+        b_std = b_centred / scale
+        return mean, scale, gram_std, b_std, float(y_mean)
+
+    def _solve(self) -> Tuple[np.ndarray, np.ndarray, np.ndarray, float]:
+        """(mean, scale, beta_std, intercept_std) from the moments."""
+        if self._solved is not None:
+            return self._solved
+        mean, scale, gram_std, b_std, y_mean = self._standardized_moments()
+        beta_std, _residuals, _rank, _sv = np.linalg.lstsq(
+            gram_std, b_std, rcond=None
+        )
+        self._solved = (mean, scale, beta_std, y_mean)
+        return self._solved
+
+    def ridge_standardized_coef(self, alpha: float) -> np.ndarray:
+        """Tikhonov-damped standardised weights from the moments.
+
+        Solves ``(G_std + alpha * n * I) beta = b_std`` -- the same
+        damped system :class:`OrdinaryLeastSquares` with ``ridge_alpha``
+        solves from sample rows, so batch and streaming RFE rank on
+        matching weights even when the undamped fit is rank-deficient.
+        """
+        if alpha <= 0.0:
+            raise PredictionError("ridge alpha must be positive")
+        _mean, _scale, gram_std, b_std, _y_mean = self._standardized_moments()
+        gram = gram_std.copy()
+        gram[np.diag_indices_from(gram)] += float(alpha) * self._n
+        return np.linalg.solve(gram, b_std)
+
+    def subset(self, indices: Sequence[int]) -> "OnlineLeastSquares":
+        """A view of the moments restricted to the given columns.
+
+        Fitting a column subset is a pure slice of the accumulated
+        statistics -- no sample rows are needed -- which is what lets
+        Recursive Feature Elimination run against a streaming model
+        (:meth:`repro.prediction.rfe.RecursiveFeatureElimination.fit_online`).
+        """
+        cols = [int(i) for i in indices]
+        if not cols:
+            raise DatasetError("subset needs at least one column")
+        if any(c < 0 or c >= self.n_features for c in cols):
+            raise DatasetError(f"column index out of range: {cols}")
+        view = OnlineLeastSquares([self.feature_names[c] for c in cols])
+        view._n = self._n
+        view._sx = self._sx[cols].copy()
+        view._sy = self._sy
+        view._syy = self._syy
+        view._sxx = self._sxx[np.ix_(cols, cols)].copy()
+        view._sxy = self._sxy[cols].copy()
+        view._lo = self._lo[cols].copy()
+        view._hi = self._hi[cols].copy()
+        return view
+
+    # -- inference ---------------------------------------------------------
+
+    def predict(self, x: Any) -> np.ndarray:
+        """Predict targets for a feature matrix."""
+        mean, scale, beta_std, intercept_std = self._solve()
+        x = np.asarray(x, dtype=float)
+        if x.ndim == 1:
+            x = x.reshape(1, -1)
+        if x.shape[1] != self.n_features:
+            raise DatasetError(
+                f"X has {x.shape[1]} features; model expects {self.n_features}"
+            )
+        x_std = (x - mean) / scale
+        return intercept_std + x_std @ beta_std
+
+    # -- coefficients ------------------------------------------------------
+
+    @property
+    def standardized_coef(self) -> np.ndarray:
+        """Weights in standardised feature space (RFE ranks on these)."""
+        _mean, _scale, beta_std, _icpt = self._solve()
+        return beta_std.copy()
+
+    @property
+    def coef(self) -> np.ndarray:
+        """Weights in the original feature units."""
+        _mean, scale, beta_std, _icpt = self._solve()
+        return beta_std / scale
+
+    @property
+    def intercept(self) -> float:
+        """Intercept in the original feature units."""
+        mean, scale, beta_std, intercept_std = self._solve()
+        return float(intercept_std - np.sum(beta_std * mean / scale))
+
+    def coefficients_by_name(self) -> Dict[str, float]:
+        """{feature: original-space weight}."""
+        return dict(zip(self.feature_names, self.coef))
+
+    # -- in-sample metrics from the moments --------------------------------
+
+    def residual_rmse(self) -> float:
+        """In-sample RMSE of the solved model, from the moments alone.
+
+        ``SSE = yTy - 2 bT s_xy~ + bT G~ b`` over the centred/
+        standardised system, without touching any sample row.
+        """
+        mean, scale, beta_std, _icpt = self._solve()
+        n = float(self._n)
+        y_mean = self._sy / n
+        syy_centred = self._syy - n * y_mean**2
+        gram_centred = self._sxx - n * np.outer(mean, mean)
+        gram_std = gram_centred / np.outer(scale, scale)
+        b_std = (self._sxy - mean * self._sy) / scale
+        sse = syy_centred - 2.0 * beta_std @ b_std + beta_std @ gram_std @ beta_std
+        return float(np.sqrt(max(sse, 0.0) / n))
+
+    def target_mean(self) -> float:
+        """Running mean of the targets (the naive baseline's estimate)."""
+        self._require_fit()
+        return float(self._sy / self._n)
+
+    def target_rmse(self) -> float:
+        """In-sample RMSE of the naive mean predictor (target stddev)."""
+        self._require_fit()
+        n = float(self._n)
+        y_mean = self._sy / n
+        return float(np.sqrt(max(self._syy / n - y_mean**2, 0.0)))
+
+    # -- state round-trip --------------------------------------------------
+
+    def to_json_dict(self) -> Dict[str, Any]:
+        """JSON-serializable snapshot of the full estimator state."""
+        return {
+            "feature_names": list(self.feature_names),
+            "n": self._n,
+            "sx": self._sx.tolist(),
+            "sy": self._sy,
+            "syy": self._syy,
+            "sxx": self._sxx.tolist(),
+            "sxy": self._sxy.tolist(),
+            "lo": [None if not np.isfinite(v) else float(v) for v in self._lo],
+            "hi": [None if not np.isfinite(v) else float(v) for v in self._hi],
+        }
+
+    @classmethod
+    def from_json_dict(cls, data: Mapping[str, Any]) -> "OnlineLeastSquares":
+        """Inverse of :meth:`to_json_dict`; exact (bitwise) state."""
+        try:
+            model = cls([str(n) for n in data["feature_names"]])
+            k = model.n_features
+            model._n = int(data["n"])
+            model._sx = np.asarray(data["sx"], dtype=float)
+            model._sy = float(data["sy"])
+            model._syy = float(data["syy"])
+            model._sxx = np.asarray(data["sxx"], dtype=float)
+            model._sxy = np.asarray(data["sxy"], dtype=float)
+            lo: List[float] = [
+                float("inf") if v is None else float(v) for v in data["lo"]
+            ]
+            hi: List[float] = [
+                float("-inf") if v is None else float(v) for v in data["hi"]
+            ]
+            model._lo = np.asarray(lo, dtype=float)
+            model._hi = np.asarray(hi, dtype=float)
+        except (KeyError, TypeError, ValueError) as exc:
+            raise PredictionError(f"malformed online-estimator state: {exc}")
+        if (
+            model._sx.shape != (k,)
+            or model._sxx.shape != (k, k)
+            or model._sxy.shape != (k,)
+            or model._lo.shape != (k,)
+            or model._hi.shape != (k,)
+        ):
+            raise PredictionError(
+                "online-estimator state arrays do not match feature count"
+            )
+        return model

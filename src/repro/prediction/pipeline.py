@@ -230,8 +230,13 @@ class PredictionPipeline:
         train, test = train_test_split(
             dataset, test_fraction=self.test_fraction, seed=self.split_seed
         )
+        # Zero-variance columns (on the training split) carry no
+        # ranking signal and RFE refuses them; clear them first.
+        constant = set(train.constant_feature_names()) - set(forced_features)
         eliminable = [
-            name for name in dataset.feature_names if name not in forced_features
+            name
+            for name in dataset.feature_names
+            if name not in forced_features and name not in constant
         ]
         rfe = RecursiveFeatureElimination(
             n_features=self.n_features, step=self.rfe_step
@@ -313,3 +318,114 @@ class PredictionPipeline:
         raise PredictionError(
             f"expected a Program or Benchmark, got {type(workload).__name__}"
         )
+
+
+# ---------------------------------------------------------------------------
+# Batch fits on whole datasets (the streaming trainer's reference).
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class FittedModel:
+    """An RFE + OLS model trained on *all* rows of one dataset.
+
+    This is the from-scratch counterpart of a streaming
+    :class:`~repro.prediction.streaming.StreamingTrainer` fit: the
+    trainer's online selection and coefficients must match a
+    ``batch_fit`` on the same sample set to floating-point tolerance.
+    Unlike :meth:`PredictionPipeline.evaluate` there is no held-out
+    split -- a served model uses every journaled sample.
+    """
+
+    target: str
+    core: int
+    #: Surviving features (forced features appended), in column order.
+    selected_features: Tuple[str, ...]
+    #: Zero-variance columns removed before elimination.
+    dropped_constant: Tuple[str, ...]
+    model: OrdinaryLeastSquares
+    naive_mean: float
+    n_samples: int
+    rmse_train: float
+    rmse_naive: float
+
+    def predict(self, dataset: RegressionDataset) -> np.ndarray:
+        """Predict targets for a full-feature-space dataset."""
+        return self.model.predict(
+            dataset.select_features(self.selected_features).x
+        )
+
+
+def batch_fit(
+    dataset: RegressionDataset,
+    target: str,
+    core: int,
+    n_features: int = 5,
+    rfe_step: int = 8,
+    forced_features: Tuple[str, ...] = (),
+) -> FittedModel:
+    """RFE + OLS over every row of ``dataset`` (no held-out split)."""
+    constant = tuple(
+        name
+        for name in dataset.constant_feature_names()
+        if name not in forced_features
+    )
+    eliminable = [
+        name
+        for name in dataset.feature_names
+        if name not in forced_features and name not in constant
+    ]
+    sub = dataset.select_features(eliminable)
+    rfe = RecursiveFeatureElimination(n_features=n_features, step=rfe_step)
+    selected = tuple(
+        rfe.fit(sub.x, sub.y, sub.feature_names).selected
+    ) + tuple(forced_features)
+    chosen = dataset.select_features(selected)
+    model = OrdinaryLeastSquares().fit(
+        chosen.x, chosen.y, feature_names=selected
+    )
+    naive = NaiveMeanPredictor().fit(chosen.x, chosen.y)
+    return FittedModel(
+        target=target,
+        core=core,
+        selected_features=selected,
+        dropped_constant=constant,
+        model=model,
+        naive_mean=naive.mean,
+        n_samples=len(dataset),
+        rmse_train=rmse(chosen.y, model.predict(chosen.x)),
+        rmse_naive=rmse(chosen.y, naive.predict(chosen.x)),
+    )
+
+
+def fit_vmin_model_from_store(
+    store: object,
+    core: int,
+    n_features: int = 5,
+    rfe_step: int = 8,
+) -> FittedModel:
+    """From-scratch Vmin model over a completed store's full grid."""
+    from .dataset import vmin_dataset_from_store
+
+    dataset = vmin_dataset_from_store(store, core)
+    return batch_fit(
+        dataset, target="vmin", core=core,
+        n_features=n_features, rfe_step=rfe_step,
+    )
+
+
+def fit_severity_model_from_store(
+    store: object,
+    core: int,
+    n_features: int = 5,
+    rfe_step: int = 8,
+) -> FittedModel:
+    """From-scratch severity model over every unsafe-band sample."""
+    from .dataset import severity_dataset_from_store
+
+    dataset = severity_dataset_from_store(store, core, max_samples=None)
+    return batch_fit(
+        dataset, target="severity", core=core,
+        n_features=n_features, rfe_step=rfe_step,
+        forced_features=(VOLTAGE_FEATURE,),
+    )

@@ -5,17 +5,24 @@ trains on the full feature set, prunes the features with the smallest
 absolute weights, and repeats on the pruned set until the requested
 number of features remains -- the scheme the paper uses to go from 101
 PMU events to 5.
+
+The elimination loop is estimator-agnostic: :meth:`fit` drives it with
+batch OLS refits on column slices of the sample matrix, while
+:meth:`fit_online` drives the *same* loop with moment-sliced solves of
+a streaming :class:`~repro.prediction.linreg.OnlineLeastSquares` -- no
+sample rows needed -- so a streaming trainer selects the same features
+a batch refit on the same prefix would.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, List, Optional, Sequence, Tuple
+from typing import Any, Callable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from ..errors import DatasetError, PredictionError
-from .linreg import OrdinaryLeastSquares
+from .linreg import RFE_RIDGE_ALPHA, OnlineLeastSquares, OrdinaryLeastSquares
 
 
 @dataclass(frozen=True)
@@ -42,8 +49,12 @@ class RecursiveFeatureElimination:
         How many features to drop per iteration (at least 1; large
         steps are faster but coarser).
     estimator_factory:
-        Builds a fresh estimator per iteration; defaults to
-        :class:`~repro.prediction.linreg.OrdinaryLeastSquares`.
+        Builds a fresh estimator per iteration; defaults to a
+        Tikhonov-damped :class:`~repro.prediction.linreg.OrdinaryLeastSquares`
+        (``ridge_alpha = RFE_RIDGE_ALPHA``).  The damping keeps the
+        ranking weights a continuous function of the samples, so
+        elimination order is well defined -- and matches the streaming
+        path -- even while more events than samples survive.
     """
 
     def __init__(
@@ -58,27 +69,47 @@ class RecursiveFeatureElimination:
             raise PredictionError("step must be positive")
         self.n_features = int(n_features)
         self.step = int(step)
-        self.estimator_factory = estimator_factory or OrdinaryLeastSquares
+        self.estimator_factory = estimator_factory or (
+            lambda: OrdinaryLeastSquares(ridge_alpha=RFE_RIDGE_ALPHA)
+        )
 
-    def fit(self, x, y, feature_names: Sequence[str]) -> RfeResult:
-        """Run the elimination; returns the selection result."""
-        x = np.asarray(x, dtype=float)
-        if x.ndim != 2:
-            raise DatasetError("X must be 2-D")
-        if len(feature_names) != x.shape[1]:
-            raise DatasetError("feature_names length must match X columns")
-        if self.n_features > x.shape[1]:
+    def _check_width(self, n_columns: int) -> None:
+        """Elimination needs strictly more columns than survivors."""
+        if self.n_features >= n_columns:
             raise PredictionError(
-                f"cannot select {self.n_features} of {x.shape[1]} features"
+                f"cannot select {self.n_features} of {n_columns} features; "
+                "elimination needs a strictly larger candidate set"
             )
 
-        remaining: List[int] = list(range(x.shape[1]))
-        ranking = np.ones(x.shape[1], dtype=int)
+    @staticmethod
+    def _check_constants(
+        feature_names: Sequence[str], constant: Sequence[str]
+    ) -> None:
+        """Zero-variance columns cannot be ranked -- refuse them."""
+        if constant:
+            raise DatasetError(
+                "cannot rank zero-variance feature columns: "
+                f"{sorted(constant)}; drop constant features before "
+                "elimination"
+            )
+
+    def _eliminate(
+        self,
+        n_columns: int,
+        feature_names: Sequence[str],
+        coef_provider: Callable[[List[int]], "np.ndarray"],
+    ) -> RfeResult:
+        """Shared elimination loop.
+
+        ``coef_provider(remaining)`` fits an estimator restricted to
+        the ``remaining`` column indices and returns its absolute
+        standardised weights, one per remaining column.
+        """
+        remaining: List[int] = list(range(n_columns))
+        ranking = np.ones(n_columns, dtype=int)
         elimination_round = 1
         while len(remaining) > self.n_features:
-            estimator = self.estimator_factory()
-            estimator.fit(x[:, remaining], y)
-            weights = np.abs(estimator.standardized_coef)
+            weights = coef_provider(remaining)
             n_drop = min(self.step, len(remaining) - self.n_features)
             # Drop the n_drop smallest-|weight| features this round.
             drop_local = np.argsort(weights, kind="stable")[:n_drop]
@@ -96,4 +127,52 @@ class RecursiveFeatureElimination:
             selected=tuple(feature_names[i] for i in support),
             support=support,
             ranking=tuple(int(r) for r in ranking),
+        )
+
+    def fit(self, x: Any, y: Any, feature_names: Sequence[str]) -> RfeResult:
+        """Run the elimination on sample rows; returns the selection."""
+        x = np.asarray(x, dtype=float)
+        y = np.asarray(y, dtype=float)
+        if x.ndim != 2:
+            raise DatasetError("X must be 2-D")
+        if len(feature_names) != x.shape[1]:
+            raise DatasetError("feature_names length must match X columns")
+        self._check_width(x.shape[1])
+        if x.shape[0] > 0:
+            constant_mask = x.min(axis=0) == x.max(axis=0)
+            self._check_constants(
+                feature_names,
+                [n for n, c in zip(feature_names, constant_mask) if c],
+            )
+
+        def batch_coef(remaining: List[int]) -> "np.ndarray":
+            estimator = self.estimator_factory()
+            estimator.fit(x[:, remaining], y)
+            return np.abs(estimator.standardized_coef)
+
+        return self._eliminate(x.shape[1], feature_names, batch_coef)
+
+    def fit_online(self, model: OnlineLeastSquares) -> RfeResult:
+        """Run the elimination against a streaming estimator's moments.
+
+        Each round solves a column subset of the accumulated
+        sufficient statistics (:meth:`OnlineLeastSquares.subset`), so
+        the selection equals :meth:`fit` on the same sample prefix up
+        to floating-point accumulation order -- without retaining any
+        sample rows.
+        """
+        if not model.is_fitted:
+            raise PredictionError(
+                "online RFE needs at least one partial_fit sample"
+            )
+        self._check_width(model.n_features)
+        self._check_constants(model.feature_names, model.constant_features())
+
+        def online_coef(remaining: List[int]) -> "np.ndarray":
+            return np.abs(
+                model.subset(remaining).ridge_standardized_coef(RFE_RIDGE_ALPHA)
+            )
+
+        return self._eliminate(
+            model.n_features, model.feature_names, online_coef
         )

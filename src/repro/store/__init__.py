@@ -13,12 +13,18 @@ weights.
 * :class:`CampaignManifest` -- the grid definition embedded in
   ``manifest.json``.
 * :class:`StoredCampaign` -- one journal line.
+* :class:`ModelStore` / :class:`ModelArtifact` -- versioned
+  ``repro-model/v1`` prediction-model artifacts under the same
+  manifest (:mod:`repro.store.models`), the single sanctioned
+  fitted-model serialization path.
 
 The engine checkpoints into a store as tasks finish
 (``ParallelCampaignEngine.run(..., store=...)``) and resumes from one
 bit-identically (``resume=True`` / ``repro resume <store>``); the
 analysis and prediction layers read stores directly, so a grid can be
-characterized on one box and analyzed on another.
+characterized on one box and analyzed on another -- and the streaming
+prediction trainer persists its models next to the data they were
+trained on.
 """
 
 from .journal import (
@@ -29,6 +35,13 @@ from .journal import (
     CampaignStore,
     TaskKey,
 )
+from .models import (
+    MODEL_FORMAT,
+    MODELS_DIR,
+    ModelArtifact,
+    ModelStore,
+    train_set_digest,
+)
 from .records import StoredCampaign
 
 __all__ = [
@@ -36,7 +49,12 @@ __all__ = [
     "CampaignStore",
     "JOURNAL_NAME",
     "MANIFEST_NAME",
+    "MODEL_FORMAT",
+    "MODELS_DIR",
+    "ModelArtifact",
+    "ModelStore",
     "STORE_FORMAT",
     "StoredCampaign",
     "TaskKey",
+    "train_set_digest",
 ]

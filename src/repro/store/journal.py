@@ -28,7 +28,18 @@ import dataclasses
 import json
 import os
 from pathlib import Path
-from typing import Any, Dict, List, Mapping, Optional, Sequence, Set, Tuple, Union
+from typing import (
+    TYPE_CHECKING,
+    Any,
+    Dict,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+    Union,
+)
 
 from .. import telemetry
 from ..core.campaign import CampaignResult, CharacterizationResult
@@ -40,6 +51,9 @@ from ..machines import MachineSpec
 from ..workloads import get_program
 from ..workloads.benchmark import Program
 from .records import StoredCampaign
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .models import ModelStore
 
 #: Format tag of the store schema, written into every manifest.
 STORE_FORMAT = "repro-campaign/v1"
@@ -431,6 +445,21 @@ class CampaignStore:
     def interventions(self) -> int:
         """Total watchdog recoveries across all journaled campaigns."""
         return sum(campaign.interventions for campaign in self._campaigns)
+
+    # -- model artifacts ---------------------------------------------------
+
+    def model_store(self) -> "ModelStore":
+        """The versioned model-artifact store under this directory.
+
+        Artifacts are bound to this store's machine-spec digest:
+        loading or saving one fitted against a different spec raises.
+        """
+        from .models import ModelStore
+
+        return ModelStore(
+            self.directory,
+            expected_spec_digest=self.manifest.spec.digest(),
+        )
 
     # -- derived exports ---------------------------------------------------
 

@@ -51,6 +51,8 @@ from .metrics import (
     M_JOURNAL_FSYNC_SECONDS,
     M_KERNEL_CAMPAIGNS,
     M_LOG_MESSAGES,
+    M_MODEL_DRIFT,
+    M_MODEL_RMSE,
     M_PARSER_RUNS,
     M_PREDICTION_CHARACTERIZATIONS,
     M_PREDICTION_PROFILES,
@@ -65,7 +67,14 @@ from .metrics import (
     MetricFamily,
     MetricsRegistry,
 )
-from .status import CampaignStatus, campaign_status, render_status
+from .status import (
+    CampaignStatus,
+    ModelStatus,
+    campaign_status,
+    model_statuses,
+    render_model_status,
+    render_status,
+)
 from .tracing import (
     PARENT_SPAN_ID_BASE,
     SESSION_TRACE_ID,
@@ -128,9 +137,14 @@ __all__ = [
     "M_LOG_MESSAGES",
     "M_PREDICTION_PROFILES",
     "M_PREDICTION_CHARACTERIZATIONS",
+    "M_MODEL_RMSE",
+    "M_MODEL_DRIFT",
     # status
     "CampaignStatus",
+    "ModelStatus",
     "campaign_status",
+    "model_statuses",
+    "render_model_status",
     "render_status",
     # tracing
     "SPAN_FORMAT",

@@ -41,6 +41,8 @@ M_KERNEL_CAMPAIGNS = "repro_kernel_campaigns_total"
 M_LOG_MESSAGES = "repro_log_messages_total"
 M_PREDICTION_PROFILES = "repro_prediction_profiles_total"
 M_PREDICTION_CHARACTERIZATIONS = "repro_prediction_characterizations_total"
+M_MODEL_RMSE = "repro_model_rmse"
+M_MODEL_DRIFT = "repro_model_drift"
 
 #: name -> (kind, help).  Unknown names may still be registered (kind
 #: inferred from the accessor used) but catalog entries keep the core
@@ -63,6 +65,8 @@ METRIC_CATALOG: Dict[str, Tuple[str, str]] = {
     M_LOG_MESSAGES: ("counter", "Structured log messages by level."),
     M_PREDICTION_PROFILES: ("counter", "Performance-counter profiles computed by the prediction pipeline."),
     M_PREDICTION_CHARACTERIZATIONS: ("counter", "Characterizations run by the prediction pipeline."),
+    M_MODEL_RMSE: ("gauge", "Prequential (test-then-train) RMSE of the streaming model."),
+    M_MODEL_DRIFT: ("gauge", "Streaming model drift: prequential RMSE relative to the naive baseline."),
 }
 
 #: Default histogram bucket boundaries, in seconds.

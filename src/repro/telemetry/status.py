@@ -126,6 +126,68 @@ def campaign_status(
     )
 
 
+@dataclass(frozen=True)
+class ModelStatus:
+    """Summary of the latest model artifact of one (target, core)."""
+
+    target: str
+    core: int
+    version: int
+    journal_offset: int
+    n_samples: int
+    servable: bool
+    selected_features: Tuple[str, ...]
+    #: Prequential model RMSE at save time, when evaluated batches exist.
+    rmse: Optional[float] = None
+    #: Prequential model/naive RMSE ratio (1.0 = no better than naive).
+    drift: Optional[float] = None
+
+
+def model_statuses(store: Union[str, Path]) -> Tuple[ModelStatus, ...]:
+    """Latest ``repro-model/v1`` artifact per (target, core) series."""
+    from ..store import CampaignStore
+
+    opened = CampaignStore.open(store)
+    statuses = []
+    for artifact in opened.model_store().latest_artifacts():
+        statuses.append(
+            ModelStatus(
+                target=artifact.target,
+                core=artifact.core,
+                version=artifact.version,
+                journal_offset=artifact.journal_offset,
+                n_samples=artifact.n_samples,
+                servable=artifact.is_servable,
+                selected_features=artifact.selected_features,
+                rmse=artifact.metrics.get("prequential_rmse"),
+                drift=artifact.metrics.get("drift"),
+            )
+        )
+    return tuple(statuses)
+
+
+def render_model_status(statuses: Tuple[ModelStatus, ...]) -> str:
+    """Human-readable ``repro status --models`` section."""
+    lines: List[str] = ["model artifacts:"]
+    if not statuses:
+        lines.append("  (none -- run `repro train STORE` to fit one)")
+        return "\n".join(lines) + "\n"
+    for status in statuses:
+        rmse = f"{status.rmse:.3f}" if status.rmse is not None else "--"
+        drift = f"{status.drift:.3f}" if status.drift is not None else "--"
+        servable = "servable" if status.servable else "not servable yet"
+        lines.append(
+            f"  {status.target} c{status.core}: v{status.version} "
+            f"@offset {status.journal_offset}, {status.n_samples} samples, "
+            f"{servable}, prequential RMSE {rmse}, drift {drift}"
+        )
+        if status.selected_features:
+            lines.append(
+                "    features: " + ", ".join(status.selected_features)
+            )
+    return "\n".join(lines) + "\n"
+
+
 def _format_eta(seconds: float) -> str:
     if seconds >= 3600:
         return f"{seconds / 3600:.1f} h"
@@ -160,4 +222,11 @@ def render_status(status: CampaignStatus) -> str:
     return "\n".join(lines) + "\n"
 
 
-__all__ = ["CampaignStatus", "campaign_status", "render_status"]
+__all__ = [
+    "CampaignStatus",
+    "ModelStatus",
+    "campaign_status",
+    "model_statuses",
+    "render_model_status",
+    "render_status",
+]

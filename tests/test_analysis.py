@@ -598,12 +598,70 @@ class TestRPR009CurveEvalInRunLoop:
         """) == []
 
 
+class TestRPR010SingleModelPath:
+    def test_json_dump_of_model_artifact_flagged(self):
+        assert lint_rules("""
+            import json
+
+            def save(artifact, handle):
+                json.dump(ModelArtifact.to_json_dict(artifact), handle)
+        """) == ["RPR010"]
+
+    def test_pickle_of_fitted_estimator_flagged(self):
+        assert lint_rules("""
+            import pickle
+
+            def stash(path, x, y):
+                model = OrdinaryLeastSquares().fit(x, y)
+                with open(path, "wb") as handle:
+                    pickle.dump(model, handle)
+        """, path="src/repro/prediction/fixture.py") == ["RPR010"]
+
+    def test_json_dumps_of_coefficients_flagged(self):
+        assert lint_rules("""
+            import json
+
+            def export(model):
+                return json.dumps(model.coefficients_by_name())
+        """, path="src/repro/analysis/fixture.py") == ["RPR010"]
+
+    def test_models_module_is_the_sanctioned_home(self):
+        assert lint_rules("""
+            import json
+
+            def serialize(artifact):
+                return json.dumps(ModelArtifact.to_json_dict(artifact))
+        """, path="src/repro/store/models.py") == []
+
+    def test_serializer_without_model_state_clean(self):
+        assert lint_rules("""
+            import json
+
+            def snapshot(metrics, handle):
+                json.dump(metrics.to_json_dict(), handle)
+        """) == []
+
+    def test_model_state_without_serializer_clean(self):
+        assert lint_rules("""
+            def widest(artifact):
+                return max(artifact.selected_features, key=len)
+        """) == []
+
+    def test_outside_repro_out_of_scope(self):
+        assert lint_rules("""
+            import pickle
+
+            def stash(model, handle):
+                pickle.dump(OrdinaryLeastSquares(), handle)
+        """, path="tools/fixture.py") == []
+
+
 class TestLintRegistry:
-    def test_nine_rules_registered(self):
+    def test_ten_rules_registered(self):
         ids = [rule.rule_id for rule in all_rules()]
         assert ids == ["RPR001", "RPR002", "RPR003", "RPR004",
                        "RPR005", "RPR006", "RPR007", "RPR008",
-                       "RPR009"]
+                       "RPR009", "RPR010"]
 
     def test_unknown_rule_rejected(self):
         with pytest.raises(ConfigurationError):
