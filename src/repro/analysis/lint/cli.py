@@ -14,10 +14,12 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+from pathlib import Path
 from typing import List, Optional, Sequence
 
 from ...errors import ConfigurationError
-from .runner import lint_paths, render_rule_catalog
+from .runner import DEFAULT_CACHE_PATH, lint_paths, render_rule_catalog
+from .sarif import render_sarif
 
 #: Default lint targets when none are given, filtered to what exists.
 DEFAULT_PATHS = ("src", "tests", "examples")
@@ -30,9 +32,10 @@ def build_lint_parser(
     if parser is None:
         parser = argparse.ArgumentParser(
             prog="reprolint",
-            description="AST-based checker for the repo's determinism, "
-                        "unit-safety and machine-protocol invariants "
-                        "(rules RPR001-RPR008).",
+            description="AST- and dataflow-based checker for the repo's "
+                        "determinism, unit-safety, machine-protocol and "
+                        "parallel-purity invariants (rules "
+                        "RPR001-RPR013).",
         )
     parser.add_argument(
         "paths", nargs="*", metavar="PATH",
@@ -40,11 +43,34 @@ def build_lint_parser(
     )
     parser.add_argument(
         "--select", default=None, metavar="RPR00x[,RPR00y]",
-        help="run only these rule ids",
+        help="run only these rule ids (disables the cache and the "
+             "stale-suppression check)",
     )
     parser.add_argument(
         "--format", dest="output_format", choices=("text", "json"),
         default="text", help="report format (default: text)",
+    )
+    parser.add_argument(
+        "--sarif", default=None, metavar="FILE",
+        help="also write the findings as a SARIF 2.1.0 document "
+             "(for GitHub code scanning)",
+    )
+    parser.add_argument(
+        "--stats", action="store_true",
+        help="print per-rule finding counts and per-phase wall time",
+    )
+    parser.add_argument(
+        "--cache", default=DEFAULT_CACHE_PATH, metavar="FILE",
+        help="incremental result cache location "
+             f"(default: {DEFAULT_CACHE_PATH})",
+    )
+    parser.add_argument(
+        "--no-cache", action="store_true",
+        help="analyze every file fresh; neither read nor write the cache",
+    )
+    parser.add_argument(
+        "--no-stale-check", action="store_true",
+        help="do not report disable= suppressions that shielded nothing",
     )
     parser.add_argument(
         "--list-rules", action="store_true",
@@ -60,8 +86,6 @@ def run_lint(args: argparse.Namespace) -> int:
         return 0
     paths: List[str] = list(args.paths)
     if not paths:
-        from pathlib import Path
-
         paths = [p for p in DEFAULT_PATHS if Path(p).exists()]
         if not paths:
             print("error: no PATH given and no default target "
@@ -70,15 +94,30 @@ def run_lint(args: argparse.Namespace) -> int:
     select = None
     if args.select:
         select = [s.strip() for s in args.select.split(",") if s.strip()]
+    cache_path = None if args.no_cache else args.cache
     try:
-        report = lint_paths(paths, select=select)
+        report = lint_paths(
+            paths, select=select, cache_path=cache_path,
+            stale_check=not args.no_stale_check,
+        )
     except ConfigurationError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
+    if args.sarif:
+        try:
+            Path(args.sarif).write_text(
+                json.dumps(render_sarif(report.diagnostics), indent=2),
+                encoding="utf-8",
+            )
+        except OSError as exc:
+            print(f"error: cannot write SARIF file: {exc}", file=sys.stderr)
+            return 2
     if args.output_format == "json":
         print(json.dumps(report.to_json_dict(), indent=2))
     else:
         print(report.render_text())
+    if args.stats:
+        print(report.render_stats())
     return 0 if report.clean else 1
 
 

@@ -1,0 +1,1081 @@
+"""Intraprocedural dataflow summaries and their whole-program solution.
+
+The interprocedural rules (RPR011-RPR013) need to see through function
+and module boundaries without giving up the incremental cache.  The
+split that makes both possible:
+
+* :func:`summarize_module` extracts a :class:`FunctionSummary` per
+  function (and one for module-level code) using **only that file's
+  AST** -- an abstract interpretation over a small taint lattice that
+  records, in terms of *atoms*, where seed arguments come from, which
+  unit family (mV vs V) values belong to, which project functions are
+  called with which argument atoms, and which writes touch
+  module-level or closure-captured state.  Because a summary depends
+  on nothing outside its file, it is cacheable under the file's
+  content hash.
+* :class:`ProjectDataflow` solves the summaries together: a monotone
+  fixed point resolves ``param``/``return`` atoms through the call
+  graph (context-insensitively, joining over all call sites), and a
+  breadth-first walk from the parallel-engine worker entry points
+  yields the reachability relation RPR013 checks.
+
+**Atoms.**  A value's abstract state is a set of strings:
+
+=============  ========================================================
+``literal``    a numeric/str constant (or module-level constant)
+``safe``       derived from ``SeedSequence``, ``hashlib.sha256`` or a
+               method call on an already-safe value (``generate_state``,
+               ``digest``, ...)
+``wallclock``  derived from a wall-clock/entropy source (RPR002's set)
+``p:<i>``      the i-th parameter of the enclosing function
+``r:<dotted>`` the return value of a call to ``<dotted>``
+=============  ========================================================
+
+Unknown values are the empty set: only *positively traced* literal and
+wall-clock provenance is ever flagged, so values arriving from outside
+the analyzed program never produce findings.
+
+The unit domain reuses the same parameterized atoms with ground tags
+``mv`` and ``v``, seeded from name suffixes (``*_mv``, ``*_v``,
+``*_volts``) and volt-scale float literals.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterator, List, Optional, Sequence, Set, Tuple
+
+from .registry import FileContext
+
+Atoms = FrozenSet[str]
+
+_EMPTY: Atoms = frozenset()
+_LITERAL: Atoms = frozenset({"literal"})
+_SAFE: Atoms = frozenset({"safe"})
+_WALLCLOCK: Atoms = frozenset({"wallclock"})
+
+#: Constructors that *are* safe seed derivations.
+_SAFE_CALLS = frozenset({
+    "numpy.random.SeedSequence",
+    "hashlib.sha256", "hashlib.sha512", "hashlib.blake2b", "hashlib.blake2s",
+})
+
+#: Wall-clock/entropy call paths (RPR002's set, re-declared here so the
+#: dataflow layer has no import cycle with the rule set).
+_WALLCLOCK_CALLS = frozenset({
+    "time.time", "time.time_ns", "time.monotonic", "time.monotonic_ns",
+    "time.perf_counter", "time.perf_counter_ns", "time.process_time",
+    "time.process_time_ns", "time.clock_gettime", "time.clock_gettime_ns",
+    "datetime.datetime.now", "datetime.datetime.utcnow",
+    "datetime.datetime.today", "datetime.date.today",
+    "os.urandom", "os.getrandom",
+    "uuid.uuid1", "uuid.uuid4",
+    "secrets.token_bytes", "secrets.token_hex", "secrets.token_urlsafe",
+    "secrets.randbits", "secrets.randbelow", "secrets.choice",
+})
+
+#: Calls that pass their arguments' provenance through unchanged.
+_PASSTHROUGH_CALLS = frozenset({
+    "int", "float", "abs", "min", "max", "round", "sum",
+    "tuple", "list", "sorted", "str",
+    "numpy.frombuffer", "numpy.asarray", "numpy.array",
+    "numpy.uint64", "numpy.uint32", "numpy.int64",
+})
+
+#: Attribute method names that pass provenance through (``int.from_bytes``).
+_PASSTHROUGH_METHODS = frozenset({"from_bytes"})
+
+#: Passthroughs whose every positional argument is data.  All others
+#: take data in the first slot only -- trailing arguments are mode
+#: selectors (``int.from_bytes(digest, "little")``, ``round(x, 2)``,
+#: ``numpy.frombuffer(buf, dtype=...)``) and must not leak their own
+#: literal-ness into the result.
+_VARIADIC_PASSTHROUGHS = frozenset({"min", "max"})
+
+#: RNG constructors whose seed argument RPR011 traces; value is the
+#: keyword name of the seed parameter.
+SEED_SINKS: Dict[str, str] = {
+    "numpy.random.default_rng": "seed",
+    "numpy.random.RandomState": "seed",
+    "numpy.random.PCG64": "seed",
+    "numpy.random.PCG64DXSM": "seed",
+    "numpy.random.Philox": "seed",
+    "numpy.random.MT19937": "seed",
+    "random.Random": "x",
+}
+
+#: Method names that mutate their receiver in place.
+_MUTATOR_METHODS = frozenset({
+    "append", "extend", "add", "update", "insert", "remove", "discard",
+    "pop", "popitem", "clear", "setdefault", "set",
+})
+
+
+#: Name stems that denote an absolute voltage *level* (RPR004's set:
+#: widths, scales, margins and offsets are legitimately sub-volt).
+_LEVEL_HINTS = (
+    "voltage", "vmin", "vmax", "vdd", "vnom", "nominal", "supply",
+    "crash", "onset", "level", "setpoint", "start", "stop",
+)
+
+
+def is_level_name(name: str) -> bool:
+    """True when a name denotes an absolute voltage level."""
+    lowered = name.lower()
+    return any(hint in lowered for hint in _LEVEL_HINTS)
+
+
+def name_unit(name: Optional[str]) -> Optional[str]:
+    """The unit family a name's suffix declares, if any."""
+    if not name:
+        return None
+    lowered = name.lower()
+    if lowered.endswith("_per_mv"):
+        return None  # a rate denominated in mV, not a voltage
+    if lowered.endswith("_mv") or lowered.endswith("_millivolts") or \
+            lowered in ("mv", "millivolts"):
+        return "mv"
+    if lowered.endswith("_v") or lowered.endswith("_volts") or \
+            lowered == "volts":
+        return "v"
+    return None
+
+
+def _tail_name(node: ast.AST) -> Optional[str]:
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    return None
+
+
+# ---------------------------------------------------------------------------
+# Summary records
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class SeedSink:
+    """One RNG-constructor call whose seed argument is traced."""
+
+    line: int
+    col: int
+    api: str
+    atoms: Tuple[str, ...]
+
+
+@dataclass(frozen=True)
+class CallSite:
+    """One call to a (potential) project function."""
+
+    line: int
+    col: int
+    #: Candidate dotted targets, resolved against the project later.
+    callees: Tuple[str, ...]
+    #: True when called through an instance (``obj.method(...)``), so
+    #: positional arguments map to parameters shifted past ``self``.
+    bound: bool
+    args: Tuple[Tuple[str, ...], ...]
+    kwargs: Tuple[Tuple[str, Tuple[str, ...]], ...]
+    arg_units: Tuple[Tuple[str, ...], ...]
+    kwarg_units: Tuple[Tuple[str, Tuple[str, ...]], ...]
+
+
+@dataclass(frozen=True)
+class WriteSite:
+    """One write to module-level or closure-captured mutable state."""
+
+    line: int
+    col: int
+    target: str
+    #: ``module-state`` | ``global-decl`` | ``closure-state``
+    kind: str
+
+
+@dataclass
+class FunctionSummary:
+    """Everything the whole-program pass needs from one function."""
+
+    qualname: str
+    name: str
+    module: str
+    path: str
+    lineno: int
+    params: Tuple[str, ...] = ()
+    is_method: bool = False
+    #: Worker entry point (``run_*`` in ``repro.parallel``).
+    entry: bool = False
+    #: Atoms of literal parameter defaults, by parameter index.
+    defaults: Dict[int, Tuple[str, ...]] = field(default_factory=dict)
+    returns: Tuple[str, ...] = ()
+    return_unit: Tuple[str, ...] = ()
+    #: Declared unit family per parameter index (from name suffixes).
+    param_units: Dict[int, str] = field(default_factory=dict)
+    seed_sinks: Tuple[SeedSink, ...] = ()
+    calls: Tuple[CallSite, ...] = ()
+    writes: Tuple[WriteSite, ...] = ()
+    #: Dotted candidates handed to ``executor.submit(...)`` -- extra
+    #: worker entry points.
+    spawns: Tuple[str, ...] = ()
+
+    def to_json_dict(self) -> Dict[str, object]:
+        return {
+            "qualname": self.qualname,
+            "name": self.name,
+            "module": self.module,
+            "path": self.path,
+            "lineno": self.lineno,
+            "params": list(self.params),
+            "is_method": self.is_method,
+            "entry": self.entry,
+            "defaults": {str(i): list(a) for i, a in self.defaults.items()},
+            "returns": list(self.returns),
+            "return_unit": list(self.return_unit),
+            "param_units": {str(i): u for i, u in self.param_units.items()},
+            "seed_sinks": [
+                [s.line, s.col, s.api, list(s.atoms)] for s in self.seed_sinks
+            ],
+            "calls": [
+                {
+                    "line": c.line, "col": c.col,
+                    "callees": list(c.callees), "bound": c.bound,
+                    "args": [list(a) for a in c.args],
+                    "kwargs": [[n, list(a)] for n, a in c.kwargs],
+                    "arg_units": [list(a) for a in c.arg_units],
+                    "kwarg_units": [[n, list(a)] for n, a in c.kwarg_units],
+                }
+                for c in self.calls
+            ],
+            "writes": [
+                [w.line, w.col, w.target, w.kind] for w in self.writes
+            ],
+            "spawns": list(self.spawns),
+        }
+
+    @classmethod
+    def from_json_dict(cls, payload: Dict[str, object]) -> "FunctionSummary":
+        calls = []
+        for c in payload["calls"]:  # type: ignore[index]
+            calls.append(CallSite(
+                line=c["line"], col=c["col"],
+                callees=tuple(c["callees"]), bound=c["bound"],
+                args=tuple(tuple(a) for a in c["args"]),
+                kwargs=tuple((n, tuple(a)) for n, a in c["kwargs"]),
+                arg_units=tuple(tuple(a) for a in c["arg_units"]),
+                kwarg_units=tuple((n, tuple(a)) for n, a in c["kwarg_units"]),
+            ))
+        return cls(
+            qualname=payload["qualname"],  # type: ignore[arg-type]
+            name=payload["name"],  # type: ignore[arg-type]
+            module=payload["module"],  # type: ignore[arg-type]
+            path=payload["path"],  # type: ignore[arg-type]
+            lineno=payload["lineno"],  # type: ignore[arg-type]
+            params=tuple(payload["params"]),  # type: ignore[arg-type]
+            is_method=bool(payload["is_method"]),
+            entry=bool(payload["entry"]),
+            defaults={
+                int(i): tuple(a)
+                for i, a in payload["defaults"].items()  # type: ignore[union-attr]
+            },
+            returns=tuple(payload["returns"]),  # type: ignore[arg-type]
+            return_unit=tuple(payload["return_unit"]),  # type: ignore[arg-type]
+            param_units={
+                int(i): u
+                for i, u in payload["param_units"].items()  # type: ignore[union-attr]
+            },
+            seed_sinks=tuple(
+                SeedSink(line=s[0], col=s[1], api=s[2], atoms=tuple(s[3]))
+                for s in payload["seed_sinks"]  # type: ignore[union-attr]
+            ),
+            calls=tuple(calls),
+            writes=tuple(
+                WriteSite(line=w[0], col=w[1], target=w[2], kind=w[3])
+                for w in payload["writes"]  # type: ignore[union-attr]
+            ),
+            spawns=tuple(payload["spawns"]),  # type: ignore[arg-type]
+        )
+
+
+# ---------------------------------------------------------------------------
+# Per-module summarization
+# ---------------------------------------------------------------------------
+
+
+def _module_level_names(tree: ast.Module) -> Tuple[Set[str], Set[str], Dict[str, Atoms]]:
+    """(assigned names, ContextVar-bound names, constant atoms) at module scope."""
+    assigned: Set[str] = set()
+    contextvars: Set[str] = set()
+    consts: Dict[str, Atoms] = {}
+    for node in tree.body:
+        targets: List[ast.expr] = []
+        value: Optional[ast.expr] = None
+        if isinstance(node, ast.Assign):
+            targets, value = list(node.targets), node.value
+        elif isinstance(node, ast.AnnAssign):
+            targets, value = [node.target], node.value
+        for target in targets:
+            if not isinstance(target, ast.Name):
+                continue
+            assigned.add(target.id)
+            if isinstance(value, ast.Call) and \
+                    _tail_name(value.func) == "ContextVar":
+                contextvars.add(target.id)
+            elif isinstance(value, ast.Constant) and \
+                    isinstance(value.value, (int, float, str)) and \
+                    not isinstance(value.value, bool):
+                consts[target.id] = _LITERAL
+    return assigned, contextvars, consts
+
+
+def _local_names(node: ast.AST, params: Sequence[str]) -> Set[str]:
+    """Names bound locally in a function body (excluding nested defs)."""
+    local: Set[str] = set(params)
+    globals_declared: Set[str] = set()
+
+    def walk(stmt: ast.AST, top: bool) -> None:
+        for child in ast.iter_child_nodes(stmt):
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                  ast.Lambda, ast.ClassDef)):
+                if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                      ast.ClassDef)):
+                    local.add(child.name)
+                continue
+            if isinstance(child, ast.Global):
+                globals_declared.update(child.names)
+            elif isinstance(child, ast.Name) and \
+                    isinstance(child.ctx, (ast.Store, ast.Del)):
+                local.add(child.id)
+            elif isinstance(child, (ast.Import, ast.ImportFrom)):
+                for alias in child.names:
+                    local.add(alias.asname or alias.name.split(".")[0])
+            elif isinstance(child, ast.ExceptHandler) and child.name:
+                local.add(child.name)
+            elif isinstance(child, ast.arg):
+                local.add(child.arg)
+            walk(child, False)
+
+    walk(node, True)
+    return local - globals_declared
+
+
+Env = Dict[str, Tuple[Atoms, Atoms]]
+
+
+class _Summarizer:
+    """Summarizes the functions (and module scope) of one file."""
+
+    def __init__(self, ctx: FileContext) -> None:
+        self.ctx = ctx
+        assert ctx.module is not None
+        self.module: str = ctx.module
+        mod_assigned, mod_contextvars, mod_consts = _module_level_names(ctx.tree)
+        self.module_globals = mod_assigned
+        self.contextvar_globals = mod_contextvars
+        self.module_consts = mod_consts
+        #: Top-level symbols (functions and classes defined here).
+        self.module_symbols: Set[str] = {
+            n.name for n in ctx.tree.body
+            if isinstance(n, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef))
+        }
+        # Mutable per-function collection state
+        self.env: Env = {}
+        self.var_types: Dict[str, str] = {}
+        self.locals: Set[str] = set()
+        self.outer_locals: Set[str] = set()
+        self.sinks: List[SeedSink] = []
+        self.calls: List[CallSite] = []
+        self.writes: List[WriteSite] = []
+        self.spawns: List[str] = []
+        self.returns: Set[str] = set()
+        self.return_units: Set[str] = set()
+        self.in_nested: bool = False
+
+    # -- entry points ------------------------------------------------------
+
+    def summarize(self) -> Iterator[FunctionSummary]:
+        yield self._summarize_module_scope()
+        for node in self.ctx.tree.body:
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                yield self._summarize_function(node, class_name=None)
+            elif isinstance(node, ast.ClassDef):
+                for item in node.body:
+                    if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                        yield self._summarize_function(
+                            item, class_name=node.name
+                        )
+
+    def _reset(self, params: Sequence[str]) -> None:
+        self.env = {
+            name: (frozenset({f"p:{i}"}), frozenset({f"p:{i}"}))
+            for i, name in enumerate(params)
+        }
+        self.var_types = {}
+        self.sinks = []
+        self.calls = []
+        self.writes = []
+        self.spawns = []
+        self.returns = set()
+        self.return_units = set()
+        self.in_nested = False
+        self.outer_locals = set()
+
+    def _summarize_module_scope(self) -> FunctionSummary:
+        self._reset(())
+        self.locals = set()  # module scope: bare assigns are module state
+        for stmt in self.ctx.tree.body:
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                 ast.ClassDef)):
+                continue
+            self._exec(stmt)
+        return FunctionSummary(
+            qualname=f"{self.module}#module",
+            name="#module", module=self.module, path=self.ctx.path,
+            lineno=1, params=(),
+            seed_sinks=tuple(self.sinks), calls=tuple(self.calls),
+            writes=(),  # module-level init writes are not worker writes
+            spawns=tuple(self.spawns),
+        )
+
+    def _summarize_function(
+        self,
+        node: "ast.FunctionDef | ast.AsyncFunctionDef",
+        class_name: Optional[str],
+    ) -> FunctionSummary:
+        args = node.args
+        params: List[str] = [
+            a.arg for a in
+            list(args.posonlyargs) + list(args.args) + list(args.kwonlyargs)
+        ]
+        self._reset(params)
+        self.locals = _local_names(node, params)
+        # Literal defaults are call-site contributions a caller can pick
+        # by omitting the argument.
+        defaults: Dict[int, Tuple[str, ...]] = {}
+        positional = list(args.posonlyargs) + list(args.args)
+        pos_defaults = list(args.defaults)
+        offset = len(positional) - len(pos_defaults)
+        for i, default in enumerate(pos_defaults):
+            atoms, _ = self._eval(default)
+            ground = atoms & {"literal", "safe", "wallclock"}
+            if ground:
+                defaults[offset + i] = tuple(sorted(ground))
+        for i, kw_default in enumerate(args.kw_defaults):
+            if kw_default is None:
+                continue
+            atoms, _ = self._eval(kw_default)
+            ground = atoms & {"literal", "safe", "wallclock"}
+            if ground:
+                defaults[len(positional) + i] = tuple(sorted(ground))
+        self.current_class = class_name
+        for stmt in node.body:
+            self._exec(stmt)
+        is_method = class_name is not None and bool(params) and \
+            params[0] in ("self", "cls")
+        qualname = (
+            f"{self.module}.{class_name}.{node.name}"
+            if class_name is not None else f"{self.module}.{node.name}"
+        )
+        module_parts = self.module.split(".")
+        entry = (
+            class_name is None
+            and len(module_parts) > 1 and module_parts[1] == "parallel"
+            and node.name.startswith("run_")
+        )
+        func_unit = name_unit(node.name)
+        return_unit: Tuple[str, ...] = (
+            (func_unit,) if func_unit else tuple(sorted(self.return_units))
+        )
+        param_units = {
+            i: unit for i, name in enumerate(params)
+            for unit in (name_unit(name),) if unit is not None
+        }
+        return FunctionSummary(
+            qualname=qualname, name=node.name, module=self.module,
+            path=self.ctx.path, lineno=node.lineno,
+            params=tuple(params), is_method=is_method, entry=entry,
+            defaults=defaults,
+            returns=tuple(sorted(self.returns)),
+            return_unit=return_unit, param_units=param_units,
+            seed_sinks=tuple(self.sinks), calls=tuple(self.calls),
+            writes=tuple(self.writes), spawns=tuple(self.spawns),
+        )
+
+    current_class: Optional[str] = None
+
+    # -- statements --------------------------------------------------------
+
+    def _exec(self, stmt: ast.stmt) -> None:
+        if isinstance(stmt, ast.Assign):
+            taint, unit = self._eval(stmt.value)
+            for target in stmt.targets:
+                self._bind(target, taint, unit, stmt.value)
+        elif isinstance(stmt, ast.AnnAssign):
+            if stmt.value is not None:
+                taint, unit = self._eval(stmt.value)
+                self._bind(stmt.target, taint, unit, stmt.value)
+        elif isinstance(stmt, ast.AugAssign):
+            taint, unit = self._eval(stmt.value)
+            if isinstance(stmt.target, ast.Name):
+                old = self.env.get(stmt.target.id, (_EMPTY, _EMPTY))
+                self.env[stmt.target.id] = (old[0] | taint, old[1] | unit)
+                self._check_bare_global_write(stmt.target)
+            else:
+                self._check_store_target(stmt.target)
+        elif isinstance(stmt, ast.Expr):
+            self._eval(stmt.value)
+        elif isinstance(stmt, ast.Return):
+            if stmt.value is not None:
+                taint, unit = self._eval(stmt.value)
+                self.returns.update(taint)
+                self.return_units.update(unit)
+        elif isinstance(stmt, ast.If):
+            self._eval(stmt.test)
+            self._exec_branches([stmt.body, stmt.orelse])
+        elif isinstance(stmt, (ast.For, ast.AsyncFor)):
+            taint, unit = self._eval(stmt.iter)
+            self._bind(stmt.target, taint, unit, None)
+            self._exec_branches([stmt.body, stmt.orelse])
+        elif isinstance(stmt, ast.While):
+            self._eval(stmt.test)
+            self._exec_branches([stmt.body, stmt.orelse])
+        elif isinstance(stmt, (ast.With, ast.AsyncWith)):
+            for item in stmt.items:
+                taint, unit = self._eval(item.context_expr)
+                if item.optional_vars is not None:
+                    self._bind(item.optional_vars, taint, unit,
+                               item.context_expr)
+            for sub in stmt.body:
+                self._exec(sub)
+        elif isinstance(stmt, ast.Try):
+            blocks: List[List[ast.stmt]] = [stmt.body]
+            for handler in stmt.handlers:
+                blocks.append(list(handler.body))
+            blocks.append(list(stmt.orelse))
+            self._exec_branches(blocks)
+            for sub in stmt.finalbody:
+                self._exec(sub)
+        elif isinstance(stmt, ast.Global):
+            self.writes.append(WriteSite(
+                line=stmt.lineno, col=stmt.col_offset + 1,
+                target=", ".join(stmt.names), kind="global-decl",
+            ))
+        elif isinstance(stmt, ast.Nonlocal):
+            self.writes.append(WriteSite(
+                line=stmt.lineno, col=stmt.col_offset + 1,
+                target=", ".join(stmt.names), kind="closure-state",
+            ))
+        elif isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            self._exec_nested(stmt)
+        elif isinstance(stmt, (ast.Delete, ast.Assert, ast.Raise)):
+            for value in ast.iter_child_nodes(stmt):
+                if isinstance(value, ast.expr):
+                    self._eval(value)
+        # Pass/Import/Break/Continue/ClassDef: nothing to track.
+
+    def _exec_branches(self, blocks: List[List[ast.stmt]]) -> None:
+        """Run each block from the same entry env; join the results."""
+        base_env = dict(self.env)
+        joined: Env = dict(self.env)
+        for block in blocks:
+            self.env = dict(base_env)
+            for stmt in block:
+                self._exec(stmt)
+            for name, (taint, unit) in self.env.items():
+                old = joined.get(name, (_EMPTY, _EMPTY))
+                joined[name] = (old[0] | taint, old[1] | unit)
+        self.env = joined
+
+    def _exec_nested(
+        self, node: "ast.FunctionDef | ast.AsyncFunctionDef"
+    ) -> None:
+        """Walk a nested def for closure writes and seed sinks.
+
+        Nested functions do not get their own summary -- their effects
+        (sinks, calls, writes to the enclosing scope) are attributed to
+        the enclosing function, which is what the call graph sees.
+        """
+        saved = (self.env, dict(self.var_types), self.outer_locals,
+                 self.locals, self.in_nested)
+        self.outer_locals = self.outer_locals | self.locals
+        params = [
+            a.arg for a in
+            list(node.args.posonlyargs) + list(node.args.args)
+            + list(node.args.kwonlyargs)
+        ]
+        self.locals = _local_names(node, params)
+        self.env = {}
+        self.in_nested = True
+        for stmt in node.body:
+            self._exec(stmt)
+        (self.env, self.var_types, self.outer_locals,
+         self.locals, self.in_nested) = saved
+
+    def _bind(
+        self,
+        target: ast.expr,
+        taint: Atoms,
+        unit: Atoms,
+        value: Optional[ast.expr],
+    ) -> None:
+        if isinstance(target, ast.Name):
+            self.env[target.id] = (taint, unit)
+            if isinstance(value, ast.Call):
+                dotted = self._callable_target(value.func)
+                if dotted is not None:
+                    self.var_types[target.id] = dotted
+            self._check_bare_global_write(target)
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            for elt in target.elts:
+                inner = elt.value if isinstance(elt, ast.Starred) else elt
+                self._bind(inner, taint, unit, None)
+        elif isinstance(target, (ast.Subscript, ast.Attribute)):
+            self._check_store_target(target)
+        elif isinstance(target, ast.Starred):
+            self._bind(target.value, taint, unit, None)
+
+    # -- shared-state writes -----------------------------------------------
+
+    def _chain_root(self, node: ast.expr) -> Optional[ast.Name]:
+        while isinstance(node, (ast.Attribute, ast.Subscript)):
+            node = node.value
+        return node if isinstance(node, ast.Name) else None
+
+    def _check_bare_global_write(self, target: ast.Name) -> None:
+        # A bare-name Store inside a function is a local binding unless
+        # declared ``global`` -- and the Global statement itself is
+        # already recorded as a write site.
+        return
+
+    def _check_store_target(self, target: ast.expr) -> None:
+        """Record ``X[k] = ...`` / ``X.attr = ...`` on shared state."""
+        root = self._chain_root(target)
+        if root is None:
+            return
+        self._record_state_write(root, target)
+
+    def _record_state_write(self, root: ast.Name, site: ast.expr) -> None:
+        name = root.id
+        if name in self.locals or name in self.contextvar_globals:
+            return
+        if self.in_nested and name in self.outer_locals:
+            self.writes.append(WriteSite(
+                line=site.lineno, col=site.col_offset + 1,
+                target=name, kind="closure-state",
+            ))
+        elif name in self.module_globals:
+            self.writes.append(WriteSite(
+                line=site.lineno, col=site.col_offset + 1,
+                target=name, kind="module-state",
+            ))
+
+    # -- expressions -------------------------------------------------------
+
+    def _eval(self, node: ast.expr) -> Tuple[Atoms, Atoms]:
+        if isinstance(node, ast.Constant):
+            value = node.value
+            if isinstance(value, bool) or value is None:
+                return _EMPTY, _EMPTY
+            if isinstance(value, (int, float, str, bytes)):
+                # ``vlit`` (not ``v``): a literal's volt-ness is only a
+                # magnitude heuristic, so RPR012 applies it just to
+                # level-named parameters, exactly as RPR004 does.
+                unit = (
+                    frozenset({"vlit"})
+                    if isinstance(value, float) and 0.0 < value < 2.0
+                    else _EMPTY
+                )
+                return _LITERAL, unit
+            return _EMPTY, _EMPTY
+        if isinstance(node, ast.Name):
+            unit_tag = name_unit(node.id)
+            named_unit = frozenset({unit_tag}) if unit_tag else _EMPTY
+            if node.id in self.env:
+                taint, unit = self.env[node.id]
+                return taint, unit | named_unit
+            if node.id in self.module_consts and node.id not in self.locals:
+                return self.module_consts[node.id], named_unit
+            return _EMPTY, named_unit
+        if isinstance(node, ast.Attribute):
+            base_taint, _ = self._eval(node.value)
+            unit_tag = name_unit(node.attr)
+            unit = frozenset({unit_tag}) if unit_tag else _EMPTY
+            taint = _SAFE if "safe" in base_taint else _EMPTY
+            return taint, unit
+        if isinstance(node, ast.Subscript):
+            taint, unit = self._eval(node.value)
+            if isinstance(node.slice, ast.expr):
+                self._eval(node.slice)
+            return taint, unit
+        if isinstance(node, ast.BinOp):
+            lt, lu = self._eval(node.left)
+            rt, ru = self._eval(node.right)
+            if "safe" in lt or "safe" in rt:
+                taint = _SAFE
+            else:
+                taint = lt | rt
+            return taint, lu | ru
+        if isinstance(node, ast.UnaryOp):
+            return self._eval(node.operand)
+        if isinstance(node, ast.BoolOp):
+            taint, unit = _EMPTY, _EMPTY
+            for value in node.values:
+                t, u = self._eval(value)
+                taint, unit = taint | t, unit | u
+            return taint, unit
+        if isinstance(node, ast.Compare):
+            self._eval(node.left)
+            for comparator in node.comparators:
+                self._eval(comparator)
+            return _EMPTY, _EMPTY
+        if isinstance(node, ast.IfExp):
+            self._eval(node.test)
+            bt, bu = self._eval(node.body)
+            ot, ou = self._eval(node.orelse)
+            return bt | ot, bu | ou
+        if isinstance(node, (ast.Tuple, ast.List, ast.Set)):
+            taint, unit = _EMPTY, _EMPTY
+            for elt in node.elts:
+                t, u = self._eval(elt)
+                taint, unit = taint | t, unit | u
+            return taint, unit
+        if isinstance(node, ast.Dict):
+            taint, unit = _EMPTY, _EMPTY
+            for value in node.values:
+                if value is not None:
+                    t, u = self._eval(value)
+                    taint, unit = taint | t, unit | u
+            return taint, unit
+        if isinstance(node, ast.Call):
+            return self._eval_call(node)
+        if isinstance(node, ast.JoinedStr):
+            taint = _LITERAL
+            for part in node.values:
+                if isinstance(part, ast.FormattedValue):
+                    t, _ = self._eval(part.value)
+                    taint = taint | t
+            return taint, _EMPTY
+        if isinstance(node, ast.Starred):
+            return self._eval(node.value)
+        if isinstance(node, (ast.Await, ast.YieldFrom)):
+            return self._eval(node.value)
+        if isinstance(node, ast.Yield):
+            if node.value is not None:
+                return self._eval(node.value)
+            return _EMPTY, _EMPTY
+        if isinstance(node, (ast.ListComp, ast.SetComp, ast.GeneratorExp)):
+            for generator in node.generators:
+                self._eval(generator.iter)
+            return self._eval(node.elt)
+        if isinstance(node, ast.DictComp):
+            for generator in node.generators:
+                self._eval(generator.iter)
+            self._eval(node.key)
+            return self._eval(node.value)
+        if isinstance(node, ast.Lambda):
+            return _EMPTY, _EMPTY
+        return _EMPTY, _EMPTY
+
+    # -- calls -------------------------------------------------------------
+
+    def _callable_target(self, func: ast.expr) -> Optional[str]:
+        """Dotted candidate a callable expression refers to, if any."""
+        resolved = self.ctx.resolve(func)
+        if resolved is not None:
+            return resolved
+        if isinstance(func, ast.Name) and func.id in self.module_symbols:
+            return f"{self.module}.{func.id}"
+        return None
+
+    def _call_candidates(self, func: ast.expr) -> Tuple[List[str], bool]:
+        """(candidate dotted targets, called-through-an-instance?)."""
+        direct = self._callable_target(func)
+        if direct is not None:
+            return ([direct] if direct.startswith("repro") else []), False
+        if isinstance(func, ast.Attribute):
+            base = func.value
+            if isinstance(base, ast.Name):
+                if base.id in ("self", "cls") and self.current_class:
+                    return [f"{self.module}.{self.current_class}.{func.attr}"], True
+                var_type = self.var_types.get(base.id)
+                if var_type is not None and var_type.startswith("repro"):
+                    return [f"{var_type}.{func.attr}"], True
+        return [], False
+
+    def _eval_call(self, node: ast.Call) -> Tuple[Atoms, Atoms]:
+        arg_states = [self._eval(arg) for arg in node.args]
+        kw_states = [
+            (kw.arg, self._eval(kw.value)) for kw in node.keywords
+        ]
+        dotted = self.ctx.resolve(node.func)
+
+        if dotted in _SAFE_CALLS:
+            return _SAFE, _EMPTY
+        if dotted in _WALLCLOCK_CALLS:
+            return _WALLCLOCK, _EMPTY
+        if dotted in SEED_SINKS:
+            self._record_seed_sink(node, dotted, arg_states, kw_states)
+            return _EMPTY, _EMPTY
+        if dotted in _PASSTHROUGH_CALLS or (
+            dotted is None and isinstance(node.func, ast.Name)
+            and node.func.id in _PASSTHROUGH_CALLS
+            and node.func.id not in self.locals
+        ):
+            name = dotted if dotted is not None else node.func.id  # type: ignore[union-attr]
+            if name.rpartition(".")[2] in _VARIADIC_PASSTHROUGHS:
+                taint, unit = _EMPTY, _EMPTY
+                for t, u in arg_states:
+                    taint, unit = taint | t, unit | u
+                return taint, unit
+            return arg_states[0] if arg_states else (_EMPTY, _EMPTY)
+        if isinstance(node.func, ast.Attribute):
+            if node.func.attr in _PASSTHROUGH_METHODS:
+                return arg_states[0] if arg_states else (_EMPTY, _EMPTY)
+            base_taint, _ = self._eval(node.func.value)
+            if "safe" in base_taint:
+                # generate_state/spawn/digest/... on a safe derivation.
+                return _SAFE, _EMPTY
+            self._check_mutator_call(node.func)
+            if node.func.attr == "submit" and node.args:
+                spawn = self._callable_target(node.args[0])
+                if spawn is not None and spawn.startswith("repro"):
+                    self.spawns.append(spawn)
+
+        candidates, bound = self._call_candidates(node.func)
+        if candidates:
+            self.calls.append(CallSite(
+                line=node.lineno, col=node.col_offset + 1,
+                callees=tuple(candidates), bound=bound,
+                args=tuple(tuple(sorted(t)) for t, _ in arg_states),
+                kwargs=tuple(
+                    (name, tuple(sorted(t)))
+                    for name, (t, _) in kw_states if name is not None
+                ),
+                arg_units=tuple(tuple(sorted(u)) for _, u in arg_states),
+                kwarg_units=tuple(
+                    (name, tuple(sorted(u)))
+                    for name, (_, u) in kw_states if name is not None
+                ),
+            ))
+            primary = candidates[0]
+            func_name = _tail_name(node.func)
+            unit_tag = name_unit(func_name)
+            unit = (
+                frozenset({unit_tag}) if unit_tag
+                else frozenset({f"r:{primary}"})
+            )
+            return frozenset({f"r:{primary}"}), unit
+        func_name = _tail_name(node.func)
+        unit_tag = name_unit(func_name)
+        return _EMPTY, frozenset({unit_tag}) if unit_tag else _EMPTY
+
+    def _check_mutator_call(self, func: ast.Attribute) -> None:
+        if func.attr not in _MUTATOR_METHODS:
+            return
+        root = self._chain_root(func.value)
+        if root is not None:
+            self._record_state_write(root, func)
+
+    def _record_seed_sink(
+        self,
+        node: ast.Call,
+        api: str,
+        arg_states: List[Tuple[Atoms, Atoms]],
+        kw_states: List[Tuple[Optional[str], Tuple[Atoms, Atoms]]],
+    ) -> None:
+        seed_kw = SEED_SINKS[api]
+        atoms: Optional[Atoms] = None
+        if node.args:
+            atoms = arg_states[0][0]
+        else:
+            for name, (taint, _) in kw_states:
+                if name == seed_kw:
+                    atoms = taint
+                    break
+        if atoms is None:
+            return  # no seed at all: RPR001's per-file territory
+        self.sinks.append(SeedSink(
+            line=node.lineno, col=node.col_offset + 1,
+            api=api, atoms=tuple(sorted(atoms)),
+        ))
+
+
+def summarize_module(ctx: FileContext) -> Iterator[FunctionSummary]:
+    """Function summaries of one ``repro.*`` file."""
+    yield from _Summarizer(ctx).summarize()
+
+
+# ---------------------------------------------------------------------------
+# Whole-program solution
+# ---------------------------------------------------------------------------
+
+_GROUND_TAINT = frozenset({"literal", "safe", "wallclock"})
+_GROUND_UNIT = frozenset({"mv", "v", "vlit"})
+
+
+@dataclass(frozen=True)
+class ResolvedCall:
+    """A call site with its callees resolved to project functions."""
+
+    caller: str
+    site: CallSite
+    #: (callee qualname, positional parameter offset) pairs.
+    targets: Tuple[Tuple[str, int], ...]
+
+
+class ProjectDataflow:
+    """The monotone fixed point over all function summaries."""
+
+    def __init__(self, project: "ProjectModel") -> None:  # noqa: F821
+        self.project = project
+        functions = project.functions
+        self.ground_param: Dict[str, List[Set[str]]] = {
+            q: [set() for _ in s.params] for q, s in functions.items()
+        }
+        self.ground_return: Dict[str, Set[str]] = {q: set() for q in functions}
+        self.unit_return: Dict[str, Set[str]] = {q: set() for q in functions}
+        self.resolved_calls: List[ResolvedCall] = []
+        self.entries: List[str] = []
+        #: qualname -> call chain from a worker entry (inclusive).
+        self.reachable: Dict[str, Tuple[str, ...]] = {}
+
+    # -- resolution helpers ------------------------------------------------
+
+    def _resolve_targets(
+        self, site: CallSite
+    ) -> Tuple[Tuple[str, int], ...]:
+        functions = self.project.functions
+        targets: List[Tuple[str, int]] = []
+        for candidate in site.callees:
+            qualname = self.project.resolve_callee(candidate)
+            if qualname is None:
+                continue
+            summary = functions[qualname]
+            offset = 1 if summary.is_method and (
+                site.bound or summary.name == "__init__"
+            ) else 0
+            targets.append((qualname, offset))
+        return tuple(targets)
+
+    def resolve_taint(self, atoms: Sequence[str], owner: str) -> Set[str]:
+        """Ground provenance of an atom set, in the owner's context."""
+        ground: Set[str] = set()
+        params = self.ground_param.get(owner, [])
+        for atom in atoms:
+            if atom in _GROUND_TAINT:
+                ground.add(atom)
+            elif atom.startswith("p:"):
+                index = int(atom[2:])
+                if index < len(params):
+                    ground.update(params[index])
+            elif atom.startswith("r:"):
+                qualname = self.project.resolve_callee(atom[2:])
+                if qualname is not None:
+                    ground.update(self.ground_return.get(qualname, ()))
+        return ground
+
+    def resolve_unit(self, atoms: Sequence[str], owner: str) -> Set[str]:
+        """Ground unit family of an atom set, in the owner's context."""
+        ground: Set[str] = set()
+        summary = self.project.functions.get(owner)
+        for atom in atoms:
+            if atom in _GROUND_UNIT:
+                ground.add(atom)
+            elif atom.startswith("p:") and summary is not None:
+                declared = summary.param_units.get(int(atom[2:]))
+                if declared is not None:
+                    ground.add(declared)
+            elif atom.startswith("r:"):
+                qualname = self.project.resolve_callee(atom[2:])
+                if qualname is not None:
+                    ground.update(self.unit_return.get(qualname, ()))
+        return ground
+
+    # -- the fixed point ---------------------------------------------------
+
+    def solve(self) -> None:
+        functions = self.project.functions
+        self.resolved_calls = [
+            ResolvedCall(caller=q, site=site,
+                         targets=self._resolve_targets(site))
+            for q, s in functions.items() for site in s.calls
+        ]
+        spawned: Set[str] = set()
+        for q, s in functions.items():
+            if s.entry:
+                spawned.add(q)
+            for candidate in s.spawns:
+                qualname = self.project.resolve_callee(candidate)
+                if qualname is not None:
+                    spawned.add(qualname)
+        self.entries = sorted(spawned)
+
+        # Parameter defaults contribute once, as ground atoms.
+        for q, s in functions.items():
+            for index, atoms in s.defaults.items():
+                if index < len(self.ground_param[q]):
+                    self.ground_param[q][index].update(
+                        a for a in atoms if a in _GROUND_TAINT
+                    )
+
+        changed = True
+        while changed:
+            changed = False
+            for q, s in functions.items():
+                new_return = self.resolve_taint(s.returns, q)
+                if not new_return <= self.ground_return[q]:
+                    self.ground_return[q].update(new_return)
+                    changed = True
+                new_unit = self.resolve_unit(s.return_unit, q)
+                if not new_unit <= self.unit_return[q]:
+                    self.unit_return[q].update(new_unit)
+                    changed = True
+            for call in self.resolved_calls:
+                for qualname, offset in call.targets:
+                    params = self.ground_param[qualname]
+                    callee = functions[qualname]
+                    for pos, atoms in enumerate(call.site.args):
+                        index = pos + offset
+                        if index >= len(params):
+                            continue
+                        flowed = self.resolve_taint(atoms, call.caller)
+                        if not flowed <= params[index]:
+                            params[index].update(flowed)
+                            changed = True
+                    for name, atoms in call.site.kwargs:
+                        try:
+                            index = callee.params.index(name)
+                        except ValueError:
+                            continue
+                        flowed = self.resolve_taint(atoms, call.caller)
+                        if not flowed <= params[index]:
+                            params[index].update(flowed)
+                            changed = True
+
+        self._walk_reachability()
+
+    def _walk_reachability(self) -> None:
+        edges: Dict[str, List[str]] = {}
+        for call in self.resolved_calls:
+            for qualname, _ in call.targets:
+                edges.setdefault(call.caller, []).append(qualname)
+        for entry in self.entries:
+            if entry in self.reachable:
+                continue
+            self.reachable[entry] = (entry,)
+            frontier = [entry]
+            while frontier:
+                current = frontier.pop(0)
+                for callee in edges.get(current, ()):
+                    if callee not in self.reachable:
+                        self.reachable[callee] = \
+                            self.reachable[current] + (callee,)
+                        frontier.append(callee)
+
+
+# Imported late to avoid a cycle at module load (project.py imports the
+# summary types above).
+from typing import TYPE_CHECKING  # noqa: E402
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .project import ProjectModel

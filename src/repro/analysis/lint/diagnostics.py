@@ -43,3 +43,12 @@ class Diagnostic:
             "name": self.name,
             "message": self.message,
         }
+
+    @classmethod
+    def from_json_dict(cls, payload: Dict[str, Any]) -> "Diagnostic":
+        """Inverse of :meth:`to_json_dict` (the result-cache format)."""
+        return cls(
+            path=payload["path"], line=payload["line"], col=payload["col"],
+            rule=payload["rule"], name=payload["name"],
+            message=payload["message"],
+        )

@@ -1,0 +1,222 @@
+"""The interprocedural rule set: RPR011-RPR013.
+
+These rules generalize their per-file ancestors across function and
+module boundaries by checking the solved
+:class:`~repro.analysis.lint.dataflow.ProjectDataflow` instead of one
+AST at a time:
+
+* **RPR011** traces every RNG-constructor seed argument back to its
+  ground provenance through any number of helper functions -- a seed
+  that is a laundered literal or wall-clock value breaks
+  campaign-to-campaign comparability no matter how many calls deep
+  the laundering is.
+* **RPR012** propagates mV/V unit tags through parameters and returns,
+  so a volt-scale value produced in one module and passed into an
+  mV-typed parameter in another is caught even though neither file is
+  wrong in isolation (RPR004 only sees literals next to names).
+* **RPR013** walks the call graph from the parallel engine's worker
+  entry points and flags writes to module-level or closure-captured
+  mutable state anywhere in the reachable cone -- mutations workers
+  never share back, however indirectly they happen (RPR006 only sees
+  ``global`` statements and lambda arguments syntactically).
+
+All three share one :meth:`ProjectModel.dataflow` solution per run.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Tuple
+
+from .dataflow import FunctionSummary, SeedSink, WriteSite, is_level_name
+from .diagnostics import Diagnostic
+from .project import ProjectModel
+from .registry import ProjectRule, register_rule
+
+_PROVENANCE_LABELS = {
+    "literal": "a literal constant",
+    "wallclock": "a wall-clock/entropy source",
+}
+
+
+def _call_chain(path: Tuple[str, ...]) -> str:
+    """Render a worker call chain with module-local names."""
+    return " -> ".join(q.rsplit(".", 1)[-1] for q in path)
+
+
+@register_rule
+class SeedProvenance(ProjectRule):
+    """RPR011: every RNG seed must trace to SeedSequence/sha256."""
+
+    rule_id = "RPR011"
+    name = "seed-provenance"
+    description = (
+        "RNG-constructor seed arguments (default_rng, RandomState, "
+        "bit generators, random.Random) must trace back to a "
+        "SeedSequence-derived or sha256-keyed value; literal or "
+        "wall-clock seeds are flagged through any number of helper "
+        "functions and module boundaries."
+    )
+    protects = "interprocedural SeedSequence determinism"
+
+    def check_project(self, project: ProjectModel) -> Iterator[Diagnostic]:
+        flow = project.dataflow()
+        for qualname, summary in sorted(project.functions.items()):
+            for sink in summary.seed_sinks:
+                yield from self._check_sink(flow, summary, sink)
+
+    def _check_sink(
+        self,
+        flow: "ProjectDataflow",  # noqa: F821
+        summary: FunctionSummary,
+        sink: SeedSink,
+    ) -> Iterator[Diagnostic]:
+        ground = flow.resolve_taint(sink.atoms, summary.qualname)
+        tainted = sorted(ground & _PROVENANCE_LABELS.keys())
+        if not tainted:
+            return
+        sources = " and ".join(_PROVENANCE_LABELS[t] for t in tainted)
+        also_safe = (
+            "; one call path is safe, but every path must be"
+            if "safe" in ground else ""
+        )
+        yield Diagnostic(
+            path=summary.path, line=sink.line, col=sink.col,
+            rule=self.rule_id, name=self.name,
+            message=(
+                f"seed for {sink.api} traces to {sources}"
+                f"{also_safe} -- derive it from the campaign "
+                "SeedSequence (spawn keys) or a sha256-keyed digest "
+                "so reruns are bit-identical"
+            ),
+        )
+
+
+@register_rule
+class CrossModuleUnitFlow(ProjectRule):
+    """RPR012: mV/V unit tags propagate through call edges."""
+
+    rule_id = "RPR012"
+    name = "cross-module-unit-flow"
+    description = (
+        "Propagates mV/V unit tags through function parameters and "
+        "returns: a volt-scale value flowing into an mV-typed "
+        "parameter in another function or module (or vice versa) is "
+        "flagged, generalizing RPR004's per-file literal heuristics."
+    )
+    protects = "5 mV unit discipline across call edges"
+
+    def check_project(self, project: ProjectModel) -> Iterator[Diagnostic]:
+        flow = project.dataflow()
+        for call in flow.resolved_calls:
+            caller = project.functions[call.caller]
+            for qualname, offset in call.targets:
+                callee = project.functions[qualname]
+                yield from self._check_edge(flow, caller, call, callee, offset)
+
+    def _check_edge(
+        self,
+        flow: "ProjectDataflow",  # noqa: F821
+        caller: FunctionSummary,
+        call: "ResolvedCall",  # noqa: F821
+        callee: FunctionSummary,
+        offset: int,
+    ) -> Iterator[Diagnostic]:
+        site = call.site
+        flows: List[Tuple[int, Tuple[str, ...]]] = []
+        for pos, atoms in enumerate(site.arg_units):
+            flows.append((pos + offset, atoms))
+        for name, atoms in site.kwarg_units:
+            try:
+                flows.append((callee.params.index(name), atoms))
+            except ValueError:
+                continue
+        for index, atoms in flows:
+            declared = callee.param_units.get(index)
+            if declared is None:
+                continue
+            arrived = flow.resolve_unit(atoms, caller.qualname)
+            if declared in arrived:
+                continue
+            param = (
+                callee.params[index]
+                if index < len(callee.params) else f"#{index}"
+            )
+            if declared == "mv":
+                # A name-derived volt tag always flags; a volt-scale
+                # *literal* only flags into level-named parameters
+                # (widths/scales are legitimately sub-volt -- RPR004's
+                # own refinement).
+                mismatch = "v" in arrived or (
+                    "vlit" in arrived and is_level_name(param)
+                )
+                scale = "volt"
+            else:
+                mismatch = "mv" in arrived
+                scale = "millivolt"
+            if mismatch:
+                want = "mV" if declared == "mv" else "V"
+                yield Diagnostic(
+                    path=caller.path, line=site.line, col=site.col,
+                    rule=self.rule_id, name=self.name,
+                    message=(
+                        f"{scale}-scale value flows into {want}-typed "
+                        f"parameter '{param}' of {callee.qualname} -- "
+                        "convert at the boundary (repro.units) instead "
+                        "of mixing magnitudes across calls"
+                    ),
+                )
+
+
+@register_rule
+class ParallelSharedStateReachability(ProjectRule):
+    """RPR013: no shared-state writes reachable from worker entries."""
+
+    rule_id = "RPR013"
+    name = "parallel-shared-state"
+    description = (
+        "Walks the call graph from ParallelCampaignEngine worker entry "
+        "points (run_* tasks and submitted functions) and flags writes "
+        "to module-level or closure-captured mutable state anywhere in "
+        "the reachable cone: workers never share such mutations back, "
+        "so they silently diverge from the serial path."
+    )
+    protects = "serial/parallel bit-equivalence beyond lambda checks"
+
+    _KIND_LABELS: Dict[str, str] = {
+        "module-state": "module-level state",
+        "global-decl": "a global declaration",
+        "closure-state": "closure-captured state",
+    }
+
+    def check_project(self, project: ProjectModel) -> Iterator[Diagnostic]:
+        flow = project.dataflow()
+        for qualname, chain in sorted(flow.reachable.items()):
+            summary = project.functions.get(qualname)
+            if summary is None:
+                continue
+            for write in summary.writes:
+                yield self._diagnostic(summary, write, chain)
+
+    def _diagnostic(
+        self,
+        summary: FunctionSummary,
+        write: WriteSite,
+        chain: Tuple[str, ...],
+    ) -> Diagnostic:
+        kind = self._KIND_LABELS.get(write.kind, write.kind)
+        return Diagnostic(
+            path=summary.path, line=write.line, col=write.col,
+            rule=self.rule_id, name=self.name,
+            message=(
+                f"write to {kind} '{write.target}' is reachable from "
+                f"a parallel worker entry point ({_call_chain(chain)})"
+                " -- worker-side mutations never propagate back; pass "
+                "state through task arguments and results instead"
+            ),
+        )
+
+
+from typing import TYPE_CHECKING  # noqa: E402
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .dataflow import ProjectDataflow, ResolvedCall

@@ -1,0 +1,219 @@
+"""Whole-program project model for the interprocedural rules.
+
+A :class:`ProjectModel` is the unit the RPR011-RPR013 rules operate
+on: every ``repro.*`` module in the lint run, each reduced to a
+:class:`ModuleModel` -- its dotted name, its import-alias table and the
+per-function :class:`~repro.analysis.lint.dataflow.FunctionSummary`
+records the dataflow pass extracted.  Three whole-program services live
+here:
+
+* **symbol resolution** (:meth:`ProjectModel.resolve_symbol`): a dotted
+  path such as ``repro.parallel.run_campaign_task`` is chased through
+  package ``__init__`` re-export tables until it lands on a real
+  function/method summary (``repro.parallel.tasks.run_campaign_task``);
+* **the module import graph** (:meth:`ProjectModel.dependencies_of`,
+  plus :func:`dependent_closure` for the cache's reverse-dependency
+  cone);
+* **the solved dataflow** (:meth:`ProjectModel.dataflow`): the
+  fixed-point propagation over function summaries, computed once and
+  shared by every project rule.
+
+Everything in a :class:`ModuleModel` is derived from one file's source
+alone, which is what makes the incremental cache sound: a file's model
+can be serialized, keyed on its content hash, and reused until the
+file itself changes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Optional, Set, Tuple
+
+from .dataflow import FunctionSummary, ProjectDataflow, summarize_module
+from .registry import FileContext
+
+#: How many re-export hops :meth:`ProjectModel.resolve_symbol` will
+#: chase (``repro.parallel`` -> ``repro.parallel.tasks`` is one hop).
+_MAX_REEXPORT_HOPS = 8
+
+
+@dataclass
+class ModuleModel:
+    """One ``repro.*`` module, reduced to what project rules need."""
+
+    path: str
+    module: str
+    #: name -> absolute dotted path bound by an import statement.
+    imports: Dict[str, str] = field(default_factory=dict)
+    #: Absolute dotted paths this module imports (module or symbol
+    #: granularity); matched against project modules by prefix.
+    import_targets: Tuple[str, ...] = ()
+    summaries: Tuple[FunctionSummary, ...] = ()
+
+    def to_json_dict(self) -> Dict[str, Any]:
+        return {
+            "path": self.path,
+            "module": self.module,
+            "imports": dict(self.imports),
+            "import_targets": list(self.import_targets),
+            "summaries": [s.to_json_dict() for s in self.summaries],
+        }
+
+    @classmethod
+    def from_json_dict(cls, payload: Dict[str, Any]) -> "ModuleModel":
+        return cls(
+            path=payload["path"],
+            module=payload["module"],
+            imports=dict(payload["imports"]),
+            import_targets=tuple(payload["import_targets"]),
+            summaries=tuple(
+                FunctionSummary.from_json_dict(s) for s in payload["summaries"]
+            ),
+        )
+
+
+def collect_import_targets(ctx: FileContext) -> Tuple[str, ...]:
+    """Absolute dotted paths a file imports, for the dependency graph."""
+    import ast
+
+    targets: Set[str] = set(ctx.imports.values())
+    for node in ast.walk(ctx.tree):
+        if isinstance(node, ast.ImportFrom):
+            resolved = ctx.import_target(node)
+            if resolved is not None:
+                targets.add(resolved)
+    return tuple(sorted(targets))
+
+
+def build_module_model(ctx: FileContext) -> Optional[ModuleModel]:
+    """The :class:`ModuleModel` of one file; None outside ``repro``."""
+    if ctx.module is None or not (
+        ctx.module == "repro" or ctx.module.startswith("repro.")
+    ):
+        return None
+    return ModuleModel(
+        path=ctx.path,
+        module=ctx.module,
+        imports=dict(ctx.imports),
+        import_targets=collect_import_targets(ctx),
+        summaries=tuple(summarize_module(ctx)),
+    )
+
+
+class ProjectModel:
+    """The whole-program view the interprocedural rules check."""
+
+    def __init__(self, modules: Iterable[ModuleModel]) -> None:
+        self.modules: Dict[str, ModuleModel] = {}
+        self.functions: Dict[str, FunctionSummary] = {}
+        for model in modules:
+            self.modules[model.module] = model
+            for summary in model.summaries:
+                self.functions[summary.qualname] = summary
+        self._resolved: Dict[str, Optional[str]] = {}
+        self._dataflow: Optional[ProjectDataflow] = None
+
+    # -- symbol resolution -------------------------------------------------
+
+    def resolve_symbol(self, dotted: str) -> Optional[str]:
+        """Chase a dotted path to a function summary's qualname.
+
+        Handles package re-exports: ``repro.parallel.run_campaign_task``
+        resolves through ``repro/parallel/__init__.py``'s import table
+        to ``repro.parallel.tasks.run_campaign_task``.  Returns None
+        when the path does not land on a known function or method.
+        """
+        cached = self._resolved.get(dotted, _UNRESOLVED)
+        if cached is not _UNRESOLVED:
+            return cached
+        result = self._resolve_uncached(dotted)
+        self._resolved[dotted] = result
+        return result
+
+    def _resolve_uncached(self, dotted: str) -> Optional[str]:
+        current = dotted
+        for _ in range(_MAX_REEXPORT_HOPS):
+            if current in self.functions:
+                return current
+            hop = self._chase_one(current)
+            if hop is None or hop == current:
+                return None
+            current = hop
+        return None
+
+    def _chase_one(self, dotted: str) -> Optional[str]:
+        """One re-export hop: rebase ``dotted`` through an import table."""
+        module = self._longest_module_prefix(dotted)
+        if module is None or module == dotted:
+            return None
+        rest = dotted[len(module) + 1:].split(".")
+        target = self.modules[module].imports.get(rest[0])
+        if target is None:
+            return None
+        return ".".join([target] + rest[1:])
+
+    def _longest_module_prefix(self, dotted: str) -> Optional[str]:
+        parts = dotted.split(".")
+        for cut in range(len(parts), 0, -1):
+            candidate = ".".join(parts[:cut])
+            if candidate in self.modules:
+                return candidate
+        return None
+
+    def resolve_callee(self, dotted: str) -> Optional[str]:
+        """Like :meth:`resolve_symbol`, but a class name resolves to
+        its ``__init__`` (the call edge a constructor creates)."""
+        direct = self.resolve_symbol(dotted)
+        if direct is not None:
+            return direct
+        return self.resolve_symbol(dotted + ".__init__")
+
+    # -- the module import graph -------------------------------------------
+
+    def dependencies_of(self, module: str) -> Set[str]:
+        """Project modules ``module`` imports (directly)."""
+        model = self.modules.get(module)
+        if model is None:
+            return set()
+        deps: Set[str] = set()
+        for target in model.import_targets:
+            dep = self._longest_module_prefix(target)
+            if dep is not None and dep != module:
+                deps.add(dep)
+        return deps
+
+    # -- dataflow ----------------------------------------------------------
+
+    def dataflow(self) -> ProjectDataflow:
+        """The solved whole-program dataflow (computed once)."""
+        if self._dataflow is None:
+            flow = ProjectDataflow(self)
+            flow.solve()
+            self._dataflow = flow
+        return self._dataflow
+
+
+#: Sentinel distinguishing "not cached" from "resolved to None".
+_UNRESOLVED: Any = object()
+
+
+def dependent_closure(
+    changed: Set[str], deps_by_module: Dict[str, Set[str]]
+) -> Set[str]:
+    """Modules whose analysis a change may affect: ``changed`` plus
+    every module that transitively imports one of them (the
+    reverse-dependency cone the incremental cache invalidates).
+    """
+    reverse: Dict[str, Set[str]] = {}
+    for module, deps in deps_by_module.items():
+        for dep in deps:
+            reverse.setdefault(dep, set()).add(module)
+    cone = set(changed)
+    frontier = list(changed)
+    while frontier:
+        module = frontier.pop()
+        for dependent in reverse.get(module, ()):
+            if dependent not in cone:
+                cone.add(dependent)
+                frontier.append(dependent)
+    return cone

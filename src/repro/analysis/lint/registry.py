@@ -25,10 +25,13 @@ from __future__ import annotations
 
 import ast
 from dataclasses import dataclass, field
-from typing import Dict, Iterator, List, Optional, Tuple, Type
+from typing import TYPE_CHECKING, Dict, Iterator, List, Optional, Tuple, Type
 
 from ...errors import ConfigurationError
 from .diagnostics import Diagnostic
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .project import ProjectModel
 
 
 @dataclass
@@ -148,6 +151,33 @@ class Rule:
             name=self.name,
             message=message,
         )
+
+
+class ProjectRule(Rule):
+    """Base class for whole-program (interprocedural) rules.
+
+    Project rules see every analyzed ``repro.*`` module at once --
+    :meth:`check_project` receives the
+    :class:`~repro.analysis.lint.project.ProjectModel` and yields
+    diagnostics anywhere in it.  ``check(ctx)`` still works (so
+    single-file fixtures through :func:`lint_source` exercise these
+    rules too): it wraps the one file into a single-module project and
+    keeps only that file's findings.
+    """
+
+    def check_project(
+        self, project: "ProjectModel"
+    ) -> Iterator[Diagnostic]:
+        raise NotImplementedError
+
+    def check(self, ctx: FileContext) -> Iterator[Diagnostic]:
+        from .project import ProjectModel, build_module_model
+
+        model = build_module_model(ctx)
+        project = ProjectModel([model] if model is not None else [])
+        for diagnostic in self.check_project(project):
+            if diagnostic.path == ctx.path:
+                yield diagnostic
 
 
 _REGISTRY: Dict[str, Type[Rule]] = {}

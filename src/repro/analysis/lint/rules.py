@@ -1,4 +1,8 @@
-"""The RPR001-RPR010 rule set.
+"""The per-file RPR001-RPR010 rule set.
+
+(The interprocedural RPR011-RPR013 rules live in
+:mod:`repro.analysis.lint.interproc`, on top of the project model and
+dataflow summaries.)
 
 Each rule encodes one invariant the reproduction's results rest on;
 the canonical values a rule compares against (Table-4 weights, the

@@ -1,22 +1,50 @@
-"""File discovery, per-file analysis and report aggregation."""
+"""File discovery, per-file and whole-program analysis, aggregation.
+
+A lint run has three phases, each timed for ``--stats``:
+
+* **parse** -- every requested file is read, hashed, and (unless its
+  cached record is still valid) parsed and run through the per-file
+  rules, its suppression comments scanned and, for ``repro.*`` files,
+  its function summaries extracted (:func:`analyze_file`).
+* **graph** -- the per-file :class:`ModuleModel` records are joined
+  into one :class:`ProjectModel` (symbol table, import graph, call
+  graph).
+* **dataflow** -- the project rules (RPR011-RPR013) solve the
+  whole-program fixed point over the summaries and their findings are
+  merged with the per-file ones, suppressions applied and -- on full
+  runs -- suppressions that shielded nothing reported as stale.
+
+The cache (:mod:`repro.analysis.lint.cache`) short-circuits only the
+first phase: per-file records are keyed on content SHA-256, and a
+change invalidates the changed module plus its reverse-dependency
+cone.  Interprocedural findings are recomputed every run from the
+(cached or fresh) summaries -- they are whole-program properties, so
+caching them per file would be unsound.
+"""
 
 from __future__ import annotations
 
 import ast
-from dataclasses import dataclass, field
+import time
+from dataclasses import dataclass, field, replace
 from pathlib import Path
-from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
 from ...errors import ConfigurationError
+from .cache import FileAnalysis, content_sha, load_cache, rule_fingerprint, save_cache
 from .diagnostics import META_RULE_ID, Diagnostic
-from .registry import FileContext, Rule, all_rules, get_rule
-from .suppressions import scan_suppressions
+from .project import ProjectModel, build_module_model, dependent_closure
+from .registry import FileContext, ProjectRule, Rule, all_rules, get_rule
+from .suppressions import SuppressionTable, scan_suppressions
 
 #: Directory names never descended into.
 _SKIP_DIRS = frozenset({
     "__pycache__", ".git", ".hg", ".tox", ".venv", "venv",
     "build", "dist", ".eggs", "node_modules",
 })
+
+#: Default location of the incremental result cache.
+DEFAULT_CACHE_PATH = ".reprolint_cache.json"
 
 
 @dataclass
@@ -25,6 +53,11 @@ class LintReport:
 
     diagnostics: List[Diagnostic] = field(default_factory=list)
     files_checked: int = 0
+    #: Files analyzed fresh this run vs. served from the cache.
+    files_analyzed: int = 0
+    files_cached: int = 0
+    #: Phase wall time in seconds: ``parse``, ``graph``, ``dataflow``.
+    timings: Dict[str, float] = field(default_factory=dict)
 
     @property
     def clean(self) -> bool:
@@ -50,10 +83,36 @@ class LintReport:
             summary += f" ({per_rule})"
         return "\n".join(lines + [summary])
 
+    def render_stats(self) -> str:
+        """The ``--stats`` block: per-rule counts and phase wall time."""
+        lines = [
+            f"files checked: {self.files_checked}",
+            f"files analyzed: {self.files_analyzed}",
+            f"files cached: {self.files_cached}",
+        ]
+        counts = self.counts_by_rule()
+        if counts:
+            lines.append("findings by rule:")
+            lines.extend(
+                f"  {rule}: {count}" for rule, count in counts.items()
+            )
+        else:
+            lines.append("findings by rule: none")
+        lines.append("phase wall time:")
+        labels = {"graph": "graph build"}
+        for phase in ("parse", "graph", "dataflow"):
+            seconds = self.timings.get(phase, 0.0)
+            label = labels.get(phase, phase)
+            lines.append(f"  {label}: {seconds * 1000.0:.1f} ms")
+        return "\n".join(lines)
+
     def to_json_dict(self) -> Dict[str, Any]:
         return {
             "version": 1,
             "files_checked": self.files_checked,
+            "files_analyzed": self.files_analyzed,
+            "files_cached": self.files_cached,
+            "timings": {k: round(v, 6) for k, v in self.timings.items()},
             "findings": [d.to_json_dict() for d in self.diagnostics],
             "summary": self.counts_by_rule(),
         }
@@ -88,33 +147,127 @@ def _make_context(path_label: str, source: str) -> FileContext:
     return ctx
 
 
+def analyze_file(
+    path_label: str, source: str, file_rules: Sequence[Rule]
+) -> FileAnalysis:
+    """Analyze one file in isolation: the cacheable unit of work.
+
+    Runs the per-file rules, scans suppressions and extracts the
+    module's function summaries.  Findings are recorded *before*
+    suppression filtering -- assembly applies suppressions so it can
+    tell which ones earned their keep.
+    """
+    sha = content_sha(source)
+    try:
+        ctx = _make_context(path_label, source)
+    except SyntaxError as exc:
+        return FileAnalysis(
+            path=path_label, sha=sha,
+            findings=[Diagnostic(
+                path=path_label, line=exc.lineno or 1,
+                col=(exc.offset or 0) + 1 or 1,
+                rule=META_RULE_ID, name="syntax-error",
+                message=f"cannot parse file: {exc.msg}",
+            )],
+        )
+    table = scan_suppressions(path_label, source)
+    findings: List[Diagnostic] = []
+    for rule in file_rules:
+        findings.extend(rule.check(ctx))
+    return FileAnalysis(
+        path=path_label, sha=sha, module=ctx.module,
+        findings=sorted(findings),
+        supp_entries=list(table.entries),
+        supp_problems=list(table.problems),
+        model=build_module_model(ctx),
+    )
+
+
+def _stale_suppression_findings(
+    analysis: FileAnalysis, hits: Set[Tuple[int, str]]
+) -> List[Diagnostic]:
+    """RPR000 findings for ``disable=`` clauses that shielded nothing."""
+    stale: List[Diagnostic] = []
+    for entry in analysis.supp_entries:
+        for rule_id in entry.rules:
+            if (entry.target_line, rule_id) in hits:
+                continue
+            stale.append(Diagnostic(
+                path=analysis.path, line=entry.comment_line, col=entry.col,
+                rule=META_RULE_ID, name="stale-suppression",
+                message=(
+                    f"suppression of {rule_id} matched no diagnostic on "
+                    f"line {entry.target_line}; remove it (stale "
+                    "suppressions hide future regressions)"
+                ),
+            ))
+    return stale
+
+
+def _relabel(analysis: FileAnalysis, label: str) -> FileAnalysis:
+    """The analysis with every path field rewritten to ``label``.
+
+    Cache records are stored under resolved paths but a run may request
+    the same file under a different spelling (relative vs. absolute);
+    findings and summaries must carry the requested spelling so that
+    suppression matching and interprocedural joins line up.
+    """
+    if analysis.path == label:
+        return analysis
+    model = analysis.model
+    if model is not None:
+        model = replace(model, path=label, summaries=tuple(
+            replace(summary, path=label) for summary in model.summaries
+        ))
+    return replace(
+        analysis,
+        path=label,
+        findings=[replace(d, path=label) for d in analysis.findings],
+        supp_problems=[
+            replace(d, path=label) for d in analysis.supp_problems
+        ],
+        model=model,
+    )
+
+
+def _assemble_file(
+    analysis: FileAnalysis,
+    interproc: Sequence[Diagnostic],
+    stale_check: bool,
+) -> List[Diagnostic]:
+    """Suppression-filter one file's findings; report stale clauses."""
+    table = SuppressionTable.from_parts(
+        analysis.supp_entries, analysis.supp_problems
+    )
+    out: List[Diagnostic] = list(analysis.supp_problems)
+    hits: Set[Tuple[int, str]] = set()
+    for diagnostic in list(analysis.findings) + list(interproc):
+        if table.is_suppressed(diagnostic.line, diagnostic.rule):
+            hits.add((diagnostic.line, diagnostic.rule))
+        else:
+            out.append(diagnostic)
+    if stale_check:
+        out.extend(_stale_suppression_findings(analysis, hits))
+    return out
+
+
 def lint_source(
     source: str,
     path: str = "<string>",
     rules: Optional[Sequence[Rule]] = None,
+    stale_check: bool = False,
 ) -> List[Diagnostic]:
     """Lint one source string; the unit-test/fixture entry point.
 
     ``path`` participates in scoping (e.g. ``src/repro/core/x.py``
     puts the snippet inside the package boundary), so fixtures can
-    exercise both sides of every rule.
+    exercise both sides of every rule.  ``stale_check`` is off by
+    default here -- fixtures routinely carry suppressions for rules
+    they deliberately do not trigger.
     """
     selected = list(rules) if rules is not None else all_rules()
-    try:
-        ctx = _make_context(path, source)
-    except SyntaxError as exc:
-        return [Diagnostic(
-            path=path, line=exc.lineno or 1, col=(exc.offset or 0) + 1 or 1,
-            rule=META_RULE_ID, name="syntax-error",
-            message=f"cannot parse file: {exc.msg}",
-        )]
-    table = scan_suppressions(path, source)
-    findings: List[Diagnostic] = list(table.problems)
-    for rule in selected:
-        for diagnostic in rule.check(ctx):
-            if not table.is_suppressed(diagnostic.line, diagnostic.rule):
-                findings.append(diagnostic)
-    return sorted(findings)
+    analysis = analyze_file(path, source, selected)
+    return sorted(_assemble_file(analysis, [], stale_check))
 
 
 def discover_files(paths: Iterable[str]) -> List[Path]:
@@ -151,25 +304,199 @@ def resolve_rules(select: Optional[Sequence[str]] = None) -> List[Rule]:
     return [get_rule(rule_id) for rule_id in select]
 
 
+def _module_dependencies(
+    entries: Dict[str, FileAnalysis]
+) -> Dict[str, Set[str]]:
+    """module -> directly imported project modules, from cached models."""
+    known = {
+        entry.module for entry in entries.values()
+        if entry.module is not None
+    }
+
+    def longest_prefix(dotted: str) -> Optional[str]:
+        parts = dotted.split(".")
+        for cut in range(len(parts), 0, -1):
+            candidate = ".".join(parts[:cut])
+            if candidate in known:
+                return candidate
+        return None
+
+    deps: Dict[str, Set[str]] = {}
+    for entry in entries.values():
+        if entry.module is None or entry.model is None:
+            continue
+        targets: Set[str] = set()
+        for dotted in entry.model.import_targets:
+            dep = longest_prefix(dotted)
+            if dep is not None and dep != entry.module:
+                targets.add(dep)
+        deps[entry.module] = targets
+    return deps
+
+
+def _invalidation_cone(
+    cached: Dict[str, FileAnalysis],
+    disk_sha: Dict[str, str],
+) -> Set[str]:
+    """Modules needing re-analysis: changed ones plus their
+    reverse-dependency cone (callers may see different summaries)."""
+    changed: Set[str] = set()
+    for label, sha in disk_sha.items():
+        old = cached.get(label)
+        if old is None or old.sha != sha:
+            module = module_name_for(Path(label))
+            if module is not None:
+                changed.add(module)
+    for label, old in cached.items():
+        if label not in disk_sha and old.module is not None and \
+                not Path(label).exists():
+            changed.add(old.module)
+    if not changed:
+        return set()
+    return dependent_closure(changed, _module_dependencies(cached))
+
+
 def lint_paths(
     paths: Sequence[str],
     select: Optional[Sequence[str]] = None,
+    cache_path: Optional[str] = None,
+    stale_check: bool = True,
 ) -> LintReport:
-    """Lint files and directories; the CLI entry point."""
+    """Lint files and directories; the CLI entry point.
+
+    ``cache_path`` enables the incremental cache (None disables it).
+    Both the cache and the stale-suppression check only apply to
+    full-rule-set runs: under ``--select``, cached records would have
+    been produced by a different rule inventory, and suppressions for
+    unselected rules would all look stale.
+    """
     rules = resolve_rules(select)
+    full_run = not select
+    use_cache = cache_path is not None and full_run
+    check_stale = stale_check and full_run
+    file_rules = [r for r in rules if not isinstance(r, ProjectRule)]
+    project_rules = [r for r in rules if isinstance(r, ProjectRule)]
     report = LintReport()
+
+    started = time.perf_counter()
+    fingerprint = rule_fingerprint(all_rules())
+    # Cache records and the project join are keyed on *resolved* paths
+    # so a run that spells the same file differently (relative from the
+    # repo root, absolute from a hook) still matches; the spelling the
+    # caller used is kept as the display label.
+    cached: Dict[str, FileAnalysis] = {}
+    if use_cache:
+        assert cache_path is not None
+        loaded, _ = load_cache(Path(cache_path), fingerprint)
+        for stored_key, entry in loaded.items():
+            cached[str(Path(stored_key).resolve())] = entry
+
+    requested: List[str] = []
+    resolved_of: Dict[str, str] = {}
+    seen_keys: Set[str] = set()
+    sources: Dict[str, str] = {}
     for path in discover_files(paths):
+        label = str(path)
+        key = str(path.resolve())
+        if key in seen_keys:
+            continue
+        seen_keys.add(key)
         try:
-            source = path.read_text(encoding="utf-8")
+            sources[label] = path.read_text(encoding="utf-8")
         except (OSError, UnicodeDecodeError) as exc:
             report.diagnostics.append(Diagnostic(
-                path=str(path), line=1, col=1,
+                path=label, line=1, col=1,
                 rule=META_RULE_ID, name="unreadable-file",
                 message=f"cannot read file: {exc}",
             ))
             continue
-        report.files_checked += 1
-        report.diagnostics.extend(lint_source(source, str(path), rules))
+        requested.append(label)
+        resolved_of[label] = key
+    disk_sha = {
+        resolved_of[label]: content_sha(sources[label])
+        for label in requested
+    }
+    cone = _invalidation_cone(cached, disk_sha) if use_cache else set()
+
+    analyses: Dict[str, FileAnalysis] = {}
+    for label in requested:
+        old = cached.get(resolved_of[label])
+        reusable = (
+            use_cache and old is not None
+            and old.sha == disk_sha[resolved_of[label]]
+            and (old.module is None or old.module not in cone)
+        )
+        if reusable:
+            assert old is not None
+            analyses[label] = _relabel(old, label)
+            report.files_cached += 1
+        else:
+            analyses[label] = analyze_file(
+                label, sources[label], file_rules
+            )
+            report.files_analyzed += 1
+    report.files_checked = len(requested)
+
+    # Cached repro modules outside the requested paths still feed the
+    # project model, so subset runs (pre-commit passes changed files
+    # only) keep seeing the whole program.
+    requested_keys = set(resolved_of.values())
+    carried: Dict[str, FileAnalysis] = {}
+    for key, old in cached.items():
+        if key in requested_keys:
+            continue
+        if old.module is None:
+            # Not part of the project model, but still a valid record
+            # for the next run that does request the file.
+            if Path(key).exists():
+                carried[key] = old
+            continue
+        try:
+            carried_source = Path(key).read_text(encoding="utf-8")
+        except (OSError, UnicodeDecodeError):
+            continue
+        if content_sha(carried_source) == old.sha and \
+                old.module not in cone:
+            carried[key] = _relabel(old, key)
+        else:
+            carried[key] = analyze_file(key, carried_source, file_rules)
+    report.timings["parse"] = time.perf_counter() - started
+
+    started = time.perf_counter()
+    models = [
+        analysis.model
+        for analysis in list(analyses.values()) + list(carried.values())
+        if analysis.model is not None
+    ]
+    project = ProjectModel(models)
+    report.timings["graph"] = time.perf_counter() - started
+
+    started = time.perf_counter()
+    label_of_key = {key: label for label, key in resolved_of.items()}
+    interproc_by_path: Dict[str, List[Diagnostic]] = {}
+    for rule in project_rules:
+        for diagnostic in rule.check_project(project):
+            label = label_of_key.get(str(Path(diagnostic.path).resolve()))
+            if label is None:
+                continue
+            if diagnostic.path != label:
+                diagnostic = replace(diagnostic, path=label)
+            interproc_by_path.setdefault(label, []).append(diagnostic)
+    for label in requested:
+        report.diagnostics.extend(_assemble_file(
+            analyses[label],
+            interproc_by_path.get(label, []),
+            check_stale,
+        ))
+    report.timings["dataflow"] = time.perf_counter() - started
+
+    if use_cache:
+        assert cache_path is not None
+        merged = dict(carried)
+        for label, analysis in analyses.items():
+            key = resolved_of[label]
+            merged[key] = _relabel(analysis, key)
+        save_cache(Path(cache_path), fingerprint, merged)
     report.diagnostics.sort()
     return report
 

@@ -1,0 +1,81 @@
+"""SARIF 2.1.0 rendering of a lint report.
+
+SARIF (Static Analysis Results Interchange Format) is what GitHub
+code scanning ingests: uploading ``reprolint.sarif`` from CI turns
+every finding into an inline PR annotation.  The document shape here
+is the minimal valid core of the 2.1.0 schema -- one run, the tool's
+rule metadata from the live registry, and one ``result`` per
+diagnostic with a file/region-precise physical location.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List
+
+from .diagnostics import META_RULE_ID, Diagnostic
+from .registry import all_rules
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA_URI = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+
+_REPO_URI = "https://github.com/repro/voltage-margins"
+
+
+def _tool_component() -> Dict[str, Any]:
+    from ..._version import __version__
+
+    rules: List[Dict[str, Any]] = [{
+        "id": META_RULE_ID,
+        "name": "lint-integrity",
+        "shortDescription": {
+            "text": "Syntax errors, unreadable files, malformed or "
+                    "stale suppressions."
+        },
+    }]
+    for rule in all_rules():
+        rules.append({
+            "id": rule.rule_id,
+            "name": rule.name,
+            "shortDescription": {"text": rule.protects or rule.name},
+            "fullDescription": {"text": rule.description},
+        })
+    return {
+        "name": "reprolint",
+        "version": __version__,
+        "informationUri": _REPO_URI,
+        "rules": rules,
+    }
+
+
+def _result(diagnostic: Diagnostic) -> Dict[str, Any]:
+    return {
+        "ruleId": diagnostic.rule,
+        "level": "error",
+        "message": {"text": f"[{diagnostic.name}] {diagnostic.message}"},
+        "locations": [{
+            "physicalLocation": {
+                "artifactLocation": {
+                    "uri": diagnostic.path.replace("\\", "/"),
+                },
+                "region": {
+                    "startLine": diagnostic.line,
+                    "startColumn": diagnostic.col,
+                },
+            },
+        }],
+    }
+
+
+def render_sarif(diagnostics: List[Diagnostic]) -> Dict[str, Any]:
+    """A SARIF 2.1.0 document (as a plain dict) for the findings."""
+    return {
+        "$schema": SARIF_SCHEMA_URI,
+        "version": SARIF_VERSION,
+        "runs": [{
+            "tool": {"driver": _tool_component()},
+            "results": [_result(d) for d in diagnostics],
+        }],
+    }

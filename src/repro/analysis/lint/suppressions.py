@@ -12,7 +12,11 @@ Syntax::
   alone on a line suppresses findings on the next line (useful ahead
   of long statements).
 
-There is deliberately no file-level or block-level disable.
+There is deliberately no file-level or block-level disable.  And a
+suppression must *earn its keep*: the runner records which entries
+actually shielded a diagnostic, and (unless ``--no-stale-check``) a
+``disable=`` clause that suppressed nothing is itself reported --
+stale suppressions hide future regressions behind dead comments.
 """
 
 from __future__ import annotations
@@ -21,14 +25,33 @@ import io
 import re
 import tokenize
 from dataclasses import dataclass, field
-from typing import Dict, List, Set, Tuple
+from typing import Any, Dict, Iterable, List, Set, Tuple
 
 from .diagnostics import META_RULE_ID, Diagnostic
 
 _SUPPRESS_RE = re.compile(
-    r"#\s*reprolint:\s*disable=([A-Z0-9, ]+?)\s*(?:--\s*(\S.*))?$"
+    r"#\s*reprolint:\s*disable=([A-Z0-9, ]+?)\s*(?:--\s*(.*?)\s*)?$"
 )
 _RULE_ID_RE = re.compile(r"^RPR\d{3}$")
+
+
+@dataclass(frozen=True)
+class SuppressionEntry:
+    """One well-formed ``disable=`` clause and the line it shields."""
+
+    comment_line: int
+    col: int
+    target_line: int
+    rules: Tuple[str, ...]
+
+    def to_json_dict(self) -> List[Any]:
+        return [self.comment_line, self.col, self.target_line,
+                list(self.rules)]
+
+    @classmethod
+    def from_json_dict(cls, payload: List[Any]) -> "SuppressionEntry":
+        return cls(comment_line=payload[0], col=payload[1],
+                   target_line=payload[2], rules=tuple(payload[3]))
 
 
 @dataclass
@@ -37,11 +60,29 @@ class SuppressionTable:
 
     #: line number -> rule ids suppressed there.
     by_line: Dict[int, Set[str]] = field(default_factory=dict)
+    #: the well-formed clauses, for stale-suppression accounting.
+    entries: List[SuppressionEntry] = field(default_factory=list)
     #: integrity problems found while parsing the comments.
     problems: List[Diagnostic] = field(default_factory=list)
 
     def is_suppressed(self, line: int, rule: str) -> bool:
         return rule in self.by_line.get(line, set())
+
+    def add_entry(self, entry: SuppressionEntry) -> None:
+        self.entries.append(entry)
+        self.by_line.setdefault(entry.target_line, set()).update(entry.rules)
+
+    @classmethod
+    def from_parts(
+        cls,
+        entries: Iterable[SuppressionEntry],
+        problems: Iterable[Diagnostic],
+    ) -> "SuppressionTable":
+        """Rebuild a table from cached entries and problems."""
+        table = cls(problems=list(problems))
+        for entry in entries:
+            table.add_entry(entry)
+        return table
 
 
 def _comment_tokens(source: str) -> List[Tuple[int, int, str, str]]:
@@ -112,5 +153,8 @@ def scan_suppressions(path: str, source: str) -> SuppressionTable:
         # comment shields its own.
         standalone = line_text[:col].strip() == ""
         target = row + 1 if standalone else row
-        table.by_line.setdefault(target, set()).update(rule_ids)
+        table.add_entry(SuppressionEntry(
+            comment_line=row, col=col + 1, target_line=target,
+            rules=tuple(rule_ids),
+        ))
     return table

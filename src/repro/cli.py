@@ -688,7 +688,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_fleet.set_defaults(func=_cmd_fleet)
 
     p_lint = sub.add_parser(
-        "lint", help="check the repo's reprolint invariants (RPR001-010)")
+        "lint", help="check the repo's reprolint invariants (RPR001-013)")
     build_lint_parser(p_lint)
     p_lint.set_defaults(func=run_lint)
 

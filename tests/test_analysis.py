@@ -25,7 +25,7 @@ from repro.analysis import (
 )
 from repro.analysis import lint_source
 from repro.analysis.figures import figure4_chip_averages
-from repro.analysis.lint import all_rules, get_rule
+from repro.analysis.lint import all_rules, get_rule, lint_paths
 from repro.analysis.report import render_claims
 from repro.analysis.tables import render_table
 from repro.core.regions import Region
@@ -196,7 +196,7 @@ class TestClaims:
 
 
 # ---------------------------------------------------------------------------
-# reprolint -- the RPR001-RPR008 invariant checker
+# reprolint -- the RPR001-RPR013 invariant checker
 # ---------------------------------------------------------------------------
 
 SIM = "src/repro/core/fixture.py"
@@ -657,11 +657,12 @@ class TestRPR010SingleModelPath:
 
 
 class TestLintRegistry:
-    def test_ten_rules_registered(self):
+    def test_thirteen_rules_registered(self):
         ids = [rule.rule_id for rule in all_rules()]
         assert ids == ["RPR001", "RPR002", "RPR003", "RPR004",
                        "RPR005", "RPR006", "RPR007", "RPR008",
-                       "RPR009", "RPR010"]
+                       "RPR009", "RPR010", "RPR011", "RPR012",
+                       "RPR013"]
 
     def test_unknown_rule_rejected(self):
         with pytest.raises(ConfigurationError):
@@ -671,3 +672,503 @@ class TestLintRegistry:
         (diag,) = lint_source("vmin_mv = 0.98\n", path="src/repro/x.py")
         assert (diag.path, diag.line) == ("src/repro/x.py", 1)
         assert "RPR004" in diag.render() and "unit-safety" in diag.render()
+
+# ---------------------------------------------------------------------------
+# reprolint v2 -- whole-program dataflow, cache, SARIF
+# ---------------------------------------------------------------------------
+
+
+def _write_tree(root, files):
+    """Materialize a {relative path: dedented source} project tree."""
+    for rel, src in files.items():
+        target = root / rel
+        target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_text(textwrap.dedent(src))
+    return root
+
+
+def _project_rules(report):
+    return [d.rule for d in report.diagnostics]
+
+
+class TestRPR011SeedProvenance:
+    def test_direct_literal_seed_flagged(self):
+        assert "RPR011" in lint_rules("""
+            import numpy as np
+
+            def make_rng():
+                return np.random.default_rng(42)
+        """)
+
+    def test_literal_laundered_through_two_modules_flagged(self, tmp_path):
+        _write_tree(tmp_path, {
+            "src/repro/seedsrc.py": """
+                def raw_seed():
+                    return 1234
+            """,
+            "src/repro/seeduse.py": """
+                import numpy as np
+
+                from repro.seedsrc import raw_seed
+
+                def launder():
+                    return raw_seed()
+
+                def build():
+                    return np.random.default_rng(launder())
+            """,
+        })
+        report = lint_paths([str(tmp_path / "src")])
+        assert _project_rules(report) == ["RPR011"]
+        (diag,) = report.diagnostics
+        assert diag.path.endswith("seeduse.py")
+        assert "literal" in diag.message
+
+    def test_seedsequence_chain_is_clean(self, tmp_path):
+        _write_tree(tmp_path, {
+            "src/repro/seedsrc.py": """
+                import numpy as np
+
+                def good_seed(root):
+                    return np.random.SeedSequence(root).generate_state(1)[0]
+            """,
+            "src/repro/seeduse.py": """
+                import numpy as np
+
+                from repro.seedsrc import good_seed
+
+                def build(root):
+                    return np.random.default_rng(good_seed(root))
+            """,
+        })
+        assert lint_paths([str(tmp_path / "src")]).diagnostics == []
+
+    def test_sha256_keyed_seed_is_clean(self):
+        assert lint_rules("""
+            import hashlib
+
+            import numpy as np
+
+            def build(key):
+                digest = hashlib.sha256(key.encode()).digest()
+                return np.random.default_rng(
+                    int.from_bytes(digest[:8], "little"))
+        """) == []
+
+    def test_wallclock_seed_flagged(self):
+        findings = lint_rules("""
+            import time
+
+            import numpy as np
+
+            def sloppy():
+                return np.random.default_rng(int(time.time_ns()))
+        """)
+        assert "RPR011" in findings
+
+    def test_unknown_provenance_not_flagged(self):
+        assert lint_rules("""
+            import numpy as np
+
+            def build(seed_from_caller):
+                return np.random.default_rng(seed_from_caller)
+        """) == []
+
+
+class TestRPR012CrossModuleUnitFlow:
+    def test_volt_named_value_into_mv_param_flagged(self, tmp_path):
+        _write_tree(tmp_path, {
+            "src/repro/sink.py": """
+                def set_level(voltage_mv):
+                    return voltage_mv
+            """,
+            "src/repro/source.py": """
+                from repro.sink import set_level
+
+                def run(supply_v):
+                    return set_level(supply_v)
+            """,
+        })
+        report = lint_paths([str(tmp_path / "src")])
+        assert _project_rules(report) == ["RPR012"]
+        (diag,) = report.diagnostics
+        assert diag.path.endswith("source.py")
+        assert "voltage_mv" in diag.message
+
+    def test_volt_literal_into_level_named_mv_param_flagged(self, tmp_path):
+        _write_tree(tmp_path, {
+            "src/repro/sink.py": """
+                def set_level(voltage_mv):
+                    return voltage_mv
+            """,
+            "src/repro/source.py": """
+                from repro.sink import set_level
+
+                def run():
+                    return set_level(0.98)
+            """,
+        })
+        assert _project_rules(
+            lint_paths([str(tmp_path / "src")])
+        ) == ["RPR012"]
+
+    def test_integer_mv_value_is_clean(self, tmp_path):
+        _write_tree(tmp_path, {
+            "src/repro/sink.py": """
+                def set_level(voltage_mv):
+                    return voltage_mv
+            """,
+            "src/repro/source.py": """
+                from repro.sink import set_level
+
+                def run(level_mv):
+                    return set_level(level_mv)
+            """,
+        })
+        assert lint_paths([str(tmp_path / "src")]).diagnostics == []
+
+    def test_volt_literal_into_scale_param_is_clean(self, tmp_path):
+        # Widths/scales are legitimately sub-volt: only *level*-named
+        # mV parameters reject volt-scale literals (RPR004's refinement).
+        _write_tree(tmp_path, {
+            "src/repro/sink.py": """
+                def curve(scale_mv):
+                    return scale_mv
+            """,
+            "src/repro/source.py": """
+                from repro.sink import curve
+
+                def run():
+                    return curve(1.0)
+            """,
+        })
+        assert lint_paths([str(tmp_path / "src")]).diagnostics == []
+
+
+class TestRPR013ParallelSharedState:
+    WORKER_WRITE = {
+        "src/repro/parallel/mytasks.py": """
+            _CACHE = {}
+
+            def _helper(key, value):
+                _CACHE[key] = value
+
+            def run_thing(key):
+                _helper(key, 1)
+                return key
+        """,
+    }
+
+    def test_module_dict_write_via_helper_from_entry_flagged(self, tmp_path):
+        _write_tree(tmp_path, self.WORKER_WRITE)
+        report = lint_paths([str(tmp_path / "src")])
+        assert _project_rules(report) == ["RPR013"]
+        (diag,) = report.diagnostics
+        assert "_CACHE" in diag.message
+        assert "run_thing -> _helper" in diag.message
+
+    def test_same_write_without_entry_point_is_clean(self, tmp_path):
+        source = self.WORKER_WRITE[
+            "src/repro/parallel/mytasks.py"
+        ].replace("run_thing", "build_thing")
+        _write_tree(
+            tmp_path, {"src/repro/parallel/mytasks.py": source}
+        )
+        assert lint_paths([str(tmp_path / "src")]).diagnostics == []
+
+    def test_submitted_function_is_an_entry_point(self, tmp_path):
+        _write_tree(tmp_path, {
+            "src/repro/parallel/mytasks.py": """
+                _SEEN = set()
+
+                def record(task):
+                    _SEEN.add(task)
+
+                def dispatch(executor, tasks):
+                    return [executor.submit(record, t) for t in tasks]
+            """,
+        })
+        report = lint_paths([str(tmp_path / "src")])
+        assert _project_rules(report) == ["RPR013"]
+        assert "_SEEN" in report.diagnostics[0].message
+
+    def test_contextvar_global_is_exempt(self):
+        assert lint_rules("""
+            from contextvars import ContextVar
+
+            _SESSION = ContextVar("session")
+
+            def _helper(value):
+                _SESSION.set(value)
+
+            def run_thing(value):
+                _helper(value)
+        """, path="src/repro/parallel/fixture.py") == []
+
+    def test_local_shadow_is_clean(self):
+        assert lint_rules("""
+            _CACHE = {}
+
+            def run_thing(key):
+                _CACHE = {}
+                _CACHE[key] = 1
+                return _CACHE
+        """, path="src/repro/parallel/fixture.py") == []
+
+
+class TestIncrementalCache:
+    CHAIN = {
+        "src/repro/base.py": """
+            def width():
+                return 5
+        """,
+        "src/repro/mid.py": """
+            from repro.base import width
+
+            def mid_width():
+                return width()
+        """,
+        "src/repro/top.py": """
+            from repro.mid import mid_width
+
+            def top_width():
+                return mid_width()
+        """,
+        "src/repro/leaf.py": """
+            def unrelated():
+                return 1
+        """,
+    }
+
+    def test_warm_run_analyzes_zero_files(self, tmp_path):
+        _write_tree(tmp_path, self.CHAIN)
+        cache = str(tmp_path / "cache.json")
+        cold = lint_paths([str(tmp_path / "src")], cache_path=cache)
+        assert cold.files_analyzed == 4 and cold.files_cached == 0
+        warm = lint_paths([str(tmp_path / "src")], cache_path=cache)
+        assert warm.files_analyzed == 0 and warm.files_cached == 4
+
+    def test_edit_reanalyzes_reverse_dependency_cone_only(self, tmp_path):
+        _write_tree(tmp_path, self.CHAIN)
+        cache = str(tmp_path / "cache.json")
+        lint_paths([str(tmp_path / "src")], cache_path=cache)
+        base = tmp_path / "src/repro/base.py"
+        base.write_text(base.read_text() + "\n# touched\n")
+        # base changed; mid imports base, top imports mid -> all three
+        # re-analyze; leaf is untouched by the cone.
+        cone_run = lint_paths([str(tmp_path / "src")], cache_path=cache)
+        assert cone_run.files_analyzed == 3
+        assert cone_run.files_cached == 1
+        leaf = tmp_path / "src/repro/leaf.py"
+        leaf.write_text(leaf.read_text() + "\n# touched\n")
+        leaf_run = lint_paths([str(tmp_path / "src")], cache_path=cache)
+        assert leaf_run.files_analyzed == 1
+        assert leaf_run.files_cached == 3
+
+    def test_cached_findings_match_fresh_ones(self, tmp_path):
+        _write_tree(tmp_path, {
+            "src/repro/dirty.py": """
+                import numpy as np
+
+                vmin_mv = 0.98
+
+                def make_rng():
+                    return np.random.default_rng(7)
+            """,
+        })
+        cache = str(tmp_path / "cache.json")
+        cold = lint_paths([str(tmp_path / "src")], cache_path=cache)
+        warm = lint_paths([str(tmp_path / "src")], cache_path=cache)
+        assert cold.diagnostics == warm.diagnostics
+        assert warm.files_analyzed == 0
+        assert {d.rule for d in warm.diagnostics} >= {"RPR004", "RPR011"}
+
+    def test_select_bypasses_the_cache(self, tmp_path):
+        _write_tree(tmp_path, self.CHAIN)
+        cache = str(tmp_path / "cache.json")
+        lint_paths([str(tmp_path / "src")], cache_path=cache)
+        narrowed = lint_paths(
+            [str(tmp_path / "src")], select=["RPR004"], cache_path=cache,
+        )
+        assert narrowed.files_cached == 0
+
+    def test_cache_matches_across_path_spellings(self, tmp_path, monkeypatch):
+        # A cache written under one spelling of a path (absolute) must
+        # serve a run that spells it differently (relative), and the
+        # suppression of an interprocedural finding must still register
+        # as earned -- not stale -- on the cached run.
+        _write_tree(tmp_path, {
+            "src/repro/seedy.py": """
+                import numpy as np
+
+                def make():
+                    # reprolint: disable=RPR011 -- fixture default
+                    return np.random.default_rng(7)
+            """,
+        })
+        cache = str(tmp_path / "cache.json")
+        monkeypatch.chdir(tmp_path)
+        cold = lint_paths([str(tmp_path / "src")], cache_path=cache)
+        assert cold.diagnostics == []
+        warm = lint_paths(["src"], cache_path=cache)
+        assert warm.files_analyzed == 0 and warm.files_cached == 1
+        assert warm.diagnostics == []
+
+    def test_torn_cache_degrades_to_full_analysis(self, tmp_path):
+        _write_tree(tmp_path, self.CHAIN)
+        cache = tmp_path / "cache.json"
+        lint_paths([str(tmp_path / "src")], cache_path=str(cache))
+        cache.write_text("{ not json")
+        rebuilt = lint_paths([str(tmp_path / "src")], cache_path=str(cache))
+        assert rebuilt.files_analyzed == 4
+
+
+class TestStaleSuppressions:
+    def test_stale_suppression_reported_on_full_runs(self, tmp_path):
+        _write_tree(tmp_path, {
+            "src/repro/probe.py": (
+                "x = 1  # reprolint: disable=RPR004 -- shields nothing\n"
+            ),
+        })
+        report = lint_paths([str(tmp_path / "src")])
+        (diag,) = report.diagnostics
+        assert diag.rule == "RPR000" and diag.name == "stale-suppression"
+        assert "RPR004" in diag.message
+
+    def test_no_stale_check_escape_hatch(self, tmp_path):
+        _write_tree(tmp_path, {
+            "src/repro/probe.py": (
+                "x = 1  # reprolint: disable=RPR004 -- shields nothing\n"
+            ),
+        })
+        report = lint_paths([str(tmp_path / "src")], stale_check=False)
+        assert report.diagnostics == []
+
+    def test_earning_suppression_is_not_stale(self, tmp_path):
+        _write_tree(tmp_path, {
+            "src/repro/probe.py": (
+                "vmin_mv = 0.98  # reprolint: disable=RPR004 -- fixture\n"
+            ),
+        })
+        assert lint_paths([str(tmp_path / "src")]).diagnostics == []
+
+    def test_partially_stale_rule_list_reports_the_dead_id(self, tmp_path):
+        _write_tree(tmp_path, {
+            "src/repro/probe.py": (
+                "vmin_mv = 0.98"
+                "  # reprolint: disable=RPR004,RPR001 -- fixture\n"
+            ),
+        })
+        report = lint_paths([str(tmp_path / "src")])
+        (diag,) = report.diagnostics
+        assert diag.name == "stale-suppression" and "RPR001" in diag.message
+
+    def test_lint_source_stale_check_opt_in(self):
+        src = "x = 1  # reprolint: disable=RPR004 -- shields nothing\n"
+        assert lint_source(src, path=SIM) == []
+        findings = lint_source(src, path=SIM, stale_check=True)
+        assert [d.name for d in findings] == ["stale-suppression"]
+
+
+class TestSuppressionEdgeCases:
+    def test_multiple_rule_ids_in_one_clause(self):
+        src = (
+            "import numpy as np\n"
+            "vmin_mv = 0.98; rng = np.random.default_rng()"
+            "  # reprolint: disable=RPR001,RPR004,RPR011 -- fixture\n"
+        )
+        assert lint_source(src, path=SIM) == []
+
+    def test_suppression_on_a_continuation_line(self):
+        src = (
+            "vmin_mv = \\\n"
+            "    0.98  # reprolint: disable=RPR004 -- fixture\n"
+        )
+        assert lint_source(src, path=SIM) == []
+
+    def test_continuation_line_without_suppression_still_flags(self):
+        src = "vmin_mv = \\\n    0.98\n"
+        (diag,) = lint_source(src, path=SIM)
+        assert diag.rule == "RPR004" and diag.line == 2
+
+    def test_empty_justification_after_dashes_is_unjustified(self):
+        for tail in ("--", "-- "):
+            src = f"vmin_mv = 0.98  # reprolint: disable=RPR004 {tail}\n"
+            findings = lint_source(src, path=SIM)
+            assert sorted(d.name for d in findings) == [
+                "unit-safety", "unjustified-suppression",
+            ]
+
+
+class TestSarifOutput:
+    #: The load-bearing core of the SARIF 2.1.0 schema: the required
+    #: properties GitHub code scanning relies on, condensed from the
+    #: OASIS schema (fetching the full one needs the network).
+    SCHEMA = {
+        "type": "object",
+        "required": ["version", "runs"],
+        "properties": {
+            "version": {"const": "2.1.0"},
+            "runs": {
+                "type": "array",
+                "items": {
+                    "type": "object",
+                    "required": ["tool"],
+                    "properties": {
+                        "tool": {
+                            "type": "object",
+                            "required": ["driver"],
+                            "properties": {
+                                "driver": {
+                                    "type": "object",
+                                    "required": ["name"],
+                                },
+                            },
+                        },
+                        "results": {
+                            "type": "array",
+                            "items": {
+                                "type": "object",
+                                "required": ["message"],
+                                "properties": {
+                                    "ruleId": {"type": "string"},
+                                    "message": {
+                                        "type": "object",
+                                        "required": ["text"],
+                                    },
+                                },
+                            },
+                        },
+                    },
+                },
+            },
+        },
+    }
+
+    def _document(self, tmp_path):
+        from repro.analysis.lint import render_sarif
+
+        _write_tree(tmp_path, {
+            "src/repro/dirty.py": "vmin_mv = 0.98\n",
+        })
+        report = lint_paths([str(tmp_path / "src")])
+        return render_sarif(report.diagnostics)
+
+    def test_document_validates_against_schema_core(self, tmp_path):
+        jsonschema = pytest.importorskip("jsonschema")
+        jsonschema.validate(self._document(tmp_path), self.SCHEMA)
+
+    def test_results_carry_rules_and_regions(self, tmp_path):
+        doc = self._document(tmp_path)
+        assert doc["version"] == "2.1.0"
+        assert doc["$schema"].endswith("sarif-schema-2.1.0.json")
+        (run,) = doc["runs"]
+        driver = run["tool"]["driver"]
+        assert driver["name"] == "reprolint"
+        rule_ids = {rule["id"] for rule in driver["rules"]}
+        assert {"RPR000", "RPR004", "RPR011", "RPR013"} <= rule_ids
+        (result,) = run["results"]
+        assert result["ruleId"] == "RPR004"
+        location = result["locations"][0]["physicalLocation"]
+        assert location["artifactLocation"]["uri"].endswith("dirty.py")
+        assert location["region"]["startLine"] == 1

@@ -297,8 +297,42 @@ class TestLint:
         assert main(["lint", "--list-rules"]) == 0
         out = capsys.readouterr().out
         for rule_id in ("RPR001", "RPR002", "RPR003", "RPR004",
-                        "RPR005", "RPR006", "RPR007", "RPR008"):
+                        "RPR005", "RPR006", "RPR007", "RPR008",
+                        "RPR009", "RPR010", "RPR011", "RPR012",
+                        "RPR013"):
             assert rule_id in out
+
+    def test_stats_reports_phases_and_rule_counts(self, tmp_path, capsys):
+        dirty = tmp_path / "dirty.py"
+        dirty.write_text("vmin_mv = 0.98\n")
+        assert main(["lint", "--stats", "--no-cache", str(dirty)]) == 1
+        out = capsys.readouterr().out
+        assert "files analyzed: 1" in out
+        assert "RPR004: 1" in out
+        for phase in ("parse", "graph build", "dataflow"):
+            assert phase in out
+
+    def test_cache_makes_second_run_incremental(self, tmp_path, capsys):
+        dirty = tmp_path / "dirty.py"
+        dirty.write_text("vmin_mv = 0.98\n")
+        cache = str(tmp_path / "cache.json")
+        argv = ["lint", "--stats", "--cache", cache, str(dirty)]
+        assert main(argv) == 1
+        assert "files analyzed: 1" in capsys.readouterr().out
+        assert main(argv) == 1
+        out = capsys.readouterr().out
+        assert "files analyzed: 0" in out and "files cached: 1" in out
+
+    def test_sarif_output_file(self, tmp_path, capsys):
+        dirty = tmp_path / "dirty.py"
+        dirty.write_text("vmin_mv = 0.98\n")
+        sarif = tmp_path / "out.sarif"
+        assert main(["lint", "--no-cache", "--sarif", str(sarif),
+                     str(dirty)]) == 1
+        capsys.readouterr()
+        doc = json.loads(sarif.read_text())
+        assert doc["version"] == "2.1.0"
+        assert doc["runs"][0]["results"][0]["ruleId"] == "RPR004"
 
 class TestTelemetryFlags:
     GRID = ["grid", "TTT", "--benchmarks", "mcf", "--cores", "0",
