@@ -24,7 +24,7 @@ from ..data.calibration import chip_calibration
 from ..energy.tradeoffs import TradeoffPoint
 from ..errors import CampaignError, ConfigurationError
 from ..prediction.pipeline import PredictionReport
-from ..store import CampaignStore
+from ..store import CampaignStore, FleetStore
 from .figures import (
     figure3_vmin_series,
     figure4_region_grid,
@@ -199,3 +199,24 @@ class FigureExporter:
             "figure4": self.figure4(),
             "figure9": self.figure9(),
         }
+
+    # -- from a fleet store ------------------------------------------------
+
+    def export_fleet_figures(
+        self, fleet: "str | Path | FleetStore"
+    ) -> Mapping[str, Mapping[str, Path]]:
+        """Per-shard measurement figures, one subdirectory per shard.
+
+        Each shard exports exactly what a standalone
+        :meth:`export_store_figures` over that machine's store would,
+        under ``<export dir>/<shard name>/`` -- the fleet variant adds
+        layout, not a new serialization.
+        """
+        store = (
+            fleet if isinstance(fleet, FleetStore) else FleetStore.open(fleet)
+        )
+        exports: Dict[str, Mapping[str, Path]] = {}
+        for entry, shard in store.shards():
+            exporter = FigureExporter(self.directory / entry.name)
+            exports[entry.name] = exporter.export_store_figures(shard)
+        return exports

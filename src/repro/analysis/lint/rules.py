@@ -686,10 +686,19 @@ _SERIALIZER_PATHS = frozenset({
 #: Identifiers that mark a scope as handling run-level campaign data.
 #: Spec/figure/report serialization is fine -- those are different
 #: artifacts; what must not be serialized ad hoc is the run record
-#: stream the store journals.
+#: stream the store journals -- and, since the fleet refactor, the
+#: fleet manifest and the warm index answers derived from it: a second
+#: writer of ``fleet.json`` or of index payloads would fork the schema
+#: exactly the way an ad-hoc run-record CSV would (indexes are only
+#: provably reparse-identical while ``repro.store`` owns their bytes).
 _RUN_DATA_MARKERS = frozenset({
     "RunRecord", "StoredCampaign", "all_records", "csv_row",
     "from_csv_row", "RUN_FIELDS", "SEVERITY_FIELDS", "severity_by_voltage",
+    # fleet manifest writers
+    "FleetManifest", "ShardEntry", "FleetStore", "refresh_watermarks",
+    # warm index writers
+    "StoreIndexes", "FleetIndexes", "VminIndex", "SeverityIndex",
+    "PredictionFeatureIndex",
 })
 
 #: The sanctioned homes of run-data serialization.

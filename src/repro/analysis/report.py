@@ -191,3 +191,53 @@ def store_report(store: object) -> str:
         "```",
     ]
     return "\n".join(lines)
+
+
+def fleet_report(fleet: object) -> str:
+    """Markdown section describing a fleet store, shard by shard.
+
+    The fleet header summarizes population and progress from the fleet
+    manifest; each shard then renders the same per-cell grid table a
+    standalone :func:`store_report` would, so fleet and single-machine
+    reports stay comparable side by side.
+    """
+    from ..store import FleetStore
+    from .tables import render_table, table_store_summary
+
+    if not isinstance(fleet, FleetStore):
+        fleet = FleetStore.open(fleet)  # type: ignore[arg-type]
+    manifest = fleet.manifest
+    done = sum(
+        len(store.completed_keys()) for _entry, store in fleet.shards()
+    )
+    total = manifest.tasks_total()
+    lines = [
+        "## Fleet campaign store",
+        "",
+        f"- shards: {len(manifest.shards)} machine(s), digest "
+        f"`{fleet.fleet_digest()}`",
+        f"- grid per shard: {len(manifest.workloads)} workload(s) x "
+        f"{len(manifest.cores)} core(s) x {manifest.config.campaigns} "
+        f"campaign(s)",
+        f"- progress: {done}/{total} tasks journaled"
+        + ("" if done == total else " (resumable with `repro fleet run`)"),
+    ]
+    for entry, store in fleet.shards():
+        chip = store.manifest.spec.chip
+        chip_name = chip if isinstance(chip, str) else chip.name
+        state = " [compacted]" if entry.compacted else ""
+        lines += [
+            "",
+            f"### Shard {entry.name}{state}",
+            "",
+            f"- chip: {chip_name} (spec digest `{entry.spec_digest[:12]}`)",
+            f"- seed: {store.manifest.spec.seed}",
+            f"- progress: {len(store.completed_keys())}/{entry.total} "
+            f"tasks journaled",
+            f"- watchdog recoveries: {store.interventions()}",
+            "",
+            "```",
+            render_table(*table_store_summary(store)),
+            "```",
+        ]
+    return "\n".join(lines)

@@ -15,6 +15,14 @@ One subcommand per workflow::
     repro predict --model STORE       serve the latest trained artifact
     repro train STORE [--follow]      stream-train models from a journal
     repro fleet                       generated-fleet Vmin statistics
+    repro fleet init FLEET_DIR        create a sharded fleet store
+    repro fleet run FLEET_DIR         run/resume every shard of a fleet
+    repro fleet status FLEET_DIR      cross-shard progress (warm indexes)
+    repro fleet query FLEET_DIR       Vmin/severity/feature queries
+                                      (--json [--reparse] for the
+                                      index-equals-reparse byte check)
+    repro fleet compact FLEET_DIR     fold complete shards into
+                                      grid-order segments
     repro lint [PATH...]              reprolint invariant checker
 
 All numbers are deterministic in ``--seed``.  Long runs should pass
@@ -303,7 +311,25 @@ def _run_resume(args: argparse.Namespace) -> int:
 
 
 def _cmd_status(args: argparse.Namespace) -> int:
-    """Report a campaign store's progress without touching it."""
+    """Report a campaign store's progress without touching it.
+
+    Pointed at a fleet store (a directory holding ``fleet.json``), it
+    serves cross-shard status from the warm indexes instead.
+    """
+    from pathlib import Path
+
+    from .store import FLEET_MANIFEST_NAME
+
+    if (Path(args.store) / FLEET_MANIFEST_NAME).exists():
+        try:
+            status = telemetry.fleet_status(
+                args.store, metrics_path=args.metrics
+            )
+        except (CampaignError, ValueError, OSError) as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        print(telemetry.render_fleet_status(status), end="")
+        return 0
     try:
         status = telemetry.campaign_status(args.store, metrics_path=args.metrics)
     except (CampaignError, ValueError, OSError) as exc:
@@ -454,6 +480,11 @@ def _run_train(args: argparse.Namespace) -> int:
 
 
 def _cmd_fleet(args: argparse.Namespace) -> int:
+    """Dispatch ``repro fleet <subcommand>``; bare ``repro fleet`` keeps
+    the legacy generated-fleet Vmin statistics."""
+    handler = getattr(args, "fleet_func", None)
+    if handler is not None:
+        return int(handler(args))
     generator = ChipGenerator(args.corner, lot_seed=args.seed)
     fleet = generator.fleet(args.count)
     stats = fleet_vmin_distribution(fleet)
@@ -464,6 +495,154 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
     print(f"  one fleet-wide setting wastes "
           f"{100 * stats['fleet_setting_penalty']:.1f} % power vs per-chip "
           f"settings")
+    return 0
+
+
+def _cmd_fleet_init(args: argparse.Namespace) -> int:
+    """Create a fleet store: one campaign shard per machine seed."""
+    from .store import FleetStore
+    from .workloads import get_program
+
+    if args.seeds is not None:
+        seeds = [int(s) for s in args.seeds.split(",")]
+    else:
+        seeds = [args.seed_base + i for i in range(args.machines)]
+    try:
+        names = [
+            get_benchmark(name).programs()[0].name
+            for name in args.benchmarks.split(",")
+        ]
+        for name in names:  # fail fast on unresolvable program names
+            get_program(name)
+        specs = [MachineSpec(chip=args.chip, seed=seed) for seed in seeds]
+        fleet = FleetStore.create(
+            args.fleet_dir,
+            specs,
+            FrameworkConfig(
+                start_mv=args.start_mv,
+                campaigns=args.campaigns,
+                runs_per_level=args.runs_per_level,
+            ),
+            names,
+            [int(c) for c in args.cores.split(",")],
+        )
+    except CampaignError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    manifest = fleet.manifest
+    print(f"fleet store initialized at {args.fleet_dir}: "
+          f"{len(manifest.shards)} shard(s), "
+          f"{manifest.tasks_total()} task(s) total")
+    for entry, spec in zip(manifest.shards, specs):
+        print(f"  {entry.name}  seed {spec.seed}  "
+              f"spec {entry.spec_digest[:12]}  ({entry.path})")
+    print(f"run it with `repro fleet run {args.fleet_dir}`")
+    return 0
+
+
+def _cmd_fleet_run(args: argparse.Namespace) -> int:
+    """Run (or resume) every shard of a fleet to completion."""
+    with _telemetry_scope(args):
+        return _run_fleet_cmd(args)
+
+
+def _run_fleet_cmd(args: argparse.Namespace) -> int:
+    from .parallel import run_fleet
+
+    shards = args.shards.split(",") if args.shards else None
+    try:
+        report = run_fleet(
+            args.fleet_dir, jobs=args.jobs, progress=ConsoleProgress(),
+            shards=shards,
+        )
+    except CampaignError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    for name, shard_report in report.reports.items():
+        print(f"{name}: +{shard_report.tasks_run} task(s) executed, "
+              f"{shard_report.tasks_skipped} replayed "
+              f"(backend {shard_report.backend})")
+    done = report.manifest.tasks_done()
+    total = report.manifest.tasks_total()
+    print(f"fleet progress: {done}/{total} task(s) journaled"
+          + ("" if done == total else
+             f"; continue with `repro fleet run {args.fleet_dir}`"))
+    return 0
+
+
+def _cmd_fleet_status(args: argparse.Namespace) -> int:
+    """Cross-shard progress served from the warm indexes."""
+    try:
+        status = telemetry.fleet_status(
+            args.fleet_dir, metrics_path=args.metrics
+        )
+    except (CampaignError, ValueError, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(telemetry.render_fleet_status(status), end="")
+    return 0
+
+
+def _cmd_fleet_query(args: argparse.Namespace) -> int:
+    """Answer Vmin/severity queries from the warm fleet indexes.
+
+    ``--json`` emits the canonical index serialization (built inside
+    ``repro.store`` -- the single sanctioned writer of index bytes);
+    adding ``--reparse`` recomputes the same bytes through a full
+    journal re-parse, so piping both through ``diff`` checks the
+    index-equals-reparse contract end to end.
+    """
+    from .store import FleetStore
+
+    try:
+        fleet = FleetStore.open(args.fleet_dir)
+        indexes = fleet.indexes(feature_target=args.target)
+    except CampaignError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if args.json:
+        text = (
+            indexes.serialize_reparse() if args.reparse
+            else indexes.serialize()
+        )
+        print(text, end="")
+        return 0
+    for entry, bundle in indexes.bundles():
+        print(f"{entry.name} (spec {entry.spec_digest[:12]}):")
+        cells = [
+            (name, core)
+            for name, core in bundle.vmin.cells()
+            if (args.benchmark is None or name == args.benchmark)
+            and (args.core is None or core == args.core)
+        ]
+        if not cells:
+            print("  (no completed cells match)")
+            continue
+        for name, core in cells:
+            crash = bundle.vmin.crash_mv(name, core)
+            severity = bundle.severity.severity_by_voltage(name, core)
+            peak = max(severity.values()) if severity else 0.0
+            print(f"  {name} c{core}: Vmin {bundle.vmin.vmin_mv(name, core)} "
+                  f"mV, crash {crash if crash is not None else '--'} mV, "
+                  f"peak severity {peak:.2f}")
+    return 0
+
+
+def _cmd_fleet_compact(args: argparse.Namespace) -> int:
+    """Fold complete shards into canonical grid-order segments."""
+    from .store import FleetStore
+
+    try:
+        fleet = FleetStore.open(args.fleet_dir)
+        compacted = fleet.compact(force=args.force)
+    except CampaignError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if compacted:
+        print(f"compacted {len(compacted)} shard(s): "
+              + ", ".join(compacted))
+    else:
+        print("nothing to compact (no complete, uncompacted shards)")
     return 0
 
 
@@ -681,11 +860,88 @@ def build_parser() -> argparse.ArgumentParser:
                                "store to the report")
     p_report.set_defaults(func=_cmd_report)
 
-    p_fleet = sub.add_parser("fleet", help="generated-fleet statistics")
+    p_fleet = sub.add_parser(
+        "fleet",
+        help="fleet-sharded campaign stores (bare: generated-fleet "
+             "statistics)")
     p_fleet.add_argument("--corner", choices=CHIP_NAMES, default="TTT")
     p_fleet.add_argument("--count", type=int, default=50)
     p_fleet.add_argument("--seed", type=int, default=0)
     p_fleet.set_defaults(func=_cmd_fleet)
+    fleet_sub = p_fleet.add_subparsers(dest="fleet_command")
+
+    pf_init = fleet_sub.add_parser(
+        "init", help="create a fleet store: one journal shard per machine")
+    pf_init.add_argument("fleet_dir", metavar="FLEET_DIR",
+                         help="directory to create the fleet store in")
+    pf_init.add_argument("--chip", type=_chip_name, default="TTT",
+                         help="part name shared by every machine")
+    pf_init.add_argument("--machines", type=int, default=3,
+                         help="number of machines (= shards) in the fleet")
+    pf_init.add_argument("--seed-base", type=int, default=2017,
+                         help="machine seeds are SEED_BASE..SEED_BASE+N-1")
+    pf_init.add_argument("--seeds", default=None, metavar="S1,S2,...",
+                         help="explicit comma-separated machine seeds "
+                              "(overrides --machines/--seed-base)")
+    pf_init.add_argument("--benchmarks", default="bwaves,mcf",
+                         help="comma-separated benchmark names")
+    pf_init.add_argument("--cores", default="0,4",
+                         help="comma-separated core indices")
+    pf_init.add_argument("--campaigns", type=int, default=2,
+                         help="campaigns per grid cell")
+    pf_init.add_argument("--runs-per-level", type=int, default=3,
+                         help="runs per undervolt level")
+    pf_init.add_argument("--start-mv", type=int, default=PMD_NOMINAL_MV,
+                         help="first undervolt level in mV")
+    pf_init.set_defaults(fleet_func=_cmd_fleet_init)
+
+    pf_run = fleet_sub.add_parser(
+        "run", help="run (or resume) every shard of a fleet store")
+    pf_run.add_argument("fleet_dir", metavar="FLEET_DIR",
+                        help="fleet store directory")
+    pf_run.add_argument("--jobs", type=_job_count, default=1,
+                        help="worker count per shard run")
+    pf_run.add_argument("--shards", default=None, metavar="NAME1,NAME2,...",
+                        help="only run these shard names (default: all)")
+    _add_telemetry_flags(pf_run)
+    pf_run.set_defaults(fleet_func=_cmd_fleet_run)
+
+    pf_status = fleet_sub.add_parser(
+        "status", help="cross-shard progress from the warm indexes")
+    pf_status.add_argument("fleet_dir", metavar="FLEET_DIR",
+                           help="fleet store directory")
+    pf_status.add_argument("--metrics", default=None, metavar="FILE",
+                           help="JSON metrics snapshot to derive the "
+                                "task-rate ETA from")
+    pf_status.set_defaults(fleet_func=_cmd_fleet_status)
+
+    pf_query = fleet_sub.add_parser(
+        "query", help="answer Vmin/severity queries from the warm indexes")
+    pf_query.add_argument("fleet_dir", metavar="FLEET_DIR",
+                          help="fleet store directory")
+    pf_query.add_argument("--benchmark", default=None,
+                          help="restrict to one benchmark")
+    pf_query.add_argument("--core", type=int, default=None,
+                          help="restrict to one core")
+    pf_query.add_argument("--target", default="vmin",
+                          help="prediction feature target (default vmin)")
+    pf_query.add_argument("--json", action="store_true",
+                          help="emit the canonical index serialization")
+    pf_query.add_argument("--reparse", action="store_true",
+                          help="with --json: recompute the same bytes "
+                               "through a full journal re-parse (must be "
+                               "identical -- the index-equals-reparse "
+                               "contract)")
+    pf_query.set_defaults(fleet_func=_cmd_fleet_query)
+
+    pf_compact = fleet_sub.add_parser(
+        "compact", help="fold complete shards into grid-order segments")
+    pf_compact.add_argument("fleet_dir", metavar="FLEET_DIR",
+                            help="fleet store directory")
+    pf_compact.add_argument("--force", action="store_true",
+                            help="compact even when a saved model's "
+                                 "streaming cursor points mid-journal")
+    pf_compact.set_defaults(fleet_func=_cmd_fleet_compact)
 
     p_lint = sub.add_parser(
         "lint", help="check the repo's reprolint invariants (RPR001-013)")

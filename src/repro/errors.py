@@ -52,6 +52,16 @@ class CampaignError(ReproError):
     incomplete for the requested analysis."""
 
 
+class StoreError(CampaignError):
+    """A campaign/fleet store on disk is unusable: corrupt manifest or
+    journal, mismatched spec digest, unroutable shard, or a compaction
+    that would invalidate live cursors.
+
+    Subclasses :class:`CampaignError` so existing callers that catch
+    the broader class keep working; new store-layer code should raise
+    and catch this one."""
+
+
 class ParseError(ReproError):
     """A characterization log could not be parsed."""
 

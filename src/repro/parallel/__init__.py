@@ -11,6 +11,9 @@ Public surface:
 
 * :class:`ParallelCampaignEngine` -- fans (workload, core, campaign)
   grids over a process/thread pool, serial fallback included.
+* :func:`run_fleet` -- runs/resumes every shard of a
+  :class:`~repro.store.FleetStore`, one engine per machine spec
+  (:mod:`repro.parallel.fleet`).
 * :class:`MachineSpec` -- re-exported from :mod:`repro.machines`: the
   picklable blueprint workers rebuild, covering every registered
   extension model (droop, aging, adaptive clocking, ...).
@@ -20,6 +23,7 @@ Public surface:
 """
 
 from .engine import BACKENDS, EngineReport, ParallelCampaignEngine
+from .fleet import FleetRunReport, run_fleet
 from .progress import (
     NULL_PROGRESS,
     ConsoleProgress,
@@ -41,6 +45,7 @@ __all__ = [
     "CampaignTaskResult",
     "ConsoleProgress",
     "EngineReport",
+    "FleetRunReport",
     "MachineSpec",
     "NULL_PROGRESS",
     "ParallelCampaignEngine",
@@ -49,4 +54,5 @@ __all__ = [
     "ProgressTracker",
     "derive_task_seed",
     "run_campaign_task",
+    "run_fleet",
 ]

@@ -32,7 +32,12 @@ from ..core.campaign import CampaignResult, CharacterizationResult
 from ..core.framework import FrameworkConfig
 from ..errors import CampaignError, ConfigurationError
 from ..machines import MachineSpec, as_machine_spec
-from ..store import MANIFEST_NAME, CampaignStore
+from ..store import (
+    FLEET_MANIFEST_NAME,
+    MANIFEST_NAME,
+    CampaignStore,
+    FleetStore,
+)
 from ..workloads.benchmark import Benchmark, Program
 from .progress import NULL_PROGRESS, ProgressReporter, ProgressTracker
 from .tasks import (
@@ -168,7 +173,7 @@ class ParallelCampaignEngine:
         self,
         workloads: Sequence[object],
         cores: Sequence[int],
-        store: Optional[Union[str, Path, CampaignStore]] = None,
+        store: Optional[Union[str, Path, CampaignStore, FleetStore]] = None,
         resume: bool = False,
     ) -> EngineReport:
         """Characterize every workload on every core.
@@ -176,6 +181,8 @@ class ParallelCampaignEngine:
         With ``store`` the run is journaled: each completed (workload,
         core, campaign) task is appended to the campaign store as it
         finishes, so a killed run loses at most the in-flight chunk.
+        A :class:`~repro.store.FleetStore` routes the journal to the
+        shard owning this engine's machine spec.
         With ``resume=True`` journaled tasks are replayed from the
         store (after verifying their seeds against a fresh derivation)
         and only the remainder executes -- the assembled report is
@@ -239,22 +246,34 @@ class ParallelCampaignEngine:
 
     def _prepare_store(
         self,
-        store: Optional[Union[str, Path, CampaignStore]],
+        store: Optional[Union[str, Path, CampaignStore, FleetStore]],
         tasks: List[CampaignTask],
         cores: Sequence[int],
         resume: bool,
     ) -> Optional[CampaignStore]:
-        """Open/create the journal for this grid and validate it."""
+        """Open/create the journal for this grid and validate it.
+
+        A :class:`FleetStore` (or a path holding a ``fleet.json``)
+        routes by this engine's machine-spec digest to the fleet shard
+        that owns it; everything downstream -- checkpointing, replay,
+        resume -- then runs against that shard exactly as it would
+        against a standalone store, which is why a fleet of N machines
+        resumes bit-identically to N independent runs.
+        """
         if store is None:
             if resume:
                 raise ConfigurationError("resume=True requires a store")
             return None
         workload_names = list(dict.fromkeys(t.program.name for t in tasks))
-        if isinstance(store, CampaignStore):
+        if isinstance(store, FleetStore):
+            journal = store.shard_for(self.spec)
+        elif isinstance(store, CampaignStore):
             journal = store
         else:
             directory = Path(store)
-            if (directory / MANIFEST_NAME).exists():
+            if (directory / FLEET_MANIFEST_NAME).exists():
+                journal = FleetStore.open(directory).shard_for(self.spec)
+            elif (directory / MANIFEST_NAME).exists():
                 journal = CampaignStore.open(directory)
             elif resume:
                 raise CampaignError(f"no campaign store to resume at {directory}")

@@ -44,7 +44,11 @@ from .pipeline import (
     fit_severity_model_from_store,
     fit_vmin_model_from_store,
 )
-from .streaming import StreamingTrainer, TRAINABLE_TARGETS
+from .streaming import (
+    TRAINABLE_TARGETS,
+    FleetStreamingTrainer,
+    StreamingTrainer,
+)
 from .crossval import (
     CrossValidationReport,
     TransferReport,
@@ -76,6 +80,7 @@ __all__ = [
     "batch_fit",
     "fit_severity_model_from_store",
     "fit_vmin_model_from_store",
+    "FleetStreamingTrainer",
     "StreamingTrainer",
     "TRAINABLE_TARGETS",
     "CrossValidationReport",

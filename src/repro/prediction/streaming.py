@@ -28,7 +28,17 @@ consumed records.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Any, Dict, List, Mapping, Optional, Tuple
+from pathlib import Path
+from typing import (
+    TYPE_CHECKING,
+    Any,
+    Dict,
+    List,
+    Mapping,
+    Optional,
+    Tuple,
+    Union,
+)
 
 import numpy as np
 
@@ -41,10 +51,14 @@ from .linreg import OnlineLeastSquares
 from .rfe import RecursiveFeatureElimination
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..store import FleetStore
     from ..store.models import ModelArtifact
 
 #: Targets the trainer knows how to cut from the journal.
 TRAINABLE_TARGETS = ("vmin", "severity")
+
+#: A fleet store or the directory path of one.
+FleetLike = Union["FleetStore", str, Path]
 
 
 def _feature_space(target: str) -> Tuple[str, ...]:
@@ -140,26 +154,36 @@ class StreamingTrainer:
             stop=stop,
             target=self.target,
         ):
-            dataset = batch.dataset
-            if self._estimator.n_samples >= 2:
-                predictions = self._estimator.predict(dataset.x)
-                self._sse_model += float(
-                    np.sum((dataset.y - predictions) ** 2)
-                )
-                naive = self._estimator.target_mean()
-                self._sse_naive += float(np.sum((dataset.y - naive) ** 2))
-                self._n_eval += len(dataset)
-                self._publish_drift()
-            self._estimator.partial_fit(dataset.x, dataset.y)
-            tags = dataset.tags or tuple(
-                f"{batch.benchmark}#{i}" for i in range(len(dataset))
-            )
-            self._train_pairs.extend(
-                (tag, float(y)) for tag, y in zip(tags, dataset.y)
-            )
+            self._fold_batch(batch)
             self.journal_offset = batch.offset
             consumed += 1
         return consumed
+
+    def _fold_batch(self, batch: Any) -> None:
+        """Score (prequentially) then train on one grid-cell batch.
+
+        Shared by the single-store cursor and the per-shard fleet
+        cursors: where the batch came from does not change how it folds
+        into the moments, which is why one model can train from a whole
+        fleet.
+        """
+        dataset = batch.dataset
+        if self._estimator.n_samples >= 2:
+            predictions = self._estimator.predict(dataset.x)
+            self._sse_model += float(
+                np.sum((dataset.y - predictions) ** 2)
+            )
+            naive = self._estimator.target_mean()
+            self._sse_naive += float(np.sum((dataset.y - naive) ** 2))
+            self._n_eval += len(dataset)
+            self._publish_drift()
+        self._estimator.partial_fit(dataset.x, dataset.y)
+        tags = dataset.tags or tuple(
+            f"{batch.benchmark}#{i}" for i in range(len(dataset))
+        )
+        self._train_pairs.extend(
+            (tag, float(y)) for tag, y in zip(tags, dataset.y)
+        )
 
     def _publish_drift(self) -> None:
         model = self.prequential_rmse
@@ -285,22 +309,159 @@ class StreamingTrainer:
                 n_features=int(state["n_features"]),
                 rfe_step=int(state["rfe_step"]),
             )
-            trainer._estimator = OnlineLeastSquares.from_json_dict(
-                state["estimator"]
-            )
-            trainer._train_pairs = [
-                (str(tag), float(y)) for tag, y in state["train_pairs"]
-            ]
-            prequential = state["prequential"]
-            trainer._sse_model = float(prequential["sse_model"])
-            trainer._sse_naive = float(prequential["sse_naive"])
-            trainer._n_eval = int(prequential["n_eval"])
         except (KeyError, ValueError, TypeError) as exc:
             raise PredictionError(
                 f"model artifact carries unusable trainer state: {exc}"
             )
+        trainer._restore_state(state)
+        trainer.journal_offset = artifact.journal_offset
+        return trainer
+
+    def _restore_state(self, state: Mapping[str, Any]) -> None:
+        """Load moments + prequential accumulators from artifact state."""
+        try:
+            self._estimator = OnlineLeastSquares.from_json_dict(
+                state["estimator"]
+            )
+            self._train_pairs = [
+                (str(tag), float(y)) for tag, y in state["train_pairs"]
+            ]
+            prequential = state["prequential"]
+            self._sse_model = float(prequential["sse_model"])
+            self._sse_naive = float(prequential["sse_naive"])
+            self._n_eval = int(prequential["n_eval"])
+        except (KeyError, ValueError, TypeError) as exc:
+            raise PredictionError(
+                f"model artifact carries unusable trainer state: {exc}"
+            )
+
+
+class FleetStreamingTrainer(StreamingTrainer):
+    """One incremental model trained from every shard of a fleet.
+
+    The single-store trainer holds one journal cursor; this one holds
+    a cursor **per shard** and folds each shard's
+    :class:`~repro.prediction.dataset.JournalBatch` stream into the
+    same recursive-least-squares moments, so the fitted model spans the
+    whole machine population -- the paper's fleet framing, where one
+    operator model predicts margins across heterogeneous chips.
+
+    Artifacts pin :meth:`~repro.store.FleetStore.fleet_digest` instead
+    of a single machine-spec digest and persist into the fleet-level
+    model store (``FleetStore.model_store()``); the per-shard cursors
+    ride along in ``trainer_state``, so kill-and-resume never replays a
+    consumed record on any shard.
+    """
+
+    def __init__(
+        self,
+        fleet: "FleetLike",
+        core: int,
+        target: str = "vmin",
+        n_features: int = 5,
+        rfe_step: int = 8,
+    ) -> None:
+        from ..store import FleetStore
+
+        self.fleet = (
+            fleet if isinstance(fleet, FleetStore) else FleetStore.open(fleet)
+        )
+        first = self.fleet.shard(self.fleet.manifest.shards[0])
+        super().__init__(first, core, target, n_features, rfe_step)
+        #: Per-shard journal cursors, keyed by shard name.
+        self.cursors: Dict[str, int] = {
+            entry.name: 0 for entry in self.fleet.manifest.shards
+        }
+
+    def refresh(self) -> None:
+        """No-op: :meth:`consume` re-opens every shard from disk."""
+
+    def consume(self, stop: Optional[int] = None) -> int:
+        """Advance every shard cursor; returns batches folded in.
+
+        Shards are walked in fleet-manifest order and each is re-opened
+        from disk first, so records appended by other processes (the
+        per-shard campaign runners) are picked up without any shared
+        state beyond the journals themselves.
+        """
+        from ..store import CampaignStore
+
+        consumed = 0
+        for entry in self.fleet.manifest.shards:
+            shard = CampaignStore.open(self.fleet.shard_path(entry))
+            for batch in iter_journal_datasets(
+                shard,
+                self.core,
+                start=self.cursors[entry.name],
+                stop=stop,
+                target=self.target,
+            ):
+                self._fold_batch(batch)
+                self.cursors[entry.name] = batch.offset
+                consumed += 1
+        self.journal_offset = sum(self.cursors.values())
+        return consumed
+
+    def fit(self) -> "ModelArtifact":
+        """Fleet model artifact: fleet digest + per-shard cursors."""
+        import dataclasses
+
+        artifact = super().fit()
+        state = dict(artifact.trainer_state)
+        state["fleet_cursors"] = dict(self.cursors)
+        return dataclasses.replace(
+            artifact,
+            spec_digest=self.fleet.fleet_digest(),
+            journal_offset=self.journal_offset,
+            trainer_state=state,
+        )
+
+    @classmethod
+    def resume(  # type: ignore[override]
+        cls, store: "FleetLike", artifact: "ModelArtifact"
+    ) -> "FleetStreamingTrainer":
+        """Rebuild a fleet trainer from a saved artifact's state."""
+        from ..store import FleetStore
+
+        fleet = (
+            store if isinstance(store, FleetStore) else FleetStore.open(store)
+        )
+        if artifact.spec_digest != fleet.fleet_digest():
+            raise PredictionError(
+                "model artifact was trained against a different fleet "
+                "(machine population changed)"
+            )
+        state: Mapping[str, Any] = artifact.trainer_state
+        try:
+            trainer = cls(
+                fleet,
+                core=artifact.core,
+                target=artifact.target,
+                n_features=int(state["n_features"]),
+                rfe_step=int(state["rfe_step"]),
+            )
+            cursors = {
+                str(name): int(offset)
+                for name, offset in dict(state["fleet_cursors"]).items()
+            }
+        except (KeyError, ValueError, TypeError) as exc:
+            raise PredictionError(
+                f"model artifact carries unusable trainer state: {exc}"
+            )
+        unknown = set(cursors) - set(trainer.cursors)
+        if unknown:
+            raise PredictionError(
+                f"model artifact references unknown fleet shards "
+                f"{sorted(unknown)}"
+            )
+        trainer._restore_state(state)
+        trainer.cursors.update(cursors)
         trainer.journal_offset = artifact.journal_offset
         return trainer
 
 
-__all__ = ["StreamingTrainer", "TRAINABLE_TARGETS"]
+__all__ = [
+    "FleetStreamingTrainer",
+    "StreamingTrainer",
+    "TRAINABLE_TARGETS",
+]

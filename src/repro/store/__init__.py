@@ -1,18 +1,31 @@
-"""Durable campaign persistence: the journaled store.
+"""Durable campaign persistence: journaled stores, fleet shards, indexes.
 
 The paper's characterization ran unattended for six months, surviving
 crashes and accumulating everything into uniform CSV artifacts
-(Section 2.2).  This package is that durability layer for the
-reproduction: a schema-versioned (``repro-campaign/v1``), append-only
-journal where every completed campaign lands as typed records under a
-manifest that pins the machine spec, grid, seed material and severity
-weights.
+(Section 2.2) -- and Section 5 frames it as something a datacenter
+operator runs continuously across many machines.  This package is that
+durability layer for the reproduction: a schema-versioned
+(``repro-campaign/v1``), append-only journal where every completed
+campaign lands as typed records under a manifest that pins the machine
+spec, grid, seed material and severity weights -- plus the fleet layer
+(``repro-fleet/v1``) that shards one journal per machine under an
+atomically written fleet manifest, and warm in-memory indexes that
+answer Vmin/severity/prediction queries without re-parsing journals.
 
 * :class:`CampaignStore` -- create/open a store directory, append
   completed campaigns, reconstruct results, export the derived CSVs.
 * :class:`CampaignManifest` -- the grid definition embedded in
   ``manifest.json``.
 * :class:`StoredCampaign` -- one journal line.
+* :class:`FleetStore` / :class:`FleetManifest` -- one campaign shard
+  per :class:`~repro.machines.MachineSpec` with write routing,
+  watermark tracking and grid-order compaction
+  (:mod:`repro.store.fleet`).
+* :class:`VminIndex` / :class:`SeverityIndex` /
+  :class:`PredictionFeatureIndex` / :class:`StoreIndexes` /
+  :class:`FleetIndexes` -- incremental query indexes, provably
+  answer-identical to a full journal re-parse
+  (:mod:`repro.store.index`).
 * :class:`ModelStore` / :class:`ModelArtifact` -- versioned
   ``repro-model/v1`` prediction-model artifacts under the same
   manifest (:mod:`repro.store.models`), the single sanctioned
@@ -20,13 +33,32 @@ weights.
 
 The engine checkpoints into a store as tasks finish
 (``ParallelCampaignEngine.run(..., store=...)``) and resumes from one
-bit-identically (``resume=True`` / ``repro resume <store>``); the
-analysis and prediction layers read stores directly, so a grid can be
-characterized on one box and analyzed on another -- and the streaming
-prediction trainer persists its models next to the data they were
-trained on.
+bit-identically (``resume=True`` / ``repro resume <store>``); a fleet
+run routes each machine's tasks to its shard through the same path.
+The analysis and prediction layers read stores directly, so a grid can
+be characterized on one box and analyzed on another -- and the
+streaming prediction trainer persists its models next to the data they
+were trained on.
 """
 
+from ..errors import StoreError
+from .fleet import (
+    FLEET_FORMAT,
+    FLEET_MANIFEST_NAME,
+    SHARDS_DIR,
+    FleetIndexes,
+    FleetManifest,
+    FleetStore,
+    ShardEntry,
+)
+from .index import (
+    INDEX_FORMAT,
+    PredictionFeatureIndex,
+    SeverityIndex,
+    StoreIndexes,
+    VminIndex,
+    reparse_serialization,
+)
 from .journal import (
     JOURNAL_NAME,
     MANIFEST_NAME,
@@ -47,14 +79,27 @@ from .records import StoredCampaign
 __all__ = [
     "CampaignManifest",
     "CampaignStore",
+    "FLEET_FORMAT",
+    "FLEET_MANIFEST_NAME",
+    "FleetIndexes",
+    "FleetManifest",
+    "FleetStore",
+    "INDEX_FORMAT",
     "JOURNAL_NAME",
     "MANIFEST_NAME",
     "MODEL_FORMAT",
     "MODELS_DIR",
     "ModelArtifact",
     "ModelStore",
+    "PredictionFeatureIndex",
+    "SHARDS_DIR",
     "STORE_FORMAT",
+    "SeverityIndex",
+    "ShardEntry",
+    "StoreError",
+    "StoreIndexes",
     "StoredCampaign",
     "TaskKey",
+    "reparse_serialization",
     "train_set_digest",
 ]

@@ -31,6 +31,7 @@ from pathlib import Path
 from typing import (
     TYPE_CHECKING,
     Any,
+    Callable,
     Dict,
     List,
     Mapping,
@@ -46,7 +47,7 @@ from ..core.campaign import CampaignResult, CharacterizationResult
 from ..core.framework import FrameworkConfig
 from ..core.results import ResultStore
 from ..core.severity import DEFAULT_WEIGHTS, SeverityWeights
-from ..errors import CampaignError, ConfigurationError
+from ..errors import CampaignError, ConfigurationError, StoreError
 from ..machines import MachineSpec
 from ..workloads import get_program
 from ..workloads.benchmark import Program
@@ -109,11 +110,21 @@ class CampaignManifest:
         }
 
     @classmethod
-    def from_json_dict(cls, data: Mapping[str, Any]) -> "CampaignManifest":
+    def from_json_dict(
+        cls,
+        data: Mapping[str, Any],
+        source: Optional[Union[str, Path]] = None,
+    ) -> "CampaignManifest":
+        """Inverse of :meth:`to_json_dict`.
+
+        ``source`` names the manifest file (or shard path) the dict was
+        read from, so integrity errors can point at the offending file.
+        """
+        where = "" if source is None else f" at {source}"
         fmt = data.get("format")
         if fmt != STORE_FORMAT:
-            raise CampaignError(
-                f"unsupported campaign-store format {fmt!r} "
+            raise StoreError(
+                f"unsupported campaign-store format {fmt!r}{where} "
                 f"(expected {STORE_FORMAT!r})"
             )
         try:
@@ -126,12 +137,13 @@ class CampaignManifest:
                 weights=SeverityWeights(**dict(data["severity_weights"])),
             )
         except (KeyError, ValueError, TypeError) as exc:
-            raise CampaignError(f"malformed store manifest: {exc}")
+            raise StoreError(f"malformed store manifest{where}: {exc}")
         digest = data.get("spec_digest")
         if digest is not None and digest != spec.digest():
-            raise CampaignError(
-                "store manifest spec_digest does not match the embedded "
-                "machine spec -- the manifest was edited or corrupted"
+            raise StoreError(
+                f"store manifest{where} pins spec_digest {digest}, but the "
+                f"embedded machine spec digests to {spec.digest()} -- the "
+                f"manifest was edited or corrupted"
             )
         return manifest
 
@@ -156,6 +168,9 @@ class CampaignStore:
         #: Byte offset to truncate the journal to before the next
         #: append, set when loading found a torn trailing line.
         self._torn_tail_bytes: Optional[int] = None
+        #: Callbacks fired after every durable append (see
+        #: :meth:`subscribe`); the warm query indexes hang off this.
+        self._observers: List[Callable[[StoredCampaign], None]] = []
 
     # -- paths -------------------------------------------------------------
 
@@ -213,8 +228,10 @@ class CampaignStore:
         try:
             manifest_data = json.loads(manifest_path.read_text())
         except json.JSONDecodeError as exc:
-            raise CampaignError(f"corrupt store manifest {manifest_path}: {exc}")
-        manifest = CampaignManifest.from_json_dict(manifest_data)
+            raise StoreError(f"corrupt store manifest {manifest_path}: {exc}")
+        manifest = CampaignManifest.from_json_dict(
+            manifest_data, source=manifest_path
+        )
         store = cls(path, manifest, [])
         store._campaigns = store._load_journal()
         store._completed = {c.key for c in store._campaigns}
@@ -248,7 +265,7 @@ class CampaignStore:
                 if is_last:
                     self._torn_tail_bytes = offset
                     break  # torn tail of an interrupted append
-                raise CampaignError(
+                raise StoreError(
                     f"corrupt journal line {index + 1} in "
                     f"{self.journal_path}: {exc}"
                 )
@@ -329,7 +346,20 @@ class CampaignStore:
         )
         self._campaigns.append(stored)
         self._completed.add(stored.key)
+        for observer in tuple(self._observers):
+            observer(stored)
         return stored
+
+    def subscribe(self, observer: Callable[[StoredCampaign], None]) -> None:
+        """Call ``observer`` after every durable append.
+
+        Observers run once the record is fsynced and accounted, so an
+        incremental index updated from here can never get ahead of the
+        journal.  They see appends through *this* store object only --
+        another process appending to the same directory is picked up by
+        re-opening (or by an index's cursor-based ``refresh``).
+        """
+        self._observers.append(observer)
 
     # -- progress ----------------------------------------------------------
 

@@ -69,9 +69,13 @@ from .metrics import (
 )
 from .status import (
     CampaignStatus,
+    FleetShardStatus,
+    FleetStatus,
     ModelStatus,
     campaign_status,
+    fleet_status,
     model_statuses,
+    render_fleet_status,
     render_model_status,
     render_status,
 )
@@ -142,8 +146,12 @@ __all__ = [
     # status
     "CampaignStatus",
     "ModelStatus",
+    "FleetShardStatus",
+    "FleetStatus",
     "campaign_status",
+    "fleet_status",
     "model_statuses",
+    "render_fleet_status",
     "render_model_status",
     "render_status",
     # tracing

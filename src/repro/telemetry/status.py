@@ -36,6 +36,10 @@ class CampaignStatus:
     cells: Tuple[Tuple[str, int, int], ...]
     #: Mean per-task seconds from a live metrics snapshot, if provided.
     mean_task_seconds: Optional[float] = None
+    #: Whether a metrics snapshot was supplied at all -- distinguishes
+    #: "no snapshot" (omit the ETA line) from "snapshot without task
+    #: samples yet" (render "n/a").
+    metrics_provided: bool = False
 
     @property
     def tasks_remaining(self) -> int:
@@ -69,9 +73,12 @@ def _read_mean_task_seconds(path: Union[str, Path]) -> Optional[float]:
         if metric.get("name") != M_TASK_SECONDS:
             continue
         for sample in metric.get("samples", []):
+            # An empty or just-initialized histogram has count 0 (or no
+            # sum at all); that is "no rate known yet", never an error.
             count = sample.get("count", 0)
-            if count:
-                return float(sample["sum"]) / float(count)
+            total = sample.get("sum")
+            if count and total is not None:
+                return float(total) / float(count)
     return None
 
 
@@ -123,6 +130,7 @@ def campaign_status(
             for core in manifest.cores
         ),
         mean_task_seconds=mean_task_seconds,
+        metrics_provided=metrics_path is not None,
     )
 
 
@@ -211,6 +219,11 @@ def render_status(status: CampaignStatus) -> str:
             f"eta: {_format_eta(status.eta_s)} "
             f"at {status.mean_task_seconds:.3f} s/task"
         )
+    elif status.metrics_provided and not status.complete:
+        # A snapshot was supplied but holds no completed-task samples
+        # (empty or just-initialized journal): the rate is unknowable,
+        # which is an answer, not an error.
+        lines.append("eta: n/a (no completed-task samples yet)")
     lines.append(f"watchdog interventions: {status.interventions}")
     lines.append("effect classes (runs):")
     for effect, count in status.effect_tallies:
@@ -222,11 +235,170 @@ def render_status(status: CampaignStatus) -> str:
     return "\n".join(lines) + "\n"
 
 
+# -- fleet status -----------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class FleetShardStatus:
+    """Progress + warm-index answers of one fleet shard."""
+
+    name: str
+    spec_digest: str
+    chip: str
+    tasks_total: int
+    tasks_completed: int
+    compacted: bool
+    #: (benchmark, core, vmin_mv, crash_mv) per *completed* grid cell,
+    #: in manifest grid order, served from the warm Vmin index.
+    vmin_cells: Tuple[Tuple[str, int, int, Optional[int]], ...]
+
+    @property
+    def complete(self) -> bool:
+        return self.tasks_completed >= self.tasks_total
+
+
+@dataclass(frozen=True)
+class FleetStatus:
+    """Cross-shard progress summary of one fleet store."""
+
+    fleet_path: str
+    workloads: Tuple[str, ...]
+    cores: Tuple[int, ...]
+    campaigns_per_cell: int
+    shards: Tuple[FleetShardStatus, ...]
+    mean_task_seconds: Optional[float] = None
+    metrics_provided: bool = False
+
+    @property
+    def tasks_total(self) -> int:
+        return sum(shard.tasks_total for shard in self.shards)
+
+    @property
+    def tasks_completed(self) -> int:
+        return sum(shard.tasks_completed for shard in self.shards)
+
+    @property
+    def tasks_remaining(self) -> int:
+        return self.tasks_total - self.tasks_completed
+
+    @property
+    def fraction(self) -> float:
+        return (
+            self.tasks_completed / self.tasks_total if self.tasks_total else 1.0
+        )
+
+    @property
+    def complete(self) -> bool:
+        return self.tasks_remaining == 0
+
+    @property
+    def eta_s(self) -> Optional[float]:
+        if self.mean_task_seconds is None:
+            return None
+        return self.mean_task_seconds * self.tasks_remaining
+
+
+def fleet_status(
+    fleet: Union[str, Path],
+    metrics_path: Optional[Union[str, Path]] = None,
+) -> FleetStatus:
+    """Summarize a fleet store, serving Vmin from the warm indexes.
+
+    Progress is re-derived from the shard journals on disk (the fleet
+    manifest's watermarks may lag a concurrent appender); the per-cell
+    Vmin answers come from each shard's incremental
+    :class:`~repro.store.VminIndex` -- the contract that the index is
+    answer-identical to a re-parse is what makes this safe.
+    """
+    # Lazy for the same reason as campaign_status: repro.store imports
+    # repro.telemetry at module level.
+    from ..store import CampaignStore, StoreIndexes, FleetStore
+
+    opened = FleetStore.open(fleet)
+    shards: List[FleetShardStatus] = []
+    for entry in opened.manifest.shards:
+        store = CampaignStore.open(opened.shard_path(entry))
+        indexes = StoreIndexes(store)
+        vmin = indexes.vmin
+        chip = store.manifest.spec.chip
+        chip_name = (
+            chip if isinstance(chip, str) else getattr(chip, "name", str(chip))
+        )
+        shards.append(
+            FleetShardStatus(
+                name=entry.name,
+                spec_digest=entry.spec_digest,
+                chip=str(chip_name),
+                tasks_total=entry.total,
+                tasks_completed=len(store.completed_keys()),
+                compacted=entry.compacted,
+                vmin_cells=tuple(
+                    (name, core, vmin.vmin_mv(name, core),
+                     vmin.crash_mv(name, core))
+                    for name, core in vmin.cells()
+                ),
+            )
+        )
+    mean_task_seconds = (
+        _read_mean_task_seconds(metrics_path) if metrics_path is not None else None
+    )
+    return FleetStatus(
+        fleet_path=str(fleet),
+        workloads=opened.manifest.workloads,
+        cores=opened.manifest.cores,
+        campaigns_per_cell=opened.manifest.config.campaigns,
+        shards=tuple(shards),
+        mean_task_seconds=mean_task_seconds,
+        metrics_provided=metrics_path is not None,
+    )
+
+
+def render_fleet_status(status: FleetStatus) -> str:
+    """Human-readable report for ``repro fleet status``."""
+    lines: List[str] = []
+    lines.append(
+        f"fleet: {status.fleet_path} ({len(status.shards)} shards)"
+    )
+    lines.append(
+        f"progress: {status.tasks_completed}/{status.tasks_total} tasks "
+        f"({status.fraction * 100:.1f} %)"
+        + (", complete" if status.complete
+           else f", {status.tasks_remaining} remaining")
+    )
+    if status.eta_s is not None and not status.complete:
+        assert status.mean_task_seconds is not None
+        lines.append(
+            f"eta: {_format_eta(status.eta_s)} "
+            f"at {status.mean_task_seconds:.3f} s/task"
+        )
+    elif status.metrics_provided and not status.complete:
+        lines.append("eta: n/a (no completed-task samples yet)")
+    for shard in status.shards:
+        state = "complete" if shard.complete else "in progress"
+        if shard.compacted:
+            state += ", compacted"
+        lines.append(
+            f"  {shard.name} (chip {shard.chip}): "
+            f"{shard.tasks_completed}/{shard.tasks_total} tasks, {state}"
+        )
+        for benchmark, core, vmin_mv, crash_mv in shard.vmin_cells:
+            crash = "--" if crash_mv is None else f"{crash_mv} mV"
+            lines.append(
+                f"    {benchmark} c{core}: Vmin {vmin_mv} mV, "
+                f"crash {crash}"
+            )
+    return "\n".join(lines) + "\n"
+
+
 __all__ = [
     "CampaignStatus",
+    "FleetShardStatus",
+    "FleetStatus",
     "ModelStatus",
     "campaign_status",
+    "fleet_status",
     "model_statuses",
+    "render_fleet_status",
     "render_model_status",
     "render_status",
 ]

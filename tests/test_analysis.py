@@ -441,6 +441,50 @@ class TestRPR007SinglePersistencePath:
                 handle.write(json.dumps(StoredCampaign.to_json_dict(campaign)))
         """, path="src/repro/store/fixture.py") == []
 
+    def test_fleet_manifest_writer_outside_store_flagged(self):
+        assert lint_rules("""
+            import json
+
+            def snapshot(fleet, handle):
+                payload = FleetManifest.to_json_dict(fleet.manifest)
+                json.dump(payload, handle)
+        """) == ["RPR007"]
+
+    def test_index_serialization_outside_store_flagged(self):
+        assert lint_rules("""
+            import json
+
+            def answer(index):
+                return json.dumps(VminIndex.to_json_dict(index))
+        """, path="src/repro/analysis/fixture.py") == ["RPR007"]
+
+    def test_watermark_rewrite_outside_store_flagged(self):
+        assert lint_rules("""
+            import json
+
+            def rewrite(fleet, handle):
+                manifest = fleet.refresh_watermarks()
+                json.dump(manifest, handle)
+        """) == ["RPR007"]
+
+    def test_fleet_and_index_writers_sanctioned_in_store(self):
+        assert lint_rules("""
+            import json
+
+            def write_manifest(manifest, handle):
+                json.dump(FleetManifest.to_json_dict(manifest), handle)
+
+            def serialize_index(index):
+                return json.dumps(StoreIndexes.to_json_dict(index))
+        """, path="src/repro/store/fixture.py") == []
+
+    def test_index_reader_without_serializer_clean(self):
+        assert lint_rules("""
+            def answers(index):
+                return [VminIndex.vmin_mv(index, b, c)
+                        for b, c in VminIndex.cells(index)]
+        """) == []
+
     def test_results_module_is_the_sanctioned_home(self):
         assert lint_rules("""
             import csv

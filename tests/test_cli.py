@@ -222,6 +222,71 @@ class TestFleet:
         assert "fleet-wide setting wastes" in out
 
 
+class TestFleetStore:
+    @pytest.fixture(scope="class")
+    def fleet_dir(self, tmp_path_factory):
+        directory = tmp_path_factory.mktemp("cli-fleet") / "fleet"
+        assert main(["fleet", "init", str(directory), "--machines", "2",
+                     "--seed-base", "2017", "--benchmarks", "mcf",
+                     "--cores", "0", "--campaigns", "2",
+                     "--runs-per-level", "3", "--start-mv", "905"]) == 0
+        assert main(["fleet", "run", str(directory)]) == 0
+        return directory
+
+    def test_init_refuses_existing(self, capsys, fleet_dir):
+        assert main(["fleet", "init", str(fleet_dir)]) == 2
+        assert "already exists" in capsys.readouterr().err
+
+    def test_run_is_idempotent(self, capsys, fleet_dir):
+        assert main(["fleet", "run", str(fleet_dir)]) == 0
+        out = capsys.readouterr().out
+        assert "+0 task(s) executed" in out
+        assert "4/4 task(s) journaled" in out
+
+    def test_fleet_status_serves_vmin_per_shard(self, capsys, fleet_dir):
+        assert main(["fleet", "status", str(fleet_dir)]) == 0
+        out = capsys.readouterr().out
+        assert "(2 shards)" in out and "4/4 tasks" in out
+        assert out.count("mcf c0: Vmin 890 mV, crash 880") == 2
+
+    def test_plain_status_detects_fleet_store(self, capsys, fleet_dir):
+        assert main(["status", str(fleet_dir)]) == 0
+        assert "(2 shards)" in capsys.readouterr().out
+
+    def test_query_human_readable(self, capsys, fleet_dir):
+        assert main(["fleet", "query", str(fleet_dir),
+                     "--benchmark", "mcf", "--core", "0"]) == 0
+        out = capsys.readouterr().out
+        assert out.count("mcf c0: Vmin 890 mV, crash 880 mV") == 2
+        assert main(["fleet", "query", str(fleet_dir), "--core", "7"]) == 0
+        assert "no completed cells match" in capsys.readouterr().out
+
+    def test_query_json_byte_matches_reparse(self, capsys, fleet_dir):
+        """The index-equals-reparse contract at the CLI surface: warm
+        ``--json`` output equals the full-journal ``--reparse`` bytes."""
+        assert main(["fleet", "query", str(fleet_dir), "--json"]) == 0
+        warm = capsys.readouterr().out
+        assert main(["fleet", "query", str(fleet_dir), "--json",
+                     "--reparse"]) == 0
+        cold = capsys.readouterr().out
+        assert warm == cold
+        assert warm.count("# shard ") == 2
+
+    def test_compact_then_answers_unchanged(self, capsys, fleet_dir):
+        assert main(["fleet", "query", str(fleet_dir), "--json"]) == 0
+        before = capsys.readouterr().out
+        assert main(["fleet", "compact", str(fleet_dir)]) == 0
+        assert "compacted 2 shard(s)" in capsys.readouterr().out
+        assert main(["fleet", "compact", str(fleet_dir)]) == 0
+        assert "nothing to compact" in capsys.readouterr().out
+        assert main(["fleet", "query", str(fleet_dir), "--json"]) == 0
+        assert capsys.readouterr().out == before
+
+    def test_missing_fleet_is_usage_error(self, capsys, tmp_path):
+        assert main(["fleet", "status", str(tmp_path / "nowhere")]) == 2
+        assert "error" in capsys.readouterr().err
+
+
 class TestPredict:
     def test_reduced_study(self, capsys):
         assert main(["predict", "--programs", "8"]) == 0
@@ -401,6 +466,33 @@ class TestStatus:
     def test_status_missing_store_is_usage_error(self, capsys, tmp_path):
         assert main(["status", str(tmp_path / "nowhere")]) == 2
         assert "error" in capsys.readouterr().err
+
+    def test_status_empty_journal_with_sampleless_metrics_is_na(
+            self, capsys, tmp_path):
+        """Regression: a just-initialized store plus a metrics snapshot
+        whose task-seconds histogram has no samples yet must render the
+        ETA as "n/a", not raise on the empty histogram."""
+        from repro.core import FrameworkConfig
+        from repro.machines import MachineSpec as Spec
+        from repro.store import CampaignStore
+
+        store = tmp_path / "store"
+        CampaignStore.create(
+            store, Spec(chip="TTT", seed=2017),
+            FrameworkConfig(start_mv=910, campaigns=2, runs_per_level=3),
+            ["mcf"], [0])
+        metrics = tmp_path / "metrics.json"
+        metrics.write_text(json.dumps({
+            "format": "repro-metrics/v1",
+            "metrics": [{
+                "name": "repro_engine_task_seconds",
+                "samples": [{"count": 0}],
+            }],
+        }))
+        assert main(["status", str(store), "--metrics", str(metrics)]) == 0
+        out = capsys.readouterr().out
+        assert "0/2 tasks" in out
+        assert "eta: n/a (no completed-task samples yet)" in out
 
 
 class TestModuleEntryPoint:

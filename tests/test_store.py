@@ -102,6 +102,23 @@ class TestManifest:
         with pytest.raises(CampaignError, match="digest"):
             CampaignManifest.from_json_dict(data)
 
+    def test_open_digest_mismatch_names_both_digests_and_path(self, tmp_path):
+        """A tampered on-disk manifest is rejected with a message naming
+        the pinned digest, the recomputed digest and the offending file
+        -- the debugging handles a fleet operator needs to find which
+        shard was edited."""
+        CampaignStore.create(tmp_path, SPEC, CFG, ["bwaves"], CORES)
+        manifest_path = tmp_path / MANIFEST_NAME
+        data = json.loads(manifest_path.read_text())
+        data["spec_digest"] = "0" * 64
+        manifest_path.write_text(json.dumps(data))
+        with pytest.raises(CampaignError) as excinfo:
+            CampaignStore.open(tmp_path)
+        message = str(excinfo.value)
+        assert "0" * 64 in message
+        assert SPEC.digest() in message
+        assert str(manifest_path) in message
+
     def test_expected_keys_in_reference_serial_order(self):
         manifest = CampaignManifest(
             spec=SPEC, config=CFG, workloads=("bwaves", "mcf"), cores=(0, 4))
