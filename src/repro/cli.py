@@ -23,6 +23,10 @@ One subcommand per workflow::
                                       index-equals-reparse byte check)
     repro fleet compact FLEET_DIR     fold complete shards into
                                       grid-order segments
+    repro analyze TRACE_DIR [--json]  trace analytics: critical path,
+                                      per-phase attribution, stragglers
+    repro dash STORE [--once]         live dashboard: progress, tsdb
+                                      metrics, ETA, health verdicts
     repro lint [PATH...]              reprolint invariant checker
 
 All numbers are deterministic in ``--seed``.  Long runs should pass
@@ -31,9 +35,11 @@ is journaled there, and a killed run continues with ``repro resume
 DIR`` -- ending bit-identical to an uninterrupted one.
 
 ``characterize``/``grid``/``resume`` take ``--trace DIR`` (JSONL span
-traces) and ``--metrics FILE`` (metrics export; Prometheus text for
-``.prom``/``.txt``, JSON snapshot otherwise).  Telemetry is
-determinism-neutral: enabling it changes no journaled byte.
+traces), ``--metrics FILE`` (metrics export; Prometheus text for
+``.prom``/``.txt``, JSON snapshot otherwise) and ``--tsdb`` (append
+periodic registry snapshots to the store's ``tsdb.jsonl`` time-series
+journal, which ``repro dash`` and the health rules read).  Telemetry
+is determinism-neutral: enabling it changes no journaled byte.
 """
 
 from __future__ import annotations
@@ -43,6 +49,7 @@ import dataclasses
 import sys
 import time
 from contextlib import contextmanager
+from pathlib import Path
 from typing import Dict, Iterator, List, Optional
 
 from . import __version__, telemetry
@@ -133,12 +140,16 @@ def _telemetry_scope(args: argparse.Namespace) -> Iterator[None]:
     (span ids start at ``PARENT_SPAN_ID_BASE`` so parent-side events
     never collide with worker-recorded spans sharing a trace file);
     ``--metrics FILE`` attaches a registry exported when the command
-    finishes.  Without either flag, no session is installed and every
-    telemetry call in the library stays a no-op.
+    finishes; ``--tsdb`` attaches a registry (if ``--metrics`` did not
+    already) plus a sampler the engine snapshots it through into the
+    store's ``tsdb.jsonl`` after every durable checkpoint.  Without
+    any of the flags, no session is installed and every telemetry call
+    in the library stays a no-op.
     """
     trace_dir = getattr(args, "trace", None)
     metrics_path = getattr(args, "metrics", None)
-    if trace_dir is None and metrics_path is None:
+    tsdb = bool(getattr(args, "tsdb", False))
+    if trace_dir is None and metrics_path is None and not tsdb:
         yield
         return
     tracer = None
@@ -147,12 +158,18 @@ def _telemetry_scope(args: argparse.Namespace) -> Iterator[None]:
             telemetry.TraceWriter(trace_dir),
             first_id=telemetry.PARENT_SPAN_ID_BASE,
         )
-    metrics = telemetry.MetricsRegistry() if metrics_path is not None else None
-    with telemetry.telemetry_session(tracer=tracer, metrics=metrics):
+    metrics = (
+        telemetry.MetricsRegistry()
+        if metrics_path is not None or tsdb else None
+    )
+    sampler = telemetry.TsdbSampler() if tsdb else None
+    with telemetry.telemetry_session(
+        tracer=tracer, metrics=metrics, tsdb=sampler
+    ):
         try:
             yield
         finally:
-            if metrics is not None:
+            if metrics is not None and metrics_path is not None:
                 metrics.write(metrics_path)
                 print(f"metrics exported to {metrics_path}", file=sys.stderr)
 
@@ -344,6 +361,60 @@ def _cmd_status(args: argparse.Namespace) -> int:
             return 2
         print(telemetry.render_model_status(models), end="")
     return 0
+
+
+def _cmd_analyze(args: argparse.Namespace) -> int:
+    """Trace analytics over a ``--trace`` directory.
+
+    Deterministic by construction: the same trace directory always
+    yields the same report bytes, so two ``--json`` runs can be
+    compared with ``cmp``.
+    """
+    try:
+        analysis = telemetry.analyze_trace_dir(args.trace_dir)
+    except (ValueError, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if args.json:
+        print(analysis.serialize(), end="")
+    else:
+        print(telemetry.render_analysis(analysis), end="")
+    return 0
+
+
+def _cmd_dash(args: argparse.Namespace) -> int:
+    """Live dashboard over a campaign or fleet store.
+
+    Read-only: safe to point at a store another process is writing.
+    Follows until the grid completes unless ``--once``; the tsdb
+    cursors stay warm across refreshes, so each frame parses only the
+    bytes appended since the previous one.
+    """
+    baseline: Optional[str] = args.baseline
+    if baseline is not None and not Path(baseline).exists():
+        print(f"error: baseline file {baseline} not found", file=sys.stderr)
+        return 2
+    if baseline is None:
+        default = Path("benchmarks") / "framework_baseline.json"
+        baseline = str(default) if default.exists() else None
+    dashboard = telemetry.Dashboard(args.store, baseline=baseline)
+    while True:
+        try:
+            snapshot = dashboard.refresh()
+        except (CampaignError, ValueError, OSError) as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        print(telemetry.render_dash(snapshot), end="")
+        if args.health_out:
+            with open(args.health_out, "w") as handle:
+                handle.write(
+                    telemetry.serialize_health(
+                        snapshot.verdicts, source=str(args.store)
+                    )
+                )
+        if args.once or snapshot.complete:
+            return 0
+        time.sleep(args.poll)
 
 
 def _cmd_tradeoffs(args: argparse.Namespace) -> int:
@@ -721,6 +792,11 @@ def _add_telemetry_flags(parser: argparse.ArgumentParser) -> None:
                         help="export run metrics on exit; .prom/.txt "
                              "selects Prometheus text exposition, any "
                              "other extension the JSON snapshot")
+    parser.add_argument("--tsdb", action="store_true",
+                        help="append registry snapshots to the store's "
+                             "tsdb.jsonl time-series journal after every "
+                             "durable checkpoint (read by `repro dash` "
+                             "and the health rules; requires --store)")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -942,6 +1018,36 @@ def build_parser() -> argparse.ArgumentParser:
                             help="compact even when a saved model's "
                                  "streaming cursor points mid-journal")
     pf_compact.set_defaults(fleet_func=_cmd_fleet_compact)
+
+    p_analyze = sub.add_parser(
+        "analyze", help="trace analytics over a --trace directory")
+    p_analyze.add_argument("trace_dir", metavar="TRACE_DIR",
+                           help="directory of trace-*.jsonl span files "
+                                "written by --trace")
+    p_analyze.add_argument("--json", action="store_true",
+                           help="emit the canonical repro-analysis/v1 "
+                                "JSON instead of the terminal report")
+    p_analyze.set_defaults(func=_cmd_analyze)
+
+    p_dash = sub.add_parser(
+        "dash", help="live dashboard over a campaign or fleet store")
+    p_dash.add_argument("store", metavar="STORE",
+                        help="campaign store or fleet directory to watch")
+    p_dash.add_argument("--once", action="store_true",
+                        help="render a single frame and exit")
+    p_dash.add_argument("--follow", action="store_true",
+                        help="keep refreshing until the grid completes "
+                             "(the default; --once overrides)")
+    p_dash.add_argument("--poll", type=float, default=2.0, metavar="SECONDS",
+                        help="follow-mode refresh interval (default 2 s)")
+    p_dash.add_argument("--baseline", default=None, metavar="FILE",
+                        help="framework baseline JSON for the throughput "
+                             "health floor (default: benchmarks/"
+                             "framework_baseline.json when present)")
+    p_dash.add_argument("--health-out", default=None, metavar="FILE",
+                        help="write the repro-health/v1 verdict report "
+                             "here on every refresh")
+    p_dash.set_defaults(func=_cmd_dash)
 
     p_lint = sub.add_parser(
         "lint", help="check the repo's reprolint invariants (RPR001-013)")

@@ -214,6 +214,7 @@ class ParallelCampaignEngine:
                     telemetry.M_TASKS_SKIPPED, amount=len(replayed)
                 )
                 telemetry.event("engine.replay", tasks=len(replayed))
+            self._sample_tsdb(journal)
             checkpoint = self._checkpointer(journal)
             chunks = self._chunk(pending)
             retried = 0
@@ -230,13 +231,18 @@ class ParallelCampaignEngine:
                     )
                     checkpoint(chunk, chunk_outcomes)
                     self._record_outcomes(chunk_outcomes)
+                    self._sample_tsdb(journal)
                     outcomes.extend(chunk_outcomes)
                     tracker.advance(len(chunk))
             else:
                 outcomes, retried = self._run_pool(
-                    backend, chunks, tracker, checkpoint, collect
+                    backend, chunks, tracker, checkpoint, collect,
+                    journal=journal,
                 )
             tracker.finish()
+            # Final snapshot after finish() so the run's published
+            # throughput gauge lands in the time-series journal.
+            self._sample_tsdb(journal)
         return self._assemble(
             tasks, replayed + outcomes, backend, retried,
             tasks_skipped=len(replayed),
@@ -353,6 +359,17 @@ class ParallelCampaignEngine:
         return session is not None and session.tracer is not None
 
     @staticmethod
+    def _sample_tsdb(journal: Optional[CampaignStore]) -> None:
+        """Snapshot the registry into the journal directory's tsdb.
+
+        No-op without a journal or without an ambient tsdb sampler
+        (``--tsdb``); sampling happens only after durable checkpoints,
+        so the time-series journal never observes in-flight state.
+        """
+        if journal is not None:
+            telemetry.sample_tsdb(journal.directory)
+
+    @staticmethod
     def _record_outcomes(outcomes: Tuple[CampaignTaskResult, ...]) -> None:
         """Parent-side telemetry for freshly executed outcomes.
 
@@ -422,6 +439,7 @@ class ParallelCampaignEngine:
             [Tuple[CampaignTask, ...], Tuple[CampaignTaskResult, ...]], None
         ],
         collect: bool = False,
+        journal: Optional[CampaignStore] = None,
     ) -> Tuple[List[CampaignTaskResult], int]:
         executor, backend = self._make_executor(backend)
         outcomes: List[CampaignTaskResult] = []
@@ -473,6 +491,7 @@ class ParallelCampaignEngine:
                     )
                     checkpoint(chunk, chunk_outcomes)
                     self._record_outcomes(chunk_outcomes)
+                    self._sample_tsdb(journal)
                     outcomes.extend(chunk_outcomes)
                     tracker.advance(len(chunk))
         finally:

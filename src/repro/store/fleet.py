@@ -228,6 +228,12 @@ class FleetStore:
     def shard_path(self, entry: ShardEntry) -> Path:
         return self.directory / entry.path
 
+    def tsdb_path(self, entry: ShardEntry) -> Path:
+        """Where ``--tsdb`` sampling lands for this shard (may not exist)."""
+        from ..telemetry.tsdb import TSDB_NAME
+
+        return self.shard_path(entry) / TSDB_NAME
+
     # -- lifecycle ---------------------------------------------------------
 
     @classmethod

@@ -326,15 +326,9 @@ class CampaignStore:
             self._torn_tail_bytes = None
         line = json.dumps(stored.to_json_dict(), sort_keys=True)
         fsync_started = telemetry.clock()
-        with self.journal_path.open("a") as handle:
-            handle.write(line + "\n")
-            handle.flush()
-            os.fsync(handle.fileno())
-        telemetry.observe(
-            telemetry.M_JOURNAL_FSYNC_SECONDS, telemetry.clock() - fsync_started
-        )
-        telemetry.inc_counter(telemetry.M_JOURNAL_APPENDS)
-        telemetry.event(
+        # A real span (not a point event) so trace analytics can
+        # attribute the write+fsync time to the journal_append phase.
+        with telemetry.span(
             "journal.append",
             trace_id=telemetry.task_trace_id(
                 stored.benchmark, stored.core, stored.campaign_index
@@ -343,7 +337,15 @@ class CampaignStore:
             core=stored.core,
             campaign=stored.campaign_index,
             bytes=len(line) + 1,
+        ):
+            with self.journal_path.open("a") as handle:
+                handle.write(line + "\n")
+                handle.flush()
+                os.fsync(handle.fileno())
+        telemetry.observe(
+            telemetry.M_JOURNAL_FSYNC_SECONDS, telemetry.clock() - fsync_started
         )
+        telemetry.inc_counter(telemetry.M_JOURNAL_APPENDS)
         self._campaigns.append(stored)
         self._completed.add(stored.key)
         for observer in tuple(self._observers):

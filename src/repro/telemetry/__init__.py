@@ -18,10 +18,33 @@ the injected monotonic clock (:mod:`.clock`), never from inside
 simulation packages, so a telemetry-enabled run produces bit-identical
 stores to a telemetry-off run.  :mod:`.status` turns a store journal
 plus a live metrics snapshot into the ``repro status`` report.
+
+On top of those write-side primitives sits the read/analysis plane:
+
+* **Trace analytics** (:mod:`.analytics`): deterministic critical-path
+  extraction, per-phase time attribution and straggler reports over a
+  trace directory -- the ``repro analyze`` subcommand.
+* **Metrics time-series journal** (:mod:`.tsdb`): the opt-in
+  ``repro-tsdb/v1`` snapshot journal plus the warm
+  :class:`~.tsdb.TsdbCursor` reader whose state always equals a full
+  re-parse.
+* **Health rules** (:mod:`.health`): declarative bounds over the tsdb
+  producing ``repro-health/v1`` verdicts.
+* **Dashboard** (:mod:`.dash`): the ``repro dash`` terminal view
+  aggregating progress, tsdb metrics, ETA and health.
 """
 
 from __future__ import annotations
 
+from .analytics import (
+    ANALYSIS_FORMAT,
+    PHASES,
+    CriticalPathStep,
+    TaskSummary,
+    TraceAnalysis,
+    analyze_trace_dir,
+    render_analysis,
+)
 from .clock import MONOTONIC_CLOCK, Clock
 from .context import (
     TelemetrySession,
@@ -31,15 +54,29 @@ from .context import (
     event,
     inc_counter,
     observe,
+    sample_tsdb,
     set_gauge,
     shielded,
     span,
     task_trace,
     telemetry_session,
 )
+from .dash import Dashboard, DashSnapshot, render_dash
+from .health import (
+    HEALTH_FORMAT,
+    HealthRule,
+    HealthVerdict,
+    default_health_rules,
+    evaluate_rules,
+    health_report,
+    overall_status,
+    render_health,
+    serialize_health,
+)
 from .log import LOG_LEVELS, StructuredLogger, get_logger
 from .metrics import (
     DEFAULT_BUCKETS,
+    FSYNC_BUCKETS,
     METRIC_CATALOG,
     METRICS_FORMAT,
     M_CHUNK_SECONDS,
@@ -60,11 +97,13 @@ from .metrics import (
     M_TASKS_COMPLETED,
     M_TASKS_SKIPPED,
     M_THROUGHPUT,
+    M_TSDB_SNAPSHOTS,
     M_WATCHDOG,
     Counter,
     Gauge,
     Histogram,
     MetricFamily,
+    MetricSpec,
     MetricsRegistry,
 )
 from .status import (
@@ -93,8 +132,24 @@ from .tracing import (
     task_trace_id,
     validate_span,
 )
+from .tsdb import (
+    TSDB_CURSOR_FORMAT,
+    TSDB_FORMAT,
+    TSDB_NAME,
+    TsdbCursor,
+    TsdbSampler,
+    TsdbWriter,
+)
 
 __all__ = [
+    # analytics
+    "ANALYSIS_FORMAT",
+    "PHASES",
+    "CriticalPathStep",
+    "TaskSummary",
+    "TraceAnalysis",
+    "analyze_trace_dir",
+    "render_analysis",
     # clock
     "Clock",
     "MONOTONIC_CLOCK",
@@ -106,11 +161,26 @@ __all__ = [
     "event",
     "inc_counter",
     "observe",
+    "sample_tsdb",
     "set_gauge",
     "shielded",
     "span",
     "task_trace",
     "telemetry_session",
+    # dash
+    "Dashboard",
+    "DashSnapshot",
+    "render_dash",
+    # health
+    "HEALTH_FORMAT",
+    "HealthRule",
+    "HealthVerdict",
+    "default_health_rules",
+    "evaluate_rules",
+    "health_report",
+    "overall_status",
+    "render_health",
+    "serialize_health",
     # log
     "LOG_LEVELS",
     "StructuredLogger",
@@ -120,10 +190,12 @@ __all__ = [
     "Gauge",
     "Histogram",
     "MetricFamily",
+    "MetricSpec",
     "MetricsRegistry",
     "METRICS_FORMAT",
     "METRIC_CATALOG",
     "DEFAULT_BUCKETS",
+    "FSYNC_BUCKETS",
     "M_GRID_TASKS",
     "M_TASKS_COMPLETED",
     "M_TASKS_SKIPPED",
@@ -143,6 +215,7 @@ __all__ = [
     "M_PREDICTION_CHARACTERIZATIONS",
     "M_MODEL_RMSE",
     "M_MODEL_DRIFT",
+    "M_TSDB_SNAPSHOTS",
     # status
     "CampaignStatus",
     "ModelStatus",
@@ -167,4 +240,11 @@ __all__ = [
     "load_spans",
     "task_trace_id",
     "validate_span",
+    # tsdb
+    "TSDB_CURSOR_FORMAT",
+    "TSDB_FORMAT",
+    "TSDB_NAME",
+    "TsdbCursor",
+    "TsdbSampler",
+    "TsdbWriter",
 ]

@@ -18,11 +18,13 @@ from __future__ import annotations
 from contextlib import contextmanager
 from contextvars import ContextVar
 from dataclasses import dataclass
-from typing import Iterable, Iterator, Optional, Tuple
+from pathlib import Path
+from typing import Iterable, Iterator, Optional, Tuple, Union
 
 from .clock import MONOTONIC_CLOCK, Clock
 from .metrics import MetricsRegistry
 from .tracing import AttrValue, SpanRecord, Tracer, task_trace_id
+from .tsdb import TsdbSampler
 
 
 @dataclass
@@ -32,6 +34,10 @@ class TelemetrySession:
     tracer: Optional[Tracer] = None
     metrics: Optional[MetricsRegistry] = None
     clock: Clock = MONOTONIC_CLOCK
+    #: Opt-in metrics time-series sampler; when present (and a registry
+    #: is active), :func:`sample_tsdb` appends registry snapshots to the
+    #: store's ``tsdb.jsonl`` journal.
+    tsdb: Optional[TsdbSampler] = None
 
 
 _SESSION: ContextVar[Optional[TelemetrySession]] = ContextVar(
@@ -49,9 +55,12 @@ def telemetry_session(
     tracer: Optional[Tracer] = None,
     metrics: Optional[MetricsRegistry] = None,
     clock: Clock = MONOTONIC_CLOCK,
+    tsdb: Optional[TsdbSampler] = None,
 ) -> Iterator[TelemetrySession]:
     """Install a session as the ambient telemetry context."""
-    session = TelemetrySession(tracer=tracer, metrics=metrics, clock=clock)
+    session = TelemetrySession(
+        tracer=tracer, metrics=metrics, clock=clock, tsdb=tsdb
+    )
     token = _SESSION.set(session)
     try:
         yield session
@@ -153,6 +162,19 @@ def observe(
         session.metrics.histogram(name, buckets=buckets, **labels).observe(value)
 
 
+def sample_tsdb(directory: Union[str, Path]) -> None:
+    """Append a registry snapshot to ``directory``'s tsdb journal.
+
+    No-op unless the ambient session carries both a metrics registry
+    and a :class:`~repro.telemetry.tsdb.TsdbSampler` -- the journal is
+    strictly opt-in and never perturbs campaign artifacts.
+    """
+    session = _SESSION.get()
+    if session is None or session.metrics is None or session.tsdb is None:
+        return
+    session.tsdb.sample(session.metrics, directory, t_s=session.clock())
+
+
 __all__ = [
     "TelemetrySession",
     "clock",
@@ -161,6 +183,7 @@ __all__ = [
     "event",
     "inc_counter",
     "observe",
+    "sample_tsdb",
     "set_gauge",
     "shielded",
     "span",

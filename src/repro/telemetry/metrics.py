@@ -17,7 +17,16 @@ from __future__ import annotations
 import json
 import re
 from pathlib import Path
-from typing import Dict, Iterator, List, Mapping, Optional, Tuple, Union
+from typing import (
+    Dict,
+    Iterator,
+    List,
+    Mapping,
+    NamedTuple,
+    Optional,
+    Tuple,
+    Union,
+)
 
 METRICS_FORMAT = "repro-metrics/v1"
 
@@ -43,31 +52,7 @@ M_PREDICTION_PROFILES = "repro_prediction_profiles_total"
 M_PREDICTION_CHARACTERIZATIONS = "repro_prediction_characterizations_total"
 M_MODEL_RMSE = "repro_model_rmse"
 M_MODEL_DRIFT = "repro_model_drift"
-
-#: name -> (kind, help).  Unknown names may still be registered (kind
-#: inferred from the accessor used) but catalog entries keep the core
-#: instrumentation self-describing.
-METRIC_CATALOG: Dict[str, Tuple[str, str]] = {
-    M_GRID_TASKS: ("gauge", "Total (benchmark, core, campaign) tasks in the grid."),
-    M_TASKS_COMPLETED: ("counter", "Campaign tasks completed this run."),
-    M_TASKS_SKIPPED: ("counter", "Campaign tasks replayed from the journal on resume."),
-    M_CHUNKS_RETRIED: ("counter", "Task chunks retried after a worker crash."),
-    M_TASK_SECONDS: ("histogram", "Per-task wall time attributed by the progress tracker."),
-    M_CHUNK_SECONDS: ("histogram", "Wall time per scheduled task chunk."),
-    M_THROUGHPUT: ("gauge", "Engine throughput over the finished run, tasks per second."),
-    M_INTERVENTIONS: ("counter", "Watchdog interventions observed across completed tasks."),
-    M_EFFECTS: ("counter", "Parsed run records by undervolting effect class (Table 3)."),
-    M_WATCHDOG: ("counter", "Watchdog recovery actions by kind."),
-    M_JOURNAL_APPENDS: ("counter", "Campaign records appended to the store journal."),
-    M_JOURNAL_FSYNC_SECONDS: ("histogram", "Journal append write+fsync latency."),
-    M_PARSER_RUNS: ("counter", "Run blocks parsed from characterization logs."),
-    M_KERNEL_CAMPAIGNS: ("counter", "Campaigns by evaluation path (batch kernel vs scalar fallback)."),
-    M_LOG_MESSAGES: ("counter", "Structured log messages by level."),
-    M_PREDICTION_PROFILES: ("counter", "Performance-counter profiles computed by the prediction pipeline."),
-    M_PREDICTION_CHARACTERIZATIONS: ("counter", "Characterizations run by the prediction pipeline."),
-    M_MODEL_RMSE: ("gauge", "Prequential (test-then-train) RMSE of the streaming model."),
-    M_MODEL_DRIFT: ("gauge", "Streaming model drift: prequential RMSE relative to the naive baseline."),
-}
+M_TSDB_SNAPSHOTS = "repro_tsdb_snapshots_total"
 
 #: Default histogram bucket boundaries, in seconds.
 DEFAULT_BUCKETS: Tuple[float, ...] = (
@@ -82,6 +67,70 @@ DEFAULT_BUCKETS: Tuple[float, ...] = (
     10.0,
     60.0,
 )
+
+#: Journal fsync latencies live well under DEFAULT_BUCKETS' smallest
+#: 1 ms bound on any SSD, so the fsync histogram carries its own
+#: sub-millisecond resolution.
+FSYNC_BUCKETS: Tuple[float, ...] = (
+    0.00005,
+    0.0001,
+    0.00025,
+    0.0005,
+    0.001,
+    0.0025,
+    0.005,
+    0.01,
+    0.05,
+    0.25,
+    1.0,
+)
+
+
+class MetricSpec(NamedTuple):
+    """One catalog entry: kind, help text, optional bucket override."""
+
+    kind: str
+    help: str
+    #: Histogram bucket boundaries; ``None`` means
+    #: :data:`DEFAULT_BUCKETS` (and must be ``None`` for non-histograms).
+    buckets: Optional[Tuple[float, ...]] = None
+
+
+#: name -> :class:`MetricSpec`.  Unknown names may still be registered
+#: (kind inferred from the accessor used) but catalog entries keep the
+#: core instrumentation self-describing, and histogram entries pin the
+#: bucket layout every registry resolves.
+METRIC_CATALOG: Dict[str, MetricSpec] = {
+    M_GRID_TASKS: MetricSpec("gauge", "Total (benchmark, core, campaign) tasks in the grid."),
+    M_TASKS_COMPLETED: MetricSpec("counter", "Campaign tasks completed this run."),
+    M_TASKS_SKIPPED: MetricSpec("counter", "Campaign tasks replayed from the journal on resume."),
+    M_CHUNKS_RETRIED: MetricSpec("counter", "Task chunks retried after a worker crash."),
+    M_TASK_SECONDS: MetricSpec("histogram", "Per-task wall time attributed by the progress tracker."),
+    M_CHUNK_SECONDS: MetricSpec("histogram", "Wall time per scheduled task chunk."),
+    M_THROUGHPUT: MetricSpec("gauge", "Engine throughput over the finished run, tasks per second."),
+    M_INTERVENTIONS: MetricSpec("counter", "Watchdog interventions observed across completed tasks."),
+    M_EFFECTS: MetricSpec("counter", "Parsed run records by undervolting effect class (Table 3)."),
+    M_WATCHDOG: MetricSpec("counter", "Watchdog recovery actions by kind."),
+    M_JOURNAL_APPENDS: MetricSpec("counter", "Campaign records appended to the store journal."),
+    M_JOURNAL_FSYNC_SECONDS: MetricSpec(
+        "histogram", "Journal append write+fsync latency.", buckets=FSYNC_BUCKETS
+    ),
+    M_PARSER_RUNS: MetricSpec("counter", "Run blocks parsed from characterization logs."),
+    M_KERNEL_CAMPAIGNS: MetricSpec("counter", "Campaigns by evaluation path (batch kernel vs scalar fallback)."),
+    M_LOG_MESSAGES: MetricSpec("counter", "Structured log messages by level."),
+    M_PREDICTION_PROFILES: MetricSpec("counter", "Performance-counter profiles computed by the prediction pipeline."),
+    M_PREDICTION_CHARACTERIZATIONS: MetricSpec("counter", "Characterizations run by the prediction pipeline."),
+    M_MODEL_RMSE: MetricSpec("gauge", "Prequential (test-then-train) RMSE of the streaming model."),
+    M_MODEL_DRIFT: MetricSpec("gauge", "Streaming model drift: prequential RMSE relative to the naive baseline."),
+    M_TSDB_SNAPSHOTS: MetricSpec("counter", "Registry snapshots appended to the metrics time-series journal."),
+}
+
+for _name, _spec in METRIC_CATALOG.items():
+    if _spec.buckets is not None and _spec.kind != "histogram":
+        raise ValueError(
+            f"METRIC_CATALOG entry {_name!r} is a {_spec.kind} but "
+            f"declares histogram buckets"
+        )
 
 _NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
 _LABEL_RE = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
@@ -195,13 +244,14 @@ class MetricsRegistry:
     # -- registration -------------------------------------------------
 
     def _family(self, name: str, kind: str) -> MetricFamily:
-        if name in METRIC_CATALOG:
-            catalog_kind, help_text = METRIC_CATALOG[name]
-            if catalog_kind != kind:
+        spec = METRIC_CATALOG.get(name)
+        if spec is not None:
+            if spec.kind != kind:
                 raise ValueError(
-                    f"metric {name!r} is a {catalog_kind} in METRIC_CATALOG, "
+                    f"metric {name!r} is a {spec.kind} in METRIC_CATALOG, "
                     f"requested as {kind}"
                 )
+            help_text = spec.help
         else:
             help_text = f"Metric {name}."
         if not _NAME_RE.match(name):
@@ -243,10 +293,16 @@ class MetricsRegistry:
         buckets: Optional[Tuple[float, ...]] = None,
         **labels: str,
     ) -> Histogram:
+        """A histogram child; bucket resolution order is explicit
+        ``buckets`` > the catalog's per-metric override >
+        :data:`DEFAULT_BUCKETS`."""
         family = self._family(name, "histogram")
         key = _label_key(labels)
         child = family.children.get(key)
         if child is None:
+            if buckets is None:
+                spec = METRIC_CATALOG.get(name)
+                buckets = spec.buckets if spec is not None else None
             child = Histogram(buckets if buckets is not None else DEFAULT_BUCKETS)
             family.children[key] = child
         assert isinstance(child, Histogram)
@@ -294,7 +350,7 @@ class MetricsRegistry:
         """Prometheus text exposition format (version 0.0.4)."""
         lines: List[str] = []
         for family in self.families():
-            lines.append(f"# HELP {family.name} {family.help}")
+            lines.append(f"# HELP {family.name} {_escape_help(family.help)}")
             lines.append(f"# TYPE {family.name} {family.kind}")
             for key in sorted(family.children):
                 child = family.children[key]
@@ -333,7 +389,39 @@ class MetricsRegistry:
 
 
 def _escape_label_value(value: str) -> str:
+    """Escape per the exposition text format: backslash first, then
+    double-quote and newline, so unescaping is a left-to-right inverse."""
     return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _unescape_label_value(value: str) -> str:
+    """Inverse of :func:`_escape_label_value` (left-to-right scan)."""
+    out: List[str] = []
+    i = 0
+    while i < len(value):
+        ch = value[i]
+        if ch == "\\" and i + 1 < len(value):
+            nxt = value[i + 1]
+            if nxt == "\\":
+                out.append("\\")
+                i += 2
+                continue
+            if nxt == '"':
+                out.append('"')
+                i += 2
+                continue
+            if nxt == "n":
+                out.append("\n")
+                i += 2
+                continue
+        out.append(ch)
+        i += 1
+    return "".join(out)
+
+
+def _escape_help(text: str) -> str:
+    """HELP lines escape only backslash and newline (not quotes)."""
+    return text.replace("\\", "\\\\").replace("\n", "\\n")
 
 
 def _render_labels(pairs: LabelKey) -> str:
@@ -347,10 +435,12 @@ __all__ = [
     "METRICS_FORMAT",
     "METRIC_CATALOG",
     "DEFAULT_BUCKETS",
+    "FSYNC_BUCKETS",
     "Counter",
     "Gauge",
     "Histogram",
     "MetricFamily",
+    "MetricSpec",
     "MetricsRegistry",
     "M_GRID_TASKS",
     "M_TASKS_COMPLETED",
@@ -369,4 +459,7 @@ __all__ = [
     "M_LOG_MESSAGES",
     "M_PREDICTION_PROFILES",
     "M_PREDICTION_CHARACTERIZATIONS",
+    "M_MODEL_RMSE",
+    "M_MODEL_DRIFT",
+    "M_TSDB_SNAPSHOTS",
 ]

@@ -268,18 +268,36 @@ class TraceWriter:
             handle.write(line + "\n")
 
 
-def load_spans(path: Union[str, Path]) -> List[SpanRecord]:
-    """Parse one JSONL trace file back into validated records."""
+def load_spans(path: Union[str, Path], strict: bool = True) -> List[SpanRecord]:
+    """Parse one JSONL trace file back into validated records.
+
+    With ``strict=False`` a torn *trailing* line -- the scar of a
+    writer killed mid-append -- is dropped instead of raising, under
+    the same rules the campaign journal heals by: only the last line
+    may fail to decode, and a last line without a terminating newline
+    is a stub even when it happens to parse.  Corruption anywhere else
+    always raises, in either mode.
+    """
+    entries = Path(path).read_bytes().splitlines(keepends=True)
     records: List[SpanRecord] = []
-    with open(path, "r", encoding="utf-8") as handle:
-        for line in handle:
-            line = line.strip()
-            if not line:
-                continue
-            data = json.loads(line)
-            if not isinstance(data, dict):
-                raise ValueError(f"trace line is not an object: {line!r}")
-            records.append(SpanRecord.from_json_dict(data))
+    for index, entry in enumerate(entries):
+        is_last = index == len(entries) - 1
+        if not entry.strip():
+            continue
+        try:
+            data = json.loads(entry.decode("utf-8"))
+        except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+            if is_last and not strict:
+                break  # torn tail of an interrupted append
+            raise ValueError(
+                f"corrupt trace line {index + 1} in {path}: {exc}"
+            )
+        if is_last and not entry.endswith(b"\n") and not strict:
+            # Parseable but unterminated: still an interrupted append.
+            break
+        if not isinstance(data, dict):
+            raise ValueError(f"trace line is not an object: {entry!r}")
+        records.append(SpanRecord.from_json_dict(data))
     return records
 
 

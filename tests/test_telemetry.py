@@ -168,9 +168,9 @@ class TestMetricsRegistry:
         reg = MetricsRegistry()
         reg.counter(M_JOURNAL_APPENDS)
         text = reg.render_prometheus()
-        kind, help_text = METRIC_CATALOG[M_JOURNAL_APPENDS]
-        assert f"# TYPE {M_JOURNAL_APPENDS} {kind}" in text
-        assert f"# HELP {M_JOURNAL_APPENDS} {help_text}" in text
+        spec = METRIC_CATALOG[M_JOURNAL_APPENDS]
+        assert f"# TYPE {M_JOURNAL_APPENDS} {spec.kind}" in text
+        assert f"# HELP {M_JOURNAL_APPENDS} {spec.help}" in text
 
     def test_write_dispatches_on_extension(self, tmp_path):
         reg = MetricsRegistry()
